@@ -1,0 +1,105 @@
+"""Ablation — sparse kernel backends (DESIGN.md design-choice bench).
+
+Compares the hand-rolled vectorized CSR semiring mxm against scipy.sparse and
+dense NumPy across matrix sizes, and measures COO build vs CSR compute.
+Expected shape: dense wins at tiny n, sparse backends win as n grows with
+fixed density; scipy's C kernels beat our NumPy ESC by a constant factor —
+the documented cost of keeping the semiring generic in pure Python.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from conftest import format_table, write_artifact
+
+from repro.assoc.semiring import MIN_PLUS
+from repro.assoc.sparse import CSRMatrix
+
+
+def random_sparse(n: int, density: float, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    dense = np.zeros((n, n), dtype=np.int64)
+    nnz = max(1, int(n * n * density))
+    rows = rng.integers(0, n, nnz)
+    cols = rng.integers(0, n, nnz)
+    dense[rows, cols] = rng.integers(1, 10, nnz)
+    return dense
+
+
+def time_once(fn) -> float:
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def test_mxm_backend_scaling(benchmark, artifacts):
+    density = 0.02
+    sizes = (100, 300, 800)
+    rows = []
+    for n in sizes:
+        dense_a = random_sparse(n, density, 1)
+        dense_b = random_sparse(n, density, 2)
+        ours_a, ours_b = CSRMatrix.from_dense(dense_a), CSRMatrix.from_dense(dense_b)
+        sp_a, sp_b = ours_a.to_scipy(), ours_b.to_scipy()
+
+        t_ours = time_once(lambda: ours_a.mxm(ours_b))
+        t_scipy = time_once(lambda: sp_a @ sp_b)
+        t_dense = time_once(lambda: dense_a @ dense_b)
+        # correctness across backends
+        assert np.array_equal(ours_a.mxm(ours_b).to_dense(), dense_a @ dense_b)
+        rows.append([
+            str(n),
+            f"{t_ours * 1e3:.2f} ms",
+            f"{t_scipy * 1e3:.2f} ms",
+            f"{t_dense * 1e3:.2f} ms",
+            f"{ours_a.nnz}",
+        ])
+
+    # benchmark the middle size for the timing table
+    a = CSRMatrix.from_dense(random_sparse(300, density, 1))
+    b = CSRMatrix.from_dense(random_sparse(300, density, 2))
+    benchmark(a.mxm, b)
+
+    body = format_table(["n", "ours (ESC)", "scipy", "dense numpy", "nnz/operand"], rows) + (
+        "\n\nshape: sparse backends overtake dense as n grows at fixed density;"
+        "\nscipy's compiled kernels hold a constant-factor lead over the pure-"
+        "NumPy ESC — the price of semiring genericity."
+    )
+    write_artifact(artifacts / "assoc_scaling.txt", "Ablation: sparse mxm backends", body)
+
+
+def test_semiring_genericity_no_extra_cost(benchmark):
+    """min.plus costs within ~4x of plus.times on the same pattern (same kernel)."""
+    n = 400
+    dense = random_sparse(n, 0.02, 3).astype(np.float64)
+    m = CSRMatrix.from_dense(dense)
+
+    t_plus = time_once(lambda: m.mxm(m))
+    result = benchmark(m.mxm, m, MIN_PLUS)
+    t_min = time_once(lambda: m.mxm(m, MIN_PLUS))
+    assert result.shape == (n, n)
+    assert t_min < max(t_plus, 1e-4) * 6 + 0.05
+
+
+def test_coo_build_vs_csr_compute(benchmark, artifacts):
+    """COO-style triple build is the cheap phase; mxm dominates (guide shape)."""
+    n = 500
+    dense = random_sparse(n, 0.02, 4)
+    rows_idx, cols_idx = np.nonzero(dense)
+    vals = dense[rows_idx, cols_idx]
+
+    def build():
+        return CSRMatrix.from_triples(rows_idx, cols_idx, vals, (n, n))
+
+    m = benchmark(build)
+    t_build = time_once(build)
+    t_mxm = time_once(lambda: m.mxm(m))
+    write_artifact(
+        artifacts / "assoc_build_vs_compute.txt",
+        "Ablation: build vs compute",
+        f"n={n}, nnz={m.nnz}\nbuild (coalesce+indptr): {t_build * 1e3:.2f} ms\n"
+        f"mxm (ESC):               {t_mxm * 1e3:.2f} ms",
+    )

@@ -1,0 +1,66 @@
+"""Fig. 1 — Hello World in C#/Python/GDScript.
+
+The figure's point is GDScript's Python-likeness.  This bench runs the
+GDScript listing on the interpreter, the Python listing natively, and reports
+the interpretation overhead — the ablation DESIGN.md calls out (interpreted
+educator scripts vs native handlers).
+"""
+
+from __future__ import annotations
+
+import io
+import time
+from contextlib import redirect_stdout
+
+from conftest import write_artifact
+
+from repro.engine.node import Node3D
+from repro.engine.tree import SceneTree
+from repro.game.scripts import HELLO_WORLD_GD
+from repro.gdscript.interpreter import compile_script
+from repro.gdscript.lexer import tokenize
+
+PYTHON_HELLO = 'def HelloWorld():\n    print("Hello, world!")\n\nHelloWorld()\n'
+
+
+def run_gdscript_hello() -> str:
+    node = Node3D("Main")
+    inst = compile_script(HELLO_WORLD_GD).instantiate(node)
+    SceneTree(node)
+    return inst.output_text()
+
+
+def run_python_hello() -> str:
+    buf = io.StringIO()
+    with redirect_stdout(buf):
+        exec(compile(PYTHON_HELLO, "<hello>", "exec"), {})  # noqa: S102 - the figure's own listing
+    return buf.getvalue().strip()
+
+
+def test_fig1_hello_world_gdscript_vs_python(benchmark, artifacts):
+    out = benchmark(run_gdscript_hello)
+    assert out == "Hello, world!"
+    assert run_python_hello() == "Hello, world!"
+
+    # overhead estimate: repeat both enough to see a stable ratio
+    n = 200
+    t0 = time.perf_counter()
+    for _ in range(n):
+        run_gdscript_hello()
+    gd = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    for _ in range(n):
+        run_python_hello()
+    py = time.perf_counter() - t0
+    ratio = gd / py if py > 0 else float("inf")
+
+    tokens = len(tokenize(HELLO_WORLD_GD))
+    body = (
+        f"GDScript listing (Fig. 1c) runs on repro.gdscript: output 'Hello, world!'\n"
+        f"Python listing (Fig. 1b) runs natively: output 'Hello, world!'\n\n"
+        f"GDScript tokens: {tokens}\n"
+        f"Interpretation overhead (incl. node setup): {ratio:.1f}x native Python\n"
+        f"(game-scale scripts run in well under a millisecond either way)"
+    )
+    write_artifact(artifacts / "fig1_hello_world.txt", "Fig. 1: Hello World comparison", body)
+    assert ratio < 500  # interpreted, but comfortably game-scale

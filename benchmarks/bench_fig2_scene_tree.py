@@ -1,0 +1,33 @@
+"""Fig. 2 — the training level's scene tree.
+
+Regenerates the scene-tree dump the Godot dock shows and times scene
+construction.  The asserted shape is the figure's: a level root holding the
+Data node and the pallet-and-label controller with its X / Y / Pallets
+children.
+"""
+
+from __future__ import annotations
+
+from conftest import write_artifact
+
+from repro.game.training import training_module
+from repro.game.warehouse import build_level
+
+
+def test_fig2_training_scene_tree(benchmark, artifacts):
+    module = training_module()
+    root = benchmark(build_level, module)
+
+    dump = root.print_tree()
+    lines = dump.splitlines()
+    assert lines[0].startswith("Level")
+    assert any("Data" in line for line in lines)
+    assert any("PalletAndLabelController" in line for line in lines)
+    for section in ("X", "Y", "Pallets"):
+        assert any(f" {section} " in line for line in lines), section
+    assert sum("Pallet" in line for line in lines) >= 100
+
+    # the full dump is large; keep the figure-sized head plus a summary
+    head = "\n".join(lines[:40])
+    body = f"{head}\n... ({len(lines)} nodes total)"
+    write_artifact(artifacts / "fig2_scene_tree.txt", "Fig. 2: training-level scene tree", body)

@@ -1,0 +1,52 @@
+"""Figs. 3 & 4 — export variables in the Inspector; X/Y label nodes.
+
+Fig. 3 shows the controller's exported variables edited in the Inspector;
+Fig. 4 shows the X and Y nodes whose Label3D children the script fills.
+This bench regenerates the inspector dump and times the paper's
+``set_labels`` path (export wiring → ready → labels assigned).
+"""
+
+from __future__ import annotations
+
+from conftest import write_artifact
+
+from repro.engine.inspector import dump_inspector, list_exports
+from repro.engine.tree import SceneTree
+from repro.game.warehouse import build_level
+from repro.modules.templates import template_10x10
+
+
+def test_fig3_fig4_exports_and_labels(benchmark, artifacts):
+    module = template_10x10()
+
+    def wire_and_ready():
+        root = build_level(module)
+        SceneTree(root)
+        return root
+
+    root = benchmark(wire_and_ready)
+    controller = root.get_node("PalletAndLabelController")
+
+    # Fig. 3: the four export variables of the paper's listing, wired
+    exports = list_exports(controller)
+    assert set(exports) == {"y_axis", "x_axis", "pallets", "pallets_are_colored"}
+    assert exports["y_axis"].name == "Y"
+    assert exports["pallets_are_colored"] is False
+
+    # Fig. 4: X and Y nodes with label-holder children, text set by the script
+    x_row = controller.get_node("X")
+    y_row = controller.get_node("Y")
+    x_texts = [holder.get_child(1).text for holder in x_row.get_children()]
+    y_texts = [holder.get_child(1).text for holder in y_row.get_children()]
+    assert x_texts == y_texts == list(module.matrix.labels)
+
+    body = (
+        dump_inspector(controller)
+        + "\n\nX labels: " + " ".join(x_texts)
+        + "\nY labels: " + " ".join(y_texts)
+    )
+    write_artifact(
+        artifacts / "fig3_fig4_inspector_labels.txt",
+        "Figs. 3/4: export variables and axis label nodes",
+        body,
+    )

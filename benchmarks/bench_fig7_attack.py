@@ -1,0 +1,50 @@
+"""Fig. 7 — the notional attack: planning, staging, infiltration, lateral
+movement, each a traffic pattern on the 10×10 template.
+
+Asserts the paper's narrative property — the attack *moves* from red space
+toward blue space across the four panels — and that every stage classifies
+back to itself.
+"""
+
+from __future__ import annotations
+
+from conftest import write_artifact
+
+from repro.core.spaces import NetworkSpace as S
+from repro.graphs.attack import ATTACK_STAGES, full_attack
+from repro.graphs.classify import classify_scenario
+from repro.render.ascii2d import render_matrix_compact
+
+
+def test_fig7_attack_stages(benchmark, artifacts):
+    def generate_and_classify():
+        return {name: (gen(10), classify_scenario(gen(10)).best) for name, gen in ATTACK_STAGES.items()}
+
+    results = benchmark(generate_and_classify)
+
+    panels = []
+    for name, (matrix, classified) in results.items():
+        assert classified == name, f"{name} classified as {classified}"
+        panels.append(f"Fig. 7 — {name} (classified: {classified})\n{render_matrix_compact(matrix)}")
+
+    # the kill chain moves toward blue space: fraction of packets touching
+    # blue space is non-decreasing across the stages
+    def blue_fraction(matrix):
+        blocks = matrix.space_traffic()
+        touching = sum(v for (src, dst), v in blocks.items() if S.BLUE in (src, dst))
+        total = matrix.total_packets()
+        return touching / total if total else 0.0
+
+    fractions = [blue_fraction(results[n][0]) for n in ATTACK_STAGES]
+    assert fractions == sorted(fractions), fractions
+    assert fractions[0] == 0.0 and fractions[-1] == 1.0
+
+    combined = full_attack(10)
+    panels.append(
+        "All stages combined (the follow-on exercise)\n" + render_matrix_compact(combined)
+    )
+    write_artifact(
+        artifacts / "fig7_attack_stages.txt",
+        "Fig. 7: notional attack stages",
+        "\n\n".join(panels) + f"\n\nblue-space involvement per stage: {fractions}",
+    )

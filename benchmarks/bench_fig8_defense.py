@@ -1,0 +1,49 @@
+"""Fig. 8 — security, defense, deterrence traffic patterns.
+
+Asserts each concept's defining space signature from the paper's prose:
+security lives inside blue space, defense steps out into grey space, and
+deterrence answers a red-space provocation with visible activity in adversary
+space.
+"""
+
+from __future__ import annotations
+
+from conftest import write_artifact
+
+from repro.core.spaces import NetworkSpace as S
+from repro.graphs.classify import classify_scenario
+from repro.graphs.defense import DEFENSE_CONCEPTS
+from repro.render.ascii2d import render_matrix_compact
+
+
+def test_fig8_defense_concepts(benchmark, artifacts):
+    def generate_and_classify():
+        return {
+            name: (gen(10), classify_scenario(gen(10)).best)
+            for name, gen in DEFENSE_CONCEPTS.items()
+        }
+
+    results = benchmark(generate_and_classify)
+
+    panels = []
+    for name, (matrix, classified) in results.items():
+        assert classified == name, f"{name} classified as {classified}"
+        panels.append(f"Fig. 8 — {name} (classified: {classified})\n{render_matrix_compact(matrix)}")
+
+    security_blocks = {k for k, v in results["security"][0].space_traffic().items() if v}
+    assert security_blocks == {(S.BLUE, S.BLUE)}
+
+    defense_blocks = {k for k, v in results["defense"][0].space_traffic().items() if v}
+    assert (S.BLUE, S.GREY) in defense_blocks and (S.RED, S.GREY) in defense_blocks
+    assert (S.RED, S.BLUE) not in defense_blocks  # threats caught before entry
+
+    deterrence = results["deterrence"][0]
+    blocks = deterrence.space_traffic()
+    assert blocks[(S.BLUE, S.RED)] > 0  # credible activity in adversary space
+    assert blocks[(S.RED, S.BLUE)] > 0  # the provocation that triggered it
+
+    write_artifact(
+        artifacts / "fig8_defense_concepts.txt",
+        "Fig. 8: security / defense / deterrence",
+        "\n\n".join(panels),
+    )

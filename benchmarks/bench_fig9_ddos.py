@@ -1,0 +1,50 @@
+"""Fig. 9 — DDoS components: C2, botnet clients, attack, backscatter.
+
+Asserts the figure's structural relations: identical C2→client tasking, the
+flood dominating the packet counts, and backscatter being exactly the
+transpose of the attack pattern.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import write_artifact
+
+from repro.graphs.classify import classify_scenario
+from repro.graphs.ddos import DDOS_COMPONENTS, full_ddos
+from repro.render.ascii2d import render_matrix_compact
+
+
+def test_fig9_ddos_components(benchmark, artifacts):
+    def generate_and_classify():
+        return {
+            name: (gen(10), classify_scenario(gen(10)).best)
+            for name, gen in DDOS_COMPONENTS.items()
+        }
+
+    results = benchmark(generate_and_classify)
+
+    panels = []
+    for name, (matrix, classified) in results.items():
+        assert classified == name, f"{name} classified as {classified}"
+        panels.append(f"Fig. 9 — {name} (classified: {classified})\n{render_matrix_compact(matrix)}")
+
+    tasking = results["botnet_clients"][0]
+    vals = tasking.packets[tasking.packets > 0]
+    assert (vals == vals[0]).all()  # "identical communications"
+
+    attack = results["ddos_attack"][0]
+    backscatter = results["backscatter"][0]
+    assert np.array_equal(backscatter.packets > 0, attack.packets.T > 0)
+    assert attack.max_packets() > backscatter.max_packets()  # flood dominates
+
+    combined = full_ddos(10)
+    assert combined.max_packets() == attack.max_packets()
+    panels.append("All components combined\n" + render_matrix_compact(combined))
+
+    write_artifact(
+        artifacts / "fig9_ddos_components.txt",
+        "Fig. 9: DDoS attack components",
+        "\n\n".join(panels),
+    )

@@ -1,0 +1,45 @@
+"""Section II — the JSON learning-module pipeline.
+
+Times the educator-facing path: serialise the full built-in catalogue into a
+zip bundle, then load + validate every module back (the operation the game
+performs when a student picks a bundle).
+"""
+
+from __future__ import annotations
+
+import io
+
+from conftest import write_artifact
+
+from repro.modules.library import builtin_catalog
+from repro.modules.loader import load_bundle, save_bundle
+from repro.modules.schema import validate_module_dict
+from repro.modules.templates import template_10x10_dict
+
+
+def test_catalog_bundle_load(benchmark, artifacts):
+    catalog = builtin_catalog()
+    buf = io.BytesIO()
+    save_bundle(list(catalog.values()), buf)
+    payload = buf.getvalue()
+
+    def load():
+        return load_bundle(io.BytesIO(payload))
+
+    modules = benchmark(load)
+    assert len(modules) == len(catalog)
+    assert all(m.matrix.n in (6, 10) for m in modules)
+
+    lines = [f"bundle: {len(payload)} bytes, {len(modules)} modules"]
+    lines += [f"  {m.name} [{m.size}]" for m in modules]
+    write_artifact(
+        artifacts / "modules_pipeline.txt",
+        "Section II: JSON module bundle pipeline",
+        "\n".join(lines),
+    )
+
+
+def test_template_validation(benchmark):
+    doc = template_10x10_dict()
+    module = benchmark(validate_module_dict, doc)
+    assert module.matrix["WS1", "ADV4"] == 2

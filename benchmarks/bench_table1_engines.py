@@ -1,0 +1,68 @@
+"""Table I — game-engine comparison (Godot vs Unity vs Unreal).
+
+The paper's table is qualitative; this bench regenerates its rows and adds the
+quantitative column our substrate makes measurable: the cost of the
+engine-side operations Traffic Warehouse actually performs (scene
+construction, script attach + ready, input dispatch).  The reproduction
+criterion is the table's *winner*: the Godot-like engine is free, scriptable
+in a Python-like language, imports OBJ, and exports everywhere — which is
+exactly the feature set `repro.engine` implements.
+"""
+
+from __future__ import annotations
+
+from conftest import format_table, write_artifact
+
+from repro.engine.input import InputEventKey, Key
+from repro.engine.tree import SceneTree
+from repro.game.warehouse import build_level
+from repro.modules.templates import template_10x10
+
+#: The paper's Table I rows, verbatim criteria.
+TABLE1_ROWS = [
+    ["Cost", "Always Free", "Free when making less than $100k/yr", "Free when making less than $1mil"],
+    ["Language Used", "C#, GDScript", "C#", "C++"],
+    ["Can Import .obj", "Yes", "Yes", "Yes"],
+    ["Exports to Platform", "HTML5, Windows, Mac, *NIX", "HTML5, Windows, Mac, *NIX", "HTML5, Windows, Mac, *NIX"],
+    ["Online Tutorials", "Some", "Many", "Many"],
+    ["Asset Store", "Almost non-existent", "Many high quality assets", "Many high quality assets"],
+]
+
+#: What our headless reproduction of the chosen engine provides, same axes.
+REPRO_COLUMN = [
+    "Always Free (pure Python)",
+    "GDScript (interpreted), Python",
+    "Yes (repro.voxel.obj_export)",
+    "Anywhere CPython runs",
+    "README + examples",
+    "Procedural voxel assets",
+]
+
+
+def test_table1_rows_and_engine_cost(benchmark, artifacts):
+    module = template_10x10()
+
+    def build_and_ready():
+        root = build_level(module)
+        tree = SceneTree(root)
+        tree.push_input(InputEventKey(Key.SPACE))
+        tree.run(3)
+        return root
+
+    root = benchmark(build_and_ready)
+
+    # the reproduced engine satisfies the criteria that made Godot the pick
+    controller = root.get_node("PalletAndLabelController")
+    assert controller.script is not None              # GDScript attached & ran
+    assert controller.script.error_lines() == []      # scene wired correctly
+    n_nodes = sum(1 for _ in root.iter_tree())
+    # 100 pallets × (self+mesh+boxes) + 2 × 10 label holders × 3 + chrome = 367
+    assert n_nodes == 367
+
+    headers = ["", "Godot (paper)", "Unity (paper)", "Unreal (paper)", "repro.engine (ours)"]
+    rows = [row + [ours] for row, ours in zip(TABLE1_ROWS, REPRO_COLUMN)]
+    body = format_table(headers, rows) + (
+        f"\n\nMeasured: training-level scene = {n_nodes} nodes; "
+        "build+ready+input+3 frames timed by pytest-benchmark (see table)."
+    )
+    write_artifact(artifacts / "table1_engines.txt", "Table I: engine comparison", body)

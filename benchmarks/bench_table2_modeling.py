@@ -1,0 +1,59 @@
+"""Table II — 3-D modelling tool comparison (MagicaVoxel vs Blender vs Maya).
+
+Regenerates the paper's criteria rows and measures what the voxel substrate
+makes quantitative: building every warehouse asset voxel-by-voxel and
+exporting to ``.obj`` — the "Can export to .obj: Yes" cell, demonstrated
+rather than asserted.
+"""
+
+from __future__ import annotations
+
+from conftest import format_table, write_artifact
+
+from repro.voxel.assets import ASSET_BUILDERS
+from repro.voxel.obj_export import to_obj, write_obj
+from repro.voxel.vox_io import read_vox, write_vox
+
+TABLE2_ROWS = [
+    ["Cost", "Free to use", "Free to use", "$1,875/yr"],
+    ["Model Creation", "LEGO-like voxel building", "Polygon mesh, digital sculpting", "Polygon mesh, digital sculpting"],
+    ["Texture Creation", "Paint-by-voxel, place colored voxel", "UV Unwrapping, paint-on-model", "UV Unwrapping, paint-on-model"],
+    ["Animation", "Simple animations", "Advanced animations", "Advanced animations"],
+    ["Can export to .obj", "Yes", "Yes", "Yes"],
+]
+
+REPRO_COLUMN = [
+    "Free (pure Python)",
+    "Voxel grid API (fill_box / set)",
+    "Palette indices per voxel",
+    "None (static assets suffice)",
+    "Yes (greedy face-culled quads)",
+]
+
+
+def test_table2_rows_and_asset_pipeline(benchmark, artifacts, tmp_path):
+    def build_all_assets_and_export():
+        stats = {}
+        for name, builder in ASSET_BUILDERS.items():
+            model = builder()
+            obj_text, mtl_text = to_obj(model)
+            stats[name] = (model.count(), obj_text.count("\nf "))
+        return stats
+
+    stats = benchmark(build_all_assets_and_export)
+
+    # the LEGO-like pipeline produces real, loadable OBJ + VOX for every asset
+    for name, builder in ASSET_BUILDERS.items():
+        model = builder()
+        obj_path, mtl_path = write_obj(model, tmp_path / f"{name}.obj")
+        assert obj_path.exists() and mtl_path.exists()
+        back = read_vox(write_vox(model, tmp_path / f"{name}.vox"))
+        assert back.count() == model.count()
+
+    headers = ["", "MagicaVoxel (paper)", "Blender (paper)", "Maya (paper)", "repro.voxel (ours)"]
+    rows = [row + [ours] for row, ours in zip(TABLE2_ROWS, REPRO_COLUMN)]
+    asset_lines = "\n".join(
+        f"  {name}: {voxels} voxels -> {faces} OBJ faces" for name, (voxels, faces) in stats.items()
+    )
+    body = format_table(headers, rows) + f"\n\nMeasured asset pipeline:\n{asset_lines}"
+    write_artifact(artifacts / "table2_modeling.txt", "Table II: modelling tool comparison", body)

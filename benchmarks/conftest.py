@@ -1,0 +1,37 @@
+"""Shared helpers for the per-figure/per-table benchmark harness.
+
+Every bench regenerates its paper artefact (table rows, figure views) into
+``benchmarks/artifacts/`` so the reproduction is inspectable after the run,
+and times the operation that produces it with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+ARTIFACTS = Path(__file__).parent / "artifacts"
+
+
+@pytest.fixture(scope="session")
+def artifacts() -> Path:
+    ARTIFACTS.mkdir(exist_ok=True)
+    return ARTIFACTS
+
+
+def write_artifact(path: Path, title: str, body: str) -> None:
+    """Write one artefact file with a header naming the paper content."""
+    path.write_text(f"== {title} ==\n\n{body.rstrip()}\n", encoding="utf-8")
+
+
+def format_table(headers: list[str], rows: list[list[str]]) -> str:
+    """Plain-text table in the layout of the paper's Tables I/II."""
+    widths = [
+        max(len(str(headers[k])), *(len(str(r[k])) for r in rows)) for k in range(len(headers))
+    ]
+    def fmt(row):
+        return " | ".join(str(c).ljust(w) for c, w in zip(row, widths))
+
+    sep = "-+-".join("-" * w for w in widths)
+    return "\n".join([fmt(headers), sep, *(fmt(r) for r in rows)])

@@ -1,0 +1,83 @@
+"""Analyse a full cyber campaign the way the modules teach — at stream scale.
+
+Combines everything the paper's lineage is about: a notional attack unfolds
+stage by stage, is hidden in background traffic, classified back out of the
+matrix, anonymized for sharing, and finally accumulated from a packet stream
+with windowed associative arrays (the refs [16]-[19] pipeline).
+
+Run:  python examples/cyber_campaign_analysis.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.anonymize import anonymize_matrix
+from repro.analysis.stats import scaling_relation, synthetic_traffic
+from repro.analysis.streaming import window_stream
+from repro.graphs import attack
+from repro.graphs.classify import classify_scenario
+from repro.graphs.compose import challenge, sequence
+from repro.graphs.metrics import summarize
+from repro.render.ascii2d import render_matrix_compact
+
+
+def watch_the_attack_unfold() -> None:
+    print("=== 1. the attack, stage by stage (cumulative view) ===")
+    stages = sequence(list(attack.ATTACK_STAGES.values()), n=10, cumulative=True)
+    for name, matrix in zip(attack.ATTACK_STAGES, stages):
+        verdict = classify_scenario(matrix)
+        stats = summarize(matrix)
+        print(f"\n-- after {name}: {stats.nnz} active links, "
+              f"{stats.total_packets} packets; latest activity reads as "
+              f"{verdict.best!r}")
+        print(render_matrix_compact(matrix))
+
+
+def find_it_in_noise() -> None:
+    print("\n=== 2. the same infiltration, hidden in benign chatter ===")
+    hidden = challenge(attack.infiltration(10), noise_density=0.12, seed=7)
+    print(render_matrix_compact(hidden))
+    verdict = classify_scenario(hidden)
+    ranked = sorted(verdict.scores.items(), key=lambda kv: -kv[1])[:3]
+    print("top candidates:", ", ".join(f"{n} ({s:.2f})" for n, s in ranked))
+
+
+def share_without_identities() -> None:
+    print("\n=== 3. anonymized for sharing (pattern intact) ===")
+    from repro.graphs.classify import classify_graph_pattern
+    from repro.graphs.patterns import star
+
+    matrix = star(10)
+    anon = anonymize_matrix(matrix, key="classroom-2026")
+    assert np.array_equal(anon.packets, matrix.packets)
+    print("labels:", " ".join(anon.labels))
+    print("structural pattern survives hashing:", classify_graph_pattern(anon))
+    print("(space-based scenario classification needs the blue/grey/red map "
+          "shipped alongside — hashed labels carry no space prefix)")
+
+
+def stream_scale() -> None:
+    print("\n=== 4. stream-scale accumulation (windowed assoc arrays) ===")
+    events = synthetic_traffic(n_events=8000, n_endpoints=300, heavy_tail=True, seed=1)
+    for _array, stats in list(window_stream(events, window_size=2048))[:3]:
+        print(f"window {stats.window_index}: {stats.total_packets} packets, "
+              f"{stats.unique_links} links, {stats.unique_sources} sources, "
+              f"busiest source sent {stats.max_source_packets}")
+    fit = scaling_relation(
+        events, lambda s: s.unique_links, quantity_name="unique links",
+        window_sizes=(256, 512, 1024, 2048),
+    )
+    print(f"unique links ~ packets^{fit.slope:.2f} (r^2={fit.r_squared:.3f}) — "
+          "sublinear: the heavy-tail signature of real-looking traffic")
+
+
+def main() -> None:
+    watch_the_attack_unfold()
+    find_it_in_noise()
+    share_without_identities()
+    stream_scale()
+
+
+if __name__ == "__main__":
+    main()

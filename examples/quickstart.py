@@ -1,0 +1,43 @@
+"""Quickstart: load a learning module, read the matrix, answer the question.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import builtin_catalog
+from repro.game.quiz import judge_answer, present_question
+from repro.render.ascii2d import render_matrix_2d
+
+
+def main() -> None:
+    # The built-in catalogue holds every module the paper describes,
+    # keyed "family/name".
+    catalog = builtin_catalog()
+    module = catalog["templates/10x10"]
+
+    print(module.describe())
+    print()
+
+    # The 2-D top-down view: "how they would generally see a matrix in a
+    # spreadsheet, a textbook, or a presentation".
+    print(render_matrix_2d(module.matrix, ansi=False))
+    print()
+
+    # Present the three-choice question with shuffled options (seeded here so
+    # the walkthrough is reproducible) and answer it by reading the matrix.
+    pres = present_question(module, seed=2024)
+    print(pres.text)
+    for line in pres.option_lines():
+        print(line)
+
+    answer = str(module.matrix["WS1", "ADV4"])  # read the cell the question asks about
+    choice = list(pres.options).index(answer)
+    result = judge_answer(module.question, pres, choice)
+    print()
+    print(f"chose option {choice + 1} ({result.chosen!r}) -> "
+          f"{'correct!' if result.correct else 'wrong'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Regenerate the game's visuals: 2-D/3-D views, rotations, asset exports.
+
+Produces, under ``screenshots/``:
+
+* ANSI/plain text frames of the training level in both views,
+* eight PPM frames of a full Q/E rotation around the loaded warehouse,
+* every voxel asset exported as ``.obj`` (+ ``.mtl``) and ``.vox``.
+
+Run:  python examples/warehouse_screenshots.py [output_dir]
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.game.training import training_module
+from repro.game.warehouse import WarehouseLevel
+from repro.render.ascii2d import render_matrix_2d
+from repro.render.ppm import write_ppm
+from repro.voxel.assets import ASSET_BUILDERS
+from repro.voxel.obj_export import write_obj
+from repro.voxel.vox_io import write_vox
+
+
+def main() -> None:
+    out = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("screenshots")
+    out.mkdir(parents=True, exist_ok=True)
+
+    module = training_module()
+    level = WarehouseLevel(module)
+    level.place_all_packets()
+    level.toggle_pallet_colors()
+
+    # Fig. 5a: the 2-D spreadsheet view
+    (out / "view_2d.txt").write_text(
+        render_matrix_2d(module.matrix, ansi=False) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {out / 'view_2d.txt'}")
+
+    # Fig. 5b/5c: the 3-D warehouse, full Q/E rotation as PPM frames
+    level.toggle_view()
+    for step in range(8):
+        frame = level.render_pixels(width=480, height=360)
+        path = write_ppm(frame, out / f"view_3d_yaw{step}.ppm")
+        print(f"wrote {path}")
+        level.rotate_right()
+
+    # one ASCII 3-D frame for the terminal-inclined
+    (out / "view_3d.txt").write_text(
+        level.render_ascii(width=110, height=40).to_plain() + "\n", encoding="utf-8"
+    )
+    print(f"wrote {out / 'view_3d.txt'}")
+
+    # every asset, exported in both interchange formats
+    assets_dir = out / "assets"
+    for name, builder in ASSET_BUILDERS.items():
+        model = builder()
+        obj_path, _ = write_obj(model, assets_dir / f"{name}.obj")
+        vox_path = write_vox(model, assets_dir / f"{name}.vox")
+        print(f"wrote {obj_path} and {vox_path} ({model.count()} voxels)")
+
+
+if __name__ == "__main__":
+    main()

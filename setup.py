@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The environment has setuptools but no ``wheel`` package, so PEP-517 editable
+installs (which build a wheel) fail.  This shim lets
+``pip install -e . --no-use-pep517`` take the classic ``setup.py develop``
+path.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

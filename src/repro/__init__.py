@@ -1,0 +1,67 @@
+"""Traffic Warehouse — teaching network traffic matrices in an interactive game.
+
+Reproduction of Milner et al., *Teaching Network Traffic Matrices in an
+Interactive Game Environment* (IPPS 2024, arXiv:2404.14643), as a pure-Python
+library.  The package is organised the way the paper presents the system:
+
+* :mod:`repro.core` — labelled, coloured traffic matrices,
+* :mod:`repro.assoc` — GraphBLAS-style semiring/sparse substrate,
+* :mod:`repro.graphs` — the pattern generators behind every learning module,
+* :mod:`repro.modules` — the extensible JSON learning-module format,
+* :mod:`repro.engine` — a headless Godot-like scene-tree engine,
+* :mod:`repro.gdscript` — an interpreter for the GDScript subset of the paper,
+* :mod:`repro.voxel` — MagicaVoxel-like asset models and OBJ export,
+* :mod:`repro.render` — software rasterizer for 2-D / 3-D warehouse views,
+* :mod:`repro.game` — the Traffic Warehouse game itself,
+* :mod:`repro.analysis` — anonymized / streaming traffic analytics.
+
+Quickstart::
+
+    from repro import TrafficMatrix, builtin_catalog
+    module = builtin_catalog()["graph_theory/star"]
+    print(module.matrix.to_text())
+"""
+
+from repro._version import __version__
+from repro.core import (
+    MAX_DISPLAY_PACKETS,
+    NetworkSpace,
+    PalletColor,
+    SpaceMap,
+    TrafficMatrix,
+)
+from repro.errors import ReproError
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "TrafficMatrix",
+    "PalletColor",
+    "NetworkSpace",
+    "SpaceMap",
+    "MAX_DISPLAY_PACKETS",
+    "load_module",
+    "builtin_catalog",
+    "TrafficWarehouse",
+]
+
+
+def load_module(path):  # noqa: ANN001, ANN201 - thin convenience wrapper
+    """Load a learning module from a JSON file path (see :mod:`repro.modules`)."""
+    from repro.modules.loader import load_module as _load
+
+    return _load(path)
+
+
+def builtin_catalog():  # noqa: ANN201
+    """The built-in learning-module catalogue keyed by ``"family/name"``."""
+    from repro.modules.library import builtin_catalog as _catalog
+
+    return _catalog()
+
+
+def TrafficWarehouse(*args, **kwargs):  # noqa: ANN002, ANN003, ANN201, N802
+    """Construct the Traffic Warehouse game (lazy import of :mod:`repro.game`)."""
+    from repro.game.app import TrafficWarehouse as _TW
+
+    return _TW(*args, **kwargs)

@@ -1,0 +1,56 @@
+"""GraphBLAS-style substrate: semirings, sparse kernels, associative arrays."""
+
+from repro.assoc.algorithms import (
+    bfs_levels,
+    connected_components,
+    pagerank,
+    reachability_matrix,
+    shortest_path_lengths,
+    triangle_count,
+)
+from repro.assoc.array import AssociativeArray
+from repro.assoc.semiring import (
+    LOR_LAND,
+    MAX_MIN,
+    MAX_PLUS,
+    MAX_TIMES,
+    MIN_FIRST,
+    MIN_PLUS,
+    MIN_SECOND,
+    PLUS_MIN,
+    PLUS_PAIR,
+    PLUS_TIMES,
+    SEMIRINGS,
+    BinaryOp,
+    Monoid,
+    Semiring,
+    semiring_by_name,
+)
+from repro.assoc.sparse import CSRMatrix, coalesce
+
+__all__ = [
+    "AssociativeArray",
+    "bfs_levels",
+    "shortest_path_lengths",
+    "connected_components",
+    "triangle_count",
+    "pagerank",
+    "reachability_matrix",
+    "CSRMatrix",
+    "coalesce",
+    "BinaryOp",
+    "Monoid",
+    "Semiring",
+    "semiring_by_name",
+    "SEMIRINGS",
+    "PLUS_TIMES",
+    "PLUS_MIN",
+    "MIN_PLUS",
+    "MAX_PLUS",
+    "MAX_TIMES",
+    "MAX_MIN",
+    "LOR_LAND",
+    "PLUS_PAIR",
+    "MIN_FIRST",
+    "MIN_SECOND",
+]

@@ -1,0 +1,372 @@
+"""D4M-style associative arrays: sparse matrices with string row/column keys.
+
+The paper notes that real networks label endpoints with strings (IPs, host
+names), "which can be handled with the more general associative array
+abstraction" (Kepner & Jananthan, *Mathematics of Big Data*).  An
+:class:`AssociativeArray` is a sparse matrix whose axes are **sorted tuples of
+string keys**; binary operations align operands by key (set union), so arrays
+built over different endpoint populations compose without manual index
+bookkeeping — the property that makes streaming traffic-matrix accumulation
+(refs [16]-[19]) one-line code.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.assoc.semiring import BinaryOp, Monoid, PLUS_MONOID, PLUS_TIMES, Semiring, TIMES
+from repro.assoc.sparse import CSRMatrix
+from repro.errors import AssocArrayError
+
+__all__ = ["AssociativeArray"]
+
+
+def _as_labels(keys: Iterable[str]) -> tuple[str, ...]:
+    labels = tuple(str(k) for k in keys)
+    if any(not k for k in labels):
+        raise AssocArrayError("associative-array keys may not be empty strings")
+    if list(labels) != sorted(set(labels)):
+        raise AssocArrayError("label axes must be sorted and duplicate-free")
+    return labels
+
+
+def _union_labels(a: tuple[str, ...], b: tuple[str, ...]) -> tuple[str, ...]:
+    if a == b:
+        return a
+    return tuple(sorted(set(a) | set(b)))
+
+
+def _remap(labels: tuple[str, ...], target: tuple[str, ...]) -> np.ndarray:
+    """Index of each of *labels* inside the (sorted) *target* axis."""
+    if labels == target:
+        return np.arange(len(labels), dtype=np.int64)
+    tgt = np.asarray(target)
+    return np.searchsorted(tgt, np.asarray(labels)).astype(np.int64)
+
+
+class AssociativeArray:
+    """A sparse matrix keyed by sorted string labels on both axes.
+
+    Construction normalises keys to sorted order; all arithmetic aligns
+    operands by key union, mirroring D4M semantics.  The underlying storage is
+    a canonical :class:`~repro.assoc.sparse.CSRMatrix`.
+    """
+
+    __slots__ = ("row_labels", "col_labels", "csr")
+
+    def __init__(
+        self,
+        row_labels: Sequence[str],
+        col_labels: Sequence[str],
+        csr: CSRMatrix,
+    ) -> None:
+        self.row_labels = _as_labels(row_labels)
+        self.col_labels = _as_labels(col_labels)
+        if csr.shape != (len(self.row_labels), len(self.col_labels)):
+            raise AssocArrayError(
+                f"storage shape {csr.shape} does not match label axes "
+                f"({len(self.row_labels)}, {len(self.col_labels)})"
+            )
+        self.csr = csr
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_triples(
+        cls,
+        rows: Sequence[str],
+        cols: Sequence[str],
+        vals: Sequence[float] | np.ndarray,
+        *,
+        row_labels: Sequence[str] | None = None,
+        col_labels: Sequence[str] | None = None,
+        add: Monoid = PLUS_MONOID,
+    ) -> "AssociativeArray":
+        """Build from ``(row key, col key, value)`` triples.
+
+        Duplicate coordinates combine with *add* (default: sum — packet
+        accumulation).  When explicit axis label sets are given they must
+        cover every key used; otherwise axes are the sorted distinct keys.
+        """
+        rows = [str(r) for r in rows]
+        cols = [str(c) for c in cols]
+        vals = np.asarray(vals)
+        if not (len(rows) == len(cols) == vals.shape[0] if vals.ndim else len(rows) == len(cols) == 0):
+            raise AssocArrayError("rows, cols, vals must be equal length")
+        r_axis = tuple(sorted(set(rows))) if row_labels is None else tuple(sorted(set(row_labels)))
+        c_axis = tuple(sorted(set(cols))) if col_labels is None else tuple(sorted(set(col_labels)))
+        r_lookup = {k: i for i, k in enumerate(r_axis)}
+        c_lookup = {k: i for i, k in enumerate(c_axis)}
+        try:
+            r_idx = np.fromiter((r_lookup[r] for r in rows), dtype=np.int64, count=len(rows))
+            c_idx = np.fromiter((c_lookup[c] for c in cols), dtype=np.int64, count=len(cols))
+        except KeyError as exc:
+            raise AssocArrayError(f"key {exc.args[0]!r} not present in the given label axis") from None
+        csr = CSRMatrix.from_triples(r_idx, c_idx, vals, (len(r_axis), len(c_axis)), add)
+        return cls(r_axis, c_axis, csr)
+
+    @classmethod
+    def from_dict(cls, entries: Mapping[tuple[str, str], float]) -> "AssociativeArray":
+        """Build from a ``{(row, col): value}`` mapping."""
+        if not entries:
+            return cls.empty((), ())
+        rows, cols = zip(*entries.keys())
+        return cls.from_triples(list(rows), list(cols), np.asarray(list(entries.values())))
+
+    @classmethod
+    def from_dense(
+        cls,
+        dense: np.ndarray,
+        row_labels: Sequence[str],
+        col_labels: Sequence[str],
+    ) -> "AssociativeArray":
+        """Build from a dense array whose axes are *already sorted* label lists."""
+        return cls(row_labels, col_labels, CSRMatrix.from_dense(np.asarray(dense)))
+
+    @classmethod
+    def empty(cls, row_labels: Sequence[str] = (), col_labels: Sequence[str] = ()) -> "AssociativeArray":
+        r = tuple(sorted(set(row_labels)))
+        c = tuple(sorted(set(col_labels)))
+        return cls(r, c, CSRMatrix.empty((len(r), len(c))))
+
+    # ------------------------------------------------------------------ #
+    # basics
+    # ------------------------------------------------------------------ #
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.csr.shape
+
+    @property
+    def nnz(self) -> int:
+        return self.csr.nnz
+
+    def triples(self) -> list[tuple[str, str, object]]:
+        """All entries as ``(row key, col key, value)`` in row-major key order."""
+        r, c, v = self.csr.triples()
+        return [
+            (self.row_labels[i], self.col_labels[j], v[k].item())
+            for k, (i, j) in enumerate(zip(r.tolist(), c.tolist()))
+        ]
+
+    def to_dense(self) -> np.ndarray:
+        return self.csr.to_dense()
+
+    def to_dict(self) -> dict[tuple[str, str], object]:
+        return {(r, c): v for r, c, v in self.triples()}
+
+    def __getitem__(self, key: tuple[str | Sequence[str] | slice, str | Sequence[str] | slice]):
+        """Scalar lookup ``a["WS1", "ADV4"]`` or sub-array ``a[keys, :]``.
+
+        Scalar lookups on absent coordinates return 0 (the sparse convention);
+        unknown *labels* raise, because asking about an endpoint that is not
+        on the axis is almost always a bug.
+        """
+        rk, ck = key
+        if isinstance(rk, str) and isinstance(ck, str):
+            i = self._row_index(rk)
+            j = self._col_index(ck)
+            start, end = self.csr.indptr[i], self.csr.indptr[i + 1]
+            pos = np.searchsorted(self.csr.indices[start:end], j)
+            if pos < end - start and self.csr.indices[start + pos] == j:
+                return self.csr.data[start + pos].item()
+            return 0
+        return self.extract(rk, ck)
+
+    def _row_index(self, key: str) -> int:
+        i = int(np.searchsorted(np.asarray(self.row_labels), key))
+        if i >= len(self.row_labels) or self.row_labels[i] != key:
+            raise AssocArrayError(f"unknown row key {key!r}")
+        return i
+
+    def _col_index(self, key: str) -> int:
+        j = int(np.searchsorted(np.asarray(self.col_labels), key))
+        if j >= len(self.col_labels) or self.col_labels[j] != key:
+            raise AssocArrayError(f"unknown column key {key!r}")
+        return j
+
+    def _resolve_axis(
+        self, sel: str | Sequence[str] | slice, labels: tuple[str, ...]
+    ) -> tuple[str, ...]:
+        if isinstance(sel, slice):
+            if sel != slice(None):
+                raise AssocArrayError("only the full slice ':' is supported on label axes")
+            return labels
+        if isinstance(sel, str):
+            if sel == ":":  # D4M-style full-axis string
+                return labels
+            if sel.endswith("*"):  # D4M StartsWith
+                prefix = sel[:-1]
+                return tuple(lb for lb in labels if lb.startswith(prefix))
+            return (sel,)
+        return tuple(sel)
+
+    def extract(
+        self,
+        rows: str | Sequence[str] | slice,
+        cols: str | Sequence[str] | slice,
+    ) -> "AssociativeArray":
+        """Sub-array on the selected keys.  ``"WS*"`` selects by prefix."""
+        r_keys = sorted(set(self._resolve_axis(rows, self.row_labels)))
+        c_keys = sorted(set(self._resolve_axis(cols, self.col_labels)))
+        r_idx = np.asarray([self._row_index(k) for k in r_keys], dtype=np.int64)
+        c_idx = np.asarray([self._col_index(k) for k in c_keys], dtype=np.int64)
+        return AssociativeArray(tuple(r_keys), tuple(c_keys), self.csr.extract(r_idx, c_idx))
+
+    # ------------------------------------------------------------------ #
+    # alignment and algebra
+    # ------------------------------------------------------------------ #
+
+    def reindex(
+        self, row_labels: Sequence[str], col_labels: Sequence[str]
+    ) -> "AssociativeArray":
+        """Embed this array into larger (sorted) label axes."""
+        r_axis = _as_labels(row_labels)
+        c_axis = _as_labels(col_labels)
+        if not (set(self.row_labels) <= set(r_axis) and set(self.col_labels) <= set(c_axis)):
+            raise AssocArrayError("reindex axes must be supersets of the current axes")
+        r, c, v = self.csr.triples()
+        r_map = _remap(self.row_labels, r_axis)
+        c_map = _remap(self.col_labels, c_axis)
+        csr = CSRMatrix.from_triples(
+            r_map[r], c_map[c], v, (len(r_axis), len(c_axis))
+        )
+        return AssociativeArray(r_axis, c_axis, csr)
+
+    def _aligned(self, other: "AssociativeArray") -> tuple["AssociativeArray", "AssociativeArray"]:
+        r_axis = _union_labels(self.row_labels, other.row_labels)
+        c_axis = _union_labels(self.col_labels, other.col_labels)
+        return self.reindex(r_axis, c_axis), other.reindex(r_axis, c_axis)
+
+    def ewise_add(self, other: "AssociativeArray", add: Monoid = PLUS_MONOID) -> "AssociativeArray":
+        """Key-aligned element-wise addition over the union of patterns."""
+        a, b = self._aligned(other)
+        return AssociativeArray(a.row_labels, a.col_labels, a.csr.ewise_union(b.csr, add))
+
+    def ewise_mult(self, other: "AssociativeArray", mult: BinaryOp = TIMES) -> "AssociativeArray":
+        """Key-aligned element-wise multiply over the pattern intersection."""
+        a, b = self._aligned(other)
+        return AssociativeArray(a.row_labels, a.col_labels, a.csr.ewise_intersect(b.csr, mult))
+
+    def __add__(self, other: "AssociativeArray") -> "AssociativeArray":
+        if not isinstance(other, AssociativeArray):
+            return NotImplemented
+        return self.ewise_add(other)
+
+    def __mul__(self, other):  # noqa: ANN001
+        if isinstance(other, AssociativeArray):
+            return self.ewise_mult(other)
+        if isinstance(other, (int, float, np.number)):
+            return AssociativeArray(
+                self.row_labels,
+                self.col_labels,
+                CSRMatrix(
+                    self.shape,
+                    self.csr.indptr.copy(),
+                    self.csr.indices.copy(),
+                    self.csr.data * other,
+                    _trusted=True,
+                ),
+            )
+        return NotImplemented
+
+    __rmul__ = __mul__
+
+    def mxm(self, other: "AssociativeArray", semiring: Semiring = PLUS_TIMES) -> "AssociativeArray":
+        """Key-aligned matrix product: inner axes are unioned before multiply."""
+        inner = _union_labels(self.col_labels, other.row_labels)
+        a = self.reindex(self.row_labels, inner)
+        b = other.reindex(inner, other.col_labels)
+        return AssociativeArray(self.row_labels, other.col_labels, a.csr.mxm(b.csr, semiring))
+
+    def __matmul__(self, other: "AssociativeArray") -> "AssociativeArray":
+        if not isinstance(other, AssociativeArray):
+            return NotImplemented
+        return self.mxm(other)
+
+    def transpose(self) -> "AssociativeArray":
+        return AssociativeArray(self.col_labels, self.row_labels, self.csr.transpose())
+
+    @property
+    def T(self) -> "AssociativeArray":
+        return self.transpose()
+
+    # ------------------------------------------------------------------ #
+    # reductions and summaries
+    # ------------------------------------------------------------------ #
+
+    def reduce_rows(self, add: Monoid = PLUS_MONOID) -> dict[str, object]:
+        """Per-row-key reduction, e.g. packets sent per source."""
+        vec = self.csr.reduce_rows(add)
+        return {k: vec[i].item() for i, k in enumerate(self.row_labels)}
+
+    def reduce_cols(self, add: Monoid = PLUS_MONOID) -> dict[str, object]:
+        """Per-column-key reduction, e.g. packets received per destination."""
+        vec = self.csr.reduce_cols(add)
+        return {k: vec[j].item() for j, k in enumerate(self.col_labels)}
+
+    def sum(self) -> object:
+        """Total of all stored values."""
+        return self.csr.reduce_scalar(PLUS_MONOID)
+
+    def top_rows(self, k: int, add: Monoid = PLUS_MONOID) -> list[tuple[str, object]]:
+        """The *k* heaviest row keys — supernode detection in one call."""
+        totals = self.reduce_rows(add)
+        return sorted(totals.items(), key=lambda kv: (-float(kv[1]), kv[0]))[:k]
+
+    def apply(self, func: Callable[[np.ndarray], np.ndarray]) -> "AssociativeArray":
+        """Apply a vectorized function to stored values (pattern unchanged)."""
+        data = np.asarray(func(self.csr.data.copy()))
+        if data.shape != self.csr.data.shape:
+            raise AssocArrayError("apply() function must preserve the value-array shape")
+        return AssociativeArray(
+            self.row_labels,
+            self.col_labels,
+            CSRMatrix(self.shape, self.csr.indptr.copy(), self.csr.indices.copy(), data, _trusted=True),
+        )
+
+    def relabel(
+        self,
+        row_map: Callable[[str], str] | None = None,
+        col_map: Callable[[str], str] | None = None,
+        add: Monoid = PLUS_MONOID,
+    ) -> "AssociativeArray":
+        """Rename keys through mapping functions, merging collisions with *add*.
+
+        This is the anonymization primitive: hash every endpoint label and the
+        traffic matrix is analysable without exposing identities.
+        """
+        r, c, v = self.csr.triples()
+        rows = [row_map(self.row_labels[i]) if row_map else self.row_labels[i] for i in r.tolist()]
+        cols = [col_map(self.col_labels[j]) if col_map else self.col_labels[j] for j in c.tolist()]
+        new_r_axis = sorted({(row_map(k) if row_map else k) for k in self.row_labels})
+        new_c_axis = sorted({(col_map(k) if col_map else k) for k in self.col_labels})
+        return AssociativeArray.from_triples(
+            rows, cols, v, row_labels=new_r_axis, col_labels=new_c_axis, add=add
+        )
+
+    # ------------------------------------------------------------------ #
+    # plumbing
+    # ------------------------------------------------------------------ #
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AssociativeArray):
+            return NotImplemented
+        return (
+            self.row_labels == other.row_labels
+            and self.col_labels == other.col_labels
+            and self.csr == other.csr
+        )
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"AssociativeArray(rows={len(self.row_labels)}, "
+            f"cols={len(self.col_labels)}, nnz={self.nnz})"
+        )

@@ -1,0 +1,404 @@
+"""Vectorized sparse kernels (COO build, CSR compute) generic over semirings.
+
+These kernels follow the optimization guidance for numerical Python: build in
+COO (cheap concatenation), compute in CSR (contiguous row segments), and keep
+every hot path inside NumPy — fancy indexing, ``np.repeat`` expansion,
+``lexsort`` and ``ufunc.reduceat`` — with no per-element Python loops.
+
+The matrix product uses the classic **ESC** (expand, sort, compress) sparse
+GEMM: every product term ``mult(A(i,k), B(k,j))`` is materialised by a single
+``np.repeat`` gather, then duplicates are combined with the additive monoid's
+``reduceat``.  This is the same dataflow GraphBLAS implementations use, which
+keeps the semiring generic: ``min.plus`` shortest paths and ``plus.times``
+packet counting share the code path.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.assoc.semiring import Monoid, PLUS_MONOID, PLUS_TIMES, Semiring
+from repro.errors import SparseFormatError
+
+if TYPE_CHECKING:  # pragma: no cover
+    import scipy.sparse as sp
+
+__all__ = ["coalesce", "CSRMatrix"]
+
+
+def coalesce(
+    rows: np.ndarray,
+    cols: np.ndarray,
+    vals: np.ndarray,
+    shape: tuple[int, int],
+    add: Monoid = PLUS_MONOID,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sort triples row-major and combine duplicate coordinates with *add*.
+
+    Returns ``(rows, cols, vals)`` in canonical order (sorted by row, then
+    column, no duplicates).  This is the single entry point through which all
+    kernels normalise their output, so canonical order is an invariant of
+    every :class:`CSRMatrix`.
+    """
+    n_rows, n_cols = shape
+    rows = np.asarray(rows, dtype=np.int64)
+    cols = np.asarray(cols, dtype=np.int64)
+    vals = np.asarray(vals)
+    if not (rows.shape == cols.shape == vals.shape) or rows.ndim != 1:
+        raise SparseFormatError(
+            f"triple arrays must be equal-length 1-D, got {rows.shape}, {cols.shape}, {vals.shape}"
+        )
+    if rows.size == 0:
+        return rows, cols, vals
+    if rows.min() < 0 or rows.max() >= n_rows or cols.min() < 0 or cols.max() >= n_cols:
+        raise SparseFormatError(f"triple coordinates out of bounds for shape {shape}")
+    key = rows * np.int64(n_cols) + cols
+    order = np.argsort(key, kind="stable")
+    key = key[order]
+    vals = vals[order]
+    boundary = np.empty(key.size, dtype=bool)
+    boundary[0] = True
+    np.not_equal(key[1:], key[:-1], out=boundary[1:])
+    starts = np.flatnonzero(boundary)
+    if starts.size == key.size:  # no duplicates
+        uniq_key = key
+        out_vals = vals
+    else:
+        uniq_key = key[starts]
+        indptr = np.append(starts, key.size)
+        out_vals = add.reduceat(vals, indptr)
+    return uniq_key // n_cols, uniq_key % n_cols, out_vals
+
+
+class CSRMatrix:
+    """Compressed-sparse-row matrix with semiring-generic kernels.
+
+    Invariants: ``indices`` sorted within each row, no duplicate coordinates,
+    no constraints on stored values (explicit zeros are allowed and can be
+    removed with :meth:`prune`).
+    """
+
+    __slots__ = ("shape", "indptr", "indices", "data")
+
+    def __init__(
+        self,
+        shape: tuple[int, int],
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray,
+        *,
+        _trusted: bool = False,
+    ) -> None:
+        self.shape = (int(shape[0]), int(shape[1]))
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.data = np.asarray(data)
+        if not _trusted:
+            self._validate()
+
+    def _validate(self) -> None:
+        n_rows, n_cols = self.shape
+        if self.indptr.shape != (n_rows + 1,):
+            raise SparseFormatError(
+                f"indptr length {self.indptr.size} != n_rows+1 = {n_rows + 1}"
+            )
+        if self.indptr[0] != 0 or self.indptr[-1] != self.indices.size:
+            raise SparseFormatError("indptr must start at 0 and end at nnz")
+        if np.any(np.diff(self.indptr) < 0):
+            raise SparseFormatError("indptr must be non-decreasing")
+        if self.indices.size != self.data.size:
+            raise SparseFormatError("indices and data length mismatch")
+        if self.indices.size:
+            if self.indices.min() < 0 or self.indices.max() >= n_cols:
+                raise SparseFormatError(f"column index out of bounds for shape {self.shape}")
+            # sorted-within-row, no duplicates: strict increase except at row starts
+            nondecreasing = np.diff(self.indices) > 0
+            row_starts = np.zeros(self.indices.size - 1, dtype=bool)
+            starts = self.indptr[1:-1]
+            row_starts[starts[starts < self.indices.size] - 1] = True
+            if not np.all(nondecreasing | row_starts):
+                raise SparseFormatError("indices must be strictly increasing within each row")
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_triples(
+        cls,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        vals: np.ndarray,
+        shape: tuple[int, int],
+        add: Monoid = PLUS_MONOID,
+    ) -> "CSRMatrix":
+        """Build from COO triples, combining duplicates with *add*."""
+        rows, cols, vals = coalesce(rows, cols, vals, shape, add)
+        indptr = np.zeros(shape[0] + 1, dtype=np.int64)
+        if rows.size:
+            np.cumsum(np.bincount(rows, minlength=shape[0]), out=indptr[1:])
+        return cls(shape, indptr, cols, vals, _trusted=True)
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, zero: object = 0) -> "CSRMatrix":
+        """Build from a dense array, dropping entries equal to *zero*."""
+        dense = np.asarray(dense)
+        if dense.ndim != 2:
+            raise SparseFormatError(f"dense input must be 2-D, got {dense.ndim}-D")
+        mask = dense != zero
+        rows, cols = np.nonzero(mask)
+        return cls.from_triples(rows, cols, dense[rows, cols], dense.shape)
+
+    @classmethod
+    def empty(cls, shape: tuple[int, int], dtype: np.dtype | type = np.int64) -> "CSRMatrix":
+        return cls(
+            shape,
+            np.zeros(shape[0] + 1, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=dtype),
+            _trusted=True,
+        )
+
+    @classmethod
+    def identity(cls, n: int, dtype: np.dtype | type = np.int64) -> "CSRMatrix":
+        idx = np.arange(n, dtype=np.int64)
+        return cls((n, n), np.arange(n + 1, dtype=np.int64), idx, np.ones(n, dtype=dtype), _trusted=True)
+
+    # ------------------------------------------------------------------ #
+    # basic properties
+    # ------------------------------------------------------------------ #
+
+    @property
+    def nnz(self) -> int:
+        return int(self.indices.size)
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    def row_nnz(self) -> np.ndarray:
+        """Number of stored entries per row."""
+        return np.diff(self.indptr)
+
+    def triples(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """COO view ``(rows, cols, vals)`` in canonical order."""
+        rows = np.repeat(np.arange(self.shape[0], dtype=np.int64), self.row_nnz())
+        return rows, self.indices.copy(), self.data.copy()
+
+    def to_dense(self, zero: object = 0) -> np.ndarray:
+        out = np.full(self.shape, zero, dtype=self.dtype)
+        rows, cols, vals = self.triples()
+        out[rows, cols] = vals
+        return out
+
+    def copy(self) -> "CSRMatrix":
+        return CSRMatrix(
+            self.shape, self.indptr.copy(), self.indices.copy(), self.data.copy(), _trusted=True
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CSRMatrix):
+            return NotImplemented
+        return (
+            self.shape == other.shape
+            and np.array_equal(self.indptr, other.indptr)
+            and np.array_equal(self.indices, other.indices)
+            and np.array_equal(self.data, other.data)
+        )
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def __repr__(self) -> str:
+        return f"CSRMatrix(shape={self.shape}, nnz={self.nnz}, dtype={self.dtype})"
+
+    # ------------------------------------------------------------------ #
+    # structural ops
+    # ------------------------------------------------------------------ #
+
+    def transpose(self) -> "CSRMatrix":
+        rows, cols, vals = self.triples()
+        return CSRMatrix.from_triples(cols, rows, vals, (self.shape[1], self.shape[0]))
+
+    @property
+    def T(self) -> "CSRMatrix":
+        return self.transpose()
+
+    def prune(self, zero: object = 0) -> "CSRMatrix":
+        """Drop stored entries equal to *zero* (the semiring's annihilator)."""
+        keep = self.data != zero
+        if keep.all():
+            return self.copy()
+        rows, cols, vals = self.triples()
+        return CSRMatrix.from_triples(rows[keep], cols[keep], vals[keep], self.shape)
+
+    def extract(self, row_idx: np.ndarray, col_idx: np.ndarray) -> "CSRMatrix":
+        """Sub-matrix ``A[row_idx, :][:, col_idx]`` (GraphBLAS extract).
+
+        Index arrays select and *reorder*; the result has shape
+        ``(len(row_idx), len(col_idx))``.
+        """
+        row_idx = np.asarray(row_idx, dtype=np.int64)
+        col_idx = np.asarray(col_idx, dtype=np.int64)
+        # gather the selected rows (with repetition allowed)
+        counts = self.row_nnz()[row_idx]
+        total = int(counts.sum())
+        out_rows = np.repeat(np.arange(row_idx.size, dtype=np.int64), counts)
+        offsets = np.repeat(self.indptr[row_idx], counts)
+        ramp = np.arange(total, dtype=np.int64) - np.repeat(np.cumsum(counts) - counts, counts)
+        pos = offsets + ramp
+        cols = self.indices[pos]
+        vals = self.data[pos]
+        # remap columns: position of each old column in col_idx (drop unselected)
+        col_map = np.full(self.shape[1], -1, dtype=np.int64)
+        col_map[col_idx[::-1]] = np.arange(col_idx.size - 1, -1, -1, dtype=np.int64)
+        new_cols = col_map[cols]
+        keep = new_cols >= 0
+        return CSRMatrix.from_triples(
+            out_rows[keep], new_cols[keep], vals[keep], (row_idx.size, col_idx.size)
+        )
+
+    # ------------------------------------------------------------------ #
+    # element-wise ops
+    # ------------------------------------------------------------------ #
+
+    def ewise_union(self, other: "CSRMatrix", add: Monoid = PLUS_MONOID) -> "CSRMatrix":
+        """Element-wise combine over the union of patterns (GraphBLAS eWiseAdd)."""
+        self._check_shape(other)
+        r1, c1, v1 = self.triples()
+        r2, c2, v2 = other.triples()
+        dtype = np.result_type(v1.dtype, v2.dtype)
+        return CSRMatrix.from_triples(
+            np.concatenate([r1, r2]),
+            np.concatenate([c1, c2]),
+            np.concatenate([v1.astype(dtype), v2.astype(dtype)]),
+            self.shape,
+            add,
+        )
+
+    def ewise_intersect(self, other: "CSRMatrix", mult) -> "CSRMatrix":  # noqa: ANN001
+        """Element-wise combine over the pattern intersection (eWiseMult)."""
+        self._check_shape(other)
+        n_cols = np.int64(self.shape[1])
+        r1, c1, v1 = self.triples()
+        r2, c2, v2 = other.triples()
+        k1 = r1 * n_cols + c1
+        k2 = r2 * n_cols + c2
+        common, i1, i2 = np.intersect1d(k1, k2, assume_unique=True, return_indices=True)
+        vals = mult(v1[i1], v2[i2])
+        return CSRMatrix.from_triples(common // n_cols, common % n_cols, vals, self.shape)
+
+    def _check_shape(self, other: "CSRMatrix") -> None:
+        if self.shape != other.shape:
+            raise SparseFormatError(f"shape mismatch: {self.shape} vs {other.shape}")
+
+    # ------------------------------------------------------------------ #
+    # semiring compute kernels
+    # ------------------------------------------------------------------ #
+
+    def mxv(self, x: np.ndarray, semiring: Semiring = PLUS_TIMES) -> np.ndarray:
+        """Matrix-vector product ``y[i] = add_k mult(A[i,k], x[k])`` (dense x/y)."""
+        x = np.asarray(x)
+        if x.shape != (self.shape[1],):
+            raise SparseFormatError(f"vector length {x.shape} != {(self.shape[1],)}")
+        prod = semiring.mult(self.data, x[self.indices])
+        prod = np.asarray(prod)
+        return semiring.add.reduceat(prod, self.indptr)
+
+    def vxm(self, x: np.ndarray, semiring: Semiring = PLUS_TIMES) -> np.ndarray:
+        """Vector-matrix product ``y = x A`` — ``mxv`` on the transpose."""
+        return self.transpose().mxv(x, semiring)
+
+    def mxm(self, other: "CSRMatrix", semiring: Semiring = PLUS_TIMES) -> "CSRMatrix":
+        """Sparse matrix product over *semiring* using vectorized ESC.
+
+        Expansion: for each stored ``A(i, k)``, gather row ``k`` of ``B``; the
+        per-entry gather lengths come from ``B``'s row-nnz, and the flat gather
+        positions are built with a repeat/cumsum ramp.  Compression: coalesce
+        with the additive monoid.  The expanded intermediate has
+        ``sum_k nnz(A[:,k]) * nnz(B[k,:])`` entries — the usual sparse-GEMM
+        FLOP count.
+        """
+        if self.shape[1] != other.shape[0]:
+            raise SparseFormatError(
+                f"inner dimension mismatch: {self.shape} @ {other.shape}"
+            )
+        out_shape = (self.shape[0], other.shape[1])
+        if self.nnz == 0 or other.nnz == 0:
+            dtype = np.result_type(self.dtype, other.dtype)
+            return CSRMatrix.empty(out_shape, dtype)
+        b_row_nnz = other.row_nnz()
+        counts = b_row_nnz[self.indices]  # products contributed by each A entry
+        total = int(counts.sum())
+        if total == 0:
+            dtype = np.result_type(self.dtype, other.dtype)
+            return CSRMatrix.empty(out_shape, dtype)
+        a_rows = np.repeat(np.arange(self.shape[0], dtype=np.int64), self.row_nnz())
+        out_rows = np.repeat(a_rows, counts)
+        offsets = np.repeat(other.indptr[self.indices], counts)
+        ramp = np.arange(total, dtype=np.int64) - np.repeat(np.cumsum(counts) - counts, counts)
+        b_pos = offsets + ramp
+        out_cols = other.indices[b_pos]
+        out_vals = np.asarray(semiring.mult(np.repeat(self.data, counts), other.data[b_pos]))
+        result = CSRMatrix.from_triples(out_rows, out_cols, out_vals, out_shape, semiring.add)
+        return result.prune(semiring.zero(out_vals.dtype))
+
+    def reduce_rows(self, add: Monoid = PLUS_MONOID) -> np.ndarray:
+        """Dense vector of per-row reductions (empty rows get the identity)."""
+        return add.reduceat(self.data, self.indptr)
+
+    def reduce_cols(self, add: Monoid = PLUS_MONOID) -> np.ndarray:
+        """Dense vector of per-column reductions."""
+        return self.transpose().reduce_rows(add)
+
+    def reduce_scalar(self, add: Monoid = PLUS_MONOID) -> object:
+        """Reduce every stored value to one scalar."""
+        if self.data.size == 0:
+            return add.identity(self.dtype)
+        if add.op.is_ufunc:
+            return add.op.func.reduce(self.data)  # type: ignore[union-attr]
+        acc = self.data[0]
+        for v in self.data[1:]:
+            acc = add.op.func(acc, v)
+        return acc
+
+    def kron(self, other: "CSRMatrix", mult=None) -> "CSRMatrix":  # noqa: ANN001
+        """Kronecker product — the graph generator workhorse (ref [50] lineage)."""
+        if mult is None:
+            mult = PLUS_TIMES.mult
+        r1, c1, v1 = self.triples()
+        r2, c2, v2 = other.triples()
+        m2, n2 = other.shape
+        rows = (r1[:, None] * m2 + r2[None, :]).ravel()
+        cols = (c1[:, None] * n2 + c2[None, :]).ravel()
+        vals = np.asarray(mult(np.repeat(v1, r2.size), np.tile(v2, r1.size)))
+        return CSRMatrix.from_triples(
+            rows, cols, vals, (self.shape[0] * m2, self.shape[1] * n2)
+        )
+
+    # ------------------------------------------------------------------ #
+    # interop
+    # ------------------------------------------------------------------ #
+
+    def to_scipy(self) -> "sp.csr_matrix":
+        """Convert to ``scipy.sparse.csr_matrix`` (for benchmarking baselines)."""
+        import scipy.sparse as sp
+
+        return sp.csr_matrix(
+            (self.data.copy(), self.indices.copy(), self.indptr.copy()), shape=self.shape
+        )
+
+    @classmethod
+    def from_scipy(cls, mat: "sp.spmatrix") -> "CSRMatrix":
+        csr = mat.tocsr()
+        csr.sum_duplicates()
+        csr.sort_indices()
+        return cls(
+            csr.shape,
+            csr.indptr.astype(np.int64),
+            csr.indices.astype(np.int64),
+            csr.data.copy(),
+            _trusted=True,
+        )

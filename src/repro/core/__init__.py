@@ -1,0 +1,37 @@
+"""Core traffic-matrix objects: labels, colours, network spaces, and the matrix."""
+
+from repro.core.colors import PalletColor, color_name, material_for_code, validate_color_grid
+from repro.core.labels import (
+    MAX_LABEL_LENGTH,
+    TEMPLATE_LABELS_6,
+    TEMPLATE_LABELS_10,
+    default_labels,
+    validate_labels,
+)
+from repro.core.spaces import (
+    DEFAULT_PREFIXES,
+    NetworkSpace,
+    SpaceMap,
+    space_of_label,
+    spaces_from_counts,
+)
+from repro.core.traffic_matrix import MAX_DISPLAY_PACKETS, TrafficMatrix
+
+__all__ = [
+    "PalletColor",
+    "color_name",
+    "material_for_code",
+    "validate_color_grid",
+    "MAX_LABEL_LENGTH",
+    "TEMPLATE_LABELS_6",
+    "TEMPLATE_LABELS_10",
+    "default_labels",
+    "validate_labels",
+    "DEFAULT_PREFIXES",
+    "NetworkSpace",
+    "SpaceMap",
+    "space_of_label",
+    "spaces_from_counts",
+    "MAX_DISPLAY_PACKETS",
+    "TrafficMatrix",
+]

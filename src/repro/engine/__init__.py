@@ -1,0 +1,44 @@
+"""Headless Godot-like scene-tree engine."""
+
+from repro.engine.input import ACTIONS, InputEventKey, Key, action_for_key
+from repro.engine.inspector import dump_inspector, get_export, list_exports, set_export
+from repro.engine.math3d import Basis, Vector3
+from repro.engine.node import ExportVar, Label3D, MeshInstance3D, Node, Node3D
+from repro.engine.resources import (
+    PALLET_MATERIALS,
+    Resource,
+    StandardMaterial3D,
+    preload,
+    register_resource,
+    reset_registry,
+    resource_registry,
+)
+from repro.engine.signals import Signal
+from repro.engine.tree import SceneTree
+
+__all__ = [
+    "Node",
+    "Node3D",
+    "Label3D",
+    "MeshInstance3D",
+    "ExportVar",
+    "SceneTree",
+    "Signal",
+    "Vector3",
+    "Basis",
+    "Resource",
+    "StandardMaterial3D",
+    "preload",
+    "register_resource",
+    "reset_registry",
+    "resource_registry",
+    "PALLET_MATERIALS",
+    "Key",
+    "InputEventKey",
+    "ACTIONS",
+    "action_for_key",
+    "list_exports",
+    "get_export",
+    "set_export",
+    "dump_inspector",
+]

@@ -1,0 +1,62 @@
+"""Input events and the game's key map.
+
+The paper defines exactly three controls: SPACE toggles between the 2-D
+top-down and 3-D views, and Q / E rotate the 3-D view.  Events flow through
+:meth:`repro.engine.tree.SceneTree.push_input`, which dispatches to every
+node's ``_input`` hook the way Godot propagates unhandled input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["Key", "InputEventKey", "ACTIONS", "action_for_key"]
+
+
+class Key(Enum):
+    """Keys the game binds (plus navigation/answer keys for the CLI app)."""
+
+    SPACE = "space"
+    Q = "q"
+    E = "e"
+    ENTER = "enter"
+    ONE = "1"
+    TWO = "2"
+    THREE = "3"
+    N = "n"
+    P = "p"
+    H = "h"
+    ESCAPE = "escape"
+
+
+@dataclass(frozen=True)
+class InputEventKey:
+    """A key press (releases are not needed by any game behaviour)."""
+
+    key: Key
+    pressed: bool = True
+
+
+#: The game's action map: action name → key.
+ACTIONS: dict[str, Key] = {
+    "toggle_view": Key.SPACE,
+    "rotate_left": Key.Q,
+    "rotate_right": Key.E,
+    "confirm": Key.ENTER,
+    "answer_1": Key.ONE,
+    "answer_2": Key.TWO,
+    "answer_3": Key.THREE,
+    "next_module": Key.N,
+    "prev_module": Key.P,
+    "hint": Key.H,
+    "quit": Key.ESCAPE,
+}
+
+
+def action_for_key(key: Key) -> str | None:
+    """Reverse lookup: which action a key triggers (None if unbound)."""
+    for action, bound in ACTIONS.items():
+        if bound is key:
+            return action
+    return None

@@ -1,0 +1,88 @@
+"""The Inspector: viewing and editing a node's export variables (paper Fig. 3).
+
+"Several export variables are created to allow these variables be dynamically
+edited without having to edit the script as a whole."  The Inspector is how an
+educator wires exported node references (``y_axis``, ``x_axis``, ``pallets``)
+without touching code; :func:`dump_inspector` renders the same property sheet
+the figure shows.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.engine.node import Node
+from repro.errors import EngineError
+
+__all__ = ["list_exports", "set_export", "get_export", "dump_inspector"]
+
+
+def list_exports(node: Node) -> dict[str, Any]:
+    """Export-variable values by name."""
+    return {name: var.value for name, var in node.exports.items()}
+
+
+def get_export(node: Node, name: str) -> Any:
+    try:
+        return node.exports[name].value
+    except KeyError:
+        raise EngineError(f"node {node.name!r} has no export variable {name!r}") from None
+
+
+def set_export(node: Node, name: str, value: Any) -> None:
+    """Assign an export variable, enforcing its declared type hint.
+
+    Node-typed exports (``Node3D`` etc.) accept any node of that class or a
+    subclass — the Inspector's drag-a-node-here behaviour.  The new value is
+    also visible to an attached GDScript instance under the same name.
+    """
+    exports = node._exports  # module-internal access: the inspector *is* the editor
+    if name not in exports:
+        raise EngineError(f"node {node.name!r} has no export variable {name!r}")
+    var = exports[name]
+    hint = var.type_hint
+    if hint:
+        expected = _HINT_TYPES.get(hint)
+        if expected is not None and value is not None and not isinstance(value, expected):
+            raise EngineError(
+                f"export {name!r} expects {hint}, got {type(value).__name__}"
+            )
+    var.value = value
+    script = node.script
+    if script is not None and hasattr(script, "set_var"):
+        script.set_var(name, value)
+
+
+def dump_inspector(node: Node) -> str:
+    """Property-sheet rendering of a node (name, type, exports) à la Fig. 3."""
+    lines = [f"Inspector — {node.name} ({type(node).__name__})"]
+    if not node.exports:
+        lines.append("  (no export variables)")
+        return "\n".join(lines)
+    width = max(len(n) for n in node.exports)
+    for name, var in node.exports.items():
+        hint = f" ({var.type_hint})" if var.type_hint else ""
+        value = var.value
+        shown = f"[{value.name}]" if isinstance(value, Node) else repr(value)
+        lines.append(f"  {name.ljust(width)}{hint} = {shown}")
+    return "\n".join(lines)
+
+
+def _node_types() -> dict[str, type]:
+    from repro.engine.node import Label3D, MeshInstance3D, Node3D
+
+    return {
+        "Node": Node,
+        "Node3D": Node3D,
+        "Label3D": Label3D,
+        "MeshInstance3D": MeshInstance3D,
+        "bool": bool,
+        "int": int,
+        "float": (int, float),  # type: ignore[dict-item]
+        "String": str,
+        "Array": list,
+        "Dictionary": dict,
+    }
+
+
+_HINT_TYPES: dict[str, Any] = _node_types()

@@ -1,0 +1,122 @@
+"""Minimal 3-D math for the scene tree and renderer: vectors and rotations.
+
+Only what the warehouse needs: positions, axis rotations (the Q/E view
+rotation is a yaw about +Y), and enough basis algebra for the orthographic
+camera.  Values are plain floats; batch transforms of many points go through
+:meth:`Basis.apply_many`, which is a single NumPy matmul.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Vector3", "Basis"]
+
+
+@dataclass(frozen=True)
+class Vector3:
+    """An immutable 3-component vector (Godot's value-type semantics).
+
+    Class constants ``Vector3.ZERO``, ``Vector3.ONE`` and ``Vector3.UP`` are
+    attached after the class definition (a frozen dataclass cannot hold
+    instances of itself in its body).
+    """
+
+    x: float = 0.0
+    y: float = 0.0
+    z: float = 0.0
+
+    def __add__(self, other: "Vector3") -> "Vector3":
+        return Vector3(self.x + other.x, self.y + other.y, self.z + other.z)
+
+    def __sub__(self, other: "Vector3") -> "Vector3":
+        return Vector3(self.x - other.x, self.y - other.y, self.z - other.z)
+
+    def __mul__(self, k: float) -> "Vector3":
+        return Vector3(self.x * k, self.y * k, self.z * k)
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "Vector3":
+        return Vector3(-self.x, -self.y, -self.z)
+
+    def dot(self, other: "Vector3") -> float:
+        return self.x * other.x + self.y * other.y + self.z * other.z
+
+    def cross(self, other: "Vector3") -> "Vector3":
+        return Vector3(
+            self.y * other.z - self.z * other.y,
+            self.z * other.x - self.x * other.z,
+            self.x * other.y - self.y * other.x,
+        )
+
+    def length(self) -> float:
+        return math.sqrt(self.dot(self))
+
+    def normalized(self) -> "Vector3":
+        n = self.length()
+        return Vector3() if n == 0.0 else self * (1.0 / n)
+
+    def to_array(self) -> np.ndarray:
+        return np.asarray([self.x, self.y, self.z], dtype=np.float64)
+
+    @classmethod
+    def from_array(cls, arr: np.ndarray) -> "Vector3":
+        return cls(float(arr[0]), float(arr[1]), float(arr[2]))
+
+
+# value-type constants (plain class attributes, not dataclass fields)
+Vector3.ZERO = Vector3(0.0, 0.0, 0.0)  # type: ignore[attr-defined]
+Vector3.ONE = Vector3(1.0, 1.0, 1.0)  # type: ignore[attr-defined]
+Vector3.UP = Vector3(0.0, 1.0, 0.0)  # type: ignore[attr-defined]
+
+
+@dataclass(frozen=True)
+class Basis:
+    """A 3×3 rotation/scale basis stored as a NumPy matrix."""
+
+    m: np.ndarray
+
+    @classmethod
+    def identity(cls) -> "Basis":
+        return cls(np.eye(3))
+
+    @classmethod
+    def rotation_x(cls, angle: float) -> "Basis":
+        c, s = math.cos(angle), math.sin(angle)
+        return cls(np.asarray([[1, 0, 0], [0, c, -s], [0, s, c]], dtype=np.float64))
+
+    @classmethod
+    def rotation_y(cls, angle: float) -> "Basis":
+        """Yaw — the Q/E view rotation axis."""
+        c, s = math.cos(angle), math.sin(angle)
+        return cls(np.asarray([[c, 0, s], [0, 1, 0], [-s, 0, c]], dtype=np.float64))
+
+    @classmethod
+    def rotation_z(cls, angle: float) -> "Basis":
+        c, s = math.cos(angle), math.sin(angle)
+        return cls(np.asarray([[c, -s, 0], [s, c, 0], [0, 0, 1]], dtype=np.float64))
+
+    def __matmul__(self, other: "Basis") -> "Basis":
+        return Basis(self.m @ other.m)
+
+    def apply(self, v: Vector3) -> Vector3:
+        return Vector3.from_array(self.m @ v.to_array())
+
+    def apply_many(self, points: np.ndarray) -> np.ndarray:
+        """Rotate an ``(n, 3)`` point cloud in one matmul."""
+        return points @ self.m.T
+
+    def inverse(self) -> "Basis":
+        return Basis(np.linalg.inv(self.m))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Basis):
+            return NotImplemented
+        return np.allclose(self.m, other.m)
+
+    def __hash__(self) -> int:
+        return id(self)

@@ -1,0 +1,92 @@
+"""Resources and the ``preload`` registry.
+
+The paper's pallet-controller script preloads five ``StandardMaterial3D``
+resources by ``res://`` path.  This module provides the same contract: a
+global registry mapping resource paths to resource objects, a
+:func:`preload` lookup that fails loudly on unknown paths, and the standard
+material set pre-registered so the paper's script runs unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.core import colors as core_colors
+from repro.errors import ResourceError
+
+__all__ = [
+    "Resource",
+    "StandardMaterial3D",
+    "register_resource",
+    "preload",
+    "resource_registry",
+    "reset_registry",
+    "PALLET_MATERIALS",
+]
+
+
+@dataclass(frozen=True)
+class Resource:
+    """Base class for shareable engine resources, identified by path."""
+
+    path: str
+
+
+@dataclass(frozen=True)
+class StandardMaterial3D(Resource):
+    """A material with an albedo colour name (all the renderer needs)."""
+
+    albedo: str = "white"
+    metadata: dict = field(default_factory=dict, compare=False)
+
+
+_REGISTRY: Dict[str, Resource] = {}
+
+
+def register_resource(resource: Resource, *, overwrite: bool = False) -> Resource:
+    """Add a resource under its path; re-registering needs ``overwrite``."""
+    if resource.path in _REGISTRY and not overwrite:
+        raise ResourceError(f"resource {resource.path!r} already registered")
+    _REGISTRY[resource.path] = resource
+    return resource
+
+
+def preload(path: str) -> Resource:
+    """Fetch a registered resource, like GDScript's ``preload("res://...")``."""
+    try:
+        return _REGISTRY[path]
+    except KeyError:
+        raise ResourceError(f"unknown resource path {path!r}") from None
+
+
+def resource_registry() -> dict[str, Resource]:
+    """Snapshot of the registry (path → resource)."""
+    return dict(_REGISTRY)
+
+
+def _register_defaults() -> dict[str, StandardMaterial3D]:
+    """The five pallet materials the paper's script preloads."""
+    mats = {
+        core_colors.DEFAULT_MATERIAL: StandardMaterial3D(core_colors.DEFAULT_MATERIAL, "wood"),
+        core_colors.material_for_code(0): StandardMaterial3D(core_colors.material_for_code(0), "grey"),
+        core_colors.material_for_code(1): StandardMaterial3D(core_colors.material_for_code(1), "blue"),
+        core_colors.material_for_code(2): StandardMaterial3D(core_colors.material_for_code(2), "red"),
+        # extended palette (paper future work): yellow / green pallet materials
+        core_colors.material_for_code(3): StandardMaterial3D(core_colors.material_for_code(3), "yellow"),
+        core_colors.material_for_code(4): StandardMaterial3D(core_colors.material_for_code(4), "green"),
+        core_colors.FALLBACK_MATERIAL: StandardMaterial3D(core_colors.FALLBACK_MATERIAL, "black"),
+    }
+    for mat in mats.values():
+        _REGISTRY.setdefault(mat.path, mat)
+    return mats
+
+
+def reset_registry() -> None:
+    """Restore the registry to just the built-in materials (test isolation)."""
+    _REGISTRY.clear()
+    _register_defaults()
+
+
+#: Material resources keyed by path, pre-registered at import time.
+PALLET_MATERIALS = _register_defaults()

@@ -1,0 +1,56 @@
+"""Godot-style signals: named per-node event channels.
+
+Nodes declare signals (``add_user_signal`` in Godot terms), other code
+connects callables, and ``emit`` fan-outs synchronously in connection order —
+the mechanism behind the game's "toggle pallet colour button clicked" flow.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import SignalError
+
+__all__ = ["Signal"]
+
+
+class Signal:
+    """A named signal with an ordered list of connections.
+
+    Connections may be one-shot (Godot's ``CONNECT_ONE_SHOT``): they
+    disconnect themselves after the first emission.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._connections: list[tuple[Callable[..., Any], bool]] = []
+
+    def connect(self, callback: Callable[..., Any], *, one_shot: bool = False) -> None:
+        """Connect *callback*; connecting the same callable twice is an error
+        (matching Godot, which warns and refuses)."""
+        if any(cb is callback for cb, _ in self._connections):
+            raise SignalError(f"callback already connected to signal {self.name!r}")
+        self._connections.append((callback, one_shot))
+
+    def disconnect(self, callback: Callable[..., Any]) -> None:
+        for k, (cb, _) in enumerate(self._connections):
+            if cb is callback:
+                del self._connections[k]
+                return
+        raise SignalError(f"callback is not connected to signal {self.name!r}")
+
+    def is_connected(self, callback: Callable[..., Any]) -> bool:
+        return any(cb is callback for cb, _ in self._connections)
+
+    def connection_count(self) -> int:
+        return len(self._connections)
+
+    def emit(self, *args: Any) -> None:
+        """Call every connection synchronously, in connection order."""
+        for cb, one_shot in list(self._connections):
+            if one_shot:
+                self.disconnect(cb)
+            cb(*args)
+
+    def __repr__(self) -> str:
+        return f"Signal({self.name!r}, connections={len(self._connections)})"

@@ -1,0 +1,103 @@
+"""Exception hierarchy for the Traffic Warehouse reproduction.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still being
+able to distinguish the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class TrafficMatrixError(ReproError):
+    """Invalid construction or manipulation of a :class:`~repro.core.TrafficMatrix`."""
+
+
+class ShapeError(TrafficMatrixError):
+    """Operands have incompatible shapes."""
+
+
+class LabelError(TrafficMatrixError):
+    """Axis labels are missing, duplicated, or do not match the matrix size."""
+
+
+class ColorError(TrafficMatrixError):
+    """A colour grid contains values outside the supported palette."""
+
+
+class SemiringError(ReproError):
+    """A semiring was constructed from incompatible monoid/binary operators."""
+
+
+class SparseFormatError(ReproError):
+    """A sparse kernel received indices or values that violate its format."""
+
+
+class AssocArrayError(ReproError):
+    """Invalid operation on an :class:`~repro.assoc.AssociativeArray`."""
+
+
+class ModuleSchemaError(ReproError):
+    """A learning-module JSON document does not satisfy the schema."""
+
+    def __init__(self, message: str, *, path: str = "$") -> None:
+        super().__init__(f"{path}: {message}")
+        self.path = path
+        self.message = message
+
+
+class ModuleLoadError(ReproError):
+    """A learning-module file or bundle could not be read."""
+
+
+class EngineError(ReproError):
+    """Scene-tree or node lifecycle violation in :mod:`repro.engine`."""
+
+
+class NodePathError(EngineError):
+    """A node path (``$\"../Data\"`` style) did not resolve."""
+
+
+class SignalError(EngineError):
+    """Connecting or emitting an unknown signal."""
+
+
+class ResourceError(EngineError):
+    """A ``preload``-style resource path could not be resolved."""
+
+
+class GDScriptError(ReproError):
+    """Base class for GDScript front-end errors."""
+
+    def __init__(self, message: str, *, line: int = 0, column: int = 0) -> None:
+        location = f" (line {line}, column {column})" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class GDScriptSyntaxError(GDScriptError):
+    """Tokenizer or parser rejected the script."""
+
+
+class GDScriptRuntimeError(GDScriptError):
+    """The interpreter hit an error while executing a script."""
+
+
+class VoxelError(ReproError):
+    """Invalid voxel-model construction or serialization."""
+
+
+class RenderError(ReproError):
+    """The software rasterizer was configured inconsistently."""
+
+
+class GameError(ReproError):
+    """Game-flow violation (answering a closed question, bad level index, ...)."""
+
+
+class QuizError(GameError):
+    """Quiz-specific failures (no question, out-of-range answer index)."""

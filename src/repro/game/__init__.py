@@ -1,0 +1,37 @@
+"""The Traffic Warehouse game: levels, quiz flow, sessions, players, app."""
+
+from repro.game.app import TrafficWarehouse, main
+from repro.game.curriculum_session import CurriculumSession, UnitResult
+from repro.game.players import AnalystPlayer, PerfectPlayer, Player, RandomPlayer
+from repro.game.quiz import AnswerResult, QuizPresentation, judge_answer, present_question
+from repro.game.scripts import HELLO_WORLD_GD, PALLET_CONTROLLER_GD
+from repro.game.session import AnsweredQuestion, GameSession, SessionReport
+from repro.game.training import TRAINING_STEPS, TrainingLevel, TrainingStep, training_module
+from repro.game.warehouse import PALLET_SPACING, WarehouseLevel, build_level
+
+__all__ = [
+    "TrafficWarehouse",
+    "main",
+    "CurriculumSession",
+    "UnitResult",
+    "WarehouseLevel",
+    "build_level",
+    "PALLET_SPACING",
+    "GameSession",
+    "SessionReport",
+    "AnsweredQuestion",
+    "QuizPresentation",
+    "AnswerResult",
+    "present_question",
+    "judge_answer",
+    "TrainingLevel",
+    "TrainingStep",
+    "TRAINING_STEPS",
+    "training_module",
+    "Player",
+    "PerfectPlayer",
+    "RandomPlayer",
+    "AnalystPlayer",
+    "PALLET_CONTROLLER_GD",
+    "HELLO_WORLD_GD",
+]

@@ -1,0 +1,139 @@
+"""Simulated students: measurable stand-ins for classroom play-testing.
+
+The paper evaluates by classroom delivery; without human subjects, outcome
+experiments here use scripted players with distinct policies:
+
+* :class:`PerfectPlayer` — always right: the score ceiling,
+* :class:`RandomPlayer` — uniform guessing: the 1/3 floor the three-option
+  design implies,
+* :class:`AnalystPlayer` — answers the way the modules *teach*: classify the
+  displayed pattern (:mod:`repro.graphs.classify`) and pick the option whose
+  text matches; guess only when analysis fails.
+
+The analyst-vs-random gap measures whether the module content is actually
+answerable from the matrix — the property every new module should keep.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Protocol
+
+from repro.game.quiz import QuizPresentation
+from repro.graphs.classify import (
+    classify_graph_pattern,
+    classify_scenario,
+    classify_topology,
+)
+from repro.modules.library import DISPLAY_NAMES
+from repro.modules.module import LearningModule
+
+__all__ = ["Player", "PerfectPlayer", "RandomPlayer", "AnalystPlayer"]
+
+
+class Player(Protocol):
+    """A quiz-answering policy."""
+
+    name: str
+
+    def choose(self, module: LearningModule, presentation: QuizPresentation) -> int:
+        """Return the 0-based index of the presented option to answer."""
+        ...  # pragma: no cover
+
+
+class PerfectPlayer:
+    """Always selects the correct option (requires unobfuscated modules)."""
+
+    name = "perfect"
+
+    def choose(self, module: LearningModule, presentation: QuizPresentation) -> int:
+        if presentation.correct_index is None:
+            raise ValueError("PerfectPlayer cannot play obfuscated modules")
+        return presentation.correct_index
+
+
+class RandomPlayer:
+    """Uniform random guessing — expected score 1/3 on three-option items."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.name = "random"
+        self._rng = random.Random(seed)
+
+    def choose(self, module: LearningModule, presentation: QuizPresentation) -> int:
+        return self._rng.randrange(len(presentation.options))
+
+
+class AnalystPlayer:
+    """Answers by reading the matrix, the way the modules teach students to.
+
+    Runs all three classifiers over the module's matrix, maps the recognised
+    pattern to its display name, and picks the option containing that name.
+    Counting questions ("How many packets did WS1 send to ADV4?") are parsed
+    and answered by an actual matrix lookup.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.name = "analyst"
+        self._rng = random.Random(seed)
+
+    def choose(self, module: LearningModule, presentation: QuizPresentation) -> int:
+        idx = self._by_counting(module, presentation)
+        if idx is None:
+            idx = self._by_firewall(module, presentation)
+        if idx is None:
+            idx = self._by_classification(module, presentation)
+        if idx is None:
+            idx = self._rng.randrange(len(presentation.options))
+        return idx
+
+    # -- strategies ----------------------------------------------------- #
+
+    def _by_counting(self, module: LearningModule, pres: QuizPresentation) -> int | None:
+        """Handle "How many packets did X send to Y?" by reading the cell."""
+        words = pres.text.replace("?", " ").split()
+        labels = [w.upper() for w in words if w.upper() in module.matrix.labels]
+        if "packets" not in pres.text.lower() or len(labels) < 2:
+            return None
+        count = str(module.matrix[labels[0], labels[1]])
+        for k, option in enumerate(pres.options):
+            if option.strip() == count:
+                return k
+        return None
+
+    def _by_firewall(self, module: LearningModule, pres: QuizPresentation) -> int | None:
+        """Handle "how many flows violate the ... policy?" by running the
+        default perimeter policy over the displayed matrix."""
+        if "violate" not in pres.text.lower() or "polic" not in pres.text.lower():
+            return None
+        from repro.graphs.firewall import default_policy, violations
+
+        try:
+            policy = default_policy(module.matrix.labels)
+            count = str(len(violations(module.matrix, policy)))
+        except Exception:
+            return None
+        for k, option in enumerate(pres.options):
+            if option.strip() == count:
+                return k
+        return None
+
+    def _by_classification(self, module: LearningModule, pres: QuizPresentation) -> int | None:
+        matrix = module.matrix
+        candidates: list[str] = []
+        graph = classify_graph_pattern(matrix)
+        if graph != "unknown":
+            candidates.append(graph)
+        topo = classify_topology(matrix)
+        if topo != "unknown":
+            candidates.append(topo)
+        scenario = classify_scenario(matrix)
+        # the scenario classifier always has a best guess; trust it only when
+        # its score clears the obviously-wrong level
+        if scenario.scores[scenario.best] >= 0.5:
+            candidates.append(scenario.best)
+        for cand in candidates:
+            display = DISPLAY_NAMES.get(cand, cand).lower()
+            for k, option in enumerate(pres.options):
+                if display == option.lower() or display in option.lower():
+                    return k
+        return None

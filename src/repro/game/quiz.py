@@ -1,0 +1,79 @@
+"""The quiz flow: presenting a module's question and judging answers.
+
+Presentation shuffles the answer order ("the first element will not always be
+the first option given"); judging is by *position in the presented order*, so
+a student's "option 2" means what they saw.  Obfuscated questions (hash form)
+are judged by re-hashing the chosen text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import QuizError
+from repro.modules.module import LearningModule, Question
+from repro.modules.obfuscate import verify_answer
+
+__all__ = ["QuizPresentation", "AnswerResult", "present_question", "judge_answer"]
+
+
+@dataclass(frozen=True)
+class QuizPresentation:
+    """One question as shown to the student: shuffled options plus the hint."""
+
+    module_name: str
+    text: str
+    options: tuple[str, ...]
+    hint: str | None
+    correct_index: int | None  # None when the module is obfuscated
+    seed: int | None
+
+    def option_lines(self) -> list[str]:
+        return [f"  {k + 1}) {opt}" for k, opt in enumerate(self.options)]
+
+
+@dataclass(frozen=True)
+class AnswerResult:
+    """The verdict for one answered question."""
+
+    correct: bool
+    chosen: str
+    correct_answer: str | None  # None when obfuscated and answered wrong
+
+
+def present_question(module: LearningModule, *, seed: int | None = None) -> QuizPresentation:
+    """Shuffle and package a module's question for display.
+
+    Raises :class:`~repro.errors.QuizError` when the module's question is
+    toggled off — callers decide whether that means "skip" (class discussion)
+    or a bug.
+    """
+    if module.question is None:
+        raise QuizError(f"module {module.name!r} has its question toggled off")
+    q = module.question
+    options, correct_index = q.shuffled_answers(seed)
+    return QuizPresentation(
+        module_name=module.name,
+        text=q.text,
+        options=tuple(options),
+        hint=q.hint,
+        correct_index=correct_index,
+        seed=seed,
+    )
+
+
+def judge_answer(question: Question, presentation: QuizPresentation, choice: int) -> AnswerResult:
+    """Judge a 0-based *choice* into the presented options."""
+    if not 0 <= choice < len(presentation.options):
+        raise QuizError(
+            f"choice {choice + 1} out of range; question has "
+            f"{len(presentation.options)} options"
+        )
+    chosen = presentation.options[choice]
+    correct = verify_answer(question, chosen)
+    correct_text: str | None
+    if question.is_obfuscated:
+        correct_text = chosen if correct else None
+    else:
+        correct_text = question.correct_answer
+    return AnswerResult(correct=correct, chosen=chosen, correct_answer=correct_text)

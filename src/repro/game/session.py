@@ -1,0 +1,136 @@
+"""A play-through: a module sequence with navigation, answers, and scoring.
+
+"Traffic Warehouse will take the zip file and load each of the JSON files
+contained in it and present them sequentially one at a time."  A
+:class:`GameSession` is that sequence plus the student's progress: which
+module is showing, what has been answered, and the running score.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import GameError, QuizError
+from repro.game.quiz import AnswerResult, QuizPresentation, judge_answer, present_question
+from repro.modules.module import LearningModule
+
+__all__ = ["GameSession", "SessionReport", "AnsweredQuestion"]
+
+
+@dataclass(frozen=True)
+class AnsweredQuestion:
+    """One answered question in the session log."""
+
+    module_name: str
+    presentation: QuizPresentation
+    choice: int
+    result: AnswerResult
+
+
+@dataclass(frozen=True)
+class SessionReport:
+    """End-of-session summary."""
+
+    total_modules: int
+    questions_asked: int
+    correct: int
+    answers: tuple[AnsweredQuestion, ...] = field(default=())
+
+    @property
+    def score_fraction(self) -> float:
+        return self.correct / self.questions_asked if self.questions_asked else 0.0
+
+    def summary(self) -> str:
+        pct = 100.0 * self.score_fraction
+        return (
+            f"{self.correct}/{self.questions_asked} questions correct "
+            f"({pct:.0f}%) across {self.total_modules} modules"
+        )
+
+
+class GameSession:
+    """Sequential presentation of modules with per-module quiz state."""
+
+    def __init__(self, modules: Sequence[LearningModule], *, seed: int | None = None) -> None:
+        if not modules:
+            raise GameError("a session needs at least one module")
+        self.modules = list(modules)
+        self.seed = seed
+        self.index = 0
+        self._answers: list[AnsweredQuestion] = []
+        self._answered_modules: set[int] = set()
+        self._presentations: dict[int, QuizPresentation] = {}
+
+    # -- navigation -------------------------------------------------------- #
+
+    @property
+    def current(self) -> LearningModule:
+        return self.modules[self.index]
+
+    def next_module(self) -> LearningModule:
+        """Advance (stops at the last module rather than wrapping)."""
+        if self.index < len(self.modules) - 1:
+            self.index += 1
+        return self.current
+
+    def prev_module(self) -> LearningModule:
+        if self.index > 0:
+            self.index -= 1
+        return self.current
+
+    def is_last(self) -> bool:
+        return self.index == len(self.modules) - 1
+
+    # -- quiz -------------------------------------------------------------- #
+
+    def presentation(self) -> QuizPresentation:
+        """The current module's shuffled question (stable within the session).
+
+        The shuffle is drawn once per module: revisiting a module shows the
+        same option order the student first saw, like the real game screen.
+        """
+        if self.index not in self._presentations:
+            per_module_seed = None if self.seed is None else self.seed * 1000 + self.index
+            self._presentations[self.index] = present_question(self.current, seed=per_module_seed)
+        return self._presentations[self.index]
+
+    def has_question(self) -> bool:
+        return self.current.has_question
+
+    def already_answered(self) -> bool:
+        return self.index in self._answered_modules
+
+    def answer(self, choice: int) -> AnswerResult:
+        """Answer the current module's question (0-based presented index).
+
+        Each question accepts one answer per session — the game scores first
+        attempts.
+        """
+        if not self.has_question():
+            raise QuizError(f"module {self.current.name!r} has no question to answer")
+        if self.already_answered():
+            raise QuizError(f"module {self.current.name!r} was already answered")
+        pres = self.presentation()
+        result = judge_answer(self.current.question, pres, choice)  # type: ignore[arg-type]
+        self._answers.append(
+            AnsweredQuestion(
+                module_name=self.current.name, presentation=pres, choice=choice, result=result
+            )
+        )
+        self._answered_modules.add(self.index)
+        return result
+
+    # -- reporting ----------------------------------------------------------- #
+
+    @property
+    def score(self) -> int:
+        return sum(1 for a in self._answers if a.result.correct)
+
+    def report(self) -> SessionReport:
+        return SessionReport(
+            total_modules=len(self.modules),
+            questions_asked=len(self._answers),
+            correct=self.score,
+            answers=tuple(self._answers),
+        )

@@ -1,0 +1,128 @@
+"""The built-in training level (paper Fig. 5).
+
+"There is a single built-in module in Traffic Warehouse and that is the
+training level.  This module walks the player through what a traffic matrix
+is, how to read one, how it is of value to them, and how it will be
+represented in the game environment.  The training module also provides a
+space for the player to learn the controls of the game without needing to
+load in a learning module."
+
+The walkthrough is a fixed step sequence; each step shows a prompt and may
+require a control input (SPACE/Q/E) before advancing — the "learn the
+controls" part.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import GameError
+from repro.game.warehouse import WarehouseLevel
+from repro.modules.library import builtin_catalog
+from repro.modules.module import LearningModule
+
+__all__ = ["TrainingStep", "TRAINING_STEPS", "TrainingLevel", "training_module"]
+
+
+@dataclass(frozen=True)
+class TrainingStep:
+    """One walkthrough step: prompt text plus the action that advances it."""
+
+    title: str
+    prompt: str
+    requires_action: str | None = None  # an ACTIONS key, or None for "press on"
+
+
+TRAINING_STEPS: tuple[TrainingStep, ...] = (
+    TrainingStep(
+        "What is a traffic matrix?",
+        "A network traffic matrix records how much information each source "
+        "sends to each destination: the entry at row i, column j counts the "
+        "packets sent from endpoint i to endpoint j.",
+    ),
+    TrainingStep(
+        "Reading the 2-D view",
+        "You are looking at the matrix top-down, like a spreadsheet. Row "
+        "labels name the sources, column labels the destinations. Find WS1's "
+        "row and follow it to the ADV4 column.",
+    ),
+    TrainingStep(
+        "Why it matters",
+        "Network security personnel read these patterns daily: a filled row "
+        "is a busy sender, a filled column a popular destination, and traffic "
+        "touching adversary space deserves a second look.",
+    ),
+    TrainingStep(
+        "The warehouse",
+        "In the game each matrix cell is a shipping pallet on the warehouse "
+        "floor, and each packet is a box on that pallet. Press SPACE to step "
+        "into the 3-D warehouse view.",
+        requires_action="toggle_view",
+    ),
+    TrainingStep(
+        "Looking around",
+        "Rotate the warehouse with Q and E to see the box stacks from any "
+        "side. Press Q or E now.",
+        requires_action="rotate_left",
+    ),
+    TrainingStep(
+        "Colour coding",
+        "Pallets can be coloured to mark network spaces: blue for your own "
+        "systems, red for adversary space, grey for everything else. The "
+        "colour toggle repaints every pallet from the module's colour grid.",
+    ),
+    TrainingStep(
+        "Your first question",
+        "Each learning module may end with a three-choice question. Answer "
+        "by choosing an option; a hint may point at an external resource.",
+    ),
+)
+
+
+def training_module() -> LearningModule:
+    """The training lesson content (the 10×10 template with its question)."""
+    return builtin_catalog()["training/training"]
+
+
+class TrainingLevel:
+    """The training walkthrough wrapped around a warehouse level."""
+
+    def __init__(self) -> None:
+        self.level = WarehouseLevel(training_module())
+        self.step_index = 0
+        self.completed = False
+
+    @property
+    def current_step(self) -> TrainingStep:
+        if self.completed:
+            raise GameError("training is already complete")
+        return TRAINING_STEPS[self.step_index]
+
+    def advance(self, action: str | None = None) -> bool:
+        """Advance the walkthrough; steps that require an action only advance
+        when that action (or its rotate twin) is supplied.  Returns True if
+        the step changed."""
+        if self.completed:
+            return False
+        step = self.current_step
+        if step.requires_action is not None:
+            rotate_pair = {"rotate_left", "rotate_right"}
+            wanted = (
+                rotate_pair if step.requires_action in rotate_pair else {step.requires_action}
+            )
+            if action not in wanted:
+                return False
+            # actually perform the control on the level so the view matches
+            if action == "toggle_view":
+                self.level.toggle_view()
+            elif action == "rotate_left":
+                self.level.rotate_left()
+            elif action == "rotate_right":
+                self.level.rotate_right()
+        self.step_index += 1
+        if self.step_index >= len(TRAINING_STEPS):
+            self.completed = True
+        return True
+
+    def progress(self) -> tuple[int, int]:
+        return (len(TRAINING_STEPS) if self.completed else self.step_index, len(TRAINING_STEPS))

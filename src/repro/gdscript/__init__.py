@@ -1,0 +1,7 @@
+"""GDScript front end: lexer, parser, and interpreter bound to engine nodes."""
+
+from repro.gdscript.interpreter import GDScriptClass, ScriptInstance, compile_script
+from repro.gdscript.lexer import tokenize
+from repro.gdscript.parser import parse
+
+__all__ = ["GDScriptClass", "ScriptInstance", "compile_script", "tokenize", "parse"]

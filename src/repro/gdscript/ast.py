@@ -1,0 +1,221 @@
+"""AST node definitions for the GDScript subset.
+
+Plain frozen dataclasses; every node carries its source line so runtime errors
+point back at the script.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+__all__ = [
+    "Expr", "Stmt",
+    "Literal", "Identifier", "NodePath", "ArrayLiteral", "DictLiteral",
+    "Attribute", "Index", "Call", "MethodCall", "Unary", "Binary",
+    "ExprStmt", "VarDecl", "Assign", "AugAssign", "If", "For", "While",
+    "Match", "MatchArm", "Return", "Pass", "Break", "Continue",
+    "FuncDef", "Script",
+]
+
+
+@dataclass(frozen=True)
+class Expr:
+    line: int = field(default=0, kw_only=True)
+
+
+@dataclass(frozen=True)
+class Stmt:
+    line: int = field(default=0, kw_only=True)
+
+
+# --------------------------------------------------------------------------- #
+# expressions
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    value: object = None
+
+
+@dataclass(frozen=True)
+class Identifier(Expr):
+    name: str = ""
+
+
+@dataclass(frozen=True)
+class NodePath(Expr):
+    """``$"../Data"`` — resolved against the bound node at evaluation time."""
+
+    path: str = ""
+
+
+@dataclass(frozen=True)
+class ArrayLiteral(Expr):
+    items: Sequence[Expr] = ()
+
+
+@dataclass(frozen=True)
+class DictLiteral(Expr):
+    keys: Sequence[Expr] = ()
+    values: Sequence[Expr] = ()
+
+
+@dataclass(frozen=True)
+class Attribute(Expr):
+    obj: Expr = None  # type: ignore[assignment]
+    name: str = ""
+
+
+@dataclass(frozen=True)
+class Index(Expr):
+    obj: Expr = None  # type: ignore[assignment]
+    index: Expr = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    """A bare call ``f(args)`` — builtin, script function, or node method."""
+
+    name: str = ""
+    args: Sequence[Expr] = ()
+
+
+@dataclass(frozen=True)
+class MethodCall(Expr):
+    """``obj.method(args)``."""
+
+    obj: Expr = None  # type: ignore[assignment]
+    method: str = ""
+    args: Sequence[Expr] = ()
+
+
+@dataclass(frozen=True)
+class Unary(Expr):
+    op: str = ""
+    operand: Expr = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class Binary(Expr):
+    op: str = ""
+    left: Expr = None  # type: ignore[assignment]
+    right: Expr = None  # type: ignore[assignment]
+
+
+# --------------------------------------------------------------------------- #
+# statements
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class ExprStmt(Stmt):
+    expr: Expr = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class VarDecl(Stmt):
+    """``var name : Type = expr`` with optional @export / @onready annotation."""
+
+    name: str = ""
+    type_hint: Optional[str] = None
+    initializer: Optional[Expr] = None
+    export: bool = False
+    onready: bool = False
+
+
+@dataclass(frozen=True)
+class Assign(Stmt):
+    """``target = value`` where target is Identifier / Attribute / Index."""
+
+    target: Expr = None  # type: ignore[assignment]
+    value: Expr = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class AugAssign(Stmt):
+    """``target op= value`` for ``+= -= *= /=``."""
+
+    target: Expr = None  # type: ignore[assignment]
+    op: str = "+"
+    value: Expr = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class If(Stmt):
+    """if/elif/else chain: branches are (condition, body); else_body optional."""
+
+    branches: Sequence[tuple[Expr, Sequence[Stmt]]] = ()
+    else_body: Sequence[Stmt] = ()
+
+
+@dataclass(frozen=True)
+class For(Stmt):
+    var: str = ""
+    iterable: Expr = None  # type: ignore[assignment]
+    body: Sequence[Stmt] = ()
+
+
+@dataclass(frozen=True)
+class While(Stmt):
+    condition: Expr = None  # type: ignore[assignment]
+    body: Sequence[Stmt] = ()
+
+
+@dataclass(frozen=True)
+class MatchArm(Stmt):
+    """One ``pattern: body`` arm; ``wildcard`` marks the ``_:`` arm."""
+
+    pattern: Optional[Expr] = None
+    wildcard: bool = False
+    body: Sequence[Stmt] = ()
+
+
+@dataclass(frozen=True)
+class Match(Stmt):
+    subject: Expr = None  # type: ignore[assignment]
+    arms: Sequence[MatchArm] = ()
+
+
+@dataclass(frozen=True)
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class Pass(Stmt):
+    pass
+
+
+@dataclass(frozen=True)
+class Break(Stmt):
+    pass
+
+
+@dataclass(frozen=True)
+class Continue(Stmt):
+    pass
+
+
+@dataclass(frozen=True)
+class FuncDef(Stmt):
+    name: str = ""
+    params: Sequence[str] = ()
+    body: Sequence[Stmt] = ()
+    return_type: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Script:
+    """A parsed script: the extends clause, member vars, and functions."""
+
+    extends: Optional[str]
+    members: Sequence[VarDecl]
+    functions: Sequence[FuncDef]
+
+    def function(self, name: str) -> Optional[FuncDef]:
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        return None

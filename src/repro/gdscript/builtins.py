@@ -1,0 +1,97 @@
+"""GDScript built-in functions available to every script.
+
+Only the built-ins the paper's listings (and reasonable educator scripts)
+need.  ``print``/``printerr`` write through the interpreter's output sink so
+tests and the game console can capture script output instead of stdout.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.engine.resources import preload as engine_preload
+from repro.errors import GDScriptRuntimeError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.gdscript.interpreter import Interpreter
+
+__all__ = ["make_builtins"]
+
+
+def _gd_str(value: Any) -> str:
+    """GDScript's ``str()``: booleans print lowercase, null prints <null>."""
+    if value is None:
+        return "<null>"
+    if value is True:
+        return "true"
+    if value is False:
+        return "false"
+    if isinstance(value, float) and value == int(value):
+        return str(value)  # GDScript keeps the .0; Python's str already does
+    return str(value)
+
+
+def make_builtins(interp: "Interpreter") -> dict[str, Callable[..., Any]]:
+    """The built-in table, closed over the interpreter's output sink."""
+
+    def gd_print(*args: Any) -> None:
+        interp.emit_output("".join(_gd_str(a) for a in args), error=False)
+
+    def gd_printerr(*args: Any) -> None:
+        interp.emit_output("".join(_gd_str(a) for a in args), error=True)
+
+    def gd_len(value: Any) -> int:
+        try:
+            return len(value)
+        except TypeError:
+            raise GDScriptRuntimeError(f"len() not supported for {type(value).__name__}") from None
+
+    def gd_int(value: Any) -> int:
+        try:
+            return int(value)
+        except (TypeError, ValueError):
+            raise GDScriptRuntimeError(f"cannot convert {value!r} to int") from None
+
+    def gd_float(value: Any) -> float:
+        try:
+            return float(value)
+        except (TypeError, ValueError):
+            raise GDScriptRuntimeError(f"cannot convert {value!r} to float") from None
+
+    def gd_range(*args: int) -> list[int]:
+        if not 1 <= len(args) <= 3:
+            raise GDScriptRuntimeError(f"range() takes 1..3 arguments, got {len(args)}")
+        return list(range(*args))
+
+    def gd_preload(path: Any) -> Any:
+        if not isinstance(path, str):
+            raise GDScriptRuntimeError("preload() expects a resource path string")
+        return engine_preload(path)
+
+    def gd_abs(value: Any) -> Any:
+        return abs(value)
+
+    def gd_min(*args: Any) -> Any:
+        return min(args)
+
+    def gd_max(*args: Any) -> Any:
+        return max(args)
+
+    def gd_clamp(value: Any, lo: Any, hi: Any) -> Any:
+        return max(lo, min(hi, value))
+
+    return {
+        "print": gd_print,
+        "printerr": gd_printerr,
+        "push_error": gd_printerr,  # close enough for a headless console
+        "len": gd_len,
+        "str": _gd_str,
+        "int": gd_int,
+        "float": gd_float,
+        "range": gd_range,
+        "preload": gd_preload,
+        "abs": gd_abs,
+        "min": gd_min,
+        "max": gd_max,
+        "clamp": gd_clamp,
+    }

@@ -1,0 +1,251 @@
+"""Indentation-aware tokenizer for the GDScript subset.
+
+Handles the layout rules the paper's listings use: tab- or space-indented
+blocks (INDENT/DEDENT tokens, Python style), ``#`` comments, both quote styles
+for strings (including the curly quotes PDF extraction produces), ``$``-prefix
+node paths, and the ``@export`` / ``@onready`` annotations.
+"""
+
+from __future__ import annotations
+
+from repro.errors import GDScriptSyntaxError
+from repro.gdscript.tokens import KEYWORDS, Token, TokenType
+
+__all__ = ["tokenize"]
+
+_TWO_CHAR_OPS = {
+    "==": TokenType.EQ,
+    "!=": TokenType.NE,
+    "<=": TokenType.LE,
+    ">=": TokenType.GE,
+    "+=": TokenType.PLUS_ASSIGN,
+    "-=": TokenType.MINUS_ASSIGN,
+    "*=": TokenType.STAR_ASSIGN,
+    "/=": TokenType.SLASH_ASSIGN,
+    "->": TokenType.ARROW,
+}
+
+_ONE_CHAR_OPS = {
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+    "[": TokenType.LBRACKET,
+    "]": TokenType.RBRACKET,
+    "{": TokenType.LBRACE,
+    "}": TokenType.RBRACE,
+    ",": TokenType.COMMA,
+    ":": TokenType.COLON,
+    ".": TokenType.DOT,
+    "=": TokenType.ASSIGN,
+    "+": TokenType.PLUS,
+    "-": TokenType.MINUS,
+    "*": TokenType.STAR,
+    "/": TokenType.SLASH,
+    "%": TokenType.PERCENT,
+    "<": TokenType.LT,
+    ">": TokenType.GT,
+    "!": TokenType.BANG,
+}
+
+#: Quote characters accepted as string delimiters.  The paper's PDF listings
+#: contain curly/backtick quotes (``‘‘Hello, world!’’``); each opener maps to
+#: the closers that may terminate it.
+_QUOTE_PAIRS = {
+    '"': ('"',),
+    "'": ("'",),
+    "‘": ("’",),  # ' ... '
+    "“": ("”",),  # " ... "
+    "’": ("’",),
+    "”": ("”",),
+}
+
+
+
+def _is_ascii_digit(ch: str) -> bool:
+    """ASCII digits only: unicode digit-likes ('²') are not GDScript numerals."""
+    return "0" <= ch <= "9"
+
+class _Lexer:
+    def __init__(self, source: str) -> None:
+        self.lines = source.replace("\r\n", "\n").replace("\r", "\n").split("\n")
+        self.tokens: list[Token] = []
+        self.indents = [0]
+        self.paren_depth = 0
+
+    def error(self, message: str, line: int, column: int) -> GDScriptSyntaxError:
+        return GDScriptSyntaxError(message, line=line, column=column)
+
+    def run(self) -> list[Token]:
+        pending_blank = False
+        for lineno, raw in enumerate(self.lines, start=1):
+            stripped = raw.strip()
+            if self.paren_depth == 0:
+                if stripped == "" or stripped.startswith("#"):
+                    pending_blank = True
+                    continue
+                self._handle_indent(raw, lineno)
+            self._lex_line(raw, lineno)
+            if self.paren_depth == 0:
+                self.tokens.append(Token(TokenType.NEWLINE, "\n", lineno, len(raw) + 1))
+            pending_blank = False
+        del pending_blank
+        last_line = len(self.lines)
+        while len(self.indents) > 1:
+            self.indents.pop()
+            self.tokens.append(Token(TokenType.DEDENT, None, last_line, 1))
+        self.tokens.append(Token(TokenType.EOF, None, last_line, 1))
+        return self.tokens
+
+    def _handle_indent(self, raw: str, lineno: int) -> None:
+        width = 0
+        for ch in raw:
+            if ch == " ":
+                width += 1
+            elif ch == "\t":
+                width += 4  # a tab counts as one 4-wide indent stop
+            else:
+                break
+        current = self.indents[-1]
+        if width > current:
+            self.indents.append(width)
+            self.tokens.append(Token(TokenType.INDENT, width, lineno, 1))
+        else:
+            while width < self.indents[-1]:
+                self.indents.pop()
+                self.tokens.append(Token(TokenType.DEDENT, None, lineno, 1))
+            if width != self.indents[-1]:
+                raise self.error(
+                    f"inconsistent dedent to width {width}", lineno, 1
+                )
+
+    def _lex_line(self, raw: str, lineno: int) -> None:
+        i = 0
+        n = len(raw)
+        while i < n:
+            ch = raw[i]
+            col = i + 1
+            if ch in " \t":
+                i += 1
+                continue
+            if ch == "#":
+                return
+            if ch == "@":
+                # annotations: @export, @onready (others rejected)
+                j = i + 1
+                while j < n and (raw[j].isalnum() or raw[j] == "_"):
+                    j += 1
+                word = raw[i + 1 : j]
+                if word == "export":
+                    self.tokens.append(Token(TokenType.AT_EXPORT, "@export", lineno, col))
+                elif word == "onready":
+                    self.tokens.append(Token(TokenType.AT_ONREADY, "@onready", lineno, col))
+                else:
+                    raise self.error(f"unsupported annotation @{word}", lineno, col)
+                i = j
+                continue
+            if ch == "$":
+                i = self._lex_nodepath(raw, i, lineno)
+                continue
+            if ch in _QUOTE_PAIRS:
+                i = self._lex_string(raw, i, lineno)
+                continue
+            if _is_ascii_digit(ch):
+                i = self._lex_number(raw, i, lineno)
+                continue
+            if ch.isalpha() or ch == "_":
+                i = self._lex_word(raw, i, lineno)
+                continue
+            two = raw[i : i + 2]
+            if two in _TWO_CHAR_OPS:
+                self.tokens.append(Token(_TWO_CHAR_OPS[two], two, lineno, col))
+                i += 2
+                continue
+            if ch in _ONE_CHAR_OPS:
+                tok = _ONE_CHAR_OPS[ch]
+                if tok in (TokenType.LPAREN, TokenType.LBRACKET, TokenType.LBRACE):
+                    self.paren_depth += 1
+                elif tok in (TokenType.RPAREN, TokenType.RBRACKET, TokenType.RBRACE):
+                    self.paren_depth = max(0, self.paren_depth - 1)
+                self.tokens.append(Token(tok, ch, lineno, col))
+                i += 1
+                continue
+            raise self.error(f"unexpected character {ch!r}", lineno, col)
+
+    def _lex_nodepath(self, raw: str, i: int, lineno: int) -> int:
+        col = i + 1
+        j = i + 1
+        if j < len(raw) and raw[j] in _QUOTE_PAIRS:
+            closers = _QUOTE_PAIRS[raw[j]]
+            k = j + 1
+            while k < len(raw) and raw[k] not in closers:
+                k += 1
+            if k >= len(raw):
+                raise self.error("unterminated node path string", lineno, col)
+            path = raw[j + 1 : k]
+            self.tokens.append(Token(TokenType.NODEPATH, path, lineno, col))
+            return k + 1
+        # bare form: $Name or $Parent/Child
+        k = j
+        while k < len(raw) and (raw[k].isalnum() or raw[k] in "_/"):
+            k += 1
+        if k == j:
+            raise self.error("expected node path after '$'", lineno, col)
+        self.tokens.append(Token(TokenType.NODEPATH, raw[j:k], lineno, col))
+        return k
+
+    def _lex_string(self, raw: str, i: int, lineno: int) -> int:
+        col = i + 1
+        opener = raw[i]
+        closers = _QUOTE_PAIRS[opener]
+        # the PDF's doubled curly quotes: skip a doubled opener, expect doubled closer
+        doubled = i + 1 < len(raw) and raw[i + 1] == opener and opener in ("‘", "“")
+        j = i + (2 if doubled else 1)
+        out: list[str] = []
+        while j < len(raw):
+            ch = raw[j]
+            if ch == "\\" and j + 1 < len(raw):
+                esc = raw[j + 1]
+                out.append({"n": "\n", "t": "\t", '"': '"', "'": "'", "\\": "\\"}.get(esc, esc))
+                j += 2
+                continue
+            if ch in closers:
+                end = j + 1
+                if doubled and end < len(raw) and raw[end] in closers:
+                    end += 1
+                self.tokens.append(Token(TokenType.STRING, "".join(out), lineno, col))
+                return end
+            out.append(ch)
+            j += 1
+        raise self.error("unterminated string literal", lineno, col)
+
+    def _lex_number(self, raw: str, i: int, lineno: int) -> int:
+        col = i + 1
+        j = i
+        while j < len(raw) and _is_ascii_digit(raw[j]):
+            j += 1
+        if j < len(raw) and raw[j] == "." and j + 1 < len(raw) and _is_ascii_digit(raw[j + 1]):
+            j += 1
+            while j < len(raw) and _is_ascii_digit(raw[j]):
+                j += 1
+            self.tokens.append(Token(TokenType.FLOAT, float(raw[i:j]), lineno, col))
+        else:
+            self.tokens.append(Token(TokenType.INT, int(raw[i:j]), lineno, col))
+        return j
+
+    def _lex_word(self, raw: str, i: int, lineno: int) -> int:
+        col = i + 1
+        j = i
+        while j < len(raw) and (raw[j].isalnum() or raw[j] == "_"):
+            j += 1
+        word = raw[i:j]
+        if word == "_" :
+            self.tokens.append(Token(TokenType.UNDERSCORE, "_", lineno, col))
+        elif word in KEYWORDS:
+            self.tokens.append(Token(KEYWORDS[word], word, lineno, col))
+        else:
+            self.tokens.append(Token(TokenType.IDENT, word, lineno, col))
+        return j
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize GDScript source into a flat token list ending in EOF."""
+    return _Lexer(source).run()

@@ -1,0 +1,428 @@
+"""Recursive-descent parser for the GDScript subset.
+
+Accepts everything the paper's listings contain: ``extends``, annotated member
+variables (``@export`` / ``@onready``), typed declarations, functions,
+``if``/``elif``/``else``, ``for``-in, ``while``, ``match`` with literal
+patterns and the ``_`` wildcard (inline one-statement arms, as in the paper's
+colour-toggle listing), and the usual expression grammar.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.errors import GDScriptSyntaxError
+from repro.gdscript import ast
+from repro.gdscript.lexer import tokenize
+from repro.gdscript.tokens import Token, TokenType as T
+
+__all__ = ["parse"]
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # ------------------------------------------------------------------ #
+    # token plumbing
+    # ------------------------------------------------------------------ #
+
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.type is not T.EOF:
+            self.pos += 1
+        return tok
+
+    def check(self, *types: T) -> bool:
+        return self.peek().type in types
+
+    def match(self, *types: T) -> Optional[Token]:
+        if self.check(*types):
+            return self.advance()
+        return None
+
+    def expect(self, type_: T, what: str) -> Token:
+        tok = self.peek()
+        if tok.type is not type_:
+            raise GDScriptSyntaxError(
+                f"expected {what}, got {tok.type.name} {tok.value!r}",
+                line=tok.line,
+                column=tok.column,
+            )
+        return self.advance()
+
+    def skip_newlines(self) -> None:
+        while self.match(T.NEWLINE):
+            pass
+
+    # ------------------------------------------------------------------ #
+    # top level
+    # ------------------------------------------------------------------ #
+
+    def parse_script(self) -> ast.Script:
+        extends: Optional[str] = None
+        members: list[ast.VarDecl] = []
+        functions: list[ast.FuncDef] = []
+        self.skip_newlines()
+        while not self.check(T.EOF):
+            if self.match(T.EXTENDS):
+                base = self.expect(T.IDENT, "a base class name after 'extends'")
+                extends = str(base.value)
+                self.match(T.NEWLINE)
+            elif self.check(T.AT_EXPORT, T.AT_ONREADY, T.VAR):
+                members.append(self.parse_member_var())
+            elif self.check(T.FUNC):
+                functions.append(self.parse_func())
+            else:
+                tok = self.peek()
+                raise GDScriptSyntaxError(
+                    f"unexpected {tok.type.name} {tok.value!r} at script top level",
+                    line=tok.line,
+                    column=tok.column,
+                )
+            self.skip_newlines()
+        return ast.Script(extends=extends, members=members, functions=functions)
+
+    def parse_member_var(self) -> ast.VarDecl:
+        export = bool(self.match(T.AT_EXPORT))
+        onready = False if export else bool(self.match(T.AT_ONREADY))
+        tok = self.expect(T.VAR, "'var'")
+        return self._finish_var_decl(tok.line, export=export, onready=onready)
+
+    def _finish_var_decl(self, line: int, *, export: bool, onready: bool) -> ast.VarDecl:
+        name = self.expect(T.IDENT, "a variable name")
+        type_hint: Optional[str] = None
+        if self.match(T.COLON):
+            type_hint = str(self.expect(T.IDENT, "a type name").value)
+        initializer: Optional[ast.Expr] = None
+        if self.match(T.ASSIGN):
+            initializer = self.parse_expression()
+        self.match(T.NEWLINE)
+        return ast.VarDecl(
+            name=str(name.value),
+            type_hint=type_hint,
+            initializer=initializer,
+            export=export,
+            onready=onready,
+            line=line,
+        )
+
+    def parse_func(self) -> ast.FuncDef:
+        tok = self.expect(T.FUNC, "'func'")
+        name = self.expect(T.IDENT, "a function name")
+        self.expect(T.LPAREN, "'(' after the function name")
+        params: list[str] = []
+        while not self.check(T.RPAREN):
+            p = self.expect(T.IDENT, "a parameter name")
+            params.append(str(p.value))
+            if self.match(T.COLON):
+                self.expect(T.IDENT, "a parameter type")
+            if not self.match(T.COMMA):
+                break
+        self.expect(T.RPAREN, "')'")
+        return_type: Optional[str] = None
+        if self.match(T.ARROW):
+            return_type = str(self.expect(T.IDENT, "a return type").value)
+        self.expect(T.COLON, "':' to open the function body")
+        body = self.parse_block()
+        return ast.FuncDef(
+            name=str(name.value), params=params, body=body, return_type=return_type, line=tok.line
+        )
+
+    # ------------------------------------------------------------------ #
+    # blocks and statements
+    # ------------------------------------------------------------------ #
+
+    def parse_block(self) -> list[ast.Stmt]:
+        """A suite: inline simple statement, or NEWLINE INDENT stmts DEDENT."""
+        if not self.check(T.NEWLINE):
+            stmt = self.parse_simple_stmt()
+            self.match(T.NEWLINE)
+            return [stmt]
+        self.expect(T.NEWLINE, "a newline")
+        self.skip_newlines()
+        self.expect(T.INDENT, "an indented block")
+        stmts: list[ast.Stmt] = []
+        while not self.check(T.DEDENT, T.EOF):
+            stmts.append(self.parse_statement())
+            self.skip_newlines()
+        self.match(T.DEDENT)
+        if not stmts:
+            tok = self.peek()
+            raise GDScriptSyntaxError("empty block", line=tok.line, column=tok.column)
+        return stmts
+
+    def parse_statement(self) -> ast.Stmt:
+        if self.check(T.IF):
+            return self.parse_if()
+        if self.check(T.FOR):
+            return self.parse_for()
+        if self.check(T.WHILE):
+            return self.parse_while()
+        if self.check(T.MATCH):
+            return self.parse_match()
+        stmt = self.parse_simple_stmt()
+        self.match(T.NEWLINE)
+        return stmt
+
+    def parse_simple_stmt(self) -> ast.Stmt:
+        tok = self.peek()
+        if self.match(T.PASS):
+            return ast.Pass(line=tok.line)
+        if self.match(T.BREAK):
+            return ast.Break(line=tok.line)
+        if self.match(T.CONTINUE):
+            return ast.Continue(line=tok.line)
+        if self.match(T.RETURN):
+            value = None if self.check(T.NEWLINE, T.DEDENT, T.EOF) else self.parse_expression()
+            return ast.Return(value=value, line=tok.line)
+        if self.match(T.VAR):
+            name = self.expect(T.IDENT, "a variable name")
+            type_hint = None
+            if self.match(T.COLON):
+                type_hint = str(self.expect(T.IDENT, "a type name").value)
+            initializer = None
+            if self.match(T.ASSIGN):
+                initializer = self.parse_expression()
+            return ast.VarDecl(
+                name=str(name.value), type_hint=type_hint, initializer=initializer, line=tok.line
+            )
+        expr = self.parse_expression()
+        if self.check(T.ASSIGN, T.PLUS_ASSIGN, T.MINUS_ASSIGN, T.STAR_ASSIGN, T.SLASH_ASSIGN):
+            op_tok = self.advance()
+            value = self.parse_expression()
+            self._check_assignable(expr, op_tok)
+            if op_tok.type is T.ASSIGN:
+                return ast.Assign(target=expr, value=value, line=tok.line)
+            op = {"+=": "+", "-=": "-", "*=": "*", "/=": "/"}[str(op_tok.value)]
+            return ast.AugAssign(target=expr, op=op, value=value, line=tok.line)
+        return ast.ExprStmt(expr=expr, line=tok.line)
+
+    @staticmethod
+    def _check_assignable(expr: ast.Expr, tok: Token) -> None:
+        if not isinstance(expr, (ast.Identifier, ast.Attribute, ast.Index)):
+            raise GDScriptSyntaxError(
+                f"cannot assign to {type(expr).__name__}", line=tok.line, column=tok.column
+            )
+
+    def parse_if(self) -> ast.If:
+        tok = self.expect(T.IF, "'if'")
+        branches: list[tuple[ast.Expr, Sequence[ast.Stmt]]] = []
+        cond = self.parse_expression()
+        self.expect(T.COLON, "':' after the if condition")
+        branches.append((cond, self.parse_block()))
+        else_body: Sequence[ast.Stmt] = ()
+        while True:
+            self.skip_newlines()
+            if self.match(T.ELIF):
+                cond = self.parse_expression()
+                self.expect(T.COLON, "':' after the elif condition")
+                branches.append((cond, self.parse_block()))
+            elif self.match(T.ELSE):
+                self.expect(T.COLON, "':' after else")
+                else_body = self.parse_block()
+                break
+            else:
+                break
+        return ast.If(branches=branches, else_body=else_body, line=tok.line)
+
+    def parse_for(self) -> ast.For:
+        tok = self.expect(T.FOR, "'for'")
+        var = self.expect(T.IDENT, "a loop variable")
+        self.expect(T.IN, "'in'")
+        iterable = self.parse_expression()
+        self.expect(T.COLON, "':' after the for header")
+        body = self.parse_block()
+        return ast.For(var=str(var.value), iterable=iterable, body=body, line=tok.line)
+
+    def parse_while(self) -> ast.While:
+        tok = self.expect(T.WHILE, "'while'")
+        condition = self.parse_expression()
+        self.expect(T.COLON, "':' after the while condition")
+        body = self.parse_block()
+        return ast.While(condition=condition, body=body, line=tok.line)
+
+    def parse_match(self) -> ast.Match:
+        tok = self.expect(T.MATCH, "'match'")
+        subject = self.parse_expression()
+        self.expect(T.COLON, "':' after the match subject")
+        self.expect(T.NEWLINE, "a newline before the match arms")
+        self.skip_newlines()
+        self.expect(T.INDENT, "indented match arms")
+        arms: list[ast.MatchArm] = []
+        while not self.check(T.DEDENT, T.EOF):
+            arm_tok = self.peek()
+            if self.match(T.UNDERSCORE):
+                wildcard, pattern = True, None
+            else:
+                wildcard, pattern = False, self.parse_expression()
+            self.expect(T.COLON, "':' after the match pattern")
+            body = self.parse_block()
+            arms.append(ast.MatchArm(pattern=pattern, wildcard=wildcard, body=body, line=arm_tok.line))
+            self.skip_newlines()
+        self.match(T.DEDENT)
+        if not arms:
+            raise GDScriptSyntaxError("match with no arms", line=tok.line, column=tok.column)
+        return ast.Match(subject=subject, arms=arms, line=tok.line)
+
+    # ------------------------------------------------------------------ #
+    # expressions (precedence climbing)
+    # ------------------------------------------------------------------ #
+
+    def parse_expression(self) -> ast.Expr:
+        return self.parse_or()
+
+    def parse_or(self) -> ast.Expr:
+        left = self.parse_and()
+        while True:
+            tok = self.match(T.OR)
+            if tok is None:
+                return left
+            right = self.parse_and()
+            left = ast.Binary(op="or", left=left, right=right, line=tok.line)
+
+    def parse_and(self) -> ast.Expr:
+        left = self.parse_not()
+        while True:
+            tok = self.match(T.AND)
+            if tok is None:
+                return left
+            right = self.parse_not()
+            left = ast.Binary(op="and", left=left, right=right, line=tok.line)
+
+    def parse_not(self) -> ast.Expr:
+        tok = self.match(T.NOT, T.BANG)
+        if tok is not None:
+            operand = self.parse_not()
+            return ast.Unary(op="not", operand=operand, line=tok.line)
+        return self.parse_comparison()
+
+    _COMPARISONS = {
+        T.EQ: "==", T.NE: "!=", T.LT: "<", T.LE: "<=", T.GT: ">", T.GE: ">=", T.IN: "in",
+    }
+
+    def parse_comparison(self) -> ast.Expr:
+        left = self.parse_additive()
+        while self.peek().type in self._COMPARISONS:
+            tok = self.advance()
+            right = self.parse_additive()
+            left = ast.Binary(op=self._COMPARISONS[tok.type], left=left, right=right, line=tok.line)
+        return left
+
+    def parse_additive(self) -> ast.Expr:
+        left = self.parse_multiplicative()
+        while self.check(T.PLUS, T.MINUS):
+            tok = self.advance()
+            right = self.parse_multiplicative()
+            left = ast.Binary(op=str(tok.value), left=left, right=right, line=tok.line)
+        return left
+
+    def parse_multiplicative(self) -> ast.Expr:
+        left = self.parse_unary()
+        while self.check(T.STAR, T.SLASH, T.PERCENT):
+            tok = self.advance()
+            right = self.parse_unary()
+            left = ast.Binary(op=str(tok.value), left=left, right=right, line=tok.line)
+        return left
+
+    def parse_unary(self) -> ast.Expr:
+        if self.check(T.MINUS):
+            tok = self.advance()
+            operand = self.parse_unary()
+            return ast.Unary(op="-", operand=operand, line=tok.line)
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> ast.Expr:
+        expr = self.parse_primary()
+        while True:
+            if self.match(T.DOT):
+                name = self.expect(T.IDENT, "an attribute name after '.'")
+                if self.check(T.LPAREN):
+                    args = self.parse_args()
+                    expr = ast.MethodCall(obj=expr, method=str(name.value), args=args, line=name.line)
+                else:
+                    expr = ast.Attribute(obj=expr, name=str(name.value), line=name.line)
+            elif self.check(T.LBRACKET):
+                tok = self.advance()
+                index = self.parse_expression()
+                self.expect(T.RBRACKET, "']'")
+                expr = ast.Index(obj=expr, index=index, line=tok.line)
+            else:
+                return expr
+
+    def parse_args(self) -> list[ast.Expr]:
+        self.expect(T.LPAREN, "'('")
+        args: list[ast.Expr] = []
+        self.skip_newlines()
+        while not self.check(T.RPAREN):
+            args.append(self.parse_expression())
+            self.skip_newlines()
+            if not self.match(T.COMMA):
+                break
+            self.skip_newlines()
+        self.expect(T.RPAREN, "')'")
+        return args
+
+    def parse_primary(self) -> ast.Expr:
+        tok = self.peek()
+        if self.match(T.INT, T.FLOAT, T.STRING):
+            return ast.Literal(value=tok.value, line=tok.line)
+        if self.match(T.TRUE):
+            return ast.Literal(value=True, line=tok.line)
+        if self.match(T.FALSE):
+            return ast.Literal(value=False, line=tok.line)
+        if self.match(T.NULL):
+            return ast.Literal(value=None, line=tok.line)
+        if self.match(T.NODEPATH):
+            return ast.NodePath(path=str(tok.value), line=tok.line)
+        if self.check(T.IDENT):
+            self.advance()
+            if self.check(T.LPAREN):
+                args = self.parse_args()
+                return ast.Call(name=str(tok.value), args=args, line=tok.line)
+            return ast.Identifier(name=str(tok.value), line=tok.line)
+        if self.match(T.LPAREN):
+            self.skip_newlines()
+            expr = self.parse_expression()
+            self.skip_newlines()
+            self.expect(T.RPAREN, "')'")
+            return expr
+        if self.match(T.LBRACKET):
+            items: list[ast.Expr] = []
+            self.skip_newlines()
+            while not self.check(T.RBRACKET):
+                items.append(self.parse_expression())
+                self.skip_newlines()
+                if not self.match(T.COMMA):
+                    break
+                self.skip_newlines()
+            self.expect(T.RBRACKET, "']'")
+            return ast.ArrayLiteral(items=items, line=tok.line)
+        if self.match(T.LBRACE):
+            keys: list[ast.Expr] = []
+            values: list[ast.Expr] = []
+            self.skip_newlines()
+            while not self.check(T.RBRACE):
+                keys.append(self.parse_expression())
+                self.expect(T.COLON, "':' between dictionary key and value")
+                values.append(self.parse_expression())
+                self.skip_newlines()
+                if not self.match(T.COMMA):
+                    break
+                self.skip_newlines()
+            self.expect(T.RBRACE, "'}'")
+            return ast.DictLiteral(keys=keys, values=values, line=tok.line)
+        raise GDScriptSyntaxError(
+            f"unexpected {tok.type.name} {tok.value!r} in expression",
+            line=tok.line,
+            column=tok.column,
+        )
+
+
+def parse(source: str) -> ast.Script:
+    """Tokenize and parse GDScript source into a :class:`~repro.gdscript.ast.Script`."""
+    return _Parser(tokenize(source)).parse_script()

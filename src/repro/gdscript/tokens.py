@@ -1,0 +1,112 @@
+"""Token definitions for the GDScript front end."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+__all__ = ["TokenType", "Token", "KEYWORDS"]
+
+
+class TokenType(Enum):
+    # layout
+    NEWLINE = auto()
+    INDENT = auto()
+    DEDENT = auto()
+    EOF = auto()
+    # literals and names
+    IDENT = auto()
+    INT = auto()
+    FLOAT = auto()
+    STRING = auto()
+    NODEPATH = auto()  # $Name or $"../Path"
+    # keywords
+    VAR = auto()
+    FUNC = auto()
+    IF = auto()
+    ELIF = auto()
+    ELSE = auto()
+    FOR = auto()
+    WHILE = auto()
+    MATCH = auto()
+    IN = auto()
+    RETURN = auto()
+    PASS = auto()
+    BREAK = auto()
+    CONTINUE = auto()
+    EXTENDS = auto()
+    TRUE = auto()
+    FALSE = auto()
+    NULL = auto()
+    AND = auto()
+    OR = auto()
+    NOT = auto()
+    # annotations
+    AT_EXPORT = auto()
+    AT_ONREADY = auto()
+    # punctuation / operators
+    LPAREN = auto()
+    RPAREN = auto()
+    LBRACKET = auto()
+    RBRACKET = auto()
+    LBRACE = auto()
+    RBRACE = auto()
+    COMMA = auto()
+    COLON = auto()
+    DOT = auto()
+    ASSIGN = auto()       # =
+    PLUS_ASSIGN = auto()  # +=
+    MINUS_ASSIGN = auto()  # -=
+    STAR_ASSIGN = auto()  # *=
+    SLASH_ASSIGN = auto()  # /=
+    PLUS = auto()
+    MINUS = auto()
+    STAR = auto()
+    SLASH = auto()
+    PERCENT = auto()
+    EQ = auto()   # ==
+    NE = auto()   # !=
+    LT = auto()
+    LE = auto()
+    GT = auto()
+    GE = auto()
+    BANG = auto()  # ! (GDScript accepts ! as not)
+    ARROW = auto()  # -> (return type annotation)
+    UNDERSCORE = auto()  # match wildcard
+
+
+KEYWORDS = {
+    "var": TokenType.VAR,
+    "func": TokenType.FUNC,
+    "if": TokenType.IF,
+    "elif": TokenType.ELIF,
+    "else": TokenType.ELSE,
+    "for": TokenType.FOR,
+    "while": TokenType.WHILE,
+    "match": TokenType.MATCH,
+    "in": TokenType.IN,
+    "return": TokenType.RETURN,
+    "pass": TokenType.PASS,
+    "break": TokenType.BREAK,
+    "continue": TokenType.CONTINUE,
+    "extends": TokenType.EXTENDS,
+    "true": TokenType.TRUE,
+    "false": TokenType.FALSE,
+    "null": TokenType.NULL,
+    "and": TokenType.AND,
+    "or": TokenType.OR,
+    "not": TokenType.NOT,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (1-based line/column)."""
+
+    type: TokenType
+    value: object
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.type.name}, {self.value!r}, {self.line}:{self.column})"

@@ -1,0 +1,342 @@
+"""Rule-based pattern classification: recover the pattern family from a matrix.
+
+This is the inverse of the generators — given a traffic matrix, name the
+pattern.  It serves three purposes:
+
+* **round-trip property tests** — every generator's output must classify back
+  to its own family,
+* the **AnalystPlayer** bot, which answers quiz questions the way the module
+  teaches students to (read the matrix, recognise the signature),
+* auto-generation of distractor answers for new modules.
+
+Classification is structural (degrees, blocks, symmetry), not exact-match
+against generator output, so educator-tweaked variants still classify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.spaces import NetworkSpace
+from repro.core.traffic_matrix import TrafficMatrix
+from repro.graphs.metrics import reciprocity
+
+__all__ = [
+    "classify_graph_pattern",
+    "classify_topology",
+    "classify_scenario",
+    "ScenarioScore",
+    "GRAPH_PATTERN_NAMES",
+    "TOPOLOGY_NAMES",
+    "SCENARIO_NAMES",
+]
+
+GRAPH_PATTERN_NAMES = (
+    "star",
+    "clique",
+    "bipartite",
+    "tree",
+    "ring",
+    "mesh",
+    "toroidal_mesh",
+    "self_loops",
+    "triangle",
+)
+
+TOPOLOGY_NAMES = (
+    "isolated_links",
+    "single_links",
+    "internal_supernode",
+    "external_supernode",
+)
+
+SCENARIO_NAMES = (
+    "planning",
+    "staging",
+    "infiltration",
+    "lateral_movement",
+    "security",
+    "defense",
+    "deterrence",
+    "command_and_control",
+    "botnet_clients",
+    "ddos_attack",
+    "backscatter",
+)
+
+
+# --------------------------------------------------------------------------- #
+# graph-theory patterns (Fig. 10)
+# --------------------------------------------------------------------------- #
+
+
+def _undirected(p: np.ndarray) -> np.ndarray:
+    """Symmetrised off-diagonal boolean pattern."""
+    u = p | p.T
+    np.fill_diagonal(u, False)
+    return u
+
+
+def _active(p: np.ndarray) -> np.ndarray:
+    """Vertices touching any traffic (including self loops)."""
+    return np.flatnonzero(p.any(axis=0) | p.any(axis=1))
+
+
+def _is_connected(u: np.ndarray, active: np.ndarray) -> bool:
+    if active.size == 0:
+        return False
+    seen = {int(active[0])}
+    frontier = [int(active[0])]
+    adj = {int(v): np.flatnonzero(u[v]).tolist() for v in active.tolist()}
+    while frontier:
+        v = frontier.pop()
+        for w in adj.get(v, ()):
+            if w not in seen:
+                seen.add(w)
+                frontier.append(w)
+    return seen == set(int(v) for v in active.tolist())
+
+
+def _count_edges(u: np.ndarray) -> int:
+    return int(u.sum()) // 2
+
+
+def _is_complete_bipartite(u: np.ndarray, active: np.ndarray) -> bool:
+    """2-colour the active subgraph and check every cross-pair is present."""
+    color: dict[int, int] = {}
+    order = active.tolist()
+    for start in order:
+        if start in color:
+            continue
+        color[start] = 0
+        stack = [start]
+        while stack:
+            v = stack.pop()
+            for w in np.flatnonzero(u[v]).tolist():
+                if w not in color:
+                    color[w] = 1 - color[v]
+                    stack.append(w)
+                elif color[w] == color[v]:
+                    return False
+    left = [v for v in order if color[v] == 0]
+    right = [v for v in order if color[v] == 1]
+    if not left or not right:
+        return False
+    return all(u[v, w] for v in left for w in right)
+
+
+def _matches_grid(u: np.ndarray, active: np.ndarray, *, wrap: bool) -> bool:
+    """Does the active subgraph equal some rows×cols grid (torus if wrap)?"""
+    m = active.size
+    if m < 4:
+        return False
+    sub = u[np.ix_(active, active)]
+    for rows in range(1, m + 1):
+        if m % rows:
+            continue
+        cols = m // rows
+        if rows > cols:
+            break
+        expected = np.zeros((m, m), dtype=bool)
+        for r in range(rows):
+            for c in range(cols):
+                v = r * cols + c
+                if wrap:
+                    if cols > 1:
+                        expected[v, r * cols + (c + 1) % cols] = True
+                    if rows > 1:
+                        expected[v, ((r + 1) % rows) * cols + c] = True
+                else:
+                    if c + 1 < cols:
+                        expected[v, v + cols * 0 + 1] = True
+                    if r + 1 < rows:
+                        expected[v, v + cols] = True
+        expected |= expected.T
+        if wrap and rows == 1:
+            continue  # a 1×m "torus" is just a ring; let the ring rule claim it
+        if np.array_equal(sub, expected):
+            return True
+    return False
+
+
+def classify_graph_pattern(matrix: TrafficMatrix) -> str:
+    """Name the Fig. 10 family of *matrix*, or ``"unknown"``.
+
+    Ambiguity between overlapping families (a triangle **is** a 3-clique and a
+    3-ring; a star **is** a tree and a complete bipartite K1,k) resolves in a
+    fixed specific-to-general order, matching how the module presents them.
+    """
+    p = matrix.packets > 0
+    if not p.any():
+        return "unknown"
+    diag = bool(np.diag(p).any())
+    off = p.copy()
+    np.fill_diagonal(off, False)
+    if diag and not off.any():
+        return "self_loops"
+    if diag:
+        return "unknown"  # mixed self loops + links is a composite, not a family
+
+    u = _undirected(p)
+    symmetric = bool(np.array_equal(off, off.T))
+    active = _active(p)
+    m = active.size
+    deg = u[np.ix_(active, active)].sum(axis=1)
+
+    if symmetric and m == 3 and _count_edges(u) == 3:
+        return "triangle"
+
+    if symmetric and m >= 3 and np.all(deg == m - 1):
+        return "clique"
+
+    # star: one hub adjacent to all others, leaves adjacent only to the hub
+    if m >= 3:
+        hub_candidates = np.flatnonzero(deg == m - 1)
+        if hub_candidates.size == 1 and np.sum(deg == 1) == m - 1:
+            return "star"
+
+    if symmetric and m >= 3 and np.all(deg == 2) and _is_connected(u, active):
+        # a single cycle through every active vertex
+        if _count_edges(u) == m:
+            if _matches_grid(u, active, wrap=True) and m >= 6:
+                # degenerate 2×k torus is also all-degree-2 only when k == 2
+                pass
+            return "ring"
+
+    if symmetric and _matches_grid(u, active, wrap=True):
+        return "toroidal_mesh"
+
+    if symmetric and _matches_grid(u, active, wrap=False):
+        return "mesh"
+
+    if symmetric and _is_complete_bipartite(u, active):
+        return "bipartite"
+
+    # tree: connected and acyclic (checked last — stars and paths are trees)
+    if symmetric and m >= 2 and _is_connected(u, active) and _count_edges(u) == m - 1:
+        return "tree"
+
+    return "unknown"
+
+
+# --------------------------------------------------------------------------- #
+# traffic topologies (Fig. 6)
+# --------------------------------------------------------------------------- #
+
+
+def classify_topology(matrix: TrafficMatrix) -> str:
+    """Name the Fig. 6 topology of *matrix*, or ``"unknown"``."""
+    p = matrix.packets > 0
+    off = p.copy()
+    np.fill_diagonal(off, False)
+    if not off.any():
+        return "unknown"
+    u = _undirected(p)
+    active = _active(off)
+    deg = u[np.ix_(active, active)].sum(axis=1)
+    rec = reciprocity(matrix)
+
+    if np.all(deg == 1):
+        return "isolated_links" if rec == 1.0 else "single_links"
+
+    hubs = np.flatnonzero(u.sum(axis=1) >= max(2, active.size - 1))
+    if hubs.size == 1:
+        hub = int(hubs[0])
+        leaves = [int(v) for v in active.tolist() if v != hub]
+        if all(int(u[v].sum()) == 1 for v in leaves):
+            sm = matrix.space_map
+            hub_space = sm.space_of(hub)
+            if hub_space is NetworkSpace.BLUE and all(
+                sm.space_of(v) is NetworkSpace.BLUE for v in leaves
+            ):
+                return "internal_supernode"
+            if hub_space is not NetworkSpace.BLUE and all(
+                sm.space_of(v) is NetworkSpace.BLUE for v in leaves
+            ):
+                return "external_supernode"
+    return "unknown"
+
+
+# --------------------------------------------------------------------------- #
+# scenario stages (Figs. 7–9)
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class ScenarioScore:
+    """Ranked scenario candidates with the block evidence used."""
+
+    best: str
+    scores: dict[str, float]
+    active_blocks: dict[tuple[str, str], int]
+
+
+def _block_signature(matrix: TrafficMatrix) -> dict[tuple[str, str], int]:
+    return {
+        (s.value, d.value): packets
+        for (s, d), packets in matrix.space_traffic().items()
+        if packets > 0
+    }
+
+
+def classify_scenario(matrix: TrafficMatrix) -> ScenarioScore:
+    """Score every Fig. 7–9 stage against the matrix's space-block signature.
+
+    Each stage has an expected set of active (source-space, dest-space)
+    blocks; the score is Jaccard similarity between expected and observed
+    blocks, with structural tie-breakers for pairs that share a signature
+    (security vs lateral movement both live in blue→blue; planning vs C2 both
+    live in red→red; the flood and its backscatter are transposes).
+    """
+    B, G, R = "blue", "grey", "red"
+    expected: dict[str, set[tuple[str, str]]] = {
+        "planning": {(R, R)},
+        "staging": {(R, G), (G, G)},
+        "infiltration": {(G, B)},
+        "lateral_movement": {(B, B)},
+        "security": {(B, B)},
+        "defense": {(B, G), (G, B), (R, G)},
+        "deterrence": {(R, B), (B, R), (R, R)},
+        "command_and_control": {(R, R)},
+        "botnet_clients": {(R, R), (R, G)},
+        "ddos_attack": {(R, B), (G, B)},
+        "backscatter": {(B, R), (B, G)},
+    }
+    observed = set(_block_signature(matrix))
+    scores: dict[str, float] = {}
+    for name, exp in expected.items():
+        union = exp | observed
+        scores[name] = len(exp & observed) / len(union) if union else 0.0
+
+    # structural tie-breakers on top of the block evidence
+    p = matrix.packets > 0
+    sm = matrix.space_map
+    rec = reciprocity(matrix)
+
+    if observed == {(B, B)}:
+        blue = sm.indices(NetworkSpace.BLUE)
+        block = p[np.ix_(blue, blue)]
+        full = block.sum() == blue.size * (blue.size - 1)
+        scores["security"] += 0.5 if full else -0.25
+        scores["lateral_movement"] += 0.5 if not full else -0.25
+
+    if observed == {(R, R)}:
+        red = sm.indices(NetworkSpace.RED)
+        block = p[np.ix_(red, red)]
+        everyone = bool(np.all(block.any(axis=0) | block.any(axis=1)))
+        scores["planning"] += 0.5 if everyone else -0.25
+        scores["command_and_control"] += 0.5 if not everyone else -0.25
+
+    if observed and observed <= {(R, B), (G, B)}:
+        scores["ddos_attack"] += 0.25 if rec == 0.0 else -0.25
+    if observed and observed <= {(B, R), (B, G)}:
+        scores["backscatter"] += 0.25 if rec == 0.0 else -0.25
+    if observed == {(R, R), (R, G)} or observed == {(R, G)}:
+        # identical tasking counts are the botnet-client fingerprint
+        vals = matrix.packets[matrix.packets > 0]
+        scores["botnet_clients"] += 0.25 if vals.size and np.all(vals == vals[0]) else 0.0
+
+    best = max(scores.items(), key=lambda kv: kv[1])[0]
+    return ScenarioScore(best=best, scores=scores, active_blocks=_block_signature(matrix))

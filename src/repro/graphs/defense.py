@@ -1,0 +1,120 @@
+"""Security, defense, and deterrence traffic patterns (paper Fig. 8).
+
+The paper teaches the "key concept in the protection of any domain": the
+distinction between **(walls-in) security**, **(walls-out) defense**, and
+**deterrence** (Kepner et al., *Zero Botnets* — ref [52]).  Each maps to a
+characteristic region of the traffic matrix:
+
+* *security* — all activity within one's own blue space (monitoring and
+  hardening your own systems),
+* *defense* — stepping outside: blue sensors observing grey space, where
+  adversary staging traffic is visible *before* it reaches the border,
+* *deterrence* — credible response activity in adversary (red) space arising
+  after unacceptable adversary actions inside blue space.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.labels import default_labels
+from repro.core.spaces import NetworkSpace, SpaceMap
+from repro.core.traffic_matrix import TrafficMatrix
+from repro.errors import ShapeError
+
+__all__ = ["security", "defense", "deterrence", "DEFENSE_CONCEPTS"]
+
+
+def _spaces(labels: Sequence[str]) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    sm = SpaceMap.infer(labels)
+    return (
+        sm.indices(NetworkSpace.BLUE),
+        sm.indices(NetworkSpace.GREY),
+        sm.indices(NetworkSpace.RED),
+    )
+
+
+def security(
+    n: int = 10,
+    *,
+    packets: int = 1,
+    labels: Sequence[str] | None = None,
+) -> TrafficMatrix:
+    """Walls-in security: traffic entirely inside the blue block (Fig. 8a).
+
+    Every blue endpoint checks in with every other blue endpoint — patching,
+    scanning, log shipping — "communicating with their own systems and
+    ensuring no adversarial activity".
+    """
+    labels = default_labels(n) if labels is None else labels
+    blue, _, _ = _spaces(labels)
+    if blue.size < 2:
+        raise ShapeError("security pattern needs at least 2 blue-space endpoints")
+    arr = np.zeros((n, n), dtype=np.int64)
+    block = np.full((blue.size, blue.size), packets, dtype=np.int64)
+    np.fill_diagonal(block, 0)
+    arr[np.ix_(blue, blue)] = block
+    return TrafficMatrix(arr, labels).with_space_colors()
+
+
+def defense(
+    n: int = 10,
+    *,
+    packets: int = 1,
+    labels: Sequence[str] | None = None,
+) -> TrafficMatrix:
+    """Walls-out defense: observation posts in grey space (Fig. 8b).
+
+    Blue endpoints exchange telemetry with grey-space community sensors
+    (blue ↔ grey), and those sensors expose adversary staging traffic
+    (red → grey) — threats identified "before they have the chance to enter"
+    blue space.
+    """
+    labels = default_labels(n) if labels is None else labels
+    blue, grey, red = _spaces(labels)
+    if blue.size < 1 or grey.size < 1:
+        raise ShapeError("defense pattern needs blue and grey endpoints")
+    arr = np.zeros((n, n), dtype=np.int64)
+    arr[np.ix_(blue, grey)] = packets
+    arr[np.ix_(grey, blue)] = packets
+    if red.size:
+        arr[np.ix_(red, grey)] = packets
+    return TrafficMatrix(arr, labels).with_space_colors()
+
+
+def deterrence(
+    n: int = 10,
+    *,
+    packets: int = 1,
+    provocation_packets: int = 2,
+    labels: Sequence[str] | None = None,
+) -> TrafficMatrix:
+    """Deterrence: credible response activity in red space (Fig. 8c).
+
+    The provocation — adversary action inside blue space (red → blue, heavier
+    ``provocation_packets``) — is answered by visible blue activity *in
+    adversary space* (blue → red), plus the adversary-internal churn it
+    causes (red ↔ red).
+    """
+    labels = default_labels(n) if labels is None else labels
+    blue, _, red = _spaces(labels)
+    if blue.size < 1 or red.size < 1:
+        raise ShapeError("deterrence pattern needs blue and red endpoints")
+    arr = np.zeros((n, n), dtype=np.int64)
+    arr[np.ix_(red, blue)] = provocation_packets
+    arr[np.ix_(blue, red)] = packets
+    if red.size > 1:
+        block = np.full((red.size, red.size), packets, dtype=np.int64)
+        np.fill_diagonal(block, 0)
+        arr[np.ix_(red, red)] = block
+    return TrafficMatrix(arr, labels).with_space_colors()
+
+
+#: Fig. 8 concepts in presentation order.
+DEFENSE_CONCEPTS = {
+    "security": security,
+    "defense": defense,
+    "deterrence": deterrence,
+}

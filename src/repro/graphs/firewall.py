@@ -1,0 +1,124 @@
+"""Firewall-configuration lessons — a future-work concept from the paper.
+
+The conclusions list "firewall configuration" among the cybersecurity
+concepts the module format should grow to cover.  A firewall policy *is* a
+boolean traffic matrix — which (source, destination) pairs may carry traffic —
+so the existing machinery teaches it directly: show observed traffic next to
+a policy, and the violating cells are one element-wise comparison away.
+
+The default policy models the classic small-enterprise perimeter on the
+template labels:
+
+* blue ↔ blue — allowed (internal traffic),
+* blue → grey — allowed (egress to the internet),
+* grey → blue — allowed **only toward servers** (the DMZ rule: ``SRV*``),
+* anything touching red space — denied,
+* self loops — allowed (loopback).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.labels import default_labels
+from repro.core.spaces import NetworkSpace, SpaceMap
+from repro.core.traffic_matrix import TrafficMatrix
+from repro.errors import ShapeError
+
+__all__ = [
+    "FirewallPolicy",
+    "default_policy",
+    "violations",
+    "compliant_traffic",
+    "violating_traffic",
+]
+
+
+@dataclass(frozen=True)
+class FirewallPolicy:
+    """A boolean allow-matrix over a fixed label set."""
+
+    labels: tuple[str, ...]
+    allowed: np.ndarray  # (n, n) bool; allowed[i, j] == may i send to j
+
+    def __post_init__(self) -> None:
+        n = len(self.labels)
+        if self.allowed.shape != (n, n) or self.allowed.dtype != np.bool_:
+            raise ShapeError(
+                f"policy matrix must be ({n}, {n}) bool, got "
+                f"{self.allowed.shape} {self.allowed.dtype}"
+            )
+
+    def permits(self, src: str | int, dst: str | int) -> bool:
+        i = self.labels.index(src.upper()) if isinstance(src, str) else int(src)
+        j = self.labels.index(dst.upper()) if isinstance(dst, str) else int(dst)
+        return bool(self.allowed[i, j])
+
+    def as_matrix(self) -> TrafficMatrix:
+        """The policy itself as a displayable matrix (1 = allowed).
+
+        Colouring: allowed cells blue, denied cells red — a firewall lesson in
+        one colour toggle.
+        """
+        colors = np.where(self.allowed, 1, 2).astype(np.int8)
+        return TrafficMatrix(self.allowed.astype(np.int64), self.labels, colors)
+
+
+def default_policy(labels: Sequence[str] | None = None, n: int = 10) -> FirewallPolicy:
+    """The perimeter policy described in the module docstring."""
+    labels = tuple(default_labels(n) if labels is None else labels)
+    n = len(labels)
+    sm = SpaceMap.infer(labels)
+    blue = sm.indices(NetworkSpace.BLUE)
+    grey = sm.indices(NetworkSpace.GREY)
+    servers = np.asarray(
+        [i for i in blue.tolist() if labels[i].startswith("SRV")], dtype=np.intp
+    )
+    allowed = np.zeros((n, n), dtype=bool)
+    if blue.size:
+        allowed[np.ix_(blue, blue)] = True
+        if grey.size:
+            allowed[np.ix_(blue, grey)] = True
+    if grey.size and servers.size:
+        allowed[np.ix_(grey, servers)] = True
+    np.fill_diagonal(allowed, True)
+    return FirewallPolicy(labels, allowed)
+
+
+def violations(traffic: TrafficMatrix, policy: FirewallPolicy) -> list[tuple[str, str, int]]:
+    """Flows present in *traffic* that the policy denies.
+
+    Returns ``(source, destination, packets)`` triples in row-major order —
+    the firewall's drop log for this matrix.
+    """
+    if traffic.labels != policy.labels:
+        raise ShapeError("traffic and policy must share the same label axis")
+    bad = (traffic.packets > 0) & ~policy.allowed
+    rows, cols = np.nonzero(bad)
+    return [
+        (traffic.labels[i], traffic.labels[j], int(traffic.packets[i, j]))
+        for i, j in zip(rows.tolist(), cols.tolist())
+    ]
+
+
+def violating_traffic(traffic: TrafficMatrix, policy: FirewallPolicy) -> TrafficMatrix:
+    """Just the denied flows, coloured red — the panel a lesson displays."""
+    if traffic.labels != policy.labels:
+        raise ShapeError("traffic and policy must share the same label axis")
+    bad = (traffic.packets > 0) & ~policy.allowed
+    packets = np.where(bad, traffic.packets, 0)
+    colors = np.where(bad, 2, 0).astype(np.int8)
+    return TrafficMatrix(packets, traffic.labels, colors)
+
+
+def compliant_traffic(traffic: TrafficMatrix, policy: FirewallPolicy) -> TrafficMatrix:
+    """The flows the firewall passes, coloured blue."""
+    if traffic.labels != policy.labels:
+        raise ShapeError("traffic and policy must share the same label axis")
+    ok = (traffic.packets > 0) & policy.allowed
+    packets = np.where(ok, traffic.packets, 0)
+    colors = np.where(ok, 1, 0).astype(np.int8)
+    return TrafficMatrix(packets, traffic.labels, colors)

@@ -1,0 +1,258 @@
+"""Graph-theory traffic patterns (paper Fig. 10).
+
+Each generator returns a :class:`~repro.core.TrafficMatrix` whose non-zero
+pattern is the named graph, drawn on the default template labels so the same
+warehouse floor displays star, clique, bipartite, tree, ring, mesh, toroidal
+mesh, self-loop and triangle patterns — "the information that can be displayed
+in Traffic Warehouse is not limited just to network communication".
+
+Conventions shared by every generator:
+
+* ``n`` — matrix size (defaults to the paper's 10×10),
+* ``packets`` — packets per edge (defaults to 1; keep below 15 for display),
+* ``mutual`` — emit both directions of each undirected edge (default True,
+  matching how undirected graphs appear in an adjacency matrix),
+* ``labels`` — optional axis labels (template labels by default).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.traffic_matrix import TrafficMatrix
+from repro.errors import ShapeError
+
+__all__ = [
+    "star",
+    "clique",
+    "bipartite",
+    "tree",
+    "ring",
+    "mesh",
+    "toroidal_mesh",
+    "self_loops",
+    "triangle",
+    "grid_dims",
+    "PATTERN_GENERATORS",
+]
+
+
+def _build(
+    n: int,
+    edges: list[tuple[int, int]],
+    packets: int,
+    mutual: bool,
+    labels: Sequence[str] | None,
+) -> TrafficMatrix:
+    if n < 1:
+        raise ShapeError(f"pattern size must be positive, got {n}")
+    arr = np.zeros((n, n), dtype=np.int64)
+    for i, j in edges:
+        arr[i, j] = packets
+        if mutual and i != j:
+            arr[j, i] = packets
+    return TrafficMatrix(arr, labels)
+
+
+def star(
+    n: int = 10,
+    *,
+    center: int = 0,
+    packets: int = 1,
+    mutual: bool = True,
+    labels: Sequence[str] | None = None,
+) -> TrafficMatrix:
+    """Star graph: the hub exchanges traffic with every other endpoint.
+
+    On a traffic matrix this is a filled row and column through ``center`` —
+    the visual signature of a client-server hub.
+    """
+    if not 0 <= center < n:
+        raise ShapeError(f"star center {center} outside 0..{n - 1}")
+    edges = [(center, j) for j in range(n) if j != center]
+    return _build(n, edges, packets, mutual, labels)
+
+
+def clique(
+    n: int = 10,
+    *,
+    members: Sequence[int] | None = None,
+    packets: int = 1,
+    labels: Sequence[str] | None = None,
+) -> TrafficMatrix:
+    """Clique: every member pair communicates in both directions.
+
+    ``members`` restricts the clique to a vertex subset (default: everyone),
+    producing the dense off-diagonal block of Fig. 10b.
+    """
+    verts = list(range(n)) if members is None else list(members)
+    edges = [(i, j) for i in verts for j in verts if i != j]
+    return _build(n, edges, packets, False, labels)
+
+
+def bipartite(
+    n: int = 10,
+    *,
+    left: Sequence[int] | None = None,
+    packets: int = 1,
+    mutual: bool = True,
+    labels: Sequence[str] | None = None,
+) -> TrafficMatrix:
+    """Complete bipartite graph between ``left`` and its complement.
+
+    Default split is the first half vs the rest, giving the two solid
+    off-diagonal blocks of Fig. 10c.
+    """
+    left_set = set(range(n // 2)) if left is None else set(left)
+    right = [j for j in range(n) if j not in left_set]
+    if not left_set or not right:
+        raise ShapeError("bipartite pattern needs both sides non-empty")
+    edges = [(i, j) for i in sorted(left_set) for j in right]
+    return _build(n, edges, packets, mutual, labels)
+
+
+def tree(
+    n: int = 10,
+    *,
+    branching: int = 2,
+    packets: int = 1,
+    mutual: bool = True,
+    labels: Sequence[str] | None = None,
+) -> TrafficMatrix:
+    """Complete ``branching``-ary tree on ``n`` vertices (breadth-first layout).
+
+    Vertex ``k``'s parent is ``(k - 1) // branching`` — the band-of-bands
+    pattern of Fig. 10d.
+    """
+    if branching < 1:
+        raise ShapeError(f"tree branching factor must be >= 1, got {branching}")
+    edges = [((k - 1) // branching, k) for k in range(1, n)]
+    return _build(n, edges, packets, mutual, labels)
+
+
+def ring(
+    n: int = 10,
+    *,
+    packets: int = 1,
+    mutual: bool = True,
+    labels: Sequence[str] | None = None,
+) -> TrafficMatrix:
+    """Ring: each endpoint talks to its successor (mod n) — the wrapped
+    super/sub-diagonal of Fig. 10e."""
+    if n < 3:
+        raise ShapeError(f"a ring needs at least 3 vertices, got {n}")
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    return _build(n, edges, packets, mutual, labels)
+
+
+def grid_dims(n: int) -> tuple[int, int]:
+    """Most-square ``rows × cols`` factorisation of *n* (rows <= cols).
+
+    ``grid_dims(10) == (2, 5)`` — how a 10-endpoint mesh lays out.
+    Prime ``n`` degenerates to a path (``1 × n``).
+    """
+    best = (1, n)
+    for r in range(2, int(math.isqrt(n)) + 1):
+        if n % r == 0:
+            best = (r, n // r)
+    return best
+
+
+def mesh(
+    n: int = 10,
+    *,
+    dims: tuple[int, int] | None = None,
+    packets: int = 1,
+    mutual: bool = True,
+    labels: Sequence[str] | None = None,
+) -> TrafficMatrix:
+    """Mesh (grid) interconnect: 4-neighbour connectivity, no wraparound.
+
+    Endpoints are laid out row-major on a ``rows × cols`` grid (Fig. 10f) —
+    the banded matrix every HPC-interconnect course draws.
+    """
+    rows, cols = grid_dims(n) if dims is None else dims
+    if rows * cols != n:
+        raise ShapeError(f"dims {rows}x{cols} do not cover {n} vertices")
+    edges: list[tuple[int, int]] = []
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                edges.append((v, v + 1))
+            if r + 1 < rows:
+                edges.append((v, v + cols))
+    return _build(n, edges, packets, mutual, labels)
+
+
+def toroidal_mesh(
+    n: int = 10,
+    *,
+    dims: tuple[int, int] | None = None,
+    packets: int = 1,
+    mutual: bool = True,
+    labels: Sequence[str] | None = None,
+) -> TrafficMatrix:
+    """Toroidal mesh: the grid of :func:`mesh` with wraparound links (Fig. 10g)."""
+    rows, cols = grid_dims(n) if dims is None else dims
+    if rows * cols != n:
+        raise ShapeError(f"dims {rows}x{cols} do not cover {n} vertices")
+    edges: list[tuple[int, int]] = []
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if cols > 1:
+                edges.append((v, r * cols + (c + 1) % cols))
+            if rows > 1:
+                edges.append((v, ((r + 1) % rows) * cols + c))
+    # wraparound on a 2-long axis duplicates the inner link; drop duplicates
+    edges = sorted({(min(i, j), max(i, j)) for i, j in edges if i != j})
+    return _build(n, edges, packets, mutual, labels)
+
+
+def self_loops(
+    n: int = 10,
+    *,
+    packets: int = 1,
+    vertices: Sequence[int] | None = None,
+    labels: Sequence[str] | None = None,
+) -> TrafficMatrix:
+    """Self-loop pattern: endpoints sending to themselves — the pure diagonal
+    of Fig. 10h (loopback traffic, or a host scanning itself)."""
+    verts = range(n) if vertices is None else vertices
+    edges = [(v, v) for v in verts]
+    return _build(n, edges, packets, False, labels)
+
+
+def triangle(
+    n: int = 10,
+    *,
+    vertices: tuple[int, int, int] = (0, 1, 2),
+    packets: int = 1,
+    mutual: bool = True,
+    labels: Sequence[str] | None = None,
+) -> TrafficMatrix:
+    """A single triangle among three endpoints (Fig. 10i) — the motif whose
+    count GraphBLAS tutorials compute with ``plus.pair``."""
+    a, b, c = vertices
+    if len({a, b, c}) != 3:
+        raise ShapeError(f"triangle vertices must be distinct, got {vertices}")
+    edges = [(a, b), (b, c), (c, a)]
+    return _build(n, edges, packets, mutual, labels)
+
+
+#: Generator registry in the order Fig. 10 presents the patterns.
+PATTERN_GENERATORS = {
+    "star": star,
+    "clique": clique,
+    "bipartite": bipartite,
+    "tree": tree,
+    "ring": ring,
+    "mesh": mesh,
+    "toroidal_mesh": toroidal_mesh,
+    "self_loops": self_loops,
+    "triangle": triangle,
+}

@@ -1,0 +1,193 @@
+"""Basic traffic topologies (paper Fig. 6).
+
+The four patterns of the basic-topologies learning module, defined in the
+vocabulary of the multi-temporal traffic analyses the module's hint points to
+(Kepner et al., HPEC 2020 — ref [50]):
+
+* **isolated links** — source/destination pairs that exchange traffic with
+  each other and nobody else (both endpoints have fan 1, mutual),
+* **single links** — one-directional, one-off connections between otherwise
+  silent endpoints,
+* **internal supernode** — one endpoint inside blue space that every other
+  internal endpoint talks to (a busy file server),
+* **external supernode** — one endpoint outside blue space that every internal
+  endpoint talks to (a popular web service — or an exfiltration sink).
+
+All generators default to the paper's 10×10 template labels and colour the
+grid with the blue/grey/red space convention, the "additional color coding"
+visible in Fig. 6.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.labels import default_labels
+from repro.core.spaces import NetworkSpace, SpaceMap
+from repro.core.traffic_matrix import TrafficMatrix
+from repro.errors import ShapeError
+
+__all__ = [
+    "isolated_links",
+    "single_links",
+    "internal_supernode",
+    "external_supernode",
+    "template_matrix",
+    "TOPOLOGY_GENERATORS",
+]
+
+
+def _space_colored(matrix: TrafficMatrix) -> TrafficMatrix:
+    return matrix.with_space_colors()
+
+
+def isolated_links(
+    n: int = 10,
+    *,
+    pairs: Sequence[tuple[int, int]] | None = None,
+    packets: int = 2,
+    labels: Sequence[str] | None = None,
+) -> TrafficMatrix:
+    """Disjoint mutual pairs: each endpoint appears in exactly one link.
+
+    The default pairing mirrors the paper's 10×10 template: endpoint ``i``
+    pairs with endpoint ``n-1-i`` (WS1↔ADV4, WS2↔ADV3, ...), producing the
+    anti-diagonal signature of Fig. 6a.
+    """
+    labels = default_labels(n) if labels is None else labels
+    if pairs is None:
+        pairs = [(i, n - 1 - i) for i in range(n // 2)]
+    used: set[int] = set()
+    arr = np.zeros((n, n), dtype=np.int64)
+    for i, j in pairs:
+        if i == j:
+            raise ShapeError(f"isolated link ({i}, {j}) is a self loop, not a link")
+        if i in used or j in used:
+            raise ShapeError(f"endpoint in pair ({i}, {j}) already used; links must be disjoint")
+        used.update((i, j))
+        arr[i, j] = packets
+        arr[j, i] = packets
+    return _space_colored(TrafficMatrix(arr, labels))
+
+
+def single_links(
+    n: int = 10,
+    *,
+    links: Sequence[tuple[int, int]] | None = None,
+    packets: int = 1,
+    labels: Sequence[str] | None = None,
+) -> TrafficMatrix:
+    """One-directional one-off links: a packet sent, never answered (Fig. 6b).
+
+    Default links step across the matrix (``i → i+1`` for even ``i``), keeping
+    every endpoint in at most one link so the contrast with isolated links is
+    exactly *directionality*.
+    """
+    labels = default_labels(n) if labels is None else labels
+    if links is None:
+        links = [(i, i + 1) for i in range(0, n - 1, 2)]
+    arr = np.zeros((n, n), dtype=np.int64)
+    for i, j in links:
+        if i == j:
+            raise ShapeError(f"single link ({i}, {j}) is a self loop")
+        arr[i, j] = packets
+    return _space_colored(TrafficMatrix(arr, labels))
+
+
+def internal_supernode(
+    n: int = 10,
+    *,
+    hub: int | str | None = None,
+    packets: int = 1,
+    labels: Sequence[str] | None = None,
+) -> TrafficMatrix:
+    """One blue endpoint exchanging traffic with every other blue endpoint.
+
+    Defaults to the first server label (``SRV1`` on templates) as the hub —
+    the filled row-and-column *inside the blue block* of Fig. 6c.
+    """
+    labels = default_labels(n) if labels is None else labels
+    sm = SpaceMap.infer(labels)
+    blue = sm.indices(NetworkSpace.BLUE)
+    if blue.size < 2:
+        raise ShapeError("internal supernode needs at least 2 blue-space endpoints")
+    if hub is None:
+        srv = [i for i in blue.tolist() if labels[i].startswith("SRV")]
+        hub_idx = srv[0] if srv else int(blue[0])
+    elif isinstance(hub, str):
+        hub_idx = list(labels).index(hub.upper())
+    else:
+        hub_idx = int(hub)
+    if hub_idx not in set(blue.tolist()):
+        raise ShapeError(f"hub {labels[hub_idx]!r} is not in blue space")
+    arr = np.zeros((n, n), dtype=np.int64)
+    for j in blue.tolist():
+        if j != hub_idx:
+            arr[hub_idx, j] = packets
+            arr[j, hub_idx] = packets
+    return _space_colored(TrafficMatrix(arr, labels))
+
+
+def external_supernode(
+    n: int = 10,
+    *,
+    hub: int | str | None = None,
+    packets: int = 1,
+    labels: Sequence[str] | None = None,
+) -> TrafficMatrix:
+    """One endpoint outside blue space that every blue endpoint talks to.
+
+    Defaults to the first external (grey-space) label — the filled
+    row-and-column *crossing the blue/grey border* of Fig. 6d.
+    """
+    labels = default_labels(n) if labels is None else labels
+    sm = SpaceMap.infer(labels)
+    blue = sm.indices(NetworkSpace.BLUE)
+    outside = [i for i in range(n) if i not in set(blue.tolist())]
+    if blue.size == 0 or not outside:
+        raise ShapeError("external supernode needs blue and non-blue endpoints")
+    if hub is None:
+        grey = sm.indices(NetworkSpace.GREY)
+        hub_idx = int(grey[0]) if grey.size else outside[0]
+    elif isinstance(hub, str):
+        hub_idx = list(labels).index(hub.upper())
+    else:
+        hub_idx = int(hub)
+    if hub_idx in set(blue.tolist()):
+        raise ShapeError(f"hub {labels[hub_idx]!r} must be outside blue space")
+    arr = np.zeros((n, n), dtype=np.int64)
+    for i in blue.tolist():
+        arr[i, hub_idx] = packets
+        arr[hub_idx, i] = packets
+    return _space_colored(TrafficMatrix(arr, labels))
+
+
+def template_matrix(n: int = 10, labels: Sequence[str] | None = None) -> TrafficMatrix:
+    """The exact matrix of the paper's 10×10 template listing (any even n).
+
+    Self loops of 1 packet on the diagonal plus isolated links of 2 packets on
+    the anti-diagonal, coloured with the template's block colouring: the
+    blue-rows × red-columns block red, the red-rows × blue-columns block blue.
+    """
+    if n % 2:
+        raise ShapeError(f"template matrix layout needs an even size, got {n}")
+    labels = default_labels(n) if labels is None else labels
+    arr = np.eye(n, dtype=np.int64) + 2 * np.fliplr(np.eye(n, dtype=np.int64))
+    sm = SpaceMap.infer(labels)
+    is_blue = np.asarray([s is NetworkSpace.BLUE for s in sm.spaces])
+    is_red = np.asarray([s is NetworkSpace.RED for s in sm.spaces])
+    colors = np.zeros((n, n), dtype=np.int8)
+    colors[np.ix_(is_blue, is_red)] = 2
+    colors[np.ix_(is_red, is_blue)] = 1
+    return TrafficMatrix(arr, labels, colors)
+
+
+#: Fig. 6 generators in presentation order.
+TOPOLOGY_GENERATORS = {
+    "isolated_links": isolated_links,
+    "single_links": single_links,
+    "internal_supernode": internal_supernode,
+    "external_supernode": external_supernode,
+}

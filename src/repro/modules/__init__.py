@@ -1,0 +1,76 @@
+"""The extensible JSON learning-module system (paper Section II)."""
+
+from repro.modules.builder import ModuleBuilder, pattern_question
+from repro.modules.curriculum import (
+    Curriculum,
+    Unit,
+    load_curriculum_bundle,
+    save_curriculum_bundle,
+)
+from repro.modules.library import (
+    builtin_catalog,
+    catalog_families,
+    extended_catalog,
+    family_modules,
+)
+from repro.modules.loader import (
+    bundle_names,
+    load_bundle,
+    load_module,
+    loads_module,
+    save_bundle,
+    save_module,
+)
+from repro.modules.module import (
+    STANDARD_ANSWER_COUNT,
+    STANDARD_QUESTION,
+    LearningModule,
+    Question,
+)
+from repro.modules.obfuscate import (
+    deobfuscate_module,
+    hash_answer,
+    obfuscate_module,
+    obfuscate_question,
+    verify_answer,
+)
+from repro.modules.schema import validate_module_dict
+from repro.modules.templates import (
+    template_6x6,
+    template_6x6_dict,
+    template_10x10,
+    template_10x10_dict,
+)
+
+__all__ = [
+    "LearningModule",
+    "Question",
+    "STANDARD_QUESTION",
+    "STANDARD_ANSWER_COUNT",
+    "validate_module_dict",
+    "ModuleBuilder",
+    "pattern_question",
+    "load_module",
+    "loads_module",
+    "save_module",
+    "load_bundle",
+    "save_bundle",
+    "bundle_names",
+    "builtin_catalog",
+    "extended_catalog",
+    "catalog_families",
+    "family_modules",
+    "Curriculum",
+    "Unit",
+    "save_curriculum_bundle",
+    "load_curriculum_bundle",
+    "template_6x6",
+    "template_10x10",
+    "template_6x6_dict",
+    "template_10x10_dict",
+    "hash_answer",
+    "obfuscate_module",
+    "obfuscate_question",
+    "deobfuscate_module",
+    "verify_answer",
+]

@@ -1,0 +1,152 @@
+"""Fluent construction of learning modules.
+
+The JSON format is the educator interface; :class:`ModuleBuilder` is the
+*programmer* interface — the paper's module catalogue, the challenge
+generators, and the classroom examples all assemble modules through it, then
+serialise with :func:`repro.modules.loader.save_module` /
+:func:`~repro.modules.loader.save_bundle`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.core.traffic_matrix import TrafficMatrix
+from repro.errors import ModuleSchemaError
+from repro.modules.module import STANDARD_QUESTION, LearningModule, Question
+
+__all__ = ["ModuleBuilder", "pattern_question"]
+
+
+class ModuleBuilder:
+    """Step-by-step module assembly with validation at :meth:`build` time.
+
+    Example::
+
+        module = (
+            ModuleBuilder("Star Pattern")
+            .author("Ada Lovelace")
+            .matrix(star(10))
+            .question(
+                "Which choice is the displayed traffic pattern most relevant to?",
+                answers=["Star", "Ring", "Clique"],
+                correct=0,
+            )
+            .hint("See Kepner et al., HPEC 2020")
+            .build()
+        )
+    """
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+        self._author = "Traffic Warehouse"
+        self._matrix: TrafficMatrix | None = None
+        self._question: Question | None = None
+        self._hint: str | None = None
+        self._extra: dict[str, Any] = {}
+
+    def author(self, author: str) -> "ModuleBuilder":
+        """Set the ``author`` field."""
+        self._author = author
+        return self
+
+    def matrix(self, matrix: TrafficMatrix) -> "ModuleBuilder":
+        """Attach the traffic matrix (labels and colours come with it)."""
+        self._matrix = matrix
+        return self
+
+    def grid(
+        self,
+        traffic_matrix: Sequence[Sequence[int]],
+        axis_labels: Sequence[str] | None = None,
+        traffic_matrix_colors: Sequence[Sequence[int]] | None = None,
+    ) -> "ModuleBuilder":
+        """Attach raw JSON-style grids instead of a built matrix."""
+        self._matrix = TrafficMatrix(np.asarray(traffic_matrix), axis_labels, traffic_matrix_colors)
+        return self
+
+    def question(
+        self,
+        text: str,
+        *,
+        answers: Sequence[str],
+        correct: int,
+        hint: str | None = None,
+    ) -> "ModuleBuilder":
+        """Attach a multiple-choice question (``correct`` indexes *answers*)."""
+        self._question = Question(
+            text=text,
+            answers=tuple(answers),
+            correct_answer_element=correct,
+            hint=hint if hint is not None else self._hint,
+        )
+        return self
+
+    def no_question(self) -> "ModuleBuilder":
+        """Explicitly make a discussion module (question toggled off)."""
+        self._question = None
+        return self
+
+    def hint(self, hint: str) -> "ModuleBuilder":
+        """Hint shown with the question ("directs the student to an external resource")."""
+        self._hint = hint
+        if self._question is not None and self._question.hint is None:
+            self._question = Question(
+                text=self._question.text,
+                answers=self._question.answers,
+                correct_answer_element=self._question.correct_answer_element,
+                correct_answer_hash=self._question.correct_answer_hash,
+                hint=hint,
+            )
+        return self
+
+    def extra(self, **fields: Any) -> "ModuleBuilder":
+        """Attach forward-compatible extra JSON fields (preserved verbatim)."""
+        self._extra.update(fields)
+        return self
+
+    def build(self) -> LearningModule:
+        """Validate and produce the module."""
+        if self._matrix is None:
+            raise ModuleSchemaError("a module needs a traffic matrix", path="$.traffic_matrix")
+        return LearningModule(
+            name=self._name,
+            author=self._author,
+            matrix=self._matrix,
+            question=self._question,
+            extra=dict(self._extra),
+        )
+
+
+def pattern_question(
+    correct_name: str,
+    family_names: Sequence[str],
+    display: dict[str, str],
+    *,
+    hint: str | None = None,
+) -> Question:
+    """The standard "most relevant to?" question with in-family distractors.
+
+    Distractors are the two family members following the correct one in
+    catalogue order (cyclically), so every module's options are deterministic
+    — reproducible bundles without an RNG — while staying plausible because
+    they come from the same lesson family.
+    """
+    if correct_name not in family_names:
+        raise ModuleSchemaError(
+            f"{correct_name!r} is not in the answer family {list(family_names)}"
+        )
+    pos = list(family_names).index(correct_name)
+    distractors = [
+        family_names[(pos + 1) % len(family_names)],
+        family_names[(pos + 2) % len(family_names)],
+    ]
+    answers = [display[correct_name]] + [display[d] for d in distractors]
+    return Question(
+        text=STANDARD_QUESTION,
+        answers=tuple(answers),
+        correct_answer_element=0,
+        hint=hint,
+    )

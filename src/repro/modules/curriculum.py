@@ -1,0 +1,222 @@
+"""Hierarchical learning modules — a future-work feature from the paper.
+
+The paper lists "hierarchical learning modules" among its planned
+improvements.  A :class:`Curriculum` is a tree of units: each unit holds an
+ordered list of modules and child units, with optional prerequisites between
+sibling units.  It serialises to one JSON document (``curriculum.json``)
+bundled alongside the module files, flattens to the sequential playlist the
+game already presents, and gates progression on per-unit pass scores.
+"""
+
+from __future__ import annotations
+
+import json
+import zipfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator, Mapping, Sequence
+
+from repro.errors import ModuleLoadError, ModuleSchemaError
+from repro.modules.loader import loads_module
+from repro.modules.module import LearningModule
+
+__all__ = ["Unit", "Curriculum", "save_curriculum_bundle", "load_curriculum_bundle"]
+
+
+@dataclass(frozen=True)
+class Unit:
+    """One curriculum node: a titled sequence of modules plus child units.
+
+    ``requires`` names sibling units (by title) that must be *passed* before
+    this unit unlocks; ``pass_score`` is the fraction of this unit's questions
+    a student must answer correctly for the unit to count as passed.
+    """
+
+    title: str
+    modules: tuple[LearningModule, ...] = ()
+    children: tuple["Unit", ...] = ()
+    requires: tuple[str, ...] = ()
+    pass_score: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not self.title.strip():
+            raise ModuleSchemaError("unit title may not be empty", path="$.title")
+        if not 0.0 <= self.pass_score <= 1.0:
+            raise ModuleSchemaError(
+                f"pass_score must be in [0, 1], got {self.pass_score}", path="$.pass_score"
+            )
+
+    def iter_units(self) -> Iterator["Unit"]:
+        """Depth-first walk, self first."""
+        yield self
+        for child in self.children:
+            yield from child.iter_units()
+
+    def all_modules(self) -> list[LearningModule]:
+        """Every module in this subtree, in presentation order."""
+        out = list(self.modules)
+        for child in self.children:
+            out.extend(child.all_modules())
+        return out
+
+    def question_count(self) -> int:
+        return sum(1 for m in self.all_modules() if m.has_question)
+
+
+class Curriculum:
+    """A rooted unit tree with prerequisite checking and progress gating."""
+
+    def __init__(self, root: Unit) -> None:
+        self.root = root
+        titles = [u.title for u in root.iter_units()]
+        dupes = {t for t in titles if titles.count(t) > 1}
+        if dupes:
+            raise ModuleSchemaError(
+                f"unit titles must be unique within a curriculum; duplicated: {sorted(dupes)}"
+            )
+        by_title = {u.title: u for u in root.iter_units()}
+        for unit in root.iter_units():
+            for req in unit.requires:
+                if req not in by_title:
+                    raise ModuleSchemaError(
+                        f"unit {unit.title!r} requires unknown unit {req!r}"
+                    )
+                if req == unit.title:
+                    raise ModuleSchemaError(f"unit {unit.title!r} cannot require itself")
+        self._by_title = by_title
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    def unit(self, title: str) -> Unit:
+        try:
+            return self._by_title[title]
+        except KeyError:
+            raise ModuleSchemaError(f"no unit titled {title!r}") from None
+
+    def flatten(self) -> list[LearningModule]:
+        """The sequential playlist the game presents (prereq order respected).
+
+        Units are emitted in depth-first order, but a unit whose prerequisites
+        appear *later* in that order is deferred until after them (stable
+        topological adjustment).
+        """
+        order = [u for u in self.root.iter_units()]
+        emitted: list[Unit] = []
+        pending = list(order)
+        progress = True
+        while pending and progress:
+            progress = False
+            for unit in list(pending):
+                done_titles = {u.title for u in emitted}
+                if all(req in done_titles for req in unit.requires):
+                    emitted.append(unit)
+                    pending.remove(unit)
+                    progress = True
+        if pending:
+            cycle = [u.title for u in pending]
+            raise ModuleSchemaError(f"prerequisite cycle among units: {cycle}")
+        out: list[LearningModule] = []
+        for unit in emitted:
+            out.extend(unit.modules)
+        return out
+
+    def available_units(self, passed: Sequence[str]) -> list[Unit]:
+        """Units unlocked given the set of already-passed unit titles."""
+        done = set(passed)
+        return [
+            u
+            for u in self.root.iter_units()
+            if u.title not in done and all(req in done for req in u.requires)
+        ]
+
+    def unit_passed(self, title: str, correct: int) -> bool:
+        """Did *correct* answered questions clear the unit's pass bar?"""
+        unit = self.unit(title)
+        total = unit.question_count()
+        if total == 0:
+            return True  # discussion-only units pass by completion
+        return correct / total >= unit.pass_score
+
+    # ------------------------------------------------------------------ #
+    # serialisation
+    # ------------------------------------------------------------------ #
+
+    def to_json_dict(self) -> dict[str, Any]:
+        def unit_doc(unit: Unit) -> dict[str, Any]:
+            return {
+                "title": unit.title,
+                "pass_score": unit.pass_score,
+                "requires": list(unit.requires),
+                "modules": [m.to_json_dict() for m in unit.modules],
+                "children": [unit_doc(c) for c in unit.children],
+            }
+
+        return {"curriculum_version": 1, "root": unit_doc(self.root)}
+
+    @classmethod
+    def from_json_dict(cls, doc: Mapping[str, Any]) -> "Curriculum":
+        if not isinstance(doc, Mapping) or "root" not in doc:
+            raise ModuleSchemaError("curriculum document needs a 'root' unit", path="$")
+
+        def parse_unit(raw: Mapping[str, Any], path: str) -> Unit:
+            if not isinstance(raw, Mapping):
+                raise ModuleSchemaError("unit must be an object", path=path)
+            title = raw.get("title", "")
+            modules = []
+            for k, mdoc in enumerate(raw.get("modules", ())):
+                modules.append(loads_module(json.dumps(mdoc), source=f"{path}.modules[{k}]"))
+            children = tuple(
+                parse_unit(c, f"{path}.children[{k}]")
+                for k, c in enumerate(raw.get("children", ()))
+            )
+            return Unit(
+                title=str(title),
+                modules=tuple(modules),
+                children=children,
+                requires=tuple(raw.get("requires", ())),
+                pass_score=float(raw.get("pass_score", 0.5)),
+            )
+
+        return cls(parse_unit(doc["root"], "$.root"))
+
+
+def save_curriculum_bundle(curriculum: Curriculum, path: str | Path) -> Path:
+    """Write a curriculum zip: ``curriculum.json`` plus per-module files.
+
+    The per-module files are redundant with the embedded curriculum document,
+    but keep the bundle loadable by the plain sequential loader too — a
+    curriculum bundle degrades gracefully to a playlist on an old client.
+    """
+    path = Path(path)
+    modules = curriculum.flatten()
+    if not modules:
+        raise ModuleLoadError("refusing to write an empty curriculum bundle")
+    width = max(2, len(str(len(modules))))
+    with zipfile.ZipFile(path, "w", compression=zipfile.ZIP_DEFLATED) as zf:
+        zf.writestr("curriculum.json", json.dumps(curriculum.to_json_dict(), indent=2))
+        for k, module in enumerate(modules, start=1):
+            slug = "".join(
+                ch if ch.isalnum() or ch in "-_" else "_" for ch in module.name.lower()
+            ).strip("_") or "module"
+            zf.writestr(f"{k:0{width}d}_{slug}.json", module.to_json() + "\n")
+    return path
+
+
+def load_curriculum_bundle(path: str | Path) -> Curriculum:
+    """Load the curriculum document from a bundle written by
+    :func:`save_curriculum_bundle`."""
+    try:
+        with zipfile.ZipFile(path) as zf:
+            if "curriculum.json" not in zf.namelist():
+                raise ModuleLoadError(
+                    f"{path} has no curriculum.json (plain playlist bundle? "
+                    "use modules.loader.load_bundle)"
+                )
+            doc = json.loads(zf.read("curriculum.json").decode("utf-8"))
+    except (zipfile.BadZipFile, OSError) as exc:
+        raise ModuleLoadError(f"cannot open curriculum bundle {path}: {exc}") from None
+    except json.JSONDecodeError as exc:
+        raise ModuleLoadError(f"{path}: curriculum.json is not valid JSON: {exc}") from None
+    return Curriculum.from_json_dict(doc)

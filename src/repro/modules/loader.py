@@ -1,0 +1,139 @@
+"""Loading and saving learning modules: single JSON files and zip bundles.
+
+"Learning modules consist of a zip file containing multiple JSON files that
+the user can select and load into the game.  Traffic Warehouse will take the
+zip file and load each of the JSON files contained in it and present them
+sequentially one at a time."
+
+File order inside a bundle follows the archive's name order (educators number
+their files: ``01_intro.json``, ``02_star.json``, ...), which this loader
+sorts explicitly so presentation order never depends on zip-tool internals.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import zipfile
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.errors import ModuleLoadError, ModuleSchemaError
+from repro.modules.module import LearningModule
+from repro.modules.schema import validate_module_dict
+
+__all__ = [
+    "load_module",
+    "loads_module",
+    "save_module",
+    "load_bundle",
+    "save_bundle",
+    "bundle_names",
+]
+
+
+def loads_module(text: str, *, source: str = "<string>") -> LearningModule:
+    """Parse and validate a module from a JSON string."""
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ModuleLoadError(f"{source}: not valid JSON: {exc}") from None
+    try:
+        return validate_module_dict(doc)
+    except ModuleSchemaError as exc:
+        raise ModuleSchemaError(f"{source}: {exc.message}", path=exc.path) from None
+
+
+def load_module(path: str | Path) -> LearningModule:
+    """Load and validate one module JSON file."""
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ModuleLoadError(f"cannot read module file {path}: {exc}") from None
+    return loads_module(text, source=str(path))
+
+
+def save_module(module: LearningModule, path: str | Path) -> Path:
+    """Write a module to a JSON file (pretty-printed for hand editing)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(module.to_json() + "\n", encoding="utf-8")
+    return path
+
+
+def load_bundle(path: str | Path | io.BytesIO) -> list[LearningModule]:
+    """Load every ``*.json`` member of a zip bundle, in sorted name order.
+
+    Non-JSON members (READMEs, images) are ignored; a bundle with no JSON
+    members is an error because the game would have nothing to present.
+    Directory prefixes inside the archive are allowed — educators often zip a
+    folder — and do not affect ordering within it.
+    """
+    try:
+        zf = zipfile.ZipFile(path)
+    except (zipfile.BadZipFile, OSError) as exc:
+        raise ModuleLoadError(f"cannot open bundle {path}: {exc}") from None
+    with zf:
+        names = sorted(
+            n
+            for n in zf.namelist()
+            if n.lower().endswith(".json")
+            and not n.endswith("/")
+            and n.rsplit("/", 1)[-1] != "curriculum.json"  # reserved manifest name
+        )
+        if not names:
+            raise ModuleLoadError(f"bundle {path} contains no .json learning modules")
+        modules: list[LearningModule] = []
+        for name in names:
+            with zf.open(name) as fh:
+                text = fh.read().decode("utf-8")
+            modules.append(loads_module(text, source=f"{path}!{name}"))
+    return modules
+
+
+def bundle_names(path: str | Path | io.BytesIO) -> list[str]:
+    """JSON member names of a bundle in presentation order, without loading."""
+    try:
+        with zipfile.ZipFile(path) as zf:
+            return sorted(
+                n
+                for n in zf.namelist()
+                if n.lower().endswith(".json")
+                and not n.endswith("/")
+                and n.rsplit("/", 1)[-1] != "curriculum.json"
+            )
+    except (zipfile.BadZipFile, OSError) as exc:
+        raise ModuleLoadError(f"cannot open bundle {path}: {exc}") from None
+
+
+def save_bundle(
+    modules: Sequence[LearningModule] | Iterable[LearningModule],
+    path: str | Path | io.BytesIO,
+    *,
+    prefix_order: bool = True,
+) -> list[str]:
+    """Write modules into a zip bundle the game (and this loader) can present.
+
+    With ``prefix_order`` (default) member names get a ``01_``, ``02_``...
+    prefix so sorted-name order equals the given sequence order.  Returns the
+    member names written.
+    """
+    modules = list(modules)
+    if not modules:
+        raise ModuleLoadError("refusing to write an empty bundle")
+    width = max(2, len(str(len(modules))))
+    names: list[str] = []
+    seen: set[str] = set()
+    with zipfile.ZipFile(path, "w", compression=zipfile.ZIP_DEFLATED) as zf:
+        for k, module in enumerate(modules, start=1):
+            slug = "".join(
+                ch if ch.isalnum() or ch in "-_" else "_" for ch in module.name.lower()
+            ).strip("_") or "module"
+            name = f"{k:0{width}d}_{slug}.json" if prefix_order else f"{slug}.json"
+            if name in seen:
+                name = f"{k:0{width}d}_{slug}_{k}.json"
+            seen.add(name)
+            zf.writestr(name, module.to_json() + "\n")
+            names.append(name)
+    return names

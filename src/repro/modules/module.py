@@ -1,0 +1,176 @@
+"""The learning module: one JSON file's worth of lesson.
+
+A :class:`LearningModule` is the in-memory form of the paper's extensible JSON
+format (Section II): a titled, attributed traffic matrix plus an optional
+three-choice question.  The JSON field names round-trip exactly — an educator's
+hand-written file loads, and :meth:`LearningModule.to_json_dict` emits a file
+another copy of the game can load.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping, Sequence
+
+from repro.core.traffic_matrix import TrafficMatrix
+from repro.errors import ModuleSchemaError, QuizError
+
+__all__ = ["Question", "LearningModule", "STANDARD_QUESTION", "STANDARD_ANSWER_COUNT"]
+
+#: The one question type every shipped module uses (paper Section V).
+STANDARD_QUESTION = "Which choice is the displayed traffic pattern most relevant to?"
+
+#: "Our choice to have three available multiple choice answers was deliberate."
+STANDARD_ANSWER_COUNT = 3
+
+
+@dataclass(frozen=True)
+class Question:
+    """A multiple-choice question attached to a module.
+
+    ``correct_answer_element`` indexes into ``answers`` *as authored*; the
+    game shuffles presentation order at display time (see
+    :meth:`shuffled_answers`), so "the first element will not always be the
+    first option given".
+
+    Exactly one of ``correct_answer_element`` / ``correct_answer_hash`` is
+    set; the hash form is the answer-obfuscation extension (paper future
+    work, see :mod:`repro.modules.obfuscate`).
+    """
+
+    text: str
+    answers: tuple[str, ...]
+    correct_answer_element: int | None = None
+    correct_answer_hash: str | None = None
+    hint: str | None = None
+
+    def __post_init__(self) -> None:
+        if len(self.answers) < 2:
+            raise ModuleSchemaError("a question needs at least 2 answers", path="$.answers")
+        if (self.correct_answer_element is None) == (self.correct_answer_hash is None):
+            raise ModuleSchemaError(
+                "exactly one of correct_answer_element / correct_answer_hash must be set",
+                path="$.correct_answer_element",
+            )
+        if self.correct_answer_element is not None and not (
+            0 <= self.correct_answer_element < len(self.answers)
+        ):
+            raise ModuleSchemaError(
+                f"correct_answer_element {self.correct_answer_element} out of range "
+                f"for {len(self.answers)} answers",
+                path="$.correct_answer_element",
+            )
+
+    @property
+    def is_obfuscated(self) -> bool:
+        return self.correct_answer_hash is not None
+
+    @property
+    def correct_answer(self) -> str:
+        """The correct answer text (plain-text questions only)."""
+        if self.correct_answer_element is None:
+            raise QuizError("question is obfuscated; check answers with modules.obfuscate.verify_answer")
+        return self.answers[self.correct_answer_element]
+
+    def shuffled_answers(self, seed: int | None = None) -> tuple[list[str], int | None]:
+        """Presentation order for the answers and the correct option's position.
+
+        "Traffic Warehouse will randomize the list that has the answers when
+        they are displayed."  A fixed *seed* gives a reproducible shuffle
+        (used by tests and scripted classroom sessions); ``None`` uses fresh
+        entropy like the game.  For obfuscated questions the returned correct
+        position is ``None``.
+        """
+        order = list(range(len(self.answers)))
+        random.Random(seed).shuffle(order)
+        shuffled = [self.answers[i] for i in order]
+        if self.correct_answer_element is None:
+            return shuffled, None
+        return shuffled, order.index(self.correct_answer_element)
+
+    def is_correct(self, answer_text: str) -> bool:
+        """Check an answer by its text (presentation-order independent)."""
+        if self.is_obfuscated:
+            from repro.modules.obfuscate import hash_answer
+
+            assert self.correct_answer_hash is not None
+            return hash_answer(answer_text) == self.correct_answer_hash
+        return answer_text == self.correct_answer
+
+
+@dataclass(frozen=True)
+class LearningModule:
+    """One lesson: a named traffic matrix with an optional question.
+
+    ``extra`` preserves unknown JSON fields verbatim, so modules written for
+    a future version of the game survive a load/save round trip here.
+    """
+
+    name: str
+    author: str
+    matrix: TrafficMatrix
+    question: Question | None = None
+    extra: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def size(self) -> str:
+        """The JSON ``size`` string, e.g. ``"10x10"``."""
+        return f"{self.matrix.n}x{self.matrix.n}"
+
+    @property
+    def has_question(self) -> bool:
+        """The JSON ``has_question`` toggle.
+
+        "The ability to toggle a question on and off allows for a more
+        interactive experience" — modules without questions are discussion
+        slides.
+        """
+        return self.question is not None
+
+    def without_question(self) -> "LearningModule":
+        """Copy with the question toggled off (open-discussion presentation)."""
+        return replace(self, question=None)
+
+    def to_json_dict(self) -> dict[str, Any]:
+        """Emit the paper's JSON field layout (stable field order)."""
+        doc: dict[str, Any] = {
+            "name": self.name,
+            "size": self.size,
+            "author": self.author,
+            "axis_labels": list(self.matrix.labels),
+            "traffic_matrix": self.matrix.packets.tolist(),
+            "traffic_matrix_colors": self.matrix.colors.astype(int).tolist(),
+            "has_question": self.has_question,
+        }
+        if self.matrix.extended_colors:
+            # opt-in field for the extended palette (see modules.schema);
+            # placed after the colour grid it qualifies
+            doc["color_mode"] = "extended"
+        if self.question is not None:
+            doc["question"] = self.question.text
+            doc["answers"] = list(self.question.answers)
+            if self.question.correct_answer_element is not None:
+                doc["correct_answer_element"] = self.question.correct_answer_element
+            else:
+                doc["correct_answer_hash"] = self.question.correct_answer_hash
+            if self.question.hint:
+                doc["hint"] = self.question.hint
+        doc.update({k: v for k, v in self.extra.items() if k not in doc})
+        return doc
+
+    def to_json(self, *, indent: int = 2) -> str:
+        return json.dumps(self.to_json_dict(), indent=indent)
+
+    @classmethod
+    def from_json_dict(cls, doc: Mapping[str, Any]) -> "LearningModule":
+        """Build from a raw JSON dict; validation lives in :mod:`repro.modules.schema`."""
+        from repro.modules.schema import validate_module_dict
+
+        return validate_module_dict(doc)
+
+    def describe(self) -> str:
+        """One-line catalogue description."""
+        q = f"question: {self.question.text!r}" if self.question else "no question (discussion)"
+        return f"{self.name} [{self.size}] by {self.author} — {q}"

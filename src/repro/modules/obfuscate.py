@@ -1,0 +1,83 @@
+"""Answer obfuscation — one of the paper's named future-work items.
+
+A plain module JSON stores ``correct_answer_element``, so any student who
+opens the file sees the answer.  The paper lists "obfuscating question answers
+in the module file" as future work; this implements it: the correct answer's
+*text* is hashed (SHA-256 over a canonical form), the element index is
+removed, and checking an answer re-hashes the chosen text.  The file stays
+plaintext-reviewable — a security officer can still read every field — while
+the answer needs deliberate effort (hashing each option) to recover.
+
+This is classroom-grade deterrence, not cryptography: with three options an
+attacker can hash all three.  The paper's threat model is a curious student,
+not an adversary.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import unicodedata
+from dataclasses import replace
+
+from repro.errors import QuizError
+from repro.modules.module import LearningModule, Question
+
+__all__ = ["hash_answer", "obfuscate_question", "obfuscate_module", "verify_answer"]
+
+
+def hash_answer(answer_text: str) -> str:
+    """Canonical SHA-256 of an answer's text.
+
+    Canonicalisation (NFC normalise, strip, casefold) keeps a hand-retyped
+    module — the paper's "printed on paper and hand typed back in" workflow —
+    from failing on invisible whitespace or case differences.
+    """
+    canonical = unicodedata.normalize("NFC", answer_text).strip().casefold()
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def obfuscate_question(question: Question) -> Question:
+    """Replace the answer index with the answer hash."""
+    if question.is_obfuscated:
+        return question
+    return replace(
+        question,
+        correct_answer_element=None,
+        correct_answer_hash=hash_answer(question.correct_answer),
+    )
+
+
+def obfuscate_module(module: LearningModule) -> LearningModule:
+    """Copy of *module* with its question obfuscated (no-op without one)."""
+    if module.question is None:
+        return module
+    return replace(module, question=obfuscate_question(module.question))
+
+
+def verify_answer(question: Question, answer_text: str) -> bool:
+    """Check an answer against a plain or obfuscated question."""
+    if question.is_obfuscated:
+        assert question.correct_answer_hash is not None
+        return hash_answer(answer_text) == question.correct_answer_hash
+    return answer_text == question.correct_answer
+
+
+def deobfuscate_module(module: LearningModule) -> LearningModule:
+    """Recover the answer index by hashing each option (the educator's tool).
+
+    Raises :class:`~repro.errors.QuizError` if no option matches the stored
+    hash — the module's answers were edited after obfuscation.
+    """
+    if module.question is None or not module.question.is_obfuscated:
+        return module
+    q = module.question
+    for idx, option in enumerate(q.answers):
+        if hash_answer(option) == q.correct_answer_hash:
+            return replace(
+                module,
+                question=replace(q, correct_answer_element=idx, correct_answer_hash=None),
+            )
+    raise QuizError(
+        f"no answer option of {module.name!r} matches the stored hash; "
+        "the answers were edited after obfuscation"
+    )

@@ -1,0 +1,219 @@
+"""Validation of learning-module JSON documents.
+
+The paper's format is deliberately simple — "JSON is a plaintext file so the
+template can be edited with a simple text editor... any security review can be
+accomplished quickly" — which means hand-edited files arrive with hand-made
+mistakes.  Every check here produces a :class:`~repro.errors.ModuleSchemaError`
+carrying a JSON-path, so an educator can find the broken line without reading
+the game's source.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.core.labels import validate_labels
+from repro.core.traffic_matrix import TrafficMatrix
+from repro.errors import LabelError, ModuleSchemaError, ReproError
+from repro.modules.module import LearningModule, Question
+
+__all__ = [
+    "validate_module_dict",
+    "REQUIRED_FIELDS",
+    "KNOWN_FIELDS",
+    "SIZE_RE",
+]
+
+#: Fields every module JSON must carry.
+REQUIRED_FIELDS = ("name", "size", "author", "axis_labels", "traffic_matrix")
+
+#: Fields this version understands; anything else is preserved in ``extra``.
+KNOWN_FIELDS = REQUIRED_FIELDS + (
+    "traffic_matrix_colors",
+    "color_mode",
+    "has_question",
+    "question",
+    "answers",
+    "correct_answer_element",
+    "correct_answer_hash",
+    "hint",
+)
+
+SIZE_RE = re.compile(r"^(\d+)x(\d+)$")
+
+
+def _expect(condition: bool, message: str, path: str) -> None:
+    if not condition:
+        raise ModuleSchemaError(message, path=path)
+
+
+def _int_grid(raw: Any, n: int, path: str) -> np.ndarray:
+    """Parse a list-of-lists grid field, with row/cell-level error paths."""
+    _expect(isinstance(raw, list), f"must be a list of {n} rows, got {type(raw).__name__}", path)
+    _expect(len(raw) == n, f"must have {n} rows, got {len(raw)}", path)
+    grid = np.zeros((n, n), dtype=np.int64)
+    for i, row in enumerate(raw):
+        row_path = f"{path}[{i}]"
+        _expect(isinstance(row, list), f"row must be a list, got {type(row).__name__}", row_path)
+        _expect(len(row) == n, f"row must have {n} entries, got {len(row)}", row_path)
+        for j, cell in enumerate(row):
+            if isinstance(cell, bool) or not isinstance(cell, (int, float)):
+                raise ModuleSchemaError(
+                    f"cell must be a number, got {cell!r}", path=f"{row_path}[{j}]"
+                )
+            if isinstance(cell, float) and (cell != int(cell) if abs(cell) < 2**53 else True):
+                raise ModuleSchemaError(
+                    f"cell must be an integer, got {cell!r}", path=f"{row_path}[{j}]"
+                )
+            value = int(cell)
+            if not -(2**31) <= value <= 2**31:
+                # packet/colour codes this large are data corruption, and would
+                # overflow the int64 grid anyway
+                raise ModuleSchemaError(
+                    f"cell value {cell!r} is out of the supported range",
+                    path=f"{row_path}[{j}]",
+                )
+            grid[i, j] = value
+    return grid
+
+
+def validate_module_dict(
+    doc: Mapping[str, Any],
+    *,
+    require_three_answers: bool = True,
+) -> LearningModule:
+    """Validate a raw JSON document and build the :class:`LearningModule`.
+
+    ``require_three_answers`` enforces the paper's deliberate three-option
+    design; pass ``False`` to accept experimental modules with 2 or 4+
+    options (the assessment-quality trade-off is then the educator's call).
+    """
+    _expect(isinstance(doc, Mapping), f"module must be a JSON object, got {type(doc).__name__}", "$")
+    for fld in REQUIRED_FIELDS:
+        _expect(fld in doc, f"missing required field {fld!r}", "$")
+
+    name = doc["name"]
+    _expect(isinstance(name, str) and name.strip() != "", "name must be a non-empty string", "$.name")
+    author = doc["author"]
+    _expect(isinstance(author, str) and author.strip() != "", "author must be a non-empty string", "$.author")
+
+    size_raw = doc["size"]
+    _expect(isinstance(size_raw, str), f"size must be a string like '10x10', got {type(size_raw).__name__}", "$.size")
+    m = SIZE_RE.match(size_raw)
+    _expect(m is not None, f"size must look like '10x10', got {size_raw!r}", "$.size")
+    assert m is not None
+    rows, cols = int(m.group(1)), int(m.group(2))
+    _expect(rows == cols, f"traffic matrices are square; got size {size_raw!r}", "$.size")
+    _expect(rows >= 1, "matrix size must be at least 1x1", "$.size")
+    n = rows
+
+    labels_raw = doc["axis_labels"]
+    _expect(isinstance(labels_raw, list), "axis_labels must be a list", "$.axis_labels")
+    try:
+        labels = validate_labels(labels_raw, size=n)
+    except LabelError as exc:
+        raise ModuleSchemaError(str(exc), path="$.axis_labels") from None
+
+    packets = _int_grid(doc["traffic_matrix"], n, "$.traffic_matrix")
+    _expect(bool((packets >= 0).all()), "packet counts must be non-negative", "$.traffic_matrix")
+
+    color_mode = doc.get("color_mode", "standard")
+    _expect(
+        color_mode in ("standard", "extended"),
+        f"color_mode must be 'standard' or 'extended', got {color_mode!r}",
+        "$.color_mode",
+    )
+    extended = color_mode == "extended"
+    allowed_codes = (0, 1, 2, 3, 4) if extended else (0, 1, 2)
+
+    colors = None
+    if "traffic_matrix_colors" in doc and doc["traffic_matrix_colors"] is not None:
+        colors = _int_grid(doc["traffic_matrix_colors"], n, "$.traffic_matrix_colors")
+        bad = ~np.isin(colors, allowed_codes)
+        if bad.any():
+            i, j = np.argwhere(bad)[0]
+            extra_hint = "" if extended else " (use \"color_mode\": \"extended\" for codes 3-4)"
+            raise ModuleSchemaError(
+                f"colour code {int(colors[i, j])} is not in {list(allowed_codes)}{extra_hint}",
+                path=f"$.traffic_matrix_colors[{int(i)}][{int(j)}]",
+            )
+
+    try:
+        matrix = TrafficMatrix(packets, labels, colors, extended_colors=extended)
+    except ReproError as exc:  # belt and braces: construction re-checks invariants
+        raise ModuleSchemaError(str(exc), path="$") from None
+
+    has_question = doc.get("has_question", False)
+    _expect(isinstance(has_question, bool), "has_question must be true or false", "$.has_question")
+
+    question: Question | None = None
+    if has_question:
+        _expect("question" in doc, "has_question is true but 'question' is missing", "$")
+        _expect("answers" in doc, "has_question is true but 'answers' is missing", "$")
+        qtext = doc["question"]
+        _expect(isinstance(qtext, str) and qtext.strip() != "", "question must be a non-empty string", "$.question")
+        answers_raw = doc["answers"]
+        _expect(isinstance(answers_raw, list), "answers must be a list", "$.answers")
+        _expect(
+            all(isinstance(a, str) for a in answers_raw),
+            "answers must all be strings",
+            "$.answers",
+        )
+        if require_three_answers:
+            _expect(
+                len(answers_raw) == 3,
+                f"modules use exactly 3 answers (got {len(answers_raw)}); "
+                "pass require_three_answers=False to allow others",
+                "$.answers",
+            )
+        _expect(
+            len(set(answers_raw)) == len(answers_raw),
+            "answers must be distinct",
+            "$.answers",
+        )
+        element = doc.get("correct_answer_element")
+        answer_hash = doc.get("correct_answer_hash")
+        _expect(
+            (element is None) != (answer_hash is None),
+            "exactly one of correct_answer_element / correct_answer_hash is required",
+            "$.correct_answer_element",
+        )
+        if element is not None:
+            _expect(
+                isinstance(element, int) and not isinstance(element, bool),
+                f"correct_answer_element must be an integer, got {element!r}",
+                "$.correct_answer_element",
+            )
+            _expect(
+                0 <= element < len(answers_raw),
+                f"correct_answer_element {element} out of range for {len(answers_raw)} answers",
+                "$.correct_answer_element",
+            )
+        else:
+            _expect(
+                isinstance(answer_hash, str) and re.fullmatch(r"[0-9a-f]{64}", answer_hash) is not None,
+                "correct_answer_hash must be a 64-hex-digit SHA-256 string",
+                "$.correct_answer_hash",
+            )
+        hint = doc.get("hint")
+        if hint is not None:
+            _expect(isinstance(hint, str), "hint must be a string", "$.hint")
+        question = Question(
+            text=qtext,
+            answers=tuple(answers_raw),
+            correct_answer_element=element,
+            correct_answer_hash=answer_hash,
+            hint=hint,
+        )
+    else:
+        for fld in ("question", "answers", "correct_answer_element"):
+            # tolerated but ignored, matching the game's toggle semantics
+            pass
+
+    extra = {k: v for k, v in doc.items() if k not in KNOWN_FIELDS}
+    return LearningModule(
+        name=name.strip(), author=author.strip(), matrix=matrix, question=question, extra=extra
+    )

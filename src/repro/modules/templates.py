@@ -1,0 +1,98 @@
+"""The shipped module templates (paper Section II).
+
+"To create a single matrix lesson there are example files that can be
+duplicated and modified.  There are template JSON files for 6x6 or 10x10
+matrices."  :func:`template_10x10` reproduces the paper's listing verbatim —
+the same name, author, labels, matrix, colours and question.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.modules.module import LearningModule
+from repro.modules.schema import validate_module_dict
+
+__all__ = ["template_10x10_dict", "template_6x6_dict", "template_10x10", "template_6x6"]
+
+
+def template_10x10_dict() -> dict[str, Any]:
+    """The exact JSON document shown in the paper's Section II listing."""
+    return {
+        "name": "10x10 Template",
+        "size": "10x10",
+        "author": "Chasen Milner",
+        "axis_labels": [
+            "WS1", "WS2", "WS3", "SRV1",
+            "EXT1", "EXT2",
+            "ADV1", "ADV2", "ADV3", "ADV4",
+        ],
+        "traffic_matrix": [
+            [1, 0, 0, 0, 0, 0, 0, 0, 0, 2],
+            [0, 1, 0, 0, 0, 0, 0, 0, 2, 0],
+            [0, 0, 1, 0, 0, 0, 0, 2, 0, 0],
+            [0, 0, 0, 1, 0, 0, 2, 0, 0, 0],
+            [0, 0, 0, 0, 1, 2, 0, 0, 0, 0],
+            [0, 0, 0, 0, 2, 1, 0, 0, 0, 0],
+            [0, 0, 0, 2, 0, 0, 1, 0, 0, 0],
+            [0, 0, 2, 0, 0, 0, 0, 1, 0, 0],
+            [0, 2, 0, 0, 0, 0, 0, 0, 1, 0],
+            [2, 0, 0, 0, 0, 0, 0, 0, 0, 1],
+        ],
+        "traffic_matrix_colors": [
+            [0, 0, 0, 0, 0, 0, 2, 2, 2, 2],
+            [0, 0, 0, 0, 0, 0, 2, 2, 2, 2],
+            [0, 0, 0, 0, 0, 0, 2, 2, 2, 2],
+            [0, 0, 0, 0, 0, 0, 2, 2, 2, 2],
+            [0, 0, 0, 0, 0, 0, 0, 0, 0, 0],
+            [0, 0, 0, 0, 0, 0, 0, 0, 0, 0],
+            [1, 1, 1, 1, 0, 0, 0, 0, 0, 0],
+            [1, 1, 1, 1, 0, 0, 0, 0, 0, 0],
+            [1, 1, 1, 1, 0, 0, 0, 0, 0, 0],
+            [1, 1, 1, 1, 0, 0, 0, 0, 0, 0],
+        ],
+        "has_question": True,
+        "question": "How many packets did WS1 send to ADV4?",
+        "answers": ["0", "1", "2"],
+        "correct_answer_element": 2,
+    }
+
+
+def template_6x6_dict() -> dict[str, Any]:
+    """The 6×6 starter template: same structure, smaller floor."""
+    return {
+        "name": "6x6 Template",
+        "size": "6x6",
+        "author": "Chasen Milner",
+        "axis_labels": ["WS1", "WS2", "SRV1", "EXT1", "ADV1", "ADV2"],
+        "traffic_matrix": [
+            [1, 0, 0, 0, 0, 2],
+            [0, 1, 0, 0, 2, 0],
+            [0, 0, 1, 2, 0, 0],
+            [0, 0, 2, 1, 0, 0],
+            [0, 2, 0, 0, 1, 0],
+            [2, 0, 0, 0, 0, 1],
+        ],
+        "traffic_matrix_colors": [
+            [0, 0, 0, 0, 2, 2],
+            [0, 0, 0, 0, 2, 2],
+            [0, 0, 0, 0, 2, 2],
+            [0, 0, 0, 0, 0, 0],
+            [1, 1, 1, 0, 0, 0],
+            [1, 1, 1, 0, 0, 0],
+        ],
+        "has_question": True,
+        "question": "How many packets did WS1 send to ADV2?",
+        "answers": ["0", "1", "2"],
+        "correct_answer_element": 2,
+    }
+
+
+def template_10x10() -> LearningModule:
+    """The 10×10 template as a validated :class:`LearningModule`."""
+    return validate_module_dict(template_10x10_dict())
+
+
+def template_6x6() -> LearningModule:
+    """The 6×6 template as a validated :class:`LearningModule`."""
+    return validate_module_dict(template_6x6_dict())

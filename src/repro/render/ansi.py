@@ -1,0 +1,34 @@
+"""ANSI terminal colour helpers shared by the 2-D and 3-D views."""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["colorize", "strip_ansi", "fg_rgb", "bg_rgb", "RESET"]
+
+RESET = "\x1b[0m"
+
+_ANSI_RE = re.compile(r"\x1b\[[0-9;]*m")
+
+
+def fg_rgb(r: int, g: int, b: int) -> str:
+    """24-bit foreground colour escape."""
+    return f"\x1b[38;2;{r};{g};{b}m"
+
+
+def bg_rgb(r: int, g: int, b: int) -> str:
+    """24-bit background colour escape."""
+    return f"\x1b[48;2;{r};{g};{b}m"
+
+
+def colorize(text: str, *, fg: tuple[int, int, int] | None = None, bg: tuple[int, int, int] | None = None) -> str:
+    """Wrap text in colour escapes (no-op when both colours are None)."""
+    if fg is None and bg is None:
+        return text
+    prefix = (fg_rgb(*fg) if fg else "") + (bg_rgb(*bg) if bg else "")
+    return f"{prefix}{text}{RESET}"
+
+
+def strip_ansi(text: str) -> str:
+    """Remove every ANSI escape (tests compare plain glyphs)."""
+    return _ANSI_RE.sub("", text)

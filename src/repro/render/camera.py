@@ -1,0 +1,89 @@
+"""Orthographic camera with the game's two view modes.
+
+"The student has the ability to go into a 3D mode by pressing the spacebar
+key.  The student can rotate the view using the Q and E keys."  The camera
+holds that state: ``mode`` (2-D top-down vs 3-D isometric) and a yaw in
+45-degree steps.  Projection is a single vectorized rotate-and-drop matmul.
+"""
+
+from __future__ import annotations
+
+import math
+from enum import Enum
+
+import numpy as np
+
+from repro.engine.math3d import Basis
+
+__all__ = ["ViewMode", "OrthoCamera", "ISO_PITCH"]
+
+#: Classic isometric elevation: atan(1/sqrt(2)) ≈ 35.26 degrees.
+ISO_PITCH = math.atan(1.0 / math.sqrt(2.0))
+
+#: One Q/E key press rotates by an eighth of a turn.
+YAW_STEP = math.pi / 4.0
+
+
+class ViewMode(Enum):
+    TOP_DOWN_2D = "2d"
+    ISOMETRIC_3D = "3d"
+
+
+class OrthoCamera:
+    """View state plus the world→screen orthographic projection."""
+
+    def __init__(self, *, mode: ViewMode = ViewMode.TOP_DOWN_2D, yaw_steps: int = 0, zoom: float = 1.0) -> None:
+        self.mode = mode
+        self.yaw_steps = yaw_steps % 8
+        self.zoom = zoom
+
+    # -- the three game controls ---------------------------------------- #
+
+    def toggle_mode(self) -> ViewMode:
+        """SPACE: flip between the 2-D top-down and 3-D isometric views."""
+        self.mode = (
+            ViewMode.ISOMETRIC_3D if self.mode is ViewMode.TOP_DOWN_2D else ViewMode.TOP_DOWN_2D
+        )
+        return self.mode
+
+    def rotate_left(self) -> int:
+        """Q: rotate the 3-D view one step counter-clockwise."""
+        self.yaw_steps = (self.yaw_steps - 1) % 8
+        return self.yaw_steps
+
+    def rotate_right(self) -> int:
+        """E: rotate the 3-D view one step clockwise."""
+        self.yaw_steps = (self.yaw_steps + 1) % 8
+        return self.yaw_steps
+
+    # -- projection -------------------------------------------------------- #
+
+    @property
+    def yaw(self) -> float:
+        return self.yaw_steps * YAW_STEP
+
+    def basis(self) -> Basis:
+        """The view rotation: yaw about +Y, then pitch about +X.
+
+        2-D mode looks straight down (pitch 90°) with no yaw — the
+        spreadsheet orientation; 3-D mode uses the isometric pitch and the
+        current Q/E yaw.
+        """
+        if self.mode is ViewMode.TOP_DOWN_2D:
+            return Basis.rotation_x(math.pi / 2.0)
+        return Basis.rotation_x(ISO_PITCH) @ Basis.rotation_y(self.yaw)
+
+    def project(self, points: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Project ``(n, 3)`` world points → ``(u, v, depth)`` arrays.
+
+        ``u`` grows right, ``v`` grows *down* (screen convention), ``depth``
+        grows toward the viewer (larger = nearer, painter-friendly).
+        """
+        pts = np.asarray(points, dtype=np.float64)
+        if pts.ndim != 2 or pts.shape[1] != 3:
+            raise ValueError(f"expected (n, 3) points, got {pts.shape}")
+        rotated = self.basis().apply_many(pts) * self.zoom
+        u = rotated[:, 0]
+        v = -rotated[:, 1]
+        depth = rotated[:, 2]
+        return u, v, depth

@@ -1,0 +1,59 @@
+"""Binary PPM (P6) image writing — dependency-free "screenshots".
+
+The benches and examples save rendered frames as ``.ppm`` so figure output is
+inspectable with any image viewer without adding an imaging dependency.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import RenderError
+
+__all__ = ["write_ppm", "read_ppm"]
+
+
+def write_ppm(pixels: np.ndarray, path: str | Path) -> Path:
+    """Write an ``(h, w, 3)`` uint8 array as a P6 PPM file."""
+    arr = np.asarray(pixels)
+    if arr.ndim != 3 or arr.shape[2] != 3:
+        raise RenderError(f"pixels must be (h, w, 3), got {arr.shape}")
+    arr = arr.astype(np.uint8, copy=False)
+    h, w, _ = arr.shape
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("wb") as fh:
+        fh.write(f"P6\n{w} {h}\n255\n".encode("ascii"))
+        fh.write(arr.tobytes())
+    return path
+
+
+def read_ppm(path: str | Path) -> np.ndarray:
+    """Read a P6 PPM back into an ``(h, w, 3)`` uint8 array (round-trip tests)."""
+    data = Path(path).read_bytes()
+    if not data.startswith(b"P6"):
+        raise RenderError(f"{path} is not a P6 PPM file")
+    # header: magic, width, height, maxval — whitespace separated, '#' comments
+    fields: list[bytes] = []
+    pos = 2
+    while len(fields) < 3:
+        while pos < len(data) and data[pos : pos + 1].isspace():
+            pos += 1
+        if data[pos : pos + 1] == b"#":
+            while pos < len(data) and data[pos : pos + 1] != b"\n":
+                pos += 1
+            continue
+        start = pos
+        while pos < len(data) and not data[pos : pos + 1].isspace():
+            pos += 1
+        fields.append(data[start:pos])
+    pos += 1  # single whitespace after maxval
+    w, h, maxval = (int(f) for f in fields)
+    if maxval != 255:
+        raise RenderError(f"only 8-bit PPM supported, got maxval {maxval}")
+    pixels = np.frombuffer(data[pos : pos + w * h * 3], dtype=np.uint8)
+    if pixels.size != w * h * 3:
+        raise RenderError(f"{path}: truncated pixel data")
+    return pixels.reshape(h, w, 3).copy()

@@ -1,0 +1,136 @@
+"""Scene rendering: project a warehouse scene tree into text or pixels.
+
+Walks the engine scene, instantiates each :class:`MeshInstance3D`'s voxel
+asset (applying material overrides by recolouring, exactly what the game's
+material swap does visually), transforms voxels to world space, and
+rasterises through the camera.  Produces ASCII frames for the terminal and
+RGB pixel frames for PPM screenshots.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.node import MeshInstance3D, Node
+from repro.engine.resources import StandardMaterial3D
+from repro.render.camera import OrthoCamera
+from repro.render.raster import CharBuffer, rasterize_points
+from repro.voxel.assets import asset
+from repro.voxel.model import VoxelModel
+
+__all__ = ["collect_voxels", "render_scene_ascii", "render_scene_pixels", "MATERIAL_COLOR_INDEX"]
+
+#: Material albedo name → palette index used when overriding an asset's colour.
+MATERIAL_COLOR_INDEX = {
+    "wood": 1,
+    "grey": 2,
+    "blue": 3,
+    "red": 4,
+    "black": 5,
+    "yellow": 9,   # extended palette -> hazard-yellow voxels
+    "green": 10,   # extended palette -> green voxels
+}
+
+#: Voxel scale: one asset voxel is 1/8 world unit (pallets are 1 unit wide).
+VOXEL_SCALE = 1.0 / 8.0
+
+
+def _model_for(instance: MeshInstance3D) -> VoxelModel | None:
+    if not instance.mesh:
+        return None
+    override = instance.material_override
+    color = None
+    if isinstance(override, StandardMaterial3D):
+        color = MATERIAL_COLOR_INDEX.get(override.albedo)
+    try:
+        return asset(instance.mesh, color=color)
+    except KeyError:
+        return None
+
+
+def collect_voxels(root: Node) -> tuple[np.ndarray, np.ndarray]:
+    """Gather every visible mesh's voxels in world space.
+
+    Returns ``(points (n, 3) float64, rgb (n, 3) uint8)``.  A node hidden via
+    ``visible = False`` hides its whole subtree, matching Godot.
+    """
+    points: list[np.ndarray] = []
+    rgbs: list[np.ndarray] = []
+
+    def walk(node: Node, hidden: bool) -> None:
+        node_hidden = hidden or (getattr(node, "visible", True) is False)
+        if isinstance(node, MeshInstance3D) and not node_hidden:
+            model = _model_for(node)
+            if model is not None and not model.is_empty():
+                xs, ys, zs, colors = model.filled()
+                base = node.global_position
+                sx, _, sz = model.size
+                # centre the asset footprint on the node position
+                pts = np.stack(
+                    [
+                        (xs - sx / 2.0) * VOXEL_SCALE * node.scale + base.x,
+                        ys * VOXEL_SCALE * node.scale + base.y,
+                        (zs - sz / 2.0) * VOXEL_SCALE * node.scale + base.z,
+                    ],
+                    axis=1,
+                )
+                pal = np.zeros((len(model.palette) + 1, 3), dtype=np.uint8)
+                pal[1:] = np.asarray(model.palette, dtype=np.uint8)
+                points.append(pts)
+                rgbs.append(pal[colors])
+        for child in node.get_children():
+            walk(child, node_hidden)
+
+    walk(root, False)
+    if not points:
+        return np.empty((0, 3)), np.empty((0, 3), dtype=np.uint8)
+    return np.concatenate(points, axis=0), np.concatenate(rgbs, axis=0)
+
+
+def render_scene_ascii(
+    root: Node,
+    camera: OrthoCamera,
+    *,
+    width: int = 100,
+    height: int = 40,
+    supersample: int = 2,
+) -> CharBuffer:
+    """Rasterise the scene into a character buffer through *camera*."""
+    points, rgb = collect_voxels(root)
+    if points.shape[0] == 0:
+        return CharBuffer(width, height)
+    u, v, depth = camera.project(points)
+    return rasterize_points(
+        u, v, depth, rgb, width=width, height=height, supersample=supersample
+    )
+
+
+def render_scene_pixels(
+    root: Node,
+    camera: OrthoCamera,
+    *,
+    width: int = 400,
+    height: int = 300,
+    background: tuple[int, int, int] = (18, 18, 22),
+) -> np.ndarray:
+    """Rasterise the scene into an ``(h, w, 3)`` pixel frame (for PPM output).
+
+    Same projection as the ASCII path, but at pixel resolution with square
+    pixels (no cell-aspect doubling).
+    """
+    points, rgb = collect_voxels(root)
+    frame = np.zeros((height, width, 3), dtype=np.uint8)
+    frame[:, :] = background
+    if points.shape[0] == 0:
+        return frame
+    u, v, depth = camera.project(points)
+    su = u - u.min()
+    sv = v - v.min()
+    span_u = max(float(su.max()), 1e-9)
+    span_v = max(float(sv.max()), 1e-9)
+    fit = min((width - 1) / span_u, (height - 1) / span_v)
+    xi = np.clip(np.round(su * fit + (width - 1 - span_u * fit) / 2).astype(np.int64), 0, width - 1)
+    yi = np.clip(np.round(sv * fit + (height - 1 - span_v * fit) / 2).astype(np.int64), 0, height - 1)
+    order = np.argsort(depth, kind="stable")
+    frame[yi[order], xi[order]] = rgb[order]
+    return frame

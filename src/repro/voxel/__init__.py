@@ -1,0 +1,28 @@
+"""Voxel asset substrate: models, procedural warehouse assets, VOX/OBJ IO."""
+
+from repro.voxel.assets import (
+    ASSET_BUILDERS,
+    asset,
+    make_floor_tile,
+    make_label_stand,
+    make_packet_box,
+    make_pallet,
+)
+from repro.voxel.model import DEFAULT_PALETTE, VoxelModel
+from repro.voxel.obj_export import to_obj, write_obj
+from repro.voxel.vox_io import read_vox, write_vox
+
+__all__ = [
+    "VoxelModel",
+    "DEFAULT_PALETTE",
+    "asset",
+    "ASSET_BUILDERS",
+    "make_pallet",
+    "make_packet_box",
+    "make_floor_tile",
+    "make_label_stand",
+    "to_obj",
+    "write_obj",
+    "read_vox",
+    "write_vox",
+]

@@ -1,0 +1,108 @@
+"""Procedural warehouse assets in MagicaVoxel's "simple yet appealing" style.
+
+The paper's scene needs exactly the shapes a shipping warehouse metaphor
+implies: wooden pallets, cardboard packet boxes, a concrete floor, and the
+label stands along both axes.  Each asset is a small :class:`VoxelModel`
+built deterministically, so exported ``.obj`` files are byte-stable.
+
+Palette index map (see :data:`repro.voxel.model.DEFAULT_PALETTE`):
+1 wood, 2 grey, 3 blue, 4 red, 5 black, 6 cardboard, 7 concrete, 8 white.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.voxel.model import VoxelModel
+
+__all__ = [
+    "make_pallet",
+    "make_packet_box",
+    "make_floor_tile",
+    "make_label_stand",
+    "asset",
+    "ASSET_BUILDERS",
+    "WOOD",
+    "GREY",
+    "BLUE",
+    "RED",
+    "BLACK",
+    "CARDBOARD",
+    "CONCRETE",
+    "WHITE",
+]
+
+WOOD, GREY, BLUE, RED, BLACK, CARDBOARD, CONCRETE, WHITE = 1, 2, 3, 4, 5, 6, 7, 8
+
+
+def make_pallet(*, color: int = WOOD) -> VoxelModel:
+    """A classic two-layer shipping pallet: deck boards over three bearers.
+
+    8×3×8 voxels.  ``color`` recolours the deck — the renderer uses this when
+    a material override (grey/blue/red/black) is active on the pallet mesh.
+    """
+    m = VoxelModel((8, 3, 8), name="pallet")
+    # three bearers along z
+    for x0 in (0, 3, 6):
+        m.fill_box((x0, 0, 0), (x0 + 1, 1, 7), color)
+    # five deck boards along x, with one-voxel gaps
+    for z0 in (0, 2, 4, 6):
+        m.fill_box((0, 2, z0), (7, 2, min(z0 + 1, 7)), color)
+    return m
+
+
+def make_packet_box(*, size: int = 4, color: int = CARDBOARD) -> VoxelModel:
+    """A packet: a cardboard cube with a black tape band across the top."""
+    m = VoxelModel((size, size, size), name="packet_box")
+    m.fill_box((0, 0, 0), (size - 1, size - 1, size - 1), color)
+    mid = size // 2
+    m.fill_box((mid - 1 if size > 2 else 0, size - 1, 0), (mid, size - 1, size - 1), BLACK)
+    return m
+
+
+def make_floor_tile(*, size: int = 10) -> VoxelModel:
+    """One concrete floor tile with a grey edge line (the pallet-grid lines)."""
+    m = VoxelModel((size, 1, size), name="floor_tile")
+    m.fill_box((0, 0, 0), (size - 1, 0, size - 1), CONCRETE)
+    for k in range(size):
+        m.set(k, 0, 0, GREY)
+        m.set(0, 0, k, GREY)
+    return m
+
+
+def make_label_stand(*, color: int = WHITE) -> VoxelModel:
+    """An axis-label sign: a post with a white plate the Label3D text sits on."""
+    m = VoxelModel((6, 8, 2), name="label_stand")
+    m.fill_box((2, 0, 0), (3, 4, 0), GREY)       # post
+    m.fill_box((0, 5, 0), (5, 7, 1), color)      # plate
+    return m
+
+
+#: Asset registry used by MeshInstance3D.mesh names.
+ASSET_BUILDERS = {
+    "pallet": make_pallet,
+    "packet_box": make_packet_box,
+    "floor_tile": make_floor_tile,
+    "label_stand": make_label_stand,
+}
+
+
+@lru_cache(maxsize=64)
+def _asset_cached(name: str, color: int | None) -> VoxelModel:
+    builder = ASSET_BUILDERS[name]
+    return builder(color=color) if color is not None else builder()
+
+
+def asset(name: str, *, color: int | None = None) -> VoxelModel:
+    """Fetch a built-in asset by mesh name, optionally recoloured.
+
+    Models are cached; callers must treat them as immutable (copy before
+    editing).  Unknown names raise ``KeyError`` with the available list.
+    """
+    if name not in ASSET_BUILDERS:
+        raise KeyError(f"unknown asset {name!r}; available: {sorted(ASSET_BUILDERS)}")
+    try:
+        return _asset_cached(name, color)
+    except TypeError:
+        # builder without a color parameter (floor tile)
+        return _asset_cached(name, None)

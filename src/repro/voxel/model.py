@@ -1,0 +1,201 @@
+"""Voxel models: the LEGO-like building blocks of all game assets.
+
+MagicaVoxel's model is a dense grid of palette indices (0 = empty, 1-255
+colours).  :class:`VoxelModel` reproduces exactly that, NumPy-backed so face
+extraction and projection stay vectorized.  Axis convention matches the
+engine: x right, y up, z toward the viewer.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import VoxelError
+
+__all__ = ["VoxelModel", "DEFAULT_PALETTE"]
+
+#: Palette used by all built-in assets: index → (r, g, b).  Index 0 is empty
+#: and has no entry; indices here start at 1.
+DEFAULT_PALETTE: tuple[tuple[int, int, int], ...] = (
+    (168, 125, 75),   # 1 wood (pallet default)
+    (128, 128, 128),  # 2 grey
+    (58, 112, 224),   # 3 blue
+    (224, 64, 56),    # 4 red
+    (24, 24, 24),     # 5 black
+    (208, 176, 120),  # 6 cardboard (packet boxes)
+    (90, 90, 98),     # 7 concrete (floor)
+    (240, 240, 240),  # 8 white (label text / signs)
+    (255, 200, 40),   # 9 hazard yellow
+    (40, 160, 90),    # 10 green
+)
+
+
+class VoxelModel:
+    """A ``(sx, sy, sz)`` grid of palette indices with a shared RGB palette."""
+
+    __slots__ = ("grid", "palette", "name")
+
+    def __init__(
+        self,
+        size: tuple[int, int, int],
+        palette: Sequence[tuple[int, int, int]] = DEFAULT_PALETTE,
+        name: str = "model",
+    ) -> None:
+        sx, sy, sz = size
+        if min(sx, sy, sz) < 1:
+            raise VoxelError(f"voxel model dimensions must be positive, got {size}")
+        if len(palette) > 255:
+            raise VoxelError(f"palette may hold at most 255 colours, got {len(palette)}")
+        self.grid = np.zeros((sx, sy, sz), dtype=np.uint8)
+        self.palette = tuple((int(r), int(g), int(b)) for r, g, b in palette)
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # basic access
+    # ------------------------------------------------------------------ #
+
+    @property
+    def size(self) -> tuple[int, int, int]:
+        return self.grid.shape  # type: ignore[return-value]
+
+    def _check_color(self, color: int) -> int:
+        color = int(color)
+        if color < 0 or color > len(self.palette):
+            raise VoxelError(
+                f"colour index {color} outside palette (0..{len(self.palette)})"
+            )
+        return color
+
+    def set(self, x: int, y: int, z: int, color: int) -> None:
+        """Place (or clear, with colour 0) a single voxel."""
+        self.grid[x, y, z] = self._check_color(color)
+
+    def get(self, x: int, y: int, z: int) -> int:
+        return int(self.grid[x, y, z])
+
+    def fill_box(
+        self,
+        start: tuple[int, int, int],
+        end: tuple[int, int, int],
+        color: int,
+    ) -> None:
+        """Fill the inclusive box ``start..end`` with one colour."""
+        color = self._check_color(color)
+        (x0, y0, z0), (x1, y1, z1) = start, end
+        if not (x0 <= x1 and y0 <= y1 and z0 <= z1):
+            raise VoxelError(f"box corners must be ordered, got {start}..{end}")
+        self.grid[x0 : x1 + 1, y0 : y1 + 1, z0 : z1 + 1] = color
+
+    def hollow_box(
+        self,
+        start: tuple[int, int, int],
+        end: tuple[int, int, int],
+        color: int,
+    ) -> None:
+        """A box shell: filled box minus its interior."""
+        self.fill_box(start, end, color)
+        (x0, y0, z0), (x1, y1, z1) = start, end
+        if x1 - x0 >= 2 and y1 - y0 >= 2 and z1 - z0 >= 2:
+            self.grid[x0 + 1 : x1, y0 + 1 : y1, z0 + 1 : z1] = 0
+
+    def count(self) -> int:
+        """Number of filled voxels."""
+        return int(np.count_nonzero(self.grid))
+
+    def is_empty(self) -> bool:
+        return self.count() == 0
+
+    def filled(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """``(xs, ys, zs, colors)`` arrays of every filled voxel."""
+        xs, ys, zs = np.nonzero(self.grid)
+        return xs, ys, zs, self.grid[xs, ys, zs]
+
+    def iter_voxels(self) -> Iterator[tuple[int, int, int, int]]:
+        xs, ys, zs, cs = self.filled()
+        for x, y, z, c in zip(xs.tolist(), ys.tolist(), zs.tolist(), cs.tolist()):
+            yield x, y, z, c
+
+    def bounds(self) -> tuple[tuple[int, int, int], tuple[int, int, int]] | None:
+        """Tight inclusive bounding box of filled voxels, or None when empty."""
+        xs, ys, zs, _ = self.filled()
+        if xs.size == 0:
+            return None
+        return (
+            (int(xs.min()), int(ys.min()), int(zs.min())),
+            (int(xs.max()), int(ys.max()), int(zs.max())),
+        )
+
+    def rgb(self, color: int) -> tuple[int, int, int]:
+        """Palette lookup (1-based; 0 raises — empty has no colour)."""
+        if color < 1 or color > len(self.palette):
+            raise VoxelError(f"no palette entry for colour index {color}")
+        return self.palette[color - 1]
+
+    # ------------------------------------------------------------------ #
+    # transforms
+    # ------------------------------------------------------------------ #
+
+    def copy(self) -> "VoxelModel":
+        out = VoxelModel(self.size, self.palette, self.name)
+        out.grid = self.grid.copy()
+        return out
+
+    def mirrored_x(self) -> "VoxelModel":
+        out = self.copy()
+        out.grid = out.grid[::-1, :, :].copy()
+        return out
+
+    def rotated_y90(self) -> "VoxelModel":
+        """Quarter turn about the vertical axis (x, z) → (z, sx-1-x)."""
+        out = VoxelModel((self.size[2], self.size[1], self.size[0]), self.palette, self.name)
+        out.grid = np.transpose(self.grid, (2, 1, 0))[:, :, ::-1].copy()
+        return out
+
+    def exposed_faces(self) -> dict[str, np.ndarray]:
+        """Boolean masks of faces not hidden by a neighbouring voxel.
+
+        Keys ``+x -x +y -y +z -z`` map to masks over the full grid; a True
+        cell means that voxel's face in that direction is visible.  Used by
+        the OBJ exporter (face culling) and by the renderer.
+        """
+        solid = self.grid != 0
+        out: dict[str, np.ndarray] = {}
+        pad = np.zeros_like(solid)
+
+        def shifted(axis: int, direction: int) -> np.ndarray:
+            res = pad.copy()
+            src = [slice(None)] * 3
+            dst = [slice(None)] * 3
+            if direction > 0:
+                src[axis] = slice(1, None)
+                dst[axis] = slice(None, -1)
+            else:
+                src[axis] = slice(None, -1)
+                dst[axis] = slice(1, None)
+            res[tuple(dst)] = solid[tuple(src)]
+            return res
+
+        out["+x"] = solid & ~shifted(0, 1)
+        out["-x"] = solid & ~shifted(0, -1)
+        out["+y"] = solid & ~shifted(1, 1)
+        out["-y"] = solid & ~shifted(1, -1)
+        out["+z"] = solid & ~shifted(2, 1)
+        out["-z"] = solid & ~shifted(2, -1)
+        return out
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VoxelModel):
+            return NotImplemented
+        return (
+            self.size == other.size
+            and self.palette == other.palette
+            and np.array_equal(self.grid, other.grid)
+        )
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def __repr__(self) -> str:
+        return f"VoxelModel({self.name!r}, size={self.size}, voxels={self.count()})"

@@ -1,0 +1,82 @@
+"""Wavefront ``.obj`` export — the interchange format both tables require.
+
+Table I's engine criterion "Can Import .obj" and Table II's "Can export to
+.obj" meet here: every voxel asset exports as an OBJ mesh (one quad per
+*visible* voxel face, hidden shared faces culled) plus a companion ``.mtl``
+with one material per palette colour.  Vertices are deduplicated so meshes
+load cleanly in any standard tool.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.voxel.model import VoxelModel
+
+__all__ = ["to_obj", "write_obj"]
+
+# Each face direction: (corner offsets of the quad, in CCW order seen from outside)
+_FACE_CORNERS = {
+    "+x": ((1, 0, 0), (1, 1, 0), (1, 1, 1), (1, 0, 1)),
+    "-x": ((0, 0, 1), (0, 1, 1), (0, 1, 0), (0, 0, 0)),
+    "+y": ((0, 1, 0), (0, 1, 1), (1, 1, 1), (1, 1, 0)),
+    "-y": ((0, 0, 0), (1, 0, 0), (1, 0, 1), (0, 0, 1)),
+    "+z": ((1, 0, 1), (1, 1, 1), (0, 1, 1), (0, 0, 1)),
+    "-z": ((0, 0, 0), (0, 1, 0), (1, 1, 0), (1, 0, 0)),
+}
+
+
+def to_obj(model: VoxelModel, *, mtl_name: str | None = None) -> tuple[str, str]:
+    """Render a voxel model to ``(obj_text, mtl_text)``.
+
+    Faces are grouped by material (``usemtl color<i>``); vertices shared by
+    multiple faces are emitted once.  Returns empty-geometry documents for an
+    empty model rather than failing — an empty asset is a valid asset.
+    """
+    mtl_name = mtl_name or f"{model.name}.mtl"
+    faces = model.exposed_faces()
+    vert_index: dict[tuple[int, int, int], int] = {}
+    vert_lines: list[str] = []
+    by_material: dict[int, list[str]] = {}
+
+    def vid(p: tuple[int, int, int]) -> int:
+        if p not in vert_index:
+            vert_index[p] = len(vert_index) + 1  # OBJ is 1-based
+            vert_lines.append(f"v {p[0]} {p[1]} {p[2]}")
+        return vert_index[p]
+
+    for direction, mask in faces.items():
+        xs, ys, zs = np.nonzero(mask)
+        colors = model.grid[xs, ys, zs]
+        corners = _FACE_CORNERS[direction]
+        for x, y, z, c in zip(xs.tolist(), ys.tolist(), zs.tolist(), colors.tolist()):
+            ids = [vid((x + dx, y + dy, z + dz)) for dx, dy, dz in corners]
+            by_material.setdefault(int(c), []).append("f " + " ".join(map(str, ids)))
+
+    obj_lines = [
+        f"# {model.name}: voxel export, {model.count()} voxels",
+        f"mtllib {mtl_name}",
+        f"o {model.name}",
+        *vert_lines,
+    ]
+    mtl_lines = [f"# materials for {model.name}"]
+    for color in sorted(by_material):
+        obj_lines.append(f"usemtl color{color}")
+        obj_lines.extend(by_material[color])
+        r, g, b = model.rgb(color)
+        mtl_lines.append(f"newmtl color{color}")
+        mtl_lines.append(f"Kd {r / 255:.4f} {g / 255:.4f} {b / 255:.4f}")
+    return "\n".join(obj_lines) + "\n", "\n".join(mtl_lines) + "\n"
+
+
+def write_obj(model: VoxelModel, path: str | Path) -> tuple[Path, Path]:
+    """Write ``<path>`` and its sibling ``.mtl``; returns both paths."""
+    path = Path(path)
+    mtl_path = path.with_suffix(".mtl")
+    obj_text, mtl_text = to_obj(model, mtl_name=mtl_path.name)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(obj_text, encoding="utf-8")
+    mtl_path.write_text(mtl_text, encoding="utf-8")
+    return path, mtl_path

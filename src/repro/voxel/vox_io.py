@@ -1,0 +1,107 @@
+"""MagicaVoxel ``.vox`` file IO (the subset real assets round-trip through).
+
+Implements the published VOX format: a ``VOX `` magic header, version int,
+and a RIFF-style ``MAIN`` chunk containing ``SIZE`` (model dimensions),
+``XYZI`` (voxel records ``x y z colorIndex``) and ``RGBA`` (256-entry
+palette).  Files written here open in MagicaVoxel; single-model files saved
+by MagicaVoxel load here.
+
+Axis note: MagicaVoxel's z is up while the engine's y is up; the reader and
+writer swap (y, z) so in-memory models keep the engine convention.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import VoxelError
+from repro.voxel.model import DEFAULT_PALETTE, VoxelModel
+
+__all__ = ["write_vox", "read_vox"]
+
+_MAGIC = b"VOX "
+_VERSION = 150
+
+
+def _chunk(cid: bytes, content: bytes, children: bytes = b"") -> bytes:
+    return cid + struct.pack("<ii", len(content), len(children)) + content + children
+
+
+def write_vox(model: VoxelModel, path: str | Path) -> Path:
+    """Write a single-model ``.vox`` file MagicaVoxel can open."""
+    path = Path(path)
+    xs, ys, zs, colors = model.filled()
+    if xs.size > 0xFFFF_FFFF:  # pragma: no cover - format limit documentation
+        raise VoxelError("too many voxels for the VOX format")
+    if max(model.size) > 256:
+        raise VoxelError(f"VOX models are limited to 256 per axis, got {model.size}")
+    sx, sy, sz = model.size
+    # engine (x, y-up, z) → vox (x, z-depth, y-up)
+    size_content = struct.pack("<iii", sx, sz, sy)
+    n = int(xs.size)
+    xyzi = struct.pack("<i", n) + b"".join(
+        struct.pack("<BBBB", int(x), int(z), int(y), int(c))
+        for x, y, z, c in zip(xs.tolist(), ys.tolist(), zs.tolist(), colors.tolist())
+    )
+    palette = np.zeros((256, 4), dtype=np.uint8)
+    palette[:, 3] = 255
+    for i, (r, g, b) in enumerate(model.palette):
+        palette[i] = (r, g, b, 255)
+    rgba = palette.tobytes()
+    children = _chunk(b"SIZE", size_content) + _chunk(b"XYZI", xyzi) + _chunk(b"RGBA", rgba)
+    main = _chunk(b"MAIN", b"", children)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(_MAGIC + struct.pack("<i", _VERSION) + main)
+    return path
+
+
+def read_vox(path: str | Path) -> VoxelModel:
+    """Read a single-model ``.vox`` file (SIZE + XYZI, optional RGBA)."""
+    path = Path(path)
+    data = path.read_bytes()
+    if len(data) < 8 or data[:4] != _MAGIC:
+        raise VoxelError(f"{path} is not a VOX file (bad magic)")
+    pos = 8  # skip magic + version
+    size: tuple[int, int, int] | None = None
+    voxels: list[tuple[int, int, int, int]] = []
+    palette: list[tuple[int, int, int]] | None = None
+
+    def parse_chunks(start: int, end: int) -> None:
+        nonlocal size, palette
+        p = start
+        while p + 12 <= end:
+            cid = data[p : p + 4]
+            content_len, children_len = struct.unpack_from("<ii", data, p + 4)
+            content_start = p + 12
+            content = data[content_start : content_start + content_len]
+            if cid == b"SIZE":
+                vx, vz, vy = struct.unpack("<iii", content[:12])
+                size = (vx, vy, vz)  # vox (x, depth, up) → engine (x, up, depth)
+            elif cid == b"XYZI":
+                (n,) = struct.unpack_from("<i", content, 0)
+                for k in range(n):
+                    x, d, u, c = struct.unpack_from("<BBBB", content, 4 + 4 * k)
+                    voxels.append((x, u, d, c))
+            elif cid == b"RGBA":
+                arr = np.frombuffer(content, dtype=np.uint8).reshape(-1, 4)
+                palette = [tuple(int(v) for v in row[:3]) for row in arr]
+            parse_chunks(content_start + content_len, content_start + content_len + children_len)
+            p = content_start + content_len + children_len
+
+    parse_chunks(pos, len(data))
+    if size is None:
+        raise VoxelError(f"{path} has no SIZE chunk")
+    used = max((c for *_xyz, c in voxels), default=0)
+    if palette is not None:
+        pal = tuple(palette[: max(used, len(DEFAULT_PALETTE))])
+    else:
+        pal = DEFAULT_PALETTE
+    model = VoxelModel(size, pal, name=path.stem)
+    for x, y, z, c in voxels:
+        if not (0 <= x < size[0] and 0 <= y < size[1] and 0 <= z < size[2]):
+            raise VoxelError(f"voxel ({x}, {y}, {z}) outside model size {size}")
+        model.set(x, y, z, c)
+    return model

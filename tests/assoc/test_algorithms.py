@@ -1,0 +1,178 @@
+"""Semiring graph algorithms cross-checked against networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.assoc.algorithms import (
+    bfs_levels,
+    connected_components,
+    pagerank,
+    reachability_matrix,
+    shortest_path_lengths,
+    triangle_count,
+)
+from repro.assoc.sparse import CSRMatrix
+from repro.errors import SparseFormatError
+
+
+def random_digraph(n: int, density: float, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    dense = (rng.random((n, n)) < density).astype(np.int64)
+    np.fill_diagonal(dense, 0)
+    return dense
+
+
+def graphs():
+    return st.tuples(st.integers(2, 12), st.integers(0, 2**31)).map(
+        lambda t: random_digraph(t[0], 0.25, t[1])
+    )
+
+
+class TestBFS:
+    def test_path_graph(self):
+        dense = np.zeros((4, 4), dtype=np.int64)
+        dense[0, 1] = dense[1, 2] = dense[2, 3] = 1
+        levels = bfs_levels(CSRMatrix.from_dense(dense), 0)
+        assert levels.tolist() == [0, 1, 2, 3]
+
+    def test_unreachable(self):
+        dense = np.zeros((3, 3), dtype=np.int64)
+        dense[0, 1] = 1
+        levels = bfs_levels(CSRMatrix.from_dense(dense), 0)
+        assert levels.tolist() == [0, 1, -1]
+
+    def test_bad_source(self):
+        with pytest.raises(SparseFormatError):
+            bfs_levels(CSRMatrix.empty((3, 3)), 5)
+
+    @given(graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_matches_networkx(self, dense):
+        g = nx.from_numpy_array(dense, create_using=nx.DiGraph)
+        levels = bfs_levels(CSRMatrix.from_dense(dense), 0)
+        nx_levels = nx.single_source_shortest_path_length(g, 0)
+        for v in range(dense.shape[0]):
+            expected = nx_levels.get(v, -1)
+            assert levels[v] == expected
+
+
+class TestShortestPaths:
+    def test_weighted_chain(self):
+        dense = np.zeros((3, 3))
+        dense[0, 1] = 5
+        dense[1, 2] = 7
+        dist = shortest_path_lengths(CSRMatrix.from_dense(dense), 0)
+        assert dist.tolist() == [0.0, 5.0, 12.0]
+
+    def test_negative_weights_rejected(self):
+        dense = np.zeros((2, 2))
+        dense[0, 1] = -1
+        with pytest.raises(SparseFormatError):
+            shortest_path_lengths(CSRMatrix.from_dense(dense, zero=0), 0)
+
+    @given(graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_matches_networkx_dijkstra(self, dense):
+        weighted = dense * 3  # weight 3 per edge
+        g = nx.from_numpy_array(weighted, create_using=nx.DiGraph)
+        dist = shortest_path_lengths(CSRMatrix.from_dense(weighted), 0)
+        nx_dist = nx.single_source_dijkstra_path_length(g, 0)
+        for v in range(dense.shape[0]):
+            expected = nx_dist.get(v, np.inf)
+            assert dist[v] == expected
+
+
+class TestComponents:
+    def test_two_islands(self):
+        dense = np.zeros((4, 4), dtype=np.int64)
+        dense[0, 1] = 1
+        dense[2, 3] = 1
+        labels = connected_components(CSRMatrix.from_dense(dense))
+        assert labels.tolist() == [0, 0, 2, 2]
+
+    @given(graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_matches_networkx_weak_components(self, dense):
+        g = nx.from_numpy_array(dense, create_using=nx.DiGraph)
+        labels = connected_components(CSRMatrix.from_dense(dense))
+        ours = {}
+        for v, lb in enumerate(labels.tolist()):
+            ours.setdefault(lb, set()).add(v)
+        theirs = {frozenset(c) for c in nx.weakly_connected_components(g)}
+        assert {frozenset(c) for c in ours.values()} == theirs
+
+
+class TestTriangles:
+    def test_single_triangle(self):
+        from repro.graphs.patterns import triangle
+
+        adj = CSRMatrix.from_dense(triangle(5).packets)
+        assert triangle_count(adj) == 1
+
+    def test_clique_formula(self):
+        from repro.graphs.patterns import clique
+
+        adj = CSRMatrix.from_dense(clique(6).packets)
+        assert triangle_count(adj) == 20  # C(6,3)
+
+    def test_self_loops_ignored(self):
+        from repro.graphs.patterns import self_loops, triangle
+
+        combined = triangle(5).packets + self_loops(5).packets
+        assert triangle_count(CSRMatrix.from_dense(combined)) == 1
+
+    @given(graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_matches_networkx(self, dense):
+        sym = ((dense + dense.T) > 0).astype(np.int64)
+        np.fill_diagonal(sym, 0)
+        g = nx.from_numpy_array(sym)
+        expected = sum(nx.triangles(g).values()) // 3
+        assert triangle_count(CSRMatrix.from_dense(sym)) == expected
+
+
+class TestPageRank:
+    def test_uniform_on_cycle(self):
+        from repro.graphs.patterns import ring
+
+        adj = CSRMatrix.from_dense(ring(6, mutual=False).packets)
+        ranks = pagerank(adj)
+        assert ranks == pytest.approx(np.full(6, 1 / 6), abs=1e-8)
+
+    def test_sums_to_one(self):
+        dense = random_digraph(10, 0.3, 5)
+        assert pagerank(CSRMatrix.from_dense(dense)).sum() == pytest.approx(1.0)
+
+    @given(graphs())
+    @settings(max_examples=15, deadline=None)
+    def test_matches_networkx(self, dense):
+        g = nx.from_numpy_array(dense, create_using=nx.DiGraph)
+        ours = pagerank(CSRMatrix.from_dense(dense))
+        theirs = nx.pagerank(g, alpha=0.85, tol=1e-12, max_iter=500)
+        for v in range(dense.shape[0]):
+            assert ours[v] == pytest.approx(theirs[v], abs=1e-6)
+
+
+class TestReachability:
+    def test_chain_closure(self):
+        dense = np.zeros((3, 3), dtype=np.int64)
+        dense[0, 1] = dense[1, 2] = 1
+        reach = reachability_matrix(CSRMatrix.from_dense(dense)).to_dense(False)
+        assert reach[0, 2] and reach[0, 1] and not reach[2, 0]
+
+    @given(graphs())
+    @settings(max_examples=20, deadline=None)
+    def test_matches_networkx_descendants(self, dense):
+        g = nx.from_numpy_array(dense, create_using=nx.DiGraph)
+        reach = reachability_matrix(CSRMatrix.from_dense(dense)).to_dense(False)
+        for v in range(dense.shape[0]):
+            got = set(np.flatnonzero(reach[v]).tolist())
+            expected = set(nx.descendants(g, v))
+            # closure counts v→v when v lies on a cycle; descendants never
+            # includes the start vertex, so compare modulo {v}
+            assert got - {v} == expected - {v}
+            if v in got:
+                assert v in expected or nx.has_path(g, v, v) or dense[v, v]

@@ -1,0 +1,210 @@
+"""Associative arrays: key alignment, D4M-style extraction, algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.assoc.array import AssociativeArray
+from repro.assoc.semiring import MAX_MONOID, MIN_PLUS
+from repro.errors import AssocArrayError
+
+KEYS = ["ADV1", "EXT1", "SRV1", "WS1", "WS2"]
+
+
+def triples_strategy():
+    entry = st.tuples(st.sampled_from(KEYS), st.sampled_from(KEYS), st.integers(1, 9))
+    return st.lists(entry, min_size=0, max_size=12)
+
+
+def build(triples):
+    if not triples:
+        return AssociativeArray.empty()
+    rows, cols, vals = zip(*triples)
+    return AssociativeArray.from_triples(list(rows), list(cols), np.asarray(vals))
+
+
+class TestConstruction:
+    def test_axes_are_sorted_distinct_keys(self):
+        a = AssociativeArray.from_triples(["b", "a", "b"], ["x", "y", "x"], [1, 2, 3])
+        assert a.row_labels == ("a", "b")
+        assert a.col_labels == ("x", "y")
+
+    def test_duplicates_sum(self):
+        a = AssociativeArray.from_triples(["a", "a"], ["x", "x"], [1, 2])
+        assert a["a", "x"] == 3
+
+    def test_duplicates_other_monoid(self):
+        a = AssociativeArray.from_triples(["a", "a"], ["x", "x"], [1, 5], add=MAX_MONOID)
+        assert a["a", "x"] == 5
+
+    def test_explicit_axes_must_cover_keys(self):
+        with pytest.raises(AssocArrayError, match="not present"):
+            AssociativeArray.from_triples(["a"], ["x"], [1], row_labels=["b"])
+
+    def test_from_dict(self):
+        a = AssociativeArray.from_dict({("a", "x"): 2, ("b", "y"): 3})
+        assert a["b", "y"] == 3 and a.nnz == 2
+
+    def test_from_dense_requires_sorted_axes(self):
+        with pytest.raises(AssocArrayError):
+            AssociativeArray.from_dense(np.zeros((2, 2)), ["b", "a"], ["x", "y"])
+
+    def test_empty(self):
+        a = AssociativeArray.empty(["a"], ["x"])
+        assert a.shape == (1, 1) and a.nnz == 0
+
+    def test_length_mismatch(self):
+        with pytest.raises(AssocArrayError):
+            AssociativeArray.from_triples(["a"], ["x", "y"], [1, 2])
+
+
+class TestLookup:
+    def test_scalar_hit_and_miss(self):
+        a = AssociativeArray.from_triples(["a", "b"], ["x", "y"], [1, 2])
+        assert a["a", "x"] == 1
+        assert a["a", "y"] == 0  # sparse zero
+
+    def test_unknown_key_raises(self):
+        a = AssociativeArray.from_triples(["a"], ["x"], [1])
+        with pytest.raises(AssocArrayError, match="unknown row key"):
+            a["zz", "x"]
+
+    def test_triples_sorted(self):
+        a = AssociativeArray.from_triples(["b", "a"], ["x", "x"], [2, 1])
+        assert a.triples() == [("a", "x", 1), ("b", "x", 2)]
+
+    def test_to_dict_round_trip(self):
+        entries = {("a", "x"): 2, ("b", "y"): 3}
+        assert AssociativeArray.from_dict(entries).to_dict() == entries
+
+
+class TestExtract:
+    def test_by_key_list(self):
+        a = AssociativeArray.from_triples(["WS1", "WS2", "ADV1"], ["ADV1"] * 3, [1, 2, 3])
+        sub = a.extract(["WS1", "WS2"], ":")
+        assert sub.row_labels == ("WS1", "WS2") and sub.nnz == 2
+
+    def test_prefix_star(self):
+        a = AssociativeArray.from_triples(["WS1", "WS2", "ADV1"], ["ADV1"] * 3, [1, 2, 3])
+        assert a.extract("WS*", ":").row_labels == ("WS1", "WS2")
+
+    def test_single_key_string(self):
+        a = AssociativeArray.from_triples(["WS1", "WS2"], ["ADV1", "ADV1"], [1, 2])
+        sub = a.extract("WS2", ":")
+        assert sub.shape == (1, 1) and sub["WS2", "ADV1"] == 2
+
+    def test_full_slice_object(self):
+        a = AssociativeArray.from_triples(["a"], ["x"], [1])
+        assert a[slice(None), slice(None)] == a
+
+    def test_partial_slice_rejected(self):
+        a = AssociativeArray.from_triples(["a"], ["x"], [1])
+        with pytest.raises(AssocArrayError):
+            a.extract(slice(0, 1), ":")
+
+
+class TestAlignment:
+    def test_add_aligns_by_key_union(self):
+        a = AssociativeArray.from_triples(["a"], ["x"], [1])
+        b = AssociativeArray.from_triples(["b"], ["y"], [2])
+        s = a + b
+        assert s.row_labels == ("a", "b") and s.col_labels == ("x", "y")
+        assert s["a", "x"] == 1 and s["b", "y"] == 2
+
+    def test_add_merges_shared_keys(self):
+        a = AssociativeArray.from_triples(["a"], ["x"], [1])
+        b = AssociativeArray.from_triples(["a"], ["x"], [5])
+        assert (a + b)["a", "x"] == 6
+
+    def test_ewise_mult_intersects(self):
+        a = AssociativeArray.from_triples(["a", "a"], ["x", "y"], [2, 3])
+        b = AssociativeArray.from_triples(["a"], ["x"], [10])
+        m = a * b
+        assert m["a", "x"] == 20 and m.nnz == 1
+
+    def test_scalar_multiply(self):
+        a = AssociativeArray.from_triples(["a"], ["x"], [3])
+        assert (a * 4)["a", "x"] == 12
+        assert (4 * a)["a", "x"] == 12
+
+    def test_reindex_superset_only(self):
+        a = AssociativeArray.from_triples(["b"], ["x"], [1])
+        with pytest.raises(AssocArrayError):
+            a.reindex(["c"], ["x"])
+
+    def test_mxm_aligns_inner_axis(self):
+        a = AssociativeArray.from_triples(["s"], ["mid1"], [2])
+        b = AssociativeArray.from_triples(["mid1", "mid2"], ["t", "t"], [3, 7])
+        p = a @ b
+        assert p["s", "t"] == 6
+
+    def test_mxm_min_plus(self):
+        a = AssociativeArray.from_triples(["s", "s"], ["m1", "m2"], [1.0, 5.0])
+        b = AssociativeArray.from_triples(["m1", "m2"], ["t", "t"], [10.0, 1.0])
+        d = a.mxm(b, MIN_PLUS)
+        assert d["s", "t"] == 6.0
+
+    def test_transpose(self):
+        a = AssociativeArray.from_triples(["a"], ["x"], [1])
+        assert a.T["x", "a"] == 1
+        assert a.T.T == a
+
+
+class TestReductions:
+    def test_reduce_rows_cols(self):
+        a = AssociativeArray.from_triples(["a", "a", "b"], ["x", "y", "x"], [1, 2, 3])
+        assert a.reduce_rows() == {"a": 3, "b": 3}
+        assert a.reduce_cols() == {"x": 4, "y": 2}
+
+    def test_sum(self):
+        a = AssociativeArray.from_triples(["a"], ["x"], [7])
+        assert a.sum() == 7
+
+    def test_top_rows(self):
+        a = AssociativeArray.from_triples(["hub", "leaf"], ["x", "x"], [10, 1])
+        assert a.top_rows(1) == [("hub", 10)]
+
+    def test_top_rows_ties_break_by_key(self):
+        a = AssociativeArray.from_triples(["b", "a"], ["x", "x"], [5, 5])
+        assert a.top_rows(2) == [("a", 5), ("b", 5)]
+
+    def test_apply(self):
+        a = AssociativeArray.from_triples(["a"], ["x"], [3])
+        assert a.apply(lambda v: v * 10)["a", "x"] == 30
+
+    def test_apply_shape_change_rejected(self):
+        a = AssociativeArray.from_triples(["a"], ["x"], [3])
+        with pytest.raises(AssocArrayError):
+            a.apply(lambda v: np.concatenate([v, v]))
+
+    def test_relabel_merges_collisions(self):
+        a = AssociativeArray.from_triples(["a1", "a2"], ["x", "x"], [1, 2])
+        merged = a.relabel(row_map=lambda k: k[0].upper())
+        assert merged["A", "x"] == 3
+
+
+class TestProperties:
+    @given(triples_strategy(), triples_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_add_commutes(self, t1, t2):
+        a, b = build(t1), build(t2)
+        assert a + b == b + a
+
+    @given(triples_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_sum_preserved_by_transpose(self, t):
+        a = build(t)
+        assert a.sum() == a.T.sum()
+
+    @given(triples_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_row_reduction_totals_sum(self, t):
+        a = build(t)
+        assert sum(a.reduce_rows().values()) == a.sum()
+
+    @given(triples_strategy(), triples_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_add_total_is_sum_of_totals(self, t1, t2):
+        a, b = build(t1), build(t2)
+        assert (a + b).sum() == a.sum() + b.sum()

@@ -1,0 +1,109 @@
+"""Semiring algebra: identities, reduceat segment handling, registry."""
+
+import numpy as np
+import pytest
+
+from repro.assoc.semiring import (
+    LOR_LAND,
+    MAX_PLUS,
+    MIN_MONOID,
+    MIN_PLUS,
+    PLUS_MONOID,
+    PLUS_PAIR,
+    PLUS_TIMES,
+    SEMIRINGS,
+    BinaryOp,
+    Monoid,
+    semiring_by_name,
+)
+from repro.errors import SemiringError
+
+
+class TestBinaryOp:
+    def test_ufunc_detection(self):
+        assert BinaryOp("plus", np.add).is_ufunc
+        assert not BinaryOp("first", lambda x, y: x).is_ufunc
+
+    def test_callable(self):
+        op = BinaryOp("plus", np.add)
+        assert op(np.asarray([1, 2]), np.asarray([3, 4])).tolist() == [4, 6]
+
+
+class TestMonoidIdentity:
+    def test_plus_identity_zero(self):
+        assert PLUS_MONOID.identity(np.int64) == 0
+        assert PLUS_MONOID.identity(np.float64) == 0.0
+
+    def test_min_identity_is_max_value(self):
+        assert MIN_MONOID.identity(np.float64) == np.inf
+        assert MIN_MONOID.identity(np.int64) == np.iinfo(np.int64).max
+
+    def test_bool_identities(self):
+        assert LOR_LAND.add.identity(np.bool_) is False
+
+
+class TestReduceat:
+    def test_simple_segments(self):
+        data = np.asarray([1, 2, 3, 4, 5])
+        indptr = np.asarray([0, 2, 5])
+        assert PLUS_MONOID.reduceat(data, indptr).tolist() == [3, 12]
+
+    def test_empty_middle_segment_gets_identity(self):
+        data = np.asarray([1, 2, 3])
+        indptr = np.asarray([0, 2, 2, 3])
+        assert PLUS_MONOID.reduceat(data, indptr).tolist() == [3, 0, 3]
+
+    def test_empty_trailing_segment_does_not_corrupt_previous(self):
+        # regression: clipping trailing starts used to truncate segment extents
+        data = np.asarray([1, 2, 3])
+        indptr = np.asarray([0, 3, 3])
+        assert PLUS_MONOID.reduceat(data, indptr).tolist() == [6, 0]
+
+    def test_all_empty(self):
+        out = PLUS_MONOID.reduceat(np.asarray([], dtype=np.int64), np.asarray([0, 0, 0]))
+        assert out.tolist() == [0, 0]
+
+    def test_min_monoid_segments(self):
+        data = np.asarray([5.0, 1.0, 7.0])
+        indptr = np.asarray([0, 1, 1, 3])
+        out = MIN_MONOID.reduceat(data, indptr)
+        assert out.tolist() == [5.0, np.inf, 1.0]
+
+    def test_non_ufunc_monoid_rejected(self):
+        bad = Monoid(BinaryOp("first", lambda x, y: x), lambda dt: 0)
+        with pytest.raises(SemiringError):
+            bad.reduceat(np.asarray([1]), np.asarray([0, 1]))
+
+    def test_randomised_against_loop(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            n_seg = int(rng.integers(1, 8))
+            lengths = rng.integers(0, 4, size=n_seg)
+            indptr = np.concatenate([[0], np.cumsum(lengths)])
+            data = rng.integers(-5, 6, size=int(indptr[-1]))
+            got = PLUS_MONOID.reduceat(data, indptr)
+            want = [int(data[indptr[k]:indptr[k + 1]].sum()) for k in range(n_seg)]
+            assert got.tolist() == want
+
+
+class TestSemiring:
+    def test_names(self):
+        assert PLUS_TIMES.name == "plus.times"
+        assert MIN_PLUS.name == "min.plus"
+
+    def test_zero_per_dtype(self):
+        assert PLUS_TIMES.zero(np.int64) == 0
+        assert MIN_PLUS.zero(np.float64) == np.inf
+        assert MAX_PLUS.zero(np.float64) == -np.inf
+
+    def test_registry_lookup(self):
+        assert semiring_by_name("lor.land") is LOR_LAND
+        assert len(SEMIRINGS) >= 10
+
+    def test_unknown_name(self):
+        with pytest.raises(SemiringError, match="unknown semiring"):
+            semiring_by_name("frob.nicate")
+
+    def test_pair_op_returns_ones(self):
+        out = PLUS_PAIR.mult(np.asarray([3, 4]), np.asarray([5, 6]))
+        assert out.tolist() == [1, 1]

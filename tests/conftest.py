@@ -1,0 +1,38 @@
+"""Shared fixtures for the Traffic Warehouse test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.resources import reset_registry
+from repro.modules.library import builtin_catalog
+from repro.modules.templates import template_6x6, template_10x10
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture()
+def tpl10():
+    return template_10x10()
+
+
+@pytest.fixture()
+def tpl6():
+    return template_6x6()
+
+
+@pytest.fixture(scope="session")
+def catalog():
+    return builtin_catalog()
+
+
+@pytest.fixture(autouse=True)
+def _clean_resource_registry():
+    """Each test sees the pristine material registry."""
+    reset_registry()
+    yield
+    reset_registry()

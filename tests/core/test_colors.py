@@ -1,0 +1,92 @@
+"""Colour-code semantics: palette, materials, grid validation."""
+
+import numpy as np
+import pytest
+
+from repro.core.colors import (
+    COLOR_CODES,
+    DEFAULT_MATERIAL,
+    FALLBACK_MATERIAL,
+    PalletColor,
+    ansi_for_code,
+    color_name,
+    material_for_code,
+    validate_color_grid,
+)
+from repro.errors import ColorError
+
+
+class TestPalletColor:
+    def test_codes_match_json_encoding(self):
+        assert PalletColor.GREY == 0
+        assert PalletColor.BLUE == 1
+        assert PalletColor.RED == 2
+
+    def test_color_codes_tuple(self):
+        assert COLOR_CODES == (0, 1, 2)
+
+    def test_material_paths_are_distinct(self):
+        mats = {c.material for c in PalletColor}
+        assert len(mats) == 3
+        assert all(m.startswith("res://") for m in mats)
+
+    def test_from_int_round_trip(self):
+        for code in COLOR_CODES:
+            assert int(PalletColor(code)) == code
+
+    def test_invalid_code_raises(self):
+        with pytest.raises(ValueError):
+            PalletColor(3)
+
+
+class TestColorName:
+    @pytest.mark.parametrize("code,name", [(0, "grey"), (1, "blue"), (2, "red")])
+    def test_known_codes(self, code, name):
+        assert color_name(code) == name
+
+    @pytest.mark.parametrize("code,name", [(3, "yellow"), (4, "green")])
+    def test_extended_codes_named(self, code, name):
+        assert color_name(code) == name
+
+    @pytest.mark.parametrize("code", [-1, 5, 99])
+    def test_unknown_codes_are_black(self, code):
+        assert color_name(code) == "black"
+
+
+class TestMaterialForCode:
+    def test_known_codes(self):
+        assert material_for_code(2) == PalletColor.RED.material
+
+    def test_fallback_matches_gdscript_wildcard_arm(self):
+        assert material_for_code(7) == FALLBACK_MATERIAL
+
+    def test_default_material_distinct_from_colors(self):
+        assert DEFAULT_MATERIAL not in {material_for_code(c) for c in COLOR_CODES}
+
+
+class TestAnsiForCode:
+    def test_distinct_escapes(self):
+        assert len({ansi_for_code(c) for c in (0, 1, 2, 9)}) == 4
+
+
+class TestValidateColorGrid:
+    def test_valid_grid_passes(self):
+        grid = validate_color_grid(np.asarray([[0, 1], [2, 0]]))
+        assert grid.dtype == np.int8
+        assert grid.tolist() == [[0, 1], [2, 0]]
+
+    def test_contiguous_output(self):
+        grid = validate_color_grid(np.asarray([[0, 1], [2, 0]])[::-1])
+        assert grid.flags["C_CONTIGUOUS"]
+
+    def test_bad_code_raises_with_position(self):
+        with pytest.raises(ColorError, match=r"\(1, 0\)"):
+            validate_color_grid(np.asarray([[0, 0], [5, 0]]))
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ColorError, match="2-D"):
+            validate_color_grid(np.asarray([0, 1, 2]))
+
+    def test_non_strict_keeps_unknown_codes(self):
+        grid = validate_color_grid(np.asarray([[9]]), strict=False)
+        assert grid[0, 0] == 9

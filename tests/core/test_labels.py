@@ -1,0 +1,87 @@
+"""Axis-label validation and the shipped template label sets."""
+
+import pytest
+
+from repro.core.labels import (
+    MAX_LABEL_LENGTH,
+    TEMPLATE_LABELS_6,
+    TEMPLATE_LABELS_10,
+    default_labels,
+    label_indices,
+    normalize_label,
+    validate_labels,
+)
+from repro.errors import LabelError
+
+
+class TestNormalize:
+    def test_uppercases_and_strips(self):
+        assert normalize_label("  ws1 ") == "WS1"
+
+    def test_empty_raises(self):
+        with pytest.raises(LabelError):
+            normalize_label("   ")
+
+
+class TestValidateLabels:
+    def test_template_labels_pass(self):
+        assert validate_labels(TEMPLATE_LABELS_10) == TEMPLATE_LABELS_10
+
+    def test_lowercase_normalised(self):
+        assert validate_labels(["ws1", "adv1"]) == ("WS1", "ADV1")
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(LabelError, match="duplicate"):
+            validate_labels(["WS1", "ws1"])
+
+    def test_size_mismatch_uses_game_error_text(self):
+        with pytest.raises(LabelError, match="does not match number of labels"):
+            validate_labels(["WS1", "WS2"], size=3)
+
+    def test_too_long_rejected(self):
+        with pytest.raises(LabelError, match=str(MAX_LABEL_LENGTH)):
+            validate_labels(["WORKSTATION1"])
+
+    def test_bad_characters_rejected(self):
+        with pytest.raises(LabelError, match="invalid"):
+            validate_labels(["WS 1"])
+
+    def test_leading_digit_rejected(self):
+        with pytest.raises(LabelError, match="invalid"):
+            validate_labels(["1WS"])
+
+    def test_underscore_and_dash_allowed(self):
+        assert validate_labels(["A_B", "A-B"]) == ("A_B", "A-B")
+
+
+class TestDefaultLabels:
+    def test_size_6_is_template(self):
+        assert default_labels(6) == TEMPLATE_LABELS_6
+
+    def test_size_10_is_paper_template(self):
+        assert default_labels(10) == TEMPLATE_LABELS_10
+        assert default_labels(10)[0] == "WS1"
+        assert default_labels(10)[-1] == "ADV4"
+
+    def test_other_sizes_generic(self):
+        assert default_labels(3) == ("N1", "N2", "N3")
+
+    def test_generic_labels_unique(self):
+        labels = default_labels(40)
+        assert len(set(labels)) == 40
+
+    def test_nonpositive_raises(self):
+        with pytest.raises(LabelError):
+            default_labels(0)
+
+
+class TestLabelIndices:
+    def test_maps_by_name(self):
+        assert label_indices(TEMPLATE_LABELS_10, ["WS1", "ADV4"]) == [0, 9]
+
+    def test_normalises_lookups(self):
+        assert label_indices(TEMPLATE_LABELS_10, ["ws1"]) == [0]
+
+    def test_unknown_raises(self):
+        with pytest.raises(LabelError, match="NOPE"):
+            label_indices(TEMPLATE_LABELS_10, ["NOPE"])

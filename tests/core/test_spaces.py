@@ -1,0 +1,116 @@
+"""Blue/grey/red space model: prefix inference, index queries, colour grids."""
+
+import numpy as np
+import pytest
+
+from repro.core.labels import TEMPLATE_LABELS_10
+from repro.core.spaces import (
+    NetworkSpace,
+    SpaceMap,
+    iter_space_blocks,
+    space_of_label,
+    spaces_from_counts,
+)
+from repro.errors import LabelError
+
+
+class TestSpaceOfLabel:
+    @pytest.mark.parametrize(
+        "label,space",
+        [
+            ("WS1", NetworkSpace.BLUE),
+            ("SRV1", NetworkSpace.BLUE),
+            ("EXT2", NetworkSpace.GREY),
+            ("ADV4", NetworkSpace.RED),
+        ],
+    )
+    def test_template_prefixes(self, label, space):
+        assert space_of_label(label) is space
+
+    def test_case_insensitive(self):
+        assert space_of_label("adv1") is NetworkSpace.RED
+
+    def test_unknown_prefix_defaults_grey(self):
+        assert space_of_label("XYZ9") is NetworkSpace.GREY
+
+    def test_longest_prefix_wins(self):
+        prefixes = {"S": NetworkSpace.GREY, "SRV": NetworkSpace.BLUE}
+        assert space_of_label("SRV1", prefixes) is NetworkSpace.BLUE
+        assert space_of_label("S1", prefixes) is NetworkSpace.GREY
+
+
+class TestSpaceMap:
+    def test_infer_template(self):
+        sm = SpaceMap.infer(TEMPLATE_LABELS_10)
+        assert sm.indices(NetworkSpace.BLUE).tolist() == [0, 1, 2, 3]
+        assert sm.indices(NetworkSpace.GREY).tolist() == [4, 5]
+        assert sm.indices(NetworkSpace.RED).tolist() == [6, 7, 8, 9]
+
+    def test_space_of_by_label_and_index(self):
+        sm = SpaceMap.infer(TEMPLATE_LABELS_10)
+        assert sm.space_of("SRV1") is NetworkSpace.BLUE
+        assert sm.space_of(9) is NetworkSpace.RED
+
+    def test_unknown_label_raises(self):
+        sm = SpaceMap.infer(TEMPLATE_LABELS_10)
+        with pytest.raises(LabelError):
+            sm.space_of("NOPE")
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(LabelError):
+            SpaceMap(("A", "B"), (NetworkSpace.BLUE,))
+
+    def test_duplicate_labels_raise(self):
+        with pytest.raises(LabelError, match="duplicate"):
+            SpaceMap(("A", "A"), (NetworkSpace.BLUE, NetworkSpace.RED))
+
+    def test_labels_in(self):
+        sm = SpaceMap.infer(TEMPLATE_LABELS_10)
+        assert sm.labels_in(NetworkSpace.GREY) == ("EXT1", "EXT2")
+
+    def test_pair_space(self):
+        sm = SpaceMap.infer(TEMPLATE_LABELS_10)
+        assert sm.pair_space(0, 9) == (NetworkSpace.BLUE, NetworkSpace.RED)
+
+
+class TestColorGrid:
+    def test_blue_block_blue(self):
+        sm = SpaceMap.infer(TEMPLATE_LABELS_10)
+        grid = sm.color_grid()
+        assert (grid[np.ix_(range(4), range(4))] == 1).all()
+
+    def test_red_rows_and_cols_red(self):
+        sm = SpaceMap.infer(TEMPLATE_LABELS_10)
+        grid = sm.color_grid()
+        assert (grid[6:, :] == 2).all()
+        assert (grid[:, 6:] == 2).all()
+
+    def test_grey_cross_block(self):
+        sm = SpaceMap.infer(TEMPLATE_LABELS_10)
+        grid = sm.color_grid()
+        assert grid[4, 4] == 0  # grey-grey
+        assert grid[0, 4] == 0  # blue->grey stays grey
+
+
+class TestSpacesFromCounts:
+    def test_reproduces_template(self):
+        sm = spaces_from_counts(3, 2, 4, blue_servers=1)
+        assert sm.labels == TEMPLATE_LABELS_10
+
+    def test_no_servers(self):
+        sm = spaces_from_counts(2, 1, 1)
+        assert sm.labels == ("WS1", "WS2", "EXT1", "ADV1")
+
+
+class TestIterSpaceBlocks:
+    def test_covers_all_nonempty_blocks(self):
+        sm = SpaceMap.infer(TEMPLATE_LABELS_10)
+        blocks = list(iter_space_blocks(sm))
+        assert len(blocks) == 9  # all three spaces populated
+        total = sum(rows.size * cols.size for *_s, rows, cols in blocks)
+        assert total == 100
+
+    def test_skips_empty_spaces(self):
+        sm = SpaceMap.infer(("WS1", "WS2"))
+        blocks = list(iter_space_blocks(sm))
+        assert len(blocks) == 1

@@ -1,0 +1,216 @@
+"""SceneTree processing, inspector export editing, input mapping, math."""
+
+import math
+
+import pytest
+
+from repro.engine.input import ACTIONS, InputEventKey, Key, action_for_key
+from repro.engine.inspector import dump_inspector, get_export, list_exports, set_export
+from repro.engine.math3d import Basis, Vector3
+from repro.engine.node import Node, Node3D
+from repro.engine.resources import StandardMaterial3D, preload, register_resource
+from repro.engine.tree import SceneTree
+from repro.errors import EngineError, ResourceError
+
+
+class TestSceneTree:
+    def test_process_walks_whole_tree(self):
+        ticks = []
+
+        class P(Node):
+            def _process(self, delta):
+                ticks.append((self.name, delta))
+
+        root = P("R")
+        root.add_child(P("A"))
+        tree = SceneTree(root)
+        tree.process(0.5)
+        assert ticks == [("R", 0.5), ("A", 0.5)]
+        assert tree.frame == 1
+
+    def test_run_fixed_timestep(self):
+        deltas = []
+
+        class P(Node):
+            def _process(self, delta):
+                deltas.append(delta)
+
+        tree = SceneTree(P("R"))
+        tree.run(3, fps=30)
+        assert deltas == [pytest.approx(1 / 30)] * 3
+        assert tree.frame == 3
+
+    def test_paused_skips_process(self):
+        ticks = []
+
+        class P(Node):
+            def _process(self, delta):
+                ticks.append(1)
+
+        tree = SceneTree(P("R"))
+        tree.paused = True
+        tree.process(0.1)
+        assert ticks == [] and tree.frame == 1
+
+    def test_empty_tree_process_raises(self):
+        with pytest.raises(EngineError):
+            SceneTree().process(0.1)
+
+    def test_second_root_rejected(self):
+        tree = SceneTree(Node("A"))
+        with pytest.raises(EngineError, match="change_scene"):
+            tree.set_root(Node("B"))
+
+    def test_change_scene_swaps_and_returns_old(self):
+        old_root = Node("Old")
+        tree = SceneTree(old_root)
+        new_root = Node("New")
+        returned = tree.change_scene(new_root)
+        assert returned is old_root
+        assert tree.root is new_root
+        assert not old_root.is_inside_tree()
+
+    def test_push_input_dispatches(self):
+        seen = []
+
+        class P(Node):
+            def _input(self, event):
+                seen.append(event.key)
+
+        tree = SceneTree(P("R"))
+        tree.push_input(InputEventKey(Key.SPACE))
+        assert seen == [Key.SPACE]
+
+    def test_call_group(self):
+        class P(Node):
+            def ping(self):
+                return self.name
+
+        root = Node("R")
+        a, b = P("A"), P("B")
+        a.add_to_group("g")
+        b.add_to_group("g")
+        root.add_child(a)
+        root.add_child(b)
+        tree = SceneTree(root)
+        assert tree.call_group("g", "ping") == ["A", "B"]
+
+    def test_bad_fps(self):
+        with pytest.raises(EngineError):
+            SceneTree(Node("R")).run(1, fps=0)
+
+
+class TestInspector:
+    def test_list_get_set(self):
+        n = Node("N")
+        n.export_var("speed", 1.0, "float")
+        assert list_exports(n) == {"speed": 1.0}
+        set_export(n, "speed", 2.5)
+        assert get_export(n, "speed") == 2.5
+
+    def test_type_hint_enforced(self):
+        n = Node("N")
+        n.export_var("flag", False, "bool")
+        with pytest.raises(EngineError, match="expects bool"):
+            set_export(n, "flag", "yes")
+
+    def test_node_hint_accepts_subclass(self):
+        n = Node("N")
+        n.export_var("target", None, "Node3D")
+        from repro.engine.node import Label3D
+
+        set_export(n, "target", Label3D("L"))
+
+    def test_node_hint_rejects_plain_node(self):
+        n = Node("N")
+        n.export_var("target", None, "Node3D")
+        with pytest.raises(EngineError):
+            set_export(n, "target", Node("plain"))
+
+    def test_unknown_export(self):
+        with pytest.raises(EngineError, match="no export"):
+            set_export(Node("N"), "ghost", 1)
+
+    def test_dump_shows_node_references_by_name(self):
+        n = Node3D("Controller")
+        n.export_var("y_axis", None, "Node3D")
+        set_export(n, "y_axis", Node3D("Y"))
+        dump = dump_inspector(n)
+        assert "Controller" in dump and "[Y]" in dump and "(Node3D)" in dump
+
+    def test_dump_empty(self):
+        assert "no export variables" in dump_inspector(Node("N"))
+
+    def test_redeclare_keeps_value(self):
+        n = Node("N")
+        n.export_var("x", 5)
+        n.export_var("x", 99)
+        assert get_export(n, "x") == 5
+
+
+class TestResources:
+    def test_preload_builtin_materials(self):
+        mat = preload("res://Assets/Objects/pallet_material_b.tres")
+        assert isinstance(mat, StandardMaterial3D) and mat.albedo == "blue"
+
+    def test_unknown_path(self):
+        with pytest.raises(ResourceError, match="unknown resource"):
+            preload("res://ghost.tres")
+
+    def test_register_and_overwrite_policy(self):
+        mat = StandardMaterial3D("res://custom.tres", "green")
+        register_resource(mat)
+        assert preload("res://custom.tres") is mat
+        with pytest.raises(ResourceError, match="already registered"):
+            register_resource(StandardMaterial3D("res://custom.tres", "red"))
+        register_resource(StandardMaterial3D("res://custom.tres", "red"), overwrite=True)
+        assert preload("res://custom.tres").albedo == "red"
+
+
+class TestInputMap:
+    def test_paper_controls(self):
+        assert ACTIONS["toggle_view"] is Key.SPACE
+        assert ACTIONS["rotate_left"] is Key.Q
+        assert ACTIONS["rotate_right"] is Key.E
+
+    def test_reverse_lookup(self):
+        assert action_for_key(Key.SPACE) == "toggle_view"
+        assert action_for_key(Key.ENTER) == "confirm"
+
+
+class TestMath3D:
+    def test_vector_algebra(self):
+        v = Vector3(1, 2, 3) + Vector3(4, 5, 6)
+        assert v == Vector3(5, 7, 9)
+        assert (v - Vector3(5, 7, 9)) == Vector3.ZERO
+        assert Vector3(1, 0, 0).cross(Vector3(0, 1, 0)) == Vector3(0, 0, 1)
+        assert Vector3(3, 4, 0).length() == pytest.approx(5.0)
+
+    def test_normalized(self):
+        n = Vector3(0, 10, 0).normalized()
+        assert n == Vector3(0, 1, 0)
+        assert Vector3.ZERO.normalized() == Vector3.ZERO
+
+    def test_rotation_y_quarter_turn(self):
+        b = Basis.rotation_y(math.pi / 2)
+        v = b.apply(Vector3(1, 0, 0))
+        assert v.x == pytest.approx(0, abs=1e-12)
+        assert v.z == pytest.approx(-1)
+
+    def test_rotation_preserves_length(self):
+        b = Basis.rotation_x(0.7) @ Basis.rotation_y(1.1)
+        v = b.apply(Vector3(1, 2, 3))
+        assert v.length() == pytest.approx(Vector3(1, 2, 3).length())
+
+    def test_inverse(self):
+        b = Basis.rotation_y(0.5)
+        assert (b @ b.inverse()) == Basis.identity()
+
+    def test_apply_many_matches_apply(self):
+        import numpy as np
+
+        b = Basis.rotation_y(0.3) @ Basis.rotation_x(0.2)
+        pts = np.asarray([[1.0, 2.0, 3.0], [0.0, 1.0, 0.0]])
+        batch = b.apply_many(pts)
+        single = b.apply(Vector3(1, 2, 3))
+        assert batch[0] == pytest.approx([single.x, single.y, single.z])

@@ -1,0 +1,168 @@
+"""Quiz flow, sessions, and the simulated players."""
+
+import pytest
+
+from repro.errors import GameError, QuizError
+from repro.game.players import AnalystPlayer, PerfectPlayer, RandomPlayer
+from repro.game.quiz import judge_answer, present_question
+from repro.game.session import GameSession
+from repro.modules.library import builtin_catalog
+from repro.modules.obfuscate import obfuscate_module
+
+
+class TestPresentQuestion:
+    def test_shuffled_options_track_correct(self, tpl10):
+        pres = present_question(tpl10, seed=5)
+        assert sorted(pres.options) == ["0", "1", "2"]
+        assert pres.options[pres.correct_index] == "2"
+
+    def test_hint_carried(self, catalog):
+        pres = present_question(catalog["topologies/isolated_links"], seed=1)
+        assert "HPEC" in pres.hint
+
+    def test_question_toggled_off_raises(self, tpl10):
+        with pytest.raises(QuizError, match="toggled off"):
+            present_question(tpl10.without_question())
+
+    def test_option_lines_numbered(self, tpl10):
+        pres = present_question(tpl10, seed=5)
+        lines = pres.option_lines()
+        assert lines[0].startswith("  1)") and len(lines) == 3
+
+
+class TestJudgeAnswer:
+    def test_correct_and_wrong(self, tpl10):
+        pres = present_question(tpl10, seed=5)
+        good = judge_answer(tpl10.question, pres, pres.correct_index)
+        assert good.correct and good.chosen == "2"
+        wrong = judge_answer(tpl10.question, pres, (pres.correct_index + 1) % 3)
+        assert not wrong.correct and wrong.correct_answer == "2"
+
+    def test_out_of_range_choice(self, tpl10):
+        pres = present_question(tpl10, seed=5)
+        with pytest.raises(QuizError, match="out of range"):
+            judge_answer(tpl10.question, pres, 3)
+
+    def test_obfuscated_judging(self, tpl10):
+        ob = obfuscate_module(tpl10)
+        pres = present_question(ob, seed=5)
+        assert pres.correct_index is None
+        options = list(pres.options)
+        result = judge_answer(ob.question, pres, options.index("2"))
+        assert result.correct
+
+
+class TestGameSession:
+    def make(self, catalog, n=4, seed=3):
+        return GameSession(list(catalog.values())[:n], seed=seed)
+
+    def test_sequential_navigation(self, catalog):
+        s = self.make(catalog)
+        first = s.current
+        s.next_module()
+        assert s.current is not first
+        s.prev_module()
+        assert s.current is first
+
+    def test_navigation_clamps_at_ends(self, catalog):
+        s = self.make(catalog, n=2)
+        s.prev_module()
+        assert s.index == 0
+        s.next_module()
+        s.next_module()
+        assert s.index == 1 and s.is_last()
+
+    def test_presentation_stable_within_session(self, catalog):
+        s = self.make(catalog)
+        p1 = s.presentation()
+        s.next_module()
+        s.prev_module()
+        assert s.presentation().options == p1.options
+
+    def test_answer_scoring(self, catalog):
+        s = self.make(catalog, n=3)
+        pres = s.presentation()
+        result = s.answer(pres.correct_index)
+        assert result.correct and s.score == 1
+
+    def test_single_attempt_per_module(self, catalog):
+        s = self.make(catalog)
+        s.answer(s.presentation().correct_index)
+        with pytest.raises(QuizError, match="already answered"):
+            s.answer(0)
+
+    def test_report(self, catalog):
+        s = self.make(catalog, n=3)
+        s.answer(s.presentation().correct_index)
+        s.next_module()
+        pres = s.presentation()
+        s.answer((pres.correct_index + 1) % 3)
+        rep = s.report()
+        assert rep.questions_asked == 2 and rep.correct == 1
+        assert rep.score_fraction == 0.5
+        assert "1/2" in rep.summary()
+
+    def test_empty_session_rejected(self):
+        with pytest.raises(GameError):
+            GameSession([])
+
+    def test_seeded_sessions_reproducible(self, catalog):
+        mods = list(catalog.values())[:5]
+        s1, s2 = GameSession(mods, seed=9), GameSession(mods, seed=9)
+        for _ in range(5):
+            assert s1.presentation().options == s2.presentation().options
+            if not s1.is_last():
+                s1.next_module()
+                s2.next_module()
+            else:
+                break
+
+
+class TestPlayers:
+    def test_perfect_player_aces_catalog(self):
+        from repro.game.app import TrafficWarehouse
+
+        game = TrafficWarehouse(seed=1)
+        rep = game.autoplay(PerfectPlayer())
+        assert rep.correct == rep.questions_asked
+
+    def test_perfect_player_rejects_obfuscated(self, tpl10):
+        ob = obfuscate_module(tpl10)
+        pres = present_question(ob, seed=1)
+        with pytest.raises(ValueError):
+            PerfectPlayer().choose(ob, pres)
+
+    def test_random_player_near_third(self):
+        from repro.game.app import TrafficWarehouse
+
+        totals = []
+        for seed in range(5):
+            game = TrafficWarehouse(seed=seed)
+            rep = game.autoplay(RandomPlayer(seed=seed))
+            totals.append(rep.score_fraction)
+        mean = sum(totals) / len(totals)
+        assert 0.15 < mean < 0.55  # ~1/3 with small-sample slack
+
+    def test_analyst_beats_random_substantially(self):
+        from repro.game.app import TrafficWarehouse
+
+        analyst = TrafficWarehouse(seed=2).autoplay(AnalystPlayer(seed=2))
+        rand = TrafficWarehouse(seed=2).autoplay(RandomPlayer(seed=2))
+        assert analyst.score_fraction > rand.score_fraction + 0.25
+
+    def test_analyst_answers_counting_questions(self, tpl10):
+        pres = present_question(tpl10, seed=4)
+        choice = AnalystPlayer().choose(tpl10, pres)
+        assert pres.options[choice] == "2"
+
+    def test_analyst_classifies_patterns(self, catalog):
+        module = catalog["graph_theory/ring"]
+        pres = present_question(module, seed=4)
+        choice = AnalystPlayer().choose(module, pres)
+        assert pres.options[choice] == "Ring"
+
+    def test_analyst_deterministic_for_seed(self, catalog):
+        module = catalog["challenge/supernode_in_noise"]
+        pres = present_question(module, seed=4)
+        a, b = AnalystPlayer(seed=7), AnalystPlayer(seed=7)
+        assert a.choose(module, pres) == b.choose(module, pres)

@@ -1,0 +1,160 @@
+"""Warehouse levels and the built-in training walkthrough."""
+
+import pytest
+
+from repro.errors import GameError
+from repro.game.training import TRAINING_STEPS, TrainingLevel, training_module
+from repro.game.warehouse import PALLET_SPACING, WarehouseLevel, build_level
+from repro.modules.templates import template_6x6, template_10x10
+from repro.render.camera import ViewMode
+
+
+class TestBuildLevel:
+    def test_scene_shape_matches_fig2(self, tpl10):
+        root = build_level(tpl10)
+        assert root.has_node("Data")
+        assert root.has_node("Floor")
+        ctrl = root.get_node("PalletAndLabelController")
+        assert ctrl.has_node("X") and ctrl.has_node("Y") and ctrl.has_node("Pallets")
+
+    def test_pallet_count(self, tpl10):
+        root = build_level(tpl10)
+        pallets = root.get_node("PalletAndLabelController/Pallets")
+        assert pallets.get_child_count() == 100
+
+    def test_pallet_children_order_for_script(self, tpl10):
+        root = build_level(tpl10)
+        pallet = root.get_node("PalletAndLabelController/Pallets/Pallet0")
+        # the paper's script colours get_child(0); boxes live at index 1
+        assert pallet.get_child(0).name == "Mesh"
+        assert pallet.get_child(1).name == "Boxes"
+
+    def test_pallet_positions_row_major(self, tpl10):
+        root = build_level(tpl10)
+        p27 = root.get_node("PalletAndLabelController/Pallets/Pallet27")
+        assert p27.position.x == pytest.approx(7 * PALLET_SPACING)
+        assert p27.position.z == pytest.approx(2 * PALLET_SPACING)
+
+    def test_data_node_carries_module_json(self, tpl10):
+        root = build_level(tpl10)
+        data = root.get_node("Data")
+        assert data.data["name"] == tpl10.name
+        assert data.data["axis_labels"][0] == "WS1"
+
+    def test_label_rows_have_stand_and_text(self, tpl10):
+        root = build_level(tpl10)
+        holder = root.get_node("PalletAndLabelController/X").get_child(0)
+        assert holder.get_child(0).mesh == "label_stand"
+        assert holder.get_child(1).text == ""  # script fills at _ready
+
+
+class TestWarehouseLevel:
+    def test_labels_set_on_ready(self, tpl6):
+        level = WarehouseLevel(tpl6)
+        assert level.x_labels() == list(tpl6.matrix.labels)
+
+    def test_pallet_bounds_checked(self, tpl6):
+        level = WarehouseLevel(tpl6)
+        with pytest.raises(GameError):
+            level.pallet(6, 0)
+
+    def test_place_all_packets(self, tpl10):
+        level = WarehouseLevel(tpl10)
+        placed = level.place_all_packets()
+        assert placed == tpl10.matrix.total_packets()
+        assert level.all_packets_placed()
+
+    def test_box_counts_match_cells(self, tpl10):
+        level = WarehouseLevel(tpl10)
+        level.place_all_packets()
+        boxes = level.pallet(0, 9).get_node("Boxes")
+        assert boxes.get_child_count() == 2  # WS1 -> ADV4 holds 2 packets
+        assert level.pallet(0, 0).get_node("Boxes").get_child_count() == 1
+
+    def test_incremental_placement(self, tpl10):
+        level = WarehouseLevel(tpl10)
+        level.place_packets(5)
+        assert level.packets_placed == 5
+        level.place_packets(1000)
+        assert level.all_packets_placed()
+
+    def test_boxes_stack_upward(self):
+        from repro.modules.builder import ModuleBuilder
+        from repro.core.traffic_matrix import TrafficMatrix
+
+        m = TrafficMatrix([[6, 0], [0, 0]], labels=["A", "B"])
+        module = ModuleBuilder("Stacks").matrix(m).build()
+        level = WarehouseLevel(module)
+        level.place_all_packets()
+        boxes = level.pallet(0, 0).get_node("Boxes").get_children()
+        heights = {b.position.y for b in boxes}
+        assert len(heights) == 2  # 6 boxes = one full 2x2 layer + part of the next
+
+    def test_view_controls(self, tpl6):
+        level = WarehouseLevel(tpl6)
+        assert level.camera.mode is ViewMode.TOP_DOWN_2D
+        assert level.toggle_view() is ViewMode.ISOMETRIC_3D
+        assert level.rotate_right() == 1
+        assert level.rotate_left() == 0
+
+    def test_render_both_views(self, tpl6):
+        level = WarehouseLevel(tpl6)
+        level.place_all_packets()
+        two_d = level.render_ascii(width=60, height=24).to_plain()
+        level.toggle_view()
+        three_d = level.render_ascii(width=60, height=24).to_plain()
+        assert "█" in two_d and "█" in three_d
+        assert two_d != three_d
+
+    def test_render_pixels(self, tpl6):
+        frame = WarehouseLevel(tpl6).render_pixels(width=80, height=60)
+        assert frame.shape == (60, 80, 3)
+
+
+class TestTraining:
+    def test_module_is_template(self, tpl10):
+        assert training_module().matrix == tpl10.matrix
+
+    def test_steps_cover_controls(self):
+        actions = {s.requires_action for s in TRAINING_STEPS if s.requires_action}
+        assert "toggle_view" in actions and "rotate_left" in actions
+
+    def test_walkthrough_happy_path(self):
+        t = TrainingLevel()
+        advanced = 0
+        while not t.completed:
+            step = t.current_step
+            assert t.advance(step.requires_action or None)
+            advanced += 1
+        assert advanced == len(TRAINING_STEPS)
+        assert t.progress() == (len(TRAINING_STEPS), len(TRAINING_STEPS))
+
+    def test_action_gate_blocks_wrong_input(self):
+        t = TrainingLevel()
+        # advance to the SPACE-gated step
+        while t.current_step.requires_action is None:
+            t.advance()
+        assert not t.advance(None)
+        assert not t.advance("rotate_left")
+        assert t.advance("toggle_view")
+
+    def test_gated_action_applies_to_level(self):
+        t = TrainingLevel()
+        while t.current_step.requires_action != "toggle_view":
+            t.advance(t.current_step.requires_action)
+        t.advance("toggle_view")
+        assert t.level.camera.mode is ViewMode.ISOMETRIC_3D
+
+    def test_rotate_gate_accepts_either_direction(self):
+        t = TrainingLevel()
+        while t.current_step.requires_action != "rotate_left":
+            t.advance(t.current_step.requires_action)
+        assert t.advance("rotate_right")
+
+    def test_advance_after_completion(self):
+        t = TrainingLevel()
+        while not t.completed:
+            t.advance(t.current_step.requires_action)
+        assert not t.advance()
+        with pytest.raises(GameError):
+            _ = t.current_step

@@ -1,0 +1,124 @@
+"""GDScript front-end fuzzing: hostile source never escapes the error type.
+
+Educators hand-write scripts; the front end's contract is that any text
+produces tokens/AST or a :class:`GDScriptSyntaxError` with a line/column —
+never an IndexError from the lexer or a RecursionError from the parser on
+classroom-sized input.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GDScriptError, GDScriptRuntimeError, GDScriptSyntaxError
+from repro.gdscript.lexer import tokenize
+from repro.gdscript.parser import parse
+
+source_alphabet = st.sampled_from(
+    list("abcxyz_ 0123456789+-*/=<>!()[]{}:.,\"'#\t\n$@")
+    + ["var ", "func ", "if ", "for ", "in ", "match ", "return", "extends "]
+)
+
+
+def sources(max_size: int = 12):
+    return st.lists(source_alphabet, max_size=max_size).map("".join)
+
+
+class TestLexerTotalness:
+    @given(sources(40))
+    @settings(max_examples=300, deadline=None)
+    def test_tokenize_never_crashes(self, source):
+        try:
+            tokens = tokenize(source)
+        except GDScriptSyntaxError:
+            return
+        assert tokens[-1].type.name == "EOF"
+
+    @given(st.text(max_size=60))
+    @settings(max_examples=200, deadline=None)
+    def test_arbitrary_unicode(self, source):
+        try:
+            tokenize(source)
+        except GDScriptSyntaxError:
+            pass
+
+
+class TestParserTotalness:
+    @given(sources(30))
+    @settings(max_examples=300, deadline=None)
+    def test_parse_never_crashes(self, source):
+        try:
+            parse(source)
+        except GDScriptSyntaxError:
+            pass
+
+    @given(st.integers(1, 30))
+    @settings(max_examples=20, deadline=None)
+    def test_deep_nesting_parses_or_errors(self, depth):
+        body = "".join(
+            "\t" * (k + 1) + "if true:\n" for k in range(depth)
+        ) + "\t" * (depth + 1) + "pass\n"
+        source = "func f():\n" + body
+        script = parse(source)
+        assert script.function("f") is not None
+
+    @given(st.integers(1, 60))
+    @settings(max_examples=20, deadline=None)
+    def test_long_expression_chains(self, n):
+        expr = " + ".join(["1"] * n)
+        script = parse(f"func f():\n\treturn {expr}\n")
+        assert script.function("f") is not None
+
+
+class TestInterpreterRobustness:
+    def run_script(self, source: str):
+        from repro.engine.node import Node3D
+        from repro.engine.tree import SceneTree
+        from repro.gdscript.interpreter import compile_script
+
+        node = Node3D("Main")
+        inst = compile_script(source).instantiate(node)
+        SceneTree(node)
+        return inst
+
+    @given(
+        st.lists(
+            st.sampled_from([
+                "x += 1", "x -= 2", "x = x * 2", "x = x / 3",
+                "if x > 5:\n\t\tx = 0", "for i in range(3):\n\t\tx += i",
+            ]),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_generated_programs_terminate(self, stmts):
+        body = "\n".join("\t" + s for s in stmts)
+        source = f"var x : int = 1\nfunc f():\n{body}\n\treturn x\n"
+        inst = self.run_script(source)
+        result = inst.call("f")
+        assert isinstance(result, int)
+
+    @given(st.integers(-1000, 1000), st.integers(-1000, 1000))
+    @settings(max_examples=100, deadline=None)
+    def test_arithmetic_matches_gdscript_semantics(self, a, b):
+        inst = self.run_script("func f(a, b):\n\treturn a + b * 2 - a / 3\n")
+        import math
+
+        expected = a + b * 2 - math.trunc(a / 3)
+        assert inst.call("f", a, b) == expected
+
+    def test_runtime_errors_are_typed(self):
+        inst = self.run_script("func f():\n\treturn [1][5]\n")
+        try:
+            inst.call("f")
+            raise AssertionError("expected an error")
+        except GDScriptRuntimeError:
+            pass
+        except Exception as exc:  # noqa: BLE001
+            raise AssertionError(f"leaked {type(exc).__name__}") from exc
+
+    def test_error_hierarchy(self):
+        assert issubclass(GDScriptSyntaxError, GDScriptError)
+        assert issubclass(GDScriptRuntimeError, GDScriptError)

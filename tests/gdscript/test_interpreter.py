@@ -1,0 +1,296 @@
+"""GDScript interpreter: semantics, node binding, lifecycle, error paths."""
+
+import pytest
+
+from repro.engine.inspector import set_export
+from repro.engine.node import Label3D, Node3D
+from repro.engine.tree import SceneTree
+from repro.errors import GDScriptRuntimeError
+from repro.gdscript.interpreter import GDScriptClass, compile_script
+
+
+def run(source: str, node: Node3D | None = None):
+    """Compile, instantiate on a node, ready it, return the instance."""
+    node = node or Node3D("Main")
+    inst = compile_script(source).instantiate(node)
+    if node.parent is None and node.tree is None:
+        SceneTree(node)
+    return inst
+
+
+class TestBasics:
+    def test_hello_world(self):
+        inst = run('func _ready():\n\tprint("Hello, world!")\n')
+        assert inst.output_text() == "Hello, world!"
+
+    def test_member_var_initialised_at_instantiate(self):
+        inst = run("var x : int = 41\nfunc _ready():\n\tx += 1\n")
+        assert inst.get_var("x") == 42
+
+    def test_function_call_and_return(self):
+        inst = run("func double(v):\n\treturn v * 2\n")
+        assert inst.call("double", 21) == 42
+
+    def test_call_between_script_functions(self):
+        src = "func _ready():\n\thelper()\nfunc helper():\n\tprint(1)\n"
+        assert run(src).output_text() == "1"
+
+    def test_arity_checked(self):
+        inst = run("func f(a):\n\treturn a\n")
+        with pytest.raises(GDScriptRuntimeError, match="takes 1"):
+            inst.call("f")
+
+    def test_missing_function(self):
+        inst = run("func f():\n\tpass\n")
+        with pytest.raises(GDScriptRuntimeError, match="no function"):
+            inst.call("ghost")
+
+    def test_undefined_identifier(self):
+        inst = run("func f():\n\treturn ghost\n")
+        with pytest.raises(GDScriptRuntimeError, match="undefined identifier"):
+            inst.call("f")
+
+    def test_assign_undeclared_rejected(self):
+        inst = run("func f():\n\tghost = 1\n")
+        with pytest.raises(GDScriptRuntimeError, match="undeclared"):
+            inst.call("f")
+
+
+class TestControlFlow:
+    def test_if_elif_else(self):
+        src = (
+            "func grade(x):\n"
+            "\tif x > 2:\n\t\treturn \"big\"\n"
+            "\telif x > 0:\n\t\treturn \"small\"\n"
+            "\telse:\n\t\treturn \"zero\"\n"
+        )
+        inst = run(src)
+        assert inst.call("grade", 5) == "big"
+        assert inst.call("grade", 1) == "small"
+        assert inst.call("grade", 0) == "zero"
+
+    def test_for_over_array_and_range(self):
+        src = (
+            "func total():\n"
+            "\tvar t : int = 0\n"
+            "\tfor v in [1, 2, 3]:\n\t\tt += v\n"
+            "\tfor i in range(4):\n\t\tt += i\n"
+            "\treturn t\n"
+        )
+        assert run(src).call("total") == 12
+
+    def test_for_over_dict_iterates_keys(self):
+        src = (
+            "func keys():\n"
+            "\tvar out = []\n"
+            '\tfor k in {"a": 1, "b": 2}:\n\t\tout += [k]\n'
+            "\treturn out\n"
+        )
+        assert sorted(run(src).call("keys")) == ["a", "b"]
+
+    def test_while_break_continue(self):
+        src = (
+            "func f():\n"
+            "\tvar i : int = 0\n"
+            "\tvar t : int = 0\n"
+            "\twhile true:\n"
+            "\t\ti += 1\n"
+            "\t\tif i == 3:\n\t\t\tcontinue\n"
+            "\t\tif i > 5:\n\t\t\tbreak\n"
+            "\t\tt += i\n"
+            "\treturn t\n"
+        )
+        assert run(src).call("f") == 1 + 2 + 4 + 5
+
+    def test_match_literals_and_wildcard(self):
+        src = (
+            "func name(c):\n"
+            "\tvar out = \"\"\n"
+            "\tmatch c:\n"
+            '\t\t0: out = "grey"\n'
+            '\t\t1: out = "blue"\n'
+            '\t\t_: out = "black"\n'
+            "\treturn out\n"
+        )
+        inst = run(src)
+        assert inst.call("name", 0) == "grey"
+        assert inst.call("name", 1) == "blue"
+        assert inst.call("name", 9) == "black"
+
+    def test_match_first_arm_wins(self):
+        src = (
+            "func f(x):\n"
+            "\tvar n : int = 0\n"
+            "\tmatch x:\n"
+            "\t\t1: n = 10\n"
+            "\t\t_: n = 99\n"
+            "\treturn n\n"
+        )
+        assert run(src).call("f", 1) == 10
+
+    def test_infinite_loop_tripwire(self):
+        inst = run("func f():\n\twhile true:\n\t\tpass\n")
+        with pytest.raises(GDScriptRuntimeError, match="exceeded"):
+            inst.call("f")
+
+
+class TestOperators:
+    def test_integer_division_truncates(self):
+        inst = run("func f(a, b):\n\treturn a / b\n")
+        assert inst.call("f", 7, 2) == 3
+        assert inst.call("f", -7, 2) == -3  # GDScript truncates toward zero
+
+    def test_float_division(self):
+        inst = run("func f():\n\treturn 7.0 / 2\n")
+        assert inst.call("f") == 3.5
+
+    def test_division_by_zero(self):
+        inst = run("func f():\n\treturn 1 / 0\n")
+        with pytest.raises(GDScriptRuntimeError, match="zero"):
+            inst.call("f")
+
+    def test_string_concat_requires_str(self):
+        good = run('func f(c):\n\treturn "n: " + str(c)\n')
+        assert good.call("f", 2) == "n: 2"
+        bad = run('func f(c):\n\treturn "n: " + c\n')
+        with pytest.raises(GDScriptRuntimeError, match="str"):
+            bad.call("f", 2)
+
+    def test_array_concat_with_plus_equals(self):
+        src = (
+            "var acc = []\n"
+            "func f():\n"
+            "\tfor row in [[1, 2], [3]]:\n\t\tacc += row\n"
+            "\treturn acc\n"
+        )
+        assert run(src).call("f") == [1, 2, 3]
+
+    def test_str_of_bool_is_lowercase(self):
+        inst = run("func f():\n\treturn str(true) + str(false)\n")
+        assert inst.call("f") == "truefalse"
+
+    def test_in_operator(self):
+        inst = run('func f(d):\n\treturn "k" in d\n')
+        assert inst.call("f", {"k": 1}) is True
+        assert inst.call("f", {}) is False
+
+
+class TestNodeBinding:
+    def test_self_and_node_attributes(self):
+        node = Node3D("Named")
+        inst = run("func f():\n\treturn self.name\n", node)
+        assert inst.call("f") == "Named"
+
+    def test_bare_name_resolves_node_attribute(self):
+        node = Node3D("Named")
+        inst = run("func f():\n\treturn name\n", node)
+        assert inst.call("f") == "Named"
+
+    def test_node_path_resolution(self):
+        root = Node3D("Root")
+        data = root.add_child(Node3D("Data"))
+        data.payload = {"k": "v"}  # type: ignore[attr-defined]
+        holder = root.add_child(Node3D("Holder"))
+        inst = compile_script('func f():\n\treturn $"../Data".payload["k"]\n').instantiate(holder)
+        SceneTree(root)
+        assert inst.call("f") == "v"
+
+    def test_onready_runs_before_ready_body(self):
+        root = Node3D("Root")
+        root.add_child(Label3D("Target", text="hi"))
+        holder = root.add_child(Node3D("Holder"))
+        src = (
+            '@onready var target = $"../Target"\n'
+            "var seen = \"\"\n"
+            "func _ready():\n\tseen = target.text\n"
+        )
+        inst = compile_script(src).instantiate(holder)
+        SceneTree(root)
+        assert inst.get_var("seen") == "hi"
+
+    def test_export_var_set_via_inspector_visible_to_script(self):
+        node = Node3D("N")
+        src = "@export var target : Node3D\nfunc f():\n\treturn target.name\n"
+        inst = compile_script(src).instantiate(node)
+        set_export(node, "target", Node3D("Wired"))
+        SceneTree(node)
+        assert inst.call("f") == "Wired"
+
+    def test_script_assignment_updates_export_view(self):
+        node = Node3D("N")
+        src = "@export var flag : bool = false\nfunc f():\n\tflag = true\n"
+        inst = compile_script(src).instantiate(node)
+        SceneTree(node)
+        inst.call("f")
+        assert node.exports["flag"].value is True
+
+    def test_node_method_call(self):
+        root = Node3D("Root")
+        root.add_child(Node3D("A"))
+        inst = compile_script("func f():\n\treturn len(get_children())\n").instantiate(root)
+        SceneTree(root)
+        assert inst.call("f") == 1
+
+    def test_attribute_write_on_engine_node(self):
+        root = Node3D("Root")
+        root.add_child(Label3D("L"))
+        src = "func f():\n\tget_child(0).text = \"WS1\"\n"
+        inst = compile_script(src).instantiate(root)
+        SceneTree(root)
+        inst.call("f")
+        assert root.get_child(0).text == "WS1"
+
+    def test_private_attribute_blocked(self):
+        inst = run("func f():\n\treturn self._children\n")
+        with pytest.raises(GDScriptRuntimeError, match="private"):
+            inst.call("f")
+
+    def test_unknown_attribute_error(self):
+        inst = run("func f():\n\treturn self.warp_drive\n")
+        with pytest.raises(GDScriptRuntimeError, match="warp_drive"):
+            inst.call("f")
+
+    def test_preload_builtin(self):
+        src = (
+            'var mat = preload("res://Assets/Objects/pallet_material_r.tres")\n'
+            "func f():\n\treturn mat.albedo\n"
+        )
+        assert run(src).call("f") == "red"
+
+    def test_preload_unknown_path(self):
+        with pytest.raises(Exception):
+            run('var m = preload("res://ghost.tres")\n')
+
+    def test_printerr_captured_separately(self):
+        src = 'func _ready():\n\tprint("ok")\n\tprinterr("bad")\n'
+        inst = run(src)
+        assert inst.error_lines() == ["bad"]
+
+    def test_process_hook(self):
+        node = Node3D("N")
+        src = "var ticks : int = 0\nfunc _process(delta):\n\tticks += 1\n"
+        inst = compile_script(src).instantiate(node)
+        tree = SceneTree(node)
+        tree.run(5)
+        assert inst.get_var("ticks") == 5
+
+    def test_cross_node_script_method_call(self):
+        root = Node3D("Root")
+        worker = root.add_child(Node3D("Worker"))
+        compile_script("func ping():\n\treturn 99\n").instantiate(worker)
+        caller = root.add_child(Node3D("Caller"))
+        inst = compile_script('func f():\n\treturn $"../Worker".ping()\n').instantiate(caller)
+        SceneTree(root)
+        assert inst.call("f") == 99
+
+    def test_shared_class_independent_instances(self):
+        cls = GDScriptClass.compile("var n : int = 0\nfunc bump():\n\tn += 1\n\treturn n\n")
+        a, b = Node3D("A"), Node3D("B")
+        ia, ib = cls.instantiate(a), cls.instantiate(b)
+        root = Node3D("Root")
+        root.add_child(a)
+        root.add_child(b)
+        SceneTree(root)
+        assert ia.call("bump") == 1
+        assert ia.call("bump") == 2
+        assert ib.call("bump") == 1

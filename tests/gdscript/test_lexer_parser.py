@@ -1,0 +1,219 @@
+"""GDScript front end: tokenization and parsing."""
+
+import pytest
+
+from repro.errors import GDScriptSyntaxError
+from repro.gdscript import ast
+from repro.gdscript.lexer import tokenize
+from repro.gdscript.parser import parse
+from repro.gdscript.tokens import TokenType as T
+
+
+def types(source):
+    return [t.type for t in tokenize(source)]
+
+
+class TestLexer:
+    def test_simple_line(self):
+        ts = types("var x = 1\n")
+        assert ts == [T.VAR, T.IDENT, T.ASSIGN, T.INT, T.NEWLINE, T.EOF]
+
+    def test_indent_dedent(self):
+        src = "func f():\n\tvar a = 1\nvar b = 2\n"
+        ts = types(src)
+        assert T.INDENT in ts and T.DEDENT in ts
+        assert ts.index(T.INDENT) < ts.index(T.DEDENT)
+
+    def test_nested_dedents_at_eof(self):
+        src = "func f():\n\tif true:\n\t\tpass\n"
+        ts = types(src)
+        assert ts.count(T.DEDENT) == 2
+
+    def test_comments_and_blanks_skipped(self):
+        ts = types("# comment\n\nvar x = 1  # trailing\n")
+        assert T.IDENT in ts and ts.count(T.NEWLINE) == 1
+
+    def test_string_escapes(self):
+        toks = tokenize('var s = "a\\nb"')
+        lit = next(t for t in toks if t.type is T.STRING)
+        assert lit.value == "a\nb"
+
+    def test_curly_quotes_from_pdf(self):
+        toks = tokenize("print(‘‘Hello, world!’’)")
+        lit = next(t for t in toks if t.type is T.STRING)
+        assert lit.value == "Hello, world!"
+
+    def test_unterminated_string(self):
+        with pytest.raises(GDScriptSyntaxError, match="unterminated"):
+            tokenize('var s = "oops')
+
+    def test_nodepath_quoted(self):
+        toks = tokenize('$"../Data"')
+        assert toks[0].type is T.NODEPATH and toks[0].value == "../Data"
+
+    def test_nodepath_bare(self):
+        toks = tokenize("$Pallets/Pallet0")
+        assert toks[0].value == "Pallets/Pallet0"
+
+    def test_annotations(self):
+        ts = types("@export var x : int = 0\n@onready var y = 1\n")
+        assert T.AT_EXPORT in ts and T.AT_ONREADY in ts
+
+    def test_unknown_annotation(self):
+        with pytest.raises(GDScriptSyntaxError, match="@tool"):
+            tokenize("@tool\n")
+
+    def test_numbers(self):
+        toks = tokenize("1 2.5 300")
+        assert [t.value for t in toks[:3]] == [1, 2.5, 300]
+
+    def test_operators_two_char(self):
+        ts = types("a += 1\nb == c\nd != e\nf <= g\n")
+        assert T.PLUS_ASSIGN in ts and T.EQ in ts and T.NE in ts and T.LE in ts
+
+    def test_multiline_brackets_continue_statement(self):
+        src = "var a = [\n\t1,\n\t2,\n]\n"
+        ts = types(src)
+        assert ts.count(T.NEWLINE) == 1  # only after the closing bracket
+        assert T.INDENT not in ts
+
+    def test_unexpected_character(self):
+        with pytest.raises(GDScriptSyntaxError, match="unexpected"):
+            tokenize("var x = `bad`")
+
+    def test_inconsistent_dedent(self):
+        src = "func f():\n\t\tpass\n\tpass\n"
+        with pytest.raises(GDScriptSyntaxError, match="dedent"):
+            tokenize(src)
+
+    def test_positions_recorded(self):
+        toks = tokenize("var x = 1")
+        assert toks[0].line == 1 and toks[0].column == 1
+        assert toks[1].column == 5
+
+
+class TestParserTopLevel:
+    def test_extends(self):
+        script = parse("extends Node3D\n")
+        assert script.extends == "Node3D"
+
+    def test_member_vars(self):
+        src = (
+            "@export var y_axis : Node3D\n"
+            "@onready var data = $\"../Data\"\n"
+            "var plain : Array = []\n"
+        )
+        script = parse(src)
+        assert [m.name for m in script.members] == ["y_axis", "data", "plain"]
+        assert script.members[0].export and script.members[1].onready
+        assert script.members[0].type_hint == "Node3D"
+        assert isinstance(script.members[1].initializer, ast.NodePath)
+
+    def test_functions_with_params(self):
+        script = parse("func add(a, b):\n\treturn a + b\n")
+        fn = script.function("add")
+        assert fn.params == ["a", "b"]
+        assert isinstance(fn.body[0], ast.Return)
+
+    def test_typed_params_and_return(self):
+        script = parse("func f(a : int) -> int:\n\treturn a\n")
+        assert script.function("f") is not None
+
+    def test_unexpected_top_level(self):
+        with pytest.raises(GDScriptSyntaxError, match="top level"):
+            parse("1 + 1\n")
+
+
+class TestParserStatements:
+    def body(self, stmts: str):
+        indented = "\n".join("\t" + line for line in stmts.splitlines())
+        return parse(f"func f():\n{indented}\n").function("f").body
+
+    def test_if_elif_else(self):
+        body = self.body("if a:\n\tpass\nelif b:\n\tpass\nelse:\n\tpass")
+        stmt = body[0]
+        assert isinstance(stmt, ast.If)
+        assert len(stmt.branches) == 2 and stmt.else_body
+
+    def test_for_and_while(self):
+        body = self.body("for i in range(3):\n\tpass\nwhile x:\n\tbreak")
+        assert isinstance(body[0], ast.For) and body[0].var == "i"
+        assert isinstance(body[1], ast.While)
+
+    def test_match_with_wildcard_inline_arms(self):
+        body = self.body('match x:\n\t0: a = 1\n\t1: a = 2\n\t_: a = 3')
+        m = body[0]
+        assert isinstance(m, ast.Match)
+        assert len(m.arms) == 3 and m.arms[2].wildcard
+
+    def test_local_var_decl(self):
+        body = self.body("var c : int = 0")
+        decl = body[0]
+        assert isinstance(decl, ast.VarDecl) and decl.type_hint == "int"
+
+    def test_assignment_targets(self):
+        body = self.body("x = 1\na.b = 2\nc[0] = 3\nd += 4")
+        assert isinstance(body[0], ast.Assign)
+        assert isinstance(body[0].target, ast.Identifier)
+        assert isinstance(body[1].target, ast.Attribute)
+        assert isinstance(body[2].target, ast.Index)
+        assert isinstance(body[3], ast.AugAssign)
+
+    def test_assign_to_literal_rejected(self):
+        with pytest.raises(GDScriptSyntaxError, match="cannot assign"):
+            self.body("1 = 2")
+
+    def test_empty_block_rejected(self):
+        with pytest.raises(GDScriptSyntaxError):
+            parse("func f():\n\nfunc g():\n\tpass\n")
+
+
+class TestParserExpressions:
+    def expr(self, text: str):
+        body = parse(f"func f():\n\treturn {text}\n").function("f").body
+        return body[0].value
+
+    def test_precedence_mul_over_add(self):
+        e = self.expr("1 + 2 * 3")
+        assert isinstance(e, ast.Binary) and e.op == "+"
+        assert isinstance(e.right, ast.Binary) and e.right.op == "*"
+
+    def test_comparison_chains_left(self):
+        e = self.expr("a < b == c")
+        assert e.op == "=="
+
+    def test_and_or_not(self):
+        e = self.expr("not a and b or c")
+        assert e.op == "or"
+
+    def test_method_call_chain(self):
+        e = self.expr("pallets.get_children()")
+        assert isinstance(e, ast.MethodCall) and e.method == "get_children"
+
+    def test_index_then_method(self):
+        e = self.expr("pallet_array[c].get_child(0)")
+        assert isinstance(e, ast.MethodCall)
+        assert isinstance(e.obj, ast.Index)
+
+    def test_attribute_assign_target_parse(self):
+        e = self.expr('level_data.data["axis_labels"]')
+        assert isinstance(e, ast.Index)
+        assert isinstance(e.obj, ast.Attribute)
+
+    def test_array_and_dict_literals(self):
+        arr = self.expr("[1, 2, 3,]")
+        assert isinstance(arr, ast.ArrayLiteral) and len(arr.items) == 3
+        d = self.expr('{"a": 1, "b": 2}')
+        assert isinstance(d, ast.DictLiteral) and len(d.keys) == 2
+
+    def test_unary_minus(self):
+        e = self.expr("-x")
+        assert isinstance(e, ast.Unary) and e.op == "-"
+
+    def test_in_operator(self):
+        e = self.expr('"k" in d')
+        assert e.op == "in"
+
+    def test_parenthesised(self):
+        e = self.expr("(1 + 2) * 3")
+        assert e.op == "*"

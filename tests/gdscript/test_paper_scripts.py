@@ -1,0 +1,103 @@
+"""The paper's own listings running end-to-end on the interpreter + engine."""
+
+import pytest
+
+from repro.engine.node import Node3D
+from repro.engine.tree import SceneTree
+from repro.game.scripts import HELLO_WORLD_GD, PALLET_CONTROLLER_GD
+from repro.game.warehouse import WarehouseLevel, build_level
+from repro.gdscript.interpreter import compile_script
+from repro.modules.templates import template_6x6, template_10x10
+
+
+class TestHelloWorld:
+    def test_fig1c_output(self):
+        node = Node3D("Main")
+        inst = compile_script(HELLO_WORLD_GD).instantiate(node)
+        SceneTree(node)
+        assert inst.output_text() == "Hello, world!"
+
+
+class TestPalletController:
+    def test_compiles(self):
+        cls = compile_script(PALLET_CONTROLLER_GD)
+        assert cls.extends == "Node3D"
+        assert set(cls.functions) == {"_ready", "set_labels", "change_pallet_color"}
+
+    def test_member_layout(self):
+        cls = compile_script(PALLET_CONTROLLER_GD)
+        members = {m.name: m for m in cls.ast.members}
+        assert members["y_axis"].export
+        assert members["pallets_are_colored"].export
+        assert members["level_data"].onready
+        assert members["pallet_array"].onready
+        assert not members["pallet_color_array"].export
+
+    def test_ready_flattens_colors_row_major(self, tpl10):
+        level = WarehouseLevel(tpl10)
+        script = level.controller.script
+        flat = script.get_var("pallet_color_array")
+        assert len(flat) == 100
+        expected = [c for row in tpl10.matrix.colors.tolist() for c in row]
+        assert flat == expected
+
+    def test_set_labels_assigns_both_axes(self, tpl10):
+        level = WarehouseLevel(tpl10)
+        assert level.x_labels() == list(tpl10.matrix.labels)
+        assert level.y_labels() == list(tpl10.matrix.labels)
+
+    def test_label_mismatch_prints_game_error(self, tpl10):
+        root = build_level(tpl10)
+        controller = root.get_node("PalletAndLabelController")
+        # sabotage: drop one X label holder before ready
+        x_row = controller.get_node("X")
+        x_row.remove_child(x_row.get_child(9))
+        SceneTree(root)
+        errors = controller.script.error_lines()
+        assert errors == ["Number of y labels does not match number of x labels!"]
+
+    def test_data_label_count_mismatch_error(self, tpl10):
+        root = build_level(tpl10)
+        controller = root.get_node("PalletAndLabelController")
+        for row_name in ("X", "Y"):
+            row = controller.get_node(row_name)
+            row.remove_child(row.get_child(9))
+        SceneTree(root)
+        errors = controller.script.error_lines()
+        assert errors == ["Level data does not match number of labels!"]
+
+    def test_color_toggle_matches_color_grid(self, tpl10):
+        level = WarehouseLevel(tpl10)
+        level.toggle_pallet_colors()
+        albedo = {0: "grey", 1: "blue", 2: "red"}
+        colors = tpl10.matrix.colors
+        for i, j in [(0, 0), (0, 9), (9, 0), (4, 5), (6, 3)]:
+            mesh = level.pallet(i, j).get_child(0)
+            assert mesh.material_override.albedo == albedo[int(colors[i, j])], (i, j)
+
+    def test_color_toggle_back_to_default(self, tpl10):
+        level = WarehouseLevel(tpl10)
+        level.toggle_pallet_colors()
+        level.toggle_pallet_colors()
+        assert not level.pallets_are_colored
+        mesh = level.pallet(0, 9).get_child(0)
+        assert mesh.material_override.albedo == "wood"
+
+    def test_toggle_prints_console_lines(self, tpl10):
+        level = WarehouseLevel(tpl10)
+        level.toggle_pallet_colors()
+        out = level.controller.script.output_text()
+        assert "Change pallet color button" in out
+        assert "Palets are default! Making them colored" in out
+        assert "Matching color: 2" in out
+
+    def test_works_on_6x6_template(self, tpl6):
+        level = WarehouseLevel(tpl6)
+        assert level.x_labels() == list(tpl6.matrix.labels)
+        level.toggle_pallet_colors()
+        assert level.pallet(0, 5).get_child(0).material_override.albedo == "red"
+
+    @pytest.mark.parametrize("template", [template_6x6, template_10x10])
+    def test_no_errors_on_clean_scene(self, template):
+        level = WarehouseLevel(template())
+        assert level.controller.script.error_lines() == []

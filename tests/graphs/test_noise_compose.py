@@ -1,0 +1,114 @@
+"""Noise injection and pattern composition."""
+
+import numpy as np
+import pytest
+
+from repro.core.spaces import NetworkSpace
+from repro.core.traffic_matrix import TrafficMatrix
+from repro.errors import ShapeError
+from repro.graphs import attack
+from repro.graphs.compose import challenge, overlay, sequence
+from repro.graphs.noise import background_noise, with_noise
+from repro.graphs.patterns import star
+
+
+class TestBackgroundNoise:
+    def test_deterministic_for_seed(self):
+        a = background_noise(10, seed=42)
+        b = background_noise(10, seed=42)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        assert background_noise(10, seed=1) != background_noise(10, seed=2)
+
+    def test_density_zero_is_empty(self):
+        assert background_noise(10, density=0.0, seed=0).nnz() == 0
+
+    def test_density_one_fills_off_diagonal(self):
+        m = background_noise(10, density=1.0, seed=0)
+        assert m.nnz() == 90  # no self loops by default
+
+    def test_self_loops_flag(self):
+        m = background_noise(10, density=1.0, seed=0, allow_self_loops=True)
+        assert m.nnz() == 100
+
+    def test_max_packets_bound(self):
+        m = background_noise(10, density=1.0, max_packets=3, seed=5)
+        assert m.max_packets() <= 3 and m.max_packets() >= 1
+
+    def test_space_restriction(self):
+        m = background_noise(
+            10, density=1.0, seed=0,
+            src_space=NetworkSpace.GREY, dst_space=NetworkSpace.GREY,
+        )
+        blocks = {k for k, v in m.space_traffic().items() if v > 0}
+        assert blocks == {(NetworkSpace.GREY, NetworkSpace.GREY)}
+
+    def test_bad_density(self):
+        with pytest.raises(ShapeError):
+            background_noise(10, density=1.5)
+
+    def test_bad_max_packets(self):
+        with pytest.raises(ShapeError):
+            background_noise(10, max_packets=0)
+
+
+class TestWithNoise:
+    def test_pattern_cells_preserved(self):
+        pattern = star(10, packets=5)
+        noisy = with_noise(pattern, density=0.5, seed=3)
+        mask = pattern.packets > 0
+        assert np.array_equal(noisy.packets[mask], pattern.packets[mask])
+
+    def test_noise_added_somewhere(self):
+        pattern = star(10)
+        noisy = with_noise(pattern, density=0.5, seed=3)
+        assert noisy.nnz() > pattern.nnz()
+
+    def test_without_preserve_noise_may_stack(self):
+        pattern = star(10, packets=1)
+        noisy = with_noise(pattern, density=1.0, seed=3, preserve_pattern=False)
+        assert noisy.total_packets() > pattern.total_packets()
+
+
+class TestOverlay:
+    def test_sums_packets(self):
+        a = TrafficMatrix([[1, 0], [0, 0]])
+        b = TrafficMatrix([[2, 3], [0, 0]])
+        c = overlay([a, b])
+        assert c[0, 0] == 3 and c[0, 1] == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ShapeError):
+            overlay([])
+
+    def test_does_not_mutate_inputs(self):
+        a = TrafficMatrix([[1]], labels=["A"])
+        b = TrafficMatrix([[2]], labels=["A"])
+        overlay([a, b])
+        assert a[0, 0] == 1
+
+
+class TestSequence:
+    def test_stage_list(self):
+        stages = sequence(list(attack.ATTACK_STAGES.values()), n=10)
+        assert len(stages) == 4
+        assert stages[0] == attack.planning(10)
+
+    def test_cumulative(self):
+        stages = sequence(list(attack.ATTACK_STAGES.values()), n=10, cumulative=True)
+        assert stages[-1] == attack.full_attack(10)
+        for earlier, later in zip(stages, stages[1:]):
+            assert later.total_packets() > earlier.total_packets()
+
+
+class TestChallenge:
+    def test_plants_pattern_verbatim(self):
+        pattern = attack.infiltration(10)
+        chal = challenge(pattern, seed=11)
+        mask = pattern.packets > 0
+        assert np.array_equal(chal.packets[mask], pattern.packets[mask])
+
+    def test_reproducible(self):
+        pattern = attack.infiltration(10)
+        assert challenge(pattern, seed=11) == challenge(pattern, seed=11)

@@ -1,0 +1,183 @@
+"""Graph-theory pattern generators (Fig. 10): structure of each family."""
+
+import numpy as np
+import pytest
+
+from repro.core.labels import TEMPLATE_LABELS_10
+from repro.errors import ShapeError
+from repro.graphs import patterns as P
+
+
+class TestStar:
+    def test_hub_row_and_column_full(self):
+        m = P.star(10)
+        p = m.packets > 0
+        assert p[0, 1:].all() and p[1:, 0].all()
+        assert not p[1:, 1:].any()
+
+    def test_custom_center(self):
+        m = P.star(6, center=3)
+        assert (m.packets[3] > 0).sum() == 5
+
+    def test_directed_only_out(self):
+        m = P.star(5, mutual=False)
+        assert m.packets[1:, 0].sum() == 0
+
+    def test_bad_center(self):
+        with pytest.raises(ShapeError):
+            P.star(5, center=7)
+
+    def test_default_labels(self):
+        assert P.star(10).labels == TEMPLATE_LABELS_10
+
+
+class TestClique:
+    def test_full_off_diagonal(self):
+        m = P.clique(5)
+        p = m.packets > 0
+        assert p.sum() == 20
+        assert not np.diag(p).any()
+
+    def test_member_subset(self):
+        m = P.clique(10, members=[2, 4, 6])
+        assert m.nnz() == 6
+        assert m[2, 4] > 0 and m[0, 1] == 0
+
+    def test_symmetric(self):
+        p = P.clique(6).packets
+        assert np.array_equal(p, p.T)
+
+
+class TestBipartite:
+    def test_default_split_blocks(self):
+        m = P.bipartite(10)
+        p = m.packets > 0
+        assert p[:5, 5:].all() and p[5:, :5].all()
+        assert not p[:5, :5].any() and not p[5:, 5:].any()
+
+    def test_custom_left(self):
+        m = P.bipartite(6, left=[0])
+        assert (m.packets[0, 1:] > 0).all()
+
+    def test_empty_side_rejected(self):
+        with pytest.raises(ShapeError):
+            P.bipartite(4, left=range(4))
+
+
+class TestTree:
+    def test_binary_tree_edge_count(self):
+        m = P.tree(10)
+        assert m.nnz() == 18  # 9 undirected edges, both directions
+
+    def test_parent_rule(self):
+        m = P.tree(7, branching=2)
+        for k in range(1, 7):
+            assert m[(k - 1) // 2, k] > 0
+
+    def test_ternary(self):
+        m = P.tree(10, branching=3)
+        assert m[0, 3] > 0 and m[1, 4] > 0
+
+    def test_bad_branching(self):
+        with pytest.raises(ShapeError):
+            P.tree(5, branching=0)
+
+
+class TestRing:
+    def test_successor_links(self):
+        m = P.ring(10)
+        for i in range(10):
+            assert m[i, (i + 1) % 10] > 0
+
+    def test_wraparound_present(self):
+        assert P.ring(10)[9, 0] > 0
+
+    def test_degree_two(self):
+        p = P.ring(8).packets > 0
+        u = p | p.T
+        assert (u.sum(axis=1) == 2).all()
+
+    def test_too_small(self):
+        with pytest.raises(ShapeError):
+            P.ring(2)
+
+
+class TestMesh:
+    def test_grid_dims(self):
+        assert P.grid_dims(10) == (2, 5)
+        assert P.grid_dims(9) == (3, 3)
+        assert P.grid_dims(7) == (1, 7)
+
+    def test_corner_degrees(self):
+        m = P.mesh(9, dims=(3, 3))
+        p = m.packets > 0
+        u = p | p.T
+        deg = u.sum(axis=1)
+        assert deg[0] == 2 and deg[4] == 4  # corner vs centre
+
+    def test_no_wraparound(self):
+        m = P.mesh(10, dims=(2, 5))
+        assert m[0, 4] == 0  # row ends don't connect
+
+    def test_bad_dims(self):
+        with pytest.raises(ShapeError):
+            P.mesh(10, dims=(3, 3))
+
+
+class TestToroidalMesh:
+    def test_all_degrees_equal(self):
+        m = P.toroidal_mesh(9, dims=(3, 3))
+        p = m.packets > 0
+        u = p | p.T
+        assert (u.sum(axis=1) == 4).all()
+
+    def test_wraparound_links(self):
+        m = P.toroidal_mesh(9, dims=(3, 3))
+        assert m[0, 2] > 0  # row wrap
+        assert m[0, 6] > 0  # column wrap
+
+    def test_more_edges_than_mesh(self):
+        assert P.toroidal_mesh(9, dims=(3, 3)).nnz() > P.mesh(9, dims=(3, 3)).nnz()
+
+
+class TestSelfLoopsAndTriangle:
+    def test_self_loops_diagonal_only(self):
+        m = P.self_loops(10)
+        assert np.array_equal(m.packets, np.eye(10, dtype=np.int64))
+
+    def test_self_loops_subset(self):
+        m = P.self_loops(5, vertices=[1, 3])
+        assert m.nnz() == 2 and m[1, 1] > 0
+
+    def test_triangle_cells(self):
+        m = P.triangle(10)
+        for a, b in [(0, 1), (1, 2), (2, 0)]:
+            assert m[a, b] > 0 and m[b, a] > 0
+        assert m.nnz() == 6
+
+    def test_triangle_custom_vertices(self):
+        m = P.triangle(10, vertices=(3, 7, 9))
+        assert m[3, 7] > 0 and m[9, 3] > 0
+
+    def test_triangle_distinct_vertices(self):
+        with pytest.raises(ShapeError):
+            P.triangle(10, vertices=(1, 1, 2))
+
+
+class TestCommon:
+    @pytest.mark.parametrize("name", list(P.PATTERN_GENERATORS))
+    def test_registry_generates_10x10(self, name):
+        m = P.PATTERN_GENERATORS[name](10)
+        assert m.n == 10
+        assert m.nnz() > 0
+
+    @pytest.mark.parametrize("name", list(P.PATTERN_GENERATORS))
+    def test_packets_param_scales(self, name):
+        m = P.PATTERN_GENERATORS[name](10, packets=3)
+        vals = m.packets[m.packets > 0]
+        assert (vals == 3).all()
+
+    @pytest.mark.parametrize("name", list(P.PATTERN_GENERATORS))
+    def test_display_guidance_respected(self, name):
+        m = P.PATTERN_GENERATORS[name](10)
+        assert m.cells_over_display_limit() == []

@@ -1,0 +1,108 @@
+"""Traffic topologies (Fig. 6) and the paper's template matrix."""
+
+import numpy as np
+import pytest
+
+from repro.core.spaces import NetworkSpace
+from repro.errors import ShapeError
+from repro.graphs import topologies as T
+from repro.modules.templates import template_10x10
+
+
+class TestIsolatedLinks:
+    def test_default_antidiagonal_pairing(self):
+        m = T.isolated_links(10)
+        for i in range(5):
+            assert m[i, 9 - i] == 2 and m[9 - i, i] == 2
+
+    def test_every_endpoint_fan_one(self):
+        m = T.isolated_links(10)
+        assert (m.out_fan() == 1).all() and (m.in_fan() == 1).all()
+
+    def test_custom_pairs(self):
+        m = T.isolated_links(6, pairs=[(0, 1), (2, 3)])
+        assert m[0, 1] > 0 and m[4, 5] == 0
+
+    def test_self_pair_rejected(self):
+        with pytest.raises(ShapeError, match="self loop"):
+            T.isolated_links(6, pairs=[(1, 1)])
+
+    def test_shared_endpoint_rejected(self):
+        with pytest.raises(ShapeError, match="disjoint"):
+            T.isolated_links(6, pairs=[(0, 1), (1, 2)])
+
+    def test_space_colored(self):
+        m = T.isolated_links(10)
+        assert int(m.color_of("ADV1", "ADV2")) == 2
+
+
+class TestSingleLinks:
+    def test_one_directional(self):
+        m = T.single_links(10)
+        p = m.packets
+        assert not (p & p.T).any() or (p * p.T).sum() == 0
+
+    def test_default_count(self):
+        assert T.single_links(10).nnz() == 5
+
+    def test_custom_links(self):
+        m = T.single_links(6, links=[(0, 5)])
+        assert m[0, 5] > 0 and m.nnz() == 1
+
+    def test_self_link_rejected(self):
+        with pytest.raises(ShapeError):
+            T.single_links(6, links=[(2, 2)])
+
+
+class TestInternalSupernode:
+    def test_default_hub_is_server(self):
+        m = T.internal_supernode(10)
+        assert m.out_fan()[3] == 3  # SRV1 talks to WS1..WS3
+
+    def test_traffic_stays_in_blue(self):
+        m = T.internal_supernode(10)
+        blocks = m.space_traffic()
+        assert blocks[(NetworkSpace.BLUE, NetworkSpace.BLUE)] == m.total_packets()
+
+    def test_hub_by_name(self):
+        m = T.internal_supernode(10, hub="WS2")
+        assert m.out_fan()[1] == 3
+
+    def test_non_blue_hub_rejected(self):
+        with pytest.raises(ShapeError, match="not in blue"):
+            T.internal_supernode(10, hub="ADV1")
+
+
+class TestExternalSupernode:
+    def test_default_hub_is_first_ext(self):
+        m = T.external_supernode(10)
+        assert m.out_fan()[4] == 4  # EXT1 answers all 4 blue endpoints
+
+    def test_traffic_crosses_border(self):
+        m = T.external_supernode(10)
+        blocks = m.space_traffic()
+        assert blocks[(NetworkSpace.BLUE, NetworkSpace.GREY)] > 0
+        assert blocks[(NetworkSpace.GREY, NetworkSpace.BLUE)] > 0
+        assert blocks[(NetworkSpace.BLUE, NetworkSpace.BLUE)] == 0
+
+    def test_blue_hub_rejected(self):
+        with pytest.raises(ShapeError, match="outside blue"):
+            T.external_supernode(10, hub="WS1")
+
+    def test_red_hub_allowed(self):
+        m = T.external_supernode(10, hub="ADV1")
+        assert m.out_fan()[6] == 4
+
+
+class TestTemplateMatrix:
+    def test_matches_paper_template_exactly(self):
+        assert T.template_matrix(10) == template_10x10().matrix
+
+    def test_even_size_required(self):
+        with pytest.raises(ShapeError):
+            T.template_matrix(7)
+
+    def test_structure_generalises(self):
+        m = T.template_matrix(6)
+        assert np.array_equal(np.diag(m.packets), np.ones(6, dtype=np.int64))
+        assert m[0, 5] == 2

@@ -1,0 +1,151 @@
+"""Coverage for corners the thematic suites leave: signals, screens, misc."""
+
+import numpy as np
+import pytest
+
+from repro.engine.node import Node, Node3D
+from repro.engine.signals import Signal
+from repro.errors import SignalError
+
+
+class TestSignalOneShot:
+    def test_one_shot_disconnects_after_first_emit(self):
+        sig = Signal("s")
+        hits = []
+        sig.connect(lambda: hits.append(1), one_shot=True)
+        sig.emit()
+        sig.emit()
+        assert hits == [1]
+        assert sig.connection_count() == 0
+
+    def test_double_connect_rejected(self):
+        sig = Signal("s")
+        cb = lambda: None  # noqa: E731
+        sig.connect(cb)
+        with pytest.raises(SignalError, match="already connected"):
+            sig.connect(cb)
+
+    def test_disconnect_unknown(self):
+        with pytest.raises(SignalError, match="not connected"):
+            Signal("s").disconnect(lambda: None)
+
+    def test_emit_order_is_connection_order(self):
+        sig = Signal("s")
+        order = []
+        sig.connect(lambda: order.append("a"))
+        sig.connect(lambda: order.append("b"))
+        sig.emit()
+        assert order == ["a", "b"]
+
+
+class TestAppScreens:
+    def test_screen_without_question_shows_controls(self):
+        from repro.game.app import TrafficWarehouse
+        from repro.modules.templates import template_6x6
+
+        game = TrafficWarehouse([template_6x6().without_question()], seed=1)
+        screen = game.render_screen(ansi=False)
+        assert "[SPACE]" in screen
+        assert "answer with 1-3" not in screen
+
+    def test_obfuscated_module_plays_through_app(self):
+        from repro.game.app import TrafficWarehouse
+        from repro.modules.obfuscate import obfuscate_module
+        from repro.modules.templates import template_10x10
+
+        game = TrafficWarehouse([obfuscate_module(template_10x10())], seed=1)
+        pres = game.session.presentation()
+        correct_pos = list(pres.options).index("2")
+        status = game.handle_action(f"answer_{correct_pos + 1}")
+        assert "correct!" in status
+
+    def test_wrong_obfuscated_answer_has_no_reveal(self):
+        from repro.game.app import TrafficWarehouse
+        from repro.modules.obfuscate import obfuscate_module
+        from repro.modules.templates import template_10x10
+
+        game = TrafficWarehouse([obfuscate_module(template_10x10())], seed=1)
+        pres = game.session.presentation()
+        wrong_pos = next(k for k, o in enumerate(pres.options) if o != "2")
+        status = game.handle_action(f"answer_{wrong_pos + 1}")
+        assert "wrong" in status and "the answer was" not in status
+
+
+class TestVoxelRotationShapes:
+    def test_non_cubic_rotation_swaps_axes(self):
+        from repro.voxel.model import VoxelModel
+
+        m = VoxelModel((2, 5, 7))
+        m.set(1, 4, 6, 1)
+        r = m.rotated_y90()
+        assert r.size == (7, 5, 2)
+        assert r.count() == 1
+
+
+class TestNestedCurriculum:
+    def test_deep_nesting_round_trips(self):
+        from repro.modules.curriculum import Curriculum, Unit
+        from repro.modules.templates import template_6x6
+
+        deep = Curriculum(
+            Unit(
+                "Root",
+                children=(
+                    Unit(
+                        "Mid",
+                        modules=(template_6x6(),),
+                        children=(Unit("Leaf", modules=(template_6x6(),)),),
+                    ),
+                ),
+            )
+        )
+        back = Curriculum.from_json_dict(deep.to_json_dict())
+        assert [u.title for u in back.root.iter_units()] == ["Root", "Mid", "Leaf"]
+        assert len(back.flatten()) == 2
+
+
+class TestScalingQuantities:
+    def test_destination_scaling_also_sublinear(self):
+        from repro.analysis.stats import scaling_relation, synthetic_traffic
+
+        events = synthetic_traffic(n_events=4000, n_endpoints=150, heavy_tail=True, seed=5)
+        fit = scaling_relation(
+            events,
+            lambda s: s.unique_destinations,
+            quantity_name="destinations",
+            window_sizes=(64, 128, 256, 512),
+        )
+        assert fit.slope < 1.0
+        assert fit.points  # fitted point series exposed for plotting
+
+
+class TestNodeReprAndTreeDump:
+    def test_repr_contains_child_count(self):
+        root = Node3D("R")
+        root.add_child(Node3D("A"))
+        assert "children=1" in repr(root)
+
+    def test_print_tree_single_node(self):
+        assert Node("Solo").print_tree() == "Solo (Node)"
+
+
+class TestAssocArrayMxmSemirings:
+    def test_min_plus_through_assoc_layer(self):
+        from repro.assoc.array import AssociativeArray
+        from repro.assoc.semiring import MIN_PLUS
+
+        hops = AssociativeArray.from_triples(
+            ["a", "b"], ["b", "c"], np.asarray([2.0, 3.0])
+        )
+        two_hop = hops.mxm(hops, MIN_PLUS)
+        assert two_hop["a", "c"] == 5.0
+
+    def test_lor_land_reachability_through_assoc_layer(self):
+        from repro.assoc.array import AssociativeArray
+        from repro.assoc.semiring import LOR_LAND
+
+        edges = AssociativeArray.from_triples(
+            ["a", "b"], ["b", "c"], np.asarray([True, True])
+        )
+        reach2 = edges.mxm(edges, LOR_LAND)
+        assert reach2["a", "c"] is True

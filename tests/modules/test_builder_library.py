@@ -1,0 +1,144 @@
+"""ModuleBuilder and the built-in catalogue."""
+
+import pytest
+
+from repro.errors import ModuleSchemaError
+from repro.graphs.patterns import star
+from repro.modules.builder import ModuleBuilder, pattern_question
+from repro.modules.library import (
+    DISPLAY_NAMES,
+    builtin_catalog,
+    catalog_families,
+    family_modules,
+)
+from repro.modules.module import STANDARD_QUESTION
+from repro.modules.schema import validate_module_dict
+
+
+class TestModuleBuilder:
+    def test_minimal(self):
+        m = ModuleBuilder("Lesson").matrix(star(10)).build()
+        assert m.name == "Lesson" and not m.has_question
+
+    def test_full(self):
+        m = (
+            ModuleBuilder("Star")
+            .author("Ada")
+            .matrix(star(10))
+            .question("Which?", answers=["Star", "Ring", "Mesh"], correct=0)
+            .hint("see refs")
+            .build()
+        )
+        assert m.author == "Ada"
+        assert m.question.hint == "see refs"
+        assert m.question.correct_answer == "Star"
+
+    def test_hint_before_question(self):
+        m = (
+            ModuleBuilder("Star")
+            .matrix(star(10))
+            .hint("h")
+            .question("Which?", answers=["a", "b", "c"], correct=1)
+            .build()
+        )
+        assert m.question.hint == "h"
+
+    def test_grid_form(self):
+        m = ModuleBuilder("Tiny").grid([[0, 1], [0, 0]], ["A", "B"]).build()
+        assert m.matrix["A", "B"] == 1
+
+    def test_no_matrix_rejected(self):
+        with pytest.raises(ModuleSchemaError, match="matrix"):
+            ModuleBuilder("Empty").build()
+
+    def test_extra_fields(self):
+        m = ModuleBuilder("X").matrix(star(10)).extra(difficulty="hard").build()
+        assert m.to_json_dict()["difficulty"] == "hard"
+
+    def test_built_module_validates(self):
+        m = (
+            ModuleBuilder("Star")
+            .matrix(star(10))
+            .question("Q?", answers=["a", "b", "c"], correct=2)
+            .build()
+        )
+        validate_module_dict(m.to_json_dict())
+
+
+class TestPatternQuestion:
+    def test_correct_first_with_cyclic_distractors(self):
+        family = ("a", "b", "c", "d")
+        display = {k: k.upper() for k in family}
+        q = pattern_question("c", family, display)
+        assert q.answers == ("C", "D", "A")
+        assert q.correct_answer == "C"
+
+    def test_unknown_correct_rejected(self):
+        with pytest.raises(ModuleSchemaError):
+            pattern_question("z", ("a", "b"), {"a": "A", "b": "B"})
+
+    def test_standard_text(self):
+        q = pattern_question("a", ("a", "b", "c"), {k: k for k in "abc"})
+        assert q.text == STANDARD_QUESTION
+
+
+class TestCatalog:
+    def test_families_and_counts(self, catalog):
+        fams = {}
+        for key in catalog:
+            fams[key.split("/")[0]] = fams.get(key.split("/")[0], 0) + 1
+        assert fams["graph_theory"] == 9     # Fig. 10
+        assert fams["topologies"] == 4       # Fig. 6
+        assert fams["attack"] == 4           # Fig. 7
+        assert fams["defense"] == 3          # Fig. 8
+        assert fams["ddos"] == 4             # Fig. 9
+        assert fams["training"] == 1         # Fig. 5
+        assert fams["templates"] == 2
+
+    def test_catalog_families_order(self):
+        fams = catalog_families()
+        assert fams[0] == "training"
+        assert fams.index("topologies") < fams.index("attack") < fams.index("ddos")
+
+    def test_family_modules(self):
+        mods = family_modules("defense")
+        assert len(mods) == 3
+
+    def test_every_module_serialises_and_validates(self, catalog):
+        for key, module in catalog.items():
+            validate_module_dict(module.to_json_dict())
+
+    def test_every_question_has_three_answers(self, catalog):
+        for key, module in catalog.items():
+            if module.question:
+                assert len(module.question.answers) == 3, key
+
+    def test_answers_are_display_names(self, catalog):
+        q = catalog["graph_theory/star"].question
+        assert q.answers[0] == DISPLAY_NAMES["star"]
+
+    def test_distractors_in_family(self, catalog):
+        q = catalog["attack/planning"].question
+        attack_names = {DISPLAY_NAMES[k] for k in ("planning", "staging", "infiltration", "lateral_movement")}
+        assert set(q.answers) <= attack_names
+
+    def test_hints_cite_references(self, catalog):
+        assert "HPEC 2020" in catalog["topologies/isolated_links"].question.hint
+        assert "Zero Botnets" in catalog["ddos/backscatter"].question.hint
+        assert "TEDxBoston" in catalog["defense/security"].question.hint
+
+    def test_training_is_template_matrix(self, catalog, tpl10):
+        assert catalog["training/training"].matrix == tpl10.matrix
+
+    def test_catalog_copies_are_independent(self):
+        a = builtin_catalog()
+        del a["training/training"]
+        assert "training/training" in builtin_catalog()
+
+    def test_all_matrices_render_within_display_limit(self, catalog):
+        for key, module in catalog.items():
+            assert module.matrix.cells_over_display_limit() == [], key
+
+    def test_challenge_modules_present(self, catalog):
+        assert "challenge/full_attack" in catalog
+        assert "challenge/supernode_in_noise" in catalog

@@ -1,0 +1,159 @@
+"""Hierarchical curricula (paper future-work feature)."""
+
+import pytest
+
+from repro.errors import ModuleLoadError, ModuleSchemaError
+from repro.modules.curriculum import (
+    Curriculum,
+    Unit,
+    load_curriculum_bundle,
+    save_curriculum_bundle,
+)
+from repro.modules.library import builtin_catalog, family_modules
+from repro.modules.loader import load_bundle
+
+
+def sample_curriculum() -> Curriculum:
+    cat = builtin_catalog()
+    basics = Unit(
+        "Basics",
+        modules=(cat["training/training"], cat["templates/10x10"]),
+        pass_score=0.5,
+    )
+    topo = Unit(
+        "Topologies",
+        modules=tuple(family_modules("topologies")),
+        requires=("Basics",),
+    )
+    attack = Unit(
+        "Attack Patterns",
+        modules=tuple(family_modules("attack")),
+        requires=("Topologies",),
+        pass_score=0.75,
+    )
+    return Curriculum(Unit("Course", children=(basics, topo, attack)))
+
+
+class TestUnit:
+    def test_empty_title_rejected(self):
+        with pytest.raises(ModuleSchemaError):
+            Unit("  ")
+
+    def test_pass_score_range(self):
+        with pytest.raises(ModuleSchemaError):
+            Unit("U", pass_score=1.5)
+
+    def test_all_modules_depth_first(self):
+        c = sample_curriculum()
+        names = [m.name for m in c.root.all_modules()]
+        assert names[0].startswith("Training")
+        assert len(names) == 2 + 4 + 4
+
+    def test_question_count(self):
+        c = sample_curriculum()
+        assert c.unit("Basics").question_count() == 2
+
+
+class TestCurriculumStructure:
+    def test_duplicate_titles_rejected(self):
+        with pytest.raises(ModuleSchemaError, match="unique"):
+            Curriculum(Unit("A", children=(Unit("B"), Unit("B"))))
+
+    def test_unknown_prerequisite_rejected(self):
+        with pytest.raises(ModuleSchemaError, match="unknown unit"):
+            Curriculum(Unit("A", children=(Unit("B", requires=("Ghost",)),)))
+
+    def test_self_requirement_rejected(self):
+        with pytest.raises(ModuleSchemaError, match="require itself"):
+            Curriculum(Unit("A", children=(Unit("B", requires=("B",)),)))
+
+    def test_unit_lookup(self):
+        c = sample_curriculum()
+        assert c.unit("Topologies").requires == ("Basics",)
+        with pytest.raises(ModuleSchemaError):
+            c.unit("Nope")
+
+
+class TestFlatten:
+    def test_respects_prerequisites(self):
+        c = sample_curriculum()
+        names = [m.name for m in c.flatten()]
+        basics_pos = names.index("Training: Reading a Traffic Matrix")
+        attack_pos = names.index("Planning")
+        assert basics_pos < attack_pos
+
+    def test_deferred_unit_reordering(self):
+        # a unit listed first but requiring a later sibling gets deferred
+        late = Unit("Late", modules=(builtin_catalog()["templates/6x6"],), requires=("Early",))
+        early = Unit("Early", modules=(builtin_catalog()["templates/10x10"],))
+        c = Curriculum(Unit("Root", children=(late, early)))
+        names = [m.name for m in c.flatten()]
+        assert names.index("10x10 Template") < names.index("6x6 Template")
+
+    def test_cycle_detected(self):
+        a = Unit("A", requires=("B",), modules=(builtin_catalog()["templates/6x6"],))
+        b = Unit("B", requires=("A",))
+        c = Curriculum(Unit("Root", children=(a, b)))
+        with pytest.raises(ModuleSchemaError, match="cycle"):
+            c.flatten()
+
+
+class TestProgressGating:
+    def test_available_units_unlock_in_order(self):
+        c = sample_curriculum()
+        first = {u.title for u in c.available_units([])}
+        assert "Basics" in first and "Attack Patterns" not in first
+        after_basics = {u.title for u in c.available_units(["Course", "Basics"])}
+        assert "Topologies" in after_basics and "Attack Patterns" not in after_basics
+
+    def test_unit_passed_threshold(self):
+        c = sample_curriculum()
+        assert c.unit_passed("Basics", correct=1)       # 1/2 >= 0.5
+        assert not c.unit_passed("Attack Patterns", 2)  # 2/4 < 0.75
+        assert c.unit_passed("Attack Patterns", 3)
+
+    def test_discussion_only_unit_passes(self):
+        c = Curriculum(Unit("Root", children=(Unit("Talk"),)))
+        assert c.unit_passed("Talk", correct=0)
+
+
+class TestSerialisation:
+    def test_json_round_trip(self):
+        c = sample_curriculum()
+        back = Curriculum.from_json_dict(c.to_json_dict())
+        assert [u.title for u in back.root.iter_units()] == [
+            u.title for u in c.root.iter_units()
+        ]
+        assert [m.name for m in back.flatten()] == [m.name for m in c.flatten()]
+        assert back.unit("Attack Patterns").pass_score == 0.75
+
+    def test_bundle_round_trip(self, tmp_path):
+        c = sample_curriculum()
+        path = save_curriculum_bundle(c, tmp_path / "course.zip")
+        back = load_curriculum_bundle(path)
+        assert [m.name for m in back.flatten()] == [m.name for m in c.flatten()]
+
+    def test_bundle_degrades_to_playlist(self, tmp_path):
+        # an old client can still load the same zip as a flat playlist
+        c = sample_curriculum()
+        path = save_curriculum_bundle(c, tmp_path / "course.zip")
+        modules = load_bundle(path)
+        assert [m.name for m in modules] == [m.name for m in c.flatten()]
+
+    def test_missing_curriculum_json(self, tmp_path):
+        import zipfile
+
+        path = tmp_path / "plain.zip"
+        with zipfile.ZipFile(path, "w") as zf:
+            zf.writestr("01_m.json", builtin_catalog()["templates/6x6"].to_json())
+        with pytest.raises(ModuleLoadError, match="curriculum.json"):
+            load_curriculum_bundle(path)
+
+    def test_root_required(self):
+        with pytest.raises(ModuleSchemaError, match="root"):
+            Curriculum.from_json_dict({"curriculum_version": 1})
+
+    def test_empty_curriculum_bundle_rejected(self, tmp_path):
+        c = Curriculum(Unit("Root"))
+        with pytest.raises(ModuleLoadError, match="empty"):
+            save_curriculum_bundle(c, tmp_path / "empty.zip")

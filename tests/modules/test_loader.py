@@ -1,0 +1,126 @@
+"""Module files and zip bundles: save/load round trips and error paths."""
+
+import io
+import zipfile
+
+import pytest
+
+from repro.errors import ModuleLoadError, ModuleSchemaError
+from repro.modules.loader import (
+    bundle_names,
+    load_bundle,
+    load_module,
+    loads_module,
+    save_bundle,
+    save_module,
+)
+from repro.modules.templates import template_6x6, template_10x10
+
+
+class TestSingleFile:
+    def test_save_load_round_trip(self, tmp_path, tpl10):
+        path = save_module(tpl10, tmp_path / "m.json")
+        back = load_module(path)
+        assert back.matrix == tpl10.matrix
+        assert back.name == tpl10.name
+
+    def test_creates_parent_dirs(self, tmp_path, tpl10):
+        path = save_module(tpl10, tmp_path / "a" / "b" / "m.json")
+        assert path.exists()
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ModuleLoadError, match="cannot read"):
+            load_module(tmp_path / "missing.json")
+
+    def test_invalid_json_names_source(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json", encoding="utf-8")
+        with pytest.raises(ModuleLoadError, match="bad.json"):
+            load_module(bad)
+
+    def test_schema_error_names_source(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"name": "x"}', encoding="utf-8")
+        with pytest.raises(ModuleSchemaError, match="bad.json"):
+            load_module(bad)
+
+    def test_loads_module_from_string(self, tpl6):
+        assert loads_module(tpl6.to_json()).matrix == tpl6.matrix
+
+
+class TestBundles:
+    def test_round_trip_preserves_order(self, tmp_path):
+        mods = [template_6x6(), template_10x10()]
+        path = tmp_path / "bundle.zip"
+        names = save_bundle(mods, path)
+        assert names == ["01_6x6_template.json", "02_10x10_template.json"]
+        back = load_bundle(path)
+        assert [m.name for m in back] == [m.name for m in mods]
+
+    def test_sequential_presentation_is_sorted_name_order(self, tmp_path):
+        # build a zip by hand with names out of insertion order
+        path = tmp_path / "bundle.zip"
+        with zipfile.ZipFile(path, "w") as zf:
+            zf.writestr("02_second.json", template_10x10().to_json())
+            zf.writestr("01_first.json", template_6x6().to_json())
+        back = load_bundle(path)
+        assert back[0].size == "6x6"
+
+    def test_non_json_members_ignored(self, tmp_path):
+        path = tmp_path / "bundle.zip"
+        with zipfile.ZipFile(path, "w") as zf:
+            zf.writestr("README.txt", "hello")
+            zf.writestr("01_m.json", template_6x6().to_json())
+        assert len(load_bundle(path)) == 1
+
+    def test_directory_prefixes_allowed(self, tmp_path):
+        path = tmp_path / "bundle.zip"
+        with zipfile.ZipFile(path, "w") as zf:
+            zf.writestr("lesson/01_m.json", template_6x6().to_json())
+        assert len(load_bundle(path)) == 1
+
+    def test_empty_bundle_rejected(self, tmp_path):
+        path = tmp_path / "bundle.zip"
+        with zipfile.ZipFile(path, "w") as zf:
+            zf.writestr("README.txt", "no modules here")
+        with pytest.raises(ModuleLoadError, match="no .json"):
+            load_bundle(path)
+
+    def test_not_a_zip(self, tmp_path):
+        path = tmp_path / "bundle.zip"
+        path.write_text("definitely not a zip")
+        with pytest.raises(ModuleLoadError, match="cannot open"):
+            load_bundle(path)
+
+    def test_broken_member_names_member(self, tmp_path):
+        path = tmp_path / "bundle.zip"
+        with zipfile.ZipFile(path, "w") as zf:
+            zf.writestr("01_bad.json", '{"name": "x"}')
+        with pytest.raises(ModuleSchemaError, match="01_bad.json"):
+            load_bundle(path)
+
+    def test_save_empty_rejected(self, tmp_path):
+        with pytest.raises(ModuleLoadError, match="empty"):
+            save_bundle([], tmp_path / "b.zip")
+
+    def test_bytesio_round_trip(self):
+        buf = io.BytesIO()
+        save_bundle([template_6x6()], buf)
+        buf.seek(0)
+        assert len(load_bundle(buf)) == 1
+
+    def test_bundle_names(self, tmp_path):
+        path = tmp_path / "bundle.zip"
+        save_bundle([template_6x6(), template_10x10()], path)
+        assert bundle_names(path) == ["01_6x6_template.json", "02_10x10_template.json"]
+
+    def test_duplicate_module_names_disambiguated(self, tmp_path):
+        mods = [template_6x6(), template_6x6()]
+        names = save_bundle(mods, tmp_path / "b.zip")
+        assert len(set(names)) == 2
+
+    def test_catalog_bundle_round_trip(self, tmp_path, catalog):
+        path = tmp_path / "full.zip"
+        save_bundle(list(catalog.values()), path)
+        back = load_bundle(path)
+        assert len(back) == len(catalog)

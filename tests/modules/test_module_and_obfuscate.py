@@ -1,0 +1,155 @@
+"""Question/module semantics: shuffling, JSON round trips, obfuscation."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ModuleSchemaError, QuizError
+from repro.modules.module import Question, STANDARD_QUESTION
+from repro.modules.obfuscate import (
+    deobfuscate_module,
+    hash_answer,
+    obfuscate_module,
+    obfuscate_question,
+    verify_answer,
+)
+from repro.modules.schema import validate_module_dict
+from repro.modules.templates import template_10x10
+
+
+def q3(correct: int = 0) -> Question:
+    return Question("Pick one", ("a", "b", "c"), correct_answer_element=correct)
+
+
+class TestQuestion:
+    def test_correct_answer_text(self):
+        assert q3(1).correct_answer == "b"
+
+    def test_needs_two_answers(self):
+        with pytest.raises(ModuleSchemaError):
+            Question("q", ("only",), correct_answer_element=0)
+
+    def test_element_range_checked(self):
+        with pytest.raises(ModuleSchemaError):
+            Question("q", ("a", "b"), correct_answer_element=2)
+
+    def test_element_or_hash_exclusive(self):
+        with pytest.raises(ModuleSchemaError):
+            Question("q", ("a", "b"), correct_answer_element=0, correct_answer_hash="x" * 64)
+        with pytest.raises(ModuleSchemaError):
+            Question("q", ("a", "b"))
+
+    def test_is_correct_by_text(self):
+        q = q3(2)
+        assert q.is_correct("c") and not q.is_correct("a")
+
+    @given(st.integers(0, 2**32))
+    @settings(max_examples=30, deadline=None)
+    def test_shuffle_is_permutation_tracking_correct(self, seed):
+        q = q3(1)
+        options, idx = q.shuffled_answers(seed)
+        assert sorted(options) == ["a", "b", "c"]
+        assert options[idx] == "b"
+
+    def test_shuffle_varies_with_seed(self):
+        q = q3()
+        orders = {tuple(q.shuffled_answers(s)[0]) for s in range(20)}
+        assert len(orders) > 1  # "the first element will not always be the first option"
+
+
+class TestModuleJson:
+    def test_round_trip_all_fields(self, tpl10):
+        doc = tpl10.to_json_dict()
+        back = validate_module_dict(json.loads(json.dumps(doc)))
+        assert back.matrix == tpl10.matrix
+        assert back.question.answers == tpl10.question.answers
+        assert back.author == tpl10.author
+
+    def test_field_order_matches_paper(self, tpl10):
+        keys = list(tpl10.to_json_dict())
+        assert keys[:3] == ["name", "size", "author"]
+        assert keys.index("axis_labels") < keys.index("traffic_matrix")
+
+    def test_without_question(self, tpl10):
+        silent = tpl10.without_question()
+        assert not silent.has_question
+        doc = silent.to_json_dict()
+        assert doc["has_question"] is False
+        assert "answers" not in doc
+
+    def test_describe(self, tpl10):
+        assert "10x10" in tpl10.describe()
+
+
+class TestHashAnswer:
+    def test_canonicalisation(self):
+        assert hash_answer(" Star ") == hash_answer("star")
+        assert hash_answer("STAR") == hash_answer("star")
+
+    def test_distinct_answers_distinct_hashes(self):
+        assert hash_answer("0") != hash_answer("1")
+
+    def test_hex_shape(self):
+        h = hash_answer("2")
+        assert len(h) == 64 and int(h, 16) >= 0
+
+
+class TestObfuscation:
+    def test_obfuscate_question(self):
+        ob = obfuscate_question(q3(2))
+        assert ob.is_obfuscated
+        assert ob.correct_answer_element is None
+        assert ob.is_correct("c") and not ob.is_correct("a")
+
+    def test_obfuscate_idempotent(self):
+        ob = obfuscate_question(q3())
+        assert obfuscate_question(ob) == ob
+
+    def test_correct_answer_property_raises_when_obfuscated(self):
+        ob = obfuscate_question(q3())
+        with pytest.raises(QuizError):
+            _ = ob.correct_answer
+
+    def test_module_round_trip(self, tpl10):
+        ob = obfuscate_module(tpl10)
+        de = deobfuscate_module(ob)
+        assert de.question.correct_answer == tpl10.question.correct_answer
+
+    def test_module_without_question_noop(self, tpl10):
+        silent = tpl10.without_question()
+        assert obfuscate_module(silent) == silent
+
+    def test_deobfuscate_detects_tampering(self, tpl10):
+        ob = obfuscate_module(tpl10)
+        from dataclasses import replace
+
+        tampered = replace(
+            ob, question=replace(ob.question, answers=("x", "y", "z"))
+        )
+        with pytest.raises(QuizError, match="edited"):
+            deobfuscate_module(tampered)
+
+    def test_obfuscated_json_hides_answer(self, tpl10):
+        doc = obfuscate_module(tpl10).to_json_dict()
+        assert "correct_answer_element" not in doc
+        assert "correct_answer_hash" in doc
+
+    def test_verify_answer_both_forms(self, tpl10):
+        q = tpl10.question
+        assert verify_answer(q, "2")
+        assert verify_answer(obfuscate_question(q), "2")
+        assert not verify_answer(obfuscate_question(q), "1")
+
+    def test_shuffle_obfuscated_returns_none_index(self):
+        ob = obfuscate_question(q3())
+        options, idx = ob.shuffled_answers(seed=1)
+        assert idx is None and len(options) == 3
+
+
+class TestStandardQuestion:
+    def test_text_matches_paper(self):
+        assert STANDARD_QUESTION == (
+            "Which choice is the displayed traffic pattern most relevant to?"
+        )

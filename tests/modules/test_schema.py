@@ -1,0 +1,225 @@
+"""Schema validation: every educator mistake gets a pointable error."""
+
+import pytest
+
+from repro.errors import ModuleSchemaError
+from repro.modules.schema import validate_module_dict
+from repro.modules.templates import template_10x10_dict
+
+
+def broken(**overrides):
+    doc = template_10x10_dict()
+    doc.update(overrides)
+    return doc
+
+
+class TestRequiredFields:
+    @pytest.mark.parametrize("field", ["name", "size", "author", "axis_labels", "traffic_matrix"])
+    def test_missing_field(self, field):
+        doc = template_10x10_dict()
+        del doc[field]
+        with pytest.raises(ModuleSchemaError, match=field):
+            validate_module_dict(doc)
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ModuleSchemaError):
+            validate_module_dict(["not", "an", "object"])  # type: ignore[arg-type]
+
+    def test_empty_name(self):
+        with pytest.raises(ModuleSchemaError, match=r"\$\.name"):
+            validate_module_dict(broken(name="   "))
+
+    def test_empty_author(self):
+        with pytest.raises(ModuleSchemaError, match=r"\$\.author"):
+            validate_module_dict(broken(author=""))
+
+
+class TestSize:
+    def test_bad_format(self):
+        with pytest.raises(ModuleSchemaError, match="10x10"):
+            validate_module_dict(broken(size="ten by ten"))
+
+    def test_non_square(self):
+        with pytest.raises(ModuleSchemaError, match="square"):
+            validate_module_dict(broken(size="10x8"))
+
+    def test_non_string(self):
+        with pytest.raises(ModuleSchemaError, match=r"\$\.size"):
+            validate_module_dict(broken(size=10))
+
+    def test_zero_size(self):
+        with pytest.raises(ModuleSchemaError, match="at least"):
+            validate_module_dict(broken(size="0x0"))
+
+
+class TestLabels:
+    def test_wrong_count(self):
+        doc = broken()
+        doc["axis_labels"] = doc["axis_labels"][:-1]
+        with pytest.raises(ModuleSchemaError, match="axis_labels"):
+            validate_module_dict(doc)
+
+    def test_duplicates(self):
+        doc = broken()
+        doc["axis_labels"][1] = "WS1"
+        with pytest.raises(ModuleSchemaError, match="duplicate"):
+            validate_module_dict(doc)
+
+    def test_non_list(self):
+        with pytest.raises(ModuleSchemaError, match="list"):
+            validate_module_dict(broken(axis_labels="WS1,WS2"))
+
+
+class TestMatrixGrid:
+    def test_row_count_mismatch(self):
+        doc = broken()
+        doc["traffic_matrix"] = doc["traffic_matrix"][:-1]
+        with pytest.raises(ModuleSchemaError, match="10 rows"):
+            validate_module_dict(doc)
+
+    def test_row_length_mismatch(self):
+        doc = broken()
+        doc["traffic_matrix"][3] = [0] * 9
+        with pytest.raises(ModuleSchemaError, match=r"traffic_matrix\[3\]"):
+            validate_module_dict(doc)
+
+    def test_non_numeric_cell(self):
+        doc = broken()
+        doc["traffic_matrix"][2][5] = "two"
+        with pytest.raises(ModuleSchemaError, match=r"\[2\]\[5\]"):
+            validate_module_dict(doc)
+
+    def test_boolean_cell_rejected(self):
+        doc = broken()
+        doc["traffic_matrix"][0][0] = True
+        with pytest.raises(ModuleSchemaError, match=r"\[0\]\[0\]"):
+            validate_module_dict(doc)
+
+    def test_fractional_cell_rejected(self):
+        doc = broken()
+        doc["traffic_matrix"][0][0] = 1.5
+        with pytest.raises(ModuleSchemaError, match="integer"):
+            validate_module_dict(doc)
+
+    def test_negative_cell(self):
+        doc = broken()
+        doc["traffic_matrix"][0][0] = -1
+        with pytest.raises(ModuleSchemaError, match="non-negative"):
+            validate_module_dict(doc)
+
+    def test_integral_float_accepted(self):
+        doc = broken()
+        doc["traffic_matrix"][0][0] = 1.0
+        assert validate_module_dict(doc).matrix[0, 0] == 1
+
+
+class TestColorGrid:
+    def test_bad_code_with_position(self):
+        doc = broken()
+        doc["traffic_matrix_colors"][4][7] = 3
+        with pytest.raises(ModuleSchemaError, match=r"colors\[4\]\[7\]"):
+            validate_module_dict(doc)
+
+    def test_colors_optional(self):
+        doc = broken()
+        del doc["traffic_matrix_colors"]
+        module = validate_module_dict(doc)
+        assert module.matrix.colors.sum() == 0
+
+    def test_null_colors_treated_as_absent(self):
+        doc = broken(traffic_matrix_colors=None)
+        assert validate_module_dict(doc).matrix.colors.sum() == 0
+
+
+class TestQuestion:
+    def test_question_missing_when_toggled_on(self):
+        doc = broken()
+        del doc["question"]
+        with pytest.raises(ModuleSchemaError, match="'question' is missing"):
+            validate_module_dict(doc)
+
+    def test_answers_missing(self):
+        doc = broken()
+        del doc["answers"]
+        with pytest.raises(ModuleSchemaError, match="'answers' is missing"):
+            validate_module_dict(doc)
+
+    def test_three_answer_policy(self):
+        doc = broken(answers=["0", "1"], correct_answer_element=0)
+        with pytest.raises(ModuleSchemaError, match="exactly 3"):
+            validate_module_dict(doc)
+
+    def test_three_answer_policy_relaxable(self):
+        doc = broken(answers=["0", "1"], correct_answer_element=0)
+        module = validate_module_dict(doc, require_three_answers=False)
+        assert len(module.question.answers) == 2
+
+    def test_duplicate_answers(self):
+        doc = broken(answers=["2", "2", "1"])
+        with pytest.raises(ModuleSchemaError, match="distinct"):
+            validate_module_dict(doc)
+
+    def test_correct_element_out_of_range(self):
+        doc = broken(correct_answer_element=5)
+        with pytest.raises(ModuleSchemaError, match="out of range"):
+            validate_module_dict(doc)
+
+    def test_correct_element_bool_rejected(self):
+        doc = broken(correct_answer_element=True)
+        with pytest.raises(ModuleSchemaError, match="integer"):
+            validate_module_dict(doc)
+
+    def test_both_element_and_hash_rejected(self):
+        doc = broken(correct_answer_hash="a" * 64)
+        with pytest.raises(ModuleSchemaError, match="exactly one"):
+            validate_module_dict(doc)
+
+    def test_hash_form_accepted(self):
+        doc = broken()
+        del doc["correct_answer_element"]
+        doc["correct_answer_hash"] = "ab" * 32
+        module = validate_module_dict(doc)
+        assert module.question.is_obfuscated
+
+    def test_malformed_hash_rejected(self):
+        doc = broken()
+        del doc["correct_answer_element"]
+        doc["correct_answer_hash"] = "nothex"
+        with pytest.raises(ModuleSchemaError, match="SHA-256"):
+            validate_module_dict(doc)
+
+    def test_question_toggled_off_ignores_question_fields(self):
+        doc = broken(has_question=False)
+        module = validate_module_dict(doc)
+        assert module.question is None
+
+    def test_has_question_must_be_bool(self):
+        with pytest.raises(ModuleSchemaError, match="true or false"):
+            validate_module_dict(broken(has_question="yes"))
+
+    def test_hint_accepted(self):
+        module = validate_module_dict(broken(hint="See HPEC 2020"))
+        assert module.question.hint == "See HPEC 2020"
+
+    def test_hint_type_checked(self):
+        with pytest.raises(ModuleSchemaError, match=r"\$\.hint"):
+            validate_module_dict(broken(hint=42))
+
+
+class TestExtraFields:
+    def test_unknown_fields_preserved(self):
+        module = validate_module_dict(broken(difficulty="advanced"))
+        assert module.extra["difficulty"] == "advanced"
+
+    def test_extra_fields_round_trip(self):
+        module = validate_module_dict(broken(difficulty="advanced"))
+        assert module.to_json_dict()["difficulty"] == "advanced"
+
+
+class TestHappyPath:
+    def test_template_validates(self):
+        module = validate_module_dict(template_10x10_dict())
+        assert module.name == "10x10 Template"
+        assert module.size == "10x10"
+        assert module.question.correct_answer == "2"
+        assert module.matrix["WS1", "ADV4"] == 2

@@ -1,0 +1,118 @@
+"""Schema fuzzing: arbitrary JSON-shaped input never crashes the validator.
+
+The paper's format is hand-edited plaintext; the validator's contract is that
+*any* input produces either a module or a :class:`ModuleSchemaError` with a
+JSON path — never a traceback from deep inside NumPy or a KeyError.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ModuleLoadError, ModuleSchemaError
+from repro.modules.loader import loads_module
+from repro.modules.schema import validate_module_dict
+from repro.modules.templates import template_10x10_dict
+
+json_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(-100, 100),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=12),
+)
+
+json_values = st.recursive(
+    json_scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=5),
+        st.dictionaries(st.text(max_size=8), children, max_size=5),
+    ),
+    max_leaves=20,
+)
+
+
+class TestValidatorTotalness:
+    @given(st.dictionaries(st.text(max_size=12), json_values, max_size=8))
+    @settings(max_examples=150, deadline=None)
+    def test_random_objects_never_crash(self, doc):
+        try:
+            validate_module_dict(doc)
+        except ModuleSchemaError:
+            pass  # the only acceptable failure mode
+
+    @given(
+        field=st.sampled_from(sorted(template_10x10_dict().keys())),
+        value=json_values,
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_single_field_corruption_never_crashes(self, field, value):
+        doc = template_10x10_dict()
+        doc[field] = value
+        try:
+            module = validate_module_dict(doc)
+        except ModuleSchemaError:
+            return
+        # if it validated, the replacement must have been equivalent data
+        assert module.size in ("10x10",) or field == "size"
+
+    @given(
+        i=st.integers(0, 9), j=st.integers(0, 9), value=json_scalars,
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_single_cell_corruption(self, i, j, value):
+        doc = template_10x10_dict()
+        doc["traffic_matrix"][i][j] = value
+        try:
+            module = validate_module_dict(doc)
+        except ModuleSchemaError as exc:
+            assert "traffic_matrix" in str(exc)
+            return
+        assert module.matrix.packets[i, j] >= 0
+
+    @given(st.text(max_size=40))
+    @settings(max_examples=100, deadline=None)
+    def test_random_text_through_loader(self, text):
+        try:
+            loads_module(text)
+        except (ModuleLoadError, ModuleSchemaError):
+            pass
+
+    @given(st.dictionaries(st.text(max_size=12), json_values, max_size=8))
+    @settings(max_examples=100, deadline=None)
+    def test_loader_and_validator_agree(self, doc):
+        """Going through JSON text cannot change the verdict."""
+        try:
+            direct = validate_module_dict(doc)
+            direct_ok = True
+        except ModuleSchemaError:
+            direct_ok = False
+        try:
+            text_ok = loads_module(json.dumps(doc)) is not None
+        except (ModuleLoadError, ModuleSchemaError):
+            text_ok = False
+        # floats like 1.0 survive JSON round trips; verdicts must match
+        assert direct_ok == text_ok
+
+
+class TestErrorPathsCarryLocation:
+    @pytest.mark.parametrize(
+        "mutate,expected_path",
+        [
+            (lambda d: d.__setitem__("size", "oops"), "$.size"),
+            (lambda d: d["axis_labels"].__setitem__(0, ""), "$.axis_labels"),
+            (lambda d: d["traffic_matrix"][5].__setitem__(5, "x"), "[5][5]"),
+            (lambda d: d["traffic_matrix_colors"][1].__setitem__(2, 9), "[1][2]"),
+            (lambda d: d.__setitem__("answers", ["a", "a", "b"]), "$.answers"),
+        ],
+    )
+    def test_paths(self, mutate, expected_path):
+        doc = template_10x10_dict()
+        mutate(doc)
+        with pytest.raises(ModuleSchemaError) as exc_info:
+            validate_module_dict(doc)
+        assert expected_path in str(exc_info.value)

@@ -1,0 +1,261 @@
+"""Rendering: 2-D spreadsheet view, camera, rasteriser, scene, PPM."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.engine.math3d import Vector3
+from repro.engine.node import MeshInstance3D, Node3D
+from repro.errors import RenderError
+from repro.render.ansi import colorize, strip_ansi
+from repro.render.ascii2d import render_matrix_2d, render_matrix_compact
+from repro.render.camera import ISO_PITCH, OrthoCamera, ViewMode
+from repro.render.ppm import read_ppm, write_ppm
+from repro.render.raster import CharBuffer, rasterize_points
+from repro.render.scene import collect_voxels, render_scene_ascii, render_scene_pixels
+
+
+class TestAnsi:
+    def test_colorize_and_strip(self):
+        text = colorize("X", fg=(255, 0, 0), bg=(0, 0, 255))
+        assert "X" in text and text != "X"
+        assert strip_ansi(text) == "X"
+
+    def test_colorize_noop(self):
+        assert colorize("X") == "X"
+
+
+class TestAscii2D:
+    def test_labels_on_both_axes(self, tpl10):
+        plain = strip_ansi(render_matrix_2d(tpl10.matrix, ansi=False))
+        lines = plain.splitlines()
+        assert "WS1" in lines[0] and "ADV4" in lines[0]  # header
+        assert any(line.lstrip().startswith("ADV4") for line in lines)
+
+    def test_counts_shown(self, tpl10):
+        plain = render_matrix_2d(tpl10.matrix, ansi=False)
+        assert "2r" in plain  # count + colour suffix in plain mode
+        assert "1g" in plain
+
+    def test_zeros_blank_by_default(self, tpl10):
+        plain = render_matrix_2d(tpl10.matrix, ansi=False)
+        assert "0g" not in plain
+
+    def test_show_zeros(self, tpl10):
+        plain = render_matrix_2d(tpl10.matrix, ansi=False, show_zeros=True)
+        assert "0g" in plain
+
+    def test_ansi_mode_contains_escapes(self, tpl10):
+        out = render_matrix_2d(tpl10.matrix, ansi=True)
+        assert "\x1b[48;2;" in out
+        assert strip_ansi(out).count("│") > 0
+
+    def test_grid_is_rectangular(self, tpl10):
+        plain = strip_ansi(render_matrix_2d(tpl10.matrix, ansi=False))
+        widths = {len(line) for line in plain.splitlines()[1:]}
+        assert len(widths) <= 2  # header row + body rows align
+
+    def test_compact_view(self, tpl10):
+        out = render_matrix_compact(tpl10.matrix)
+        assert out.count("·") == 80
+        assert out.count("2") == 10 and out.count("1") == 10
+
+    def test_compact_hash_for_big_counts(self):
+        from repro.core.traffic_matrix import TrafficMatrix
+
+        m = TrafficMatrix([[12]], labels=["A"])
+        assert render_matrix_compact(m) == "#"
+
+
+class TestCamera:
+    def test_default_2d(self):
+        assert OrthoCamera().mode is ViewMode.TOP_DOWN_2D
+
+    def test_toggle(self):
+        cam = OrthoCamera()
+        assert cam.toggle_mode() is ViewMode.ISOMETRIC_3D
+        assert cam.toggle_mode() is ViewMode.TOP_DOWN_2D
+
+    def test_rotation_steps_wrap(self):
+        cam = OrthoCamera(mode=ViewMode.ISOMETRIC_3D)
+        for _ in range(8):
+            cam.rotate_right()
+        assert cam.yaw_steps == 0
+        cam.rotate_left()
+        assert cam.yaw_steps == 7
+
+    def test_2d_projection_is_floor_plan(self):
+        cam = OrthoCamera()
+        u, v, depth = cam.project(np.asarray([[3.0, 0.0, 2.0]]))
+        assert u[0] == pytest.approx(3.0)
+        assert v[0] == pytest.approx(2.0)
+
+    def test_2d_height_is_depth(self):
+        cam = OrthoCamera()
+        _u, _v, depth = cam.project(np.asarray([[0.0, 5.0, 0.0], [0.0, 1.0, 0.0]]))
+        assert depth[0] > depth[1]  # higher point is nearer the top-down eye
+
+    def test_3d_yaw_changes_projection(self):
+        cam = OrthoCamera(mode=ViewMode.ISOMETRIC_3D)
+        pts = np.asarray([[1.0, 0.0, 0.0]])
+        u0, *_ = cam.project(pts)
+        cam.rotate_right()
+        u1, *_ = cam.project(pts)
+        assert u0[0] != pytest.approx(u1[0])
+
+    def test_full_turn_returns_same_projection(self):
+        cam = OrthoCamera(mode=ViewMode.ISOMETRIC_3D)
+        pts = np.asarray([[1.0, 2.0, 3.0]])
+        before = cam.project(pts)
+        for _ in range(8):
+            cam.rotate_right()
+        after = cam.project(pts)
+        for b, a in zip(before, after):
+            assert b[0] == pytest.approx(a[0])
+
+    def test_iso_pitch_constant(self):
+        assert ISO_PITCH == pytest.approx(math.atan(1 / math.sqrt(2)))
+
+    def test_bad_points_shape(self):
+        with pytest.raises(ValueError):
+            OrthoCamera().project(np.zeros((3,)))
+
+
+class TestCharBuffer:
+    def test_put_and_text(self):
+        buf = CharBuffer(10, 3)
+        buf.text(1, 1, "hi")
+        assert buf.to_plain().splitlines()[1][1:3] == "hi"
+
+    def test_clipping(self):
+        buf = CharBuffer(4, 2)
+        buf.text(2, 0, "long-string")
+        buf.put(-1, 5, "x")
+        assert len(buf.to_plain().splitlines()[0]) == 4
+
+    def test_bad_size(self):
+        with pytest.raises(RenderError):
+            CharBuffer(0, 5)
+
+    def test_ansi_only_for_painted(self):
+        buf = CharBuffer(3, 1)
+        buf.put(0, 0, "#", (255, 0, 0))
+        out = buf.to_ansi()
+        assert "\x1b[38;2;255;0;0m" in out
+
+
+class TestRasterize:
+    def test_empty_points(self):
+        buf = rasterize_points(
+            np.asarray([]), np.asarray([]), np.asarray([]),
+            np.empty((0, 3), dtype=np.uint8), width=10, height=5,
+        )
+        assert buf.to_plain().strip() == ""
+
+    def test_single_point_centred(self):
+        buf = rasterize_points(
+            np.asarray([0.0]), np.asarray([0.0]), np.asarray([0.0]),
+            np.asarray([[255, 255, 255]], dtype=np.uint8), width=11, height=5,
+        )
+        plain = buf.to_plain().splitlines()
+        assert plain[2][5] == "█"
+
+    def test_nearest_depth_wins(self):
+        # two coincident points, different depths and colours
+        buf = rasterize_points(
+            np.asarray([0.0, 0.0]), np.asarray([0.0, 0.0]), np.asarray([0.0, 1.0]),
+            np.asarray([[10, 10, 10], [200, 200, 200]], dtype=np.uint8),
+            width=5, height=5,
+        )
+        ys, xs = np.nonzero(buf.painted)
+        assert buf.colors[ys[0], xs[0]].tolist() == [200, 200, 200]
+
+
+class TestSceneRender:
+    def scene(self):
+        root = Node3D("Root")
+        m = MeshInstance3D("P", mesh="pallet")
+        m.position = Vector3(0, 0, 0)
+        root.add_child(m)
+        return root
+
+    def test_collect_voxels(self):
+        pts, rgb = collect_voxels(self.scene())
+        assert pts.shape[0] == rgb.shape[0] > 0
+
+    def test_hidden_subtree_excluded(self):
+        root = self.scene()
+        root.get_child(0).visible = False
+        pts, _ = collect_voxels(root)
+        assert pts.shape[0] == 0
+
+    def test_unknown_mesh_ignored(self):
+        root = Node3D("Root")
+        root.add_child(MeshInstance3D("X", mesh="teapot"))
+        pts, _ = collect_voxels(root)
+        assert pts.shape[0] == 0
+
+    def test_material_override_recolours(self):
+        from repro.engine.resources import preload
+
+        root = self.scene()
+        root.get_child(0).material_override = preload(
+            "res://Assets/Objects/pallet_material_r.tres"
+        )
+        _pts, rgb = collect_voxels(root)
+        assert (rgb == np.asarray([224, 64, 56], dtype=np.uint8)).all(axis=1).any()
+
+    def test_ascii_render_nonempty(self):
+        buf = render_scene_ascii(self.scene(), OrthoCamera(), width=40, height=16)
+        assert "█" in buf.to_plain()
+
+    def test_empty_scene_renders_blank(self):
+        buf = render_scene_ascii(Node3D("Empty"), OrthoCamera(), width=10, height=4)
+        assert buf.to_plain().strip() == ""
+
+    def test_pixel_render_shape_and_content(self):
+        frame = render_scene_pixels(self.scene(), OrthoCamera(), width=64, height=48)
+        assert frame.shape == (48, 64, 3)
+        background = np.asarray([18, 18, 22], dtype=np.uint8)
+        assert not (frame == background).all()
+
+    def test_rotation_changes_frame(self):
+        cam = OrthoCamera(mode=ViewMode.ISOMETRIC_3D)
+        root = self.scene()
+        # add a box so rotation visibly changes the silhouette
+        box = MeshInstance3D("B", mesh="packet_box")
+        box.position = Vector3(2.0, 0.0, 0.0)
+        root.add_child(box)
+        f0 = render_scene_pixels(root, cam, width=64, height=48)
+        cam.rotate_right()
+        f1 = render_scene_pixels(root, cam, width=64, height=48)
+        assert not np.array_equal(f0, f1)
+
+
+class TestPPM:
+    def test_round_trip(self, tmp_path):
+        frame = (np.arange(2 * 3 * 3) % 256).reshape(2, 3, 3).astype(np.uint8)
+        path = write_ppm(frame, tmp_path / "f.ppm")
+        assert np.array_equal(read_ppm(path), frame)
+
+    def test_header(self, tmp_path):
+        frame = np.zeros((4, 7, 3), dtype=np.uint8)
+        path = write_ppm(frame, tmp_path / "f.ppm")
+        assert path.read_bytes().startswith(b"P6\n7 4\n255\n")
+
+    def test_bad_shape(self, tmp_path):
+        with pytest.raises(RenderError):
+            write_ppm(np.zeros((4, 4)), tmp_path / "f.ppm")
+
+    def test_read_rejects_non_ppm(self, tmp_path):
+        bad = tmp_path / "x.ppm"
+        bad.write_bytes(b"JUNK")
+        with pytest.raises(RenderError):
+            read_ppm(bad)
+
+    def test_read_truncated(self, tmp_path):
+        bad = tmp_path / "x.ppm"
+        bad.write_bytes(b"P6\n10 10\n255\nxx")
+        with pytest.raises(RenderError, match="truncated"):
+            read_ppm(bad)

@@ -1,0 +1,217 @@
+"""Voxel models, assets, VOX IO, OBJ export."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import VoxelError
+from repro.voxel.assets import (
+    ASSET_BUILDERS,
+    BLACK,
+    CARDBOARD,
+    WOOD,
+    asset,
+    make_floor_tile,
+    make_label_stand,
+    make_packet_box,
+    make_pallet,
+)
+from repro.voxel.model import DEFAULT_PALETTE, VoxelModel
+from repro.voxel.obj_export import to_obj, write_obj
+from repro.voxel.vox_io import read_vox, write_vox
+
+
+class TestVoxelModel:
+    def test_set_get(self):
+        m = VoxelModel((3, 3, 3))
+        m.set(1, 2, 0, 4)
+        assert m.get(1, 2, 0) == 4 and m.count() == 1
+
+    def test_clear_with_zero(self):
+        m = VoxelModel((2, 2, 2))
+        m.set(0, 0, 0, 1)
+        m.set(0, 0, 0, 0)
+        assert m.is_empty()
+
+    def test_color_out_of_palette(self):
+        m = VoxelModel((2, 2, 2))
+        with pytest.raises(VoxelError):
+            m.set(0, 0, 0, 200)
+
+    def test_bad_dimensions(self):
+        with pytest.raises(VoxelError):
+            VoxelModel((0, 2, 2))
+
+    def test_fill_box_inclusive(self):
+        m = VoxelModel((4, 4, 4))
+        m.fill_box((1, 1, 1), (2, 2, 2), 3)
+        assert m.count() == 8
+
+    def test_fill_box_order_checked(self):
+        m = VoxelModel((4, 4, 4))
+        with pytest.raises(VoxelError, match="ordered"):
+            m.fill_box((2, 0, 0), (1, 0, 0), 1)
+
+    def test_hollow_box(self):
+        m = VoxelModel((5, 5, 5))
+        m.hollow_box((0, 0, 0), (4, 4, 4), 2)
+        assert m.count() == 125 - 27
+        assert m.get(2, 2, 2) == 0
+
+    def test_bounds(self):
+        m = VoxelModel((8, 8, 8))
+        assert m.bounds() is None
+        m.set(2, 3, 4, 1)
+        m.set(5, 3, 4, 1)
+        assert m.bounds() == ((2, 3, 4), (5, 3, 4))
+
+    def test_filled_vectors_consistent(self):
+        m = make_pallet()
+        xs, ys, zs, cs = m.filled()
+        assert xs.size == m.count()
+        assert (cs > 0).all()
+
+    def test_rgb_lookup(self):
+        m = VoxelModel((1, 1, 1))
+        assert m.rgb(1) == DEFAULT_PALETTE[0]
+        with pytest.raises(VoxelError):
+            m.rgb(0)
+
+    def test_mirror_preserves_count(self):
+        m = make_label_stand()
+        assert m.mirrored_x().count() == m.count()
+
+    def test_rotate_y90_four_times_identity(self):
+        m = make_pallet()
+        r = m.rotated_y90().rotated_y90().rotated_y90().rotated_y90()
+        assert np.array_equal(r.grid, m.grid)
+
+    def test_exposed_faces_full_cube(self):
+        m = VoxelModel((3, 3, 3))
+        m.fill_box((0, 0, 0), (2, 2, 2), 1)
+        faces = m.exposed_faces()
+        # each direction exposes exactly one 3x3 face sheet
+        for mask in faces.values():
+            assert int(mask.sum()) == 9
+
+    def test_exposed_faces_interior_hidden(self):
+        m = VoxelModel((3, 3, 3))
+        m.fill_box((0, 0, 0), (2, 2, 2), 1)
+        faces = m.exposed_faces()
+        any_face = np.zeros((3, 3, 3), dtype=bool)
+        for mask in faces.values():
+            any_face |= mask
+        assert not any_face[1, 1, 1]
+
+
+class TestAssets:
+    @pytest.mark.parametrize("name", list(ASSET_BUILDERS))
+    def test_nonempty_and_cached(self, name):
+        a1, a2 = asset(name), asset(name)
+        assert not a1.is_empty()
+        assert a1 is a2  # cache hit
+
+    def test_unknown_asset(self):
+        with pytest.raises(KeyError, match="available"):
+            asset("teapot")
+
+    def test_pallet_recolor(self):
+        red = asset("pallet", color=4)
+        assert (np.unique(red.grid)[1:] == [4]).all()
+
+    def test_pallet_default_wood(self):
+        assert WOOD in np.unique(make_pallet().grid)
+
+    def test_packet_box_has_tape(self):
+        box = make_packet_box()
+        assert BLACK in np.unique(box.grid)
+        assert CARDBOARD in np.unique(box.grid)
+
+    def test_floor_tile_flat(self):
+        tile = make_floor_tile()
+        assert tile.size[1] == 1
+
+    def test_builders_deterministic(self):
+        assert np.array_equal(make_pallet().grid, make_pallet().grid)
+
+
+class TestVoxIO:
+    def test_round_trip_pallet(self, tmp_path):
+        m = make_pallet()
+        path = write_vox(m, tmp_path / "p.vox")
+        back = read_vox(path)
+        assert np.array_equal(back.grid, m.grid)
+        assert back.palette[: len(m.palette)] == m.palette
+
+    def test_round_trip_all_assets(self, tmp_path):
+        for name in ASSET_BUILDERS:
+            m = asset(name)
+            back = read_vox(write_vox(m, tmp_path / f"{name}.vox"))
+            assert np.array_equal(back.grid, m.grid), name
+
+    def test_magic_enforced(self, tmp_path):
+        bad = tmp_path / "bad.vox"
+        bad.write_bytes(b"NOTVOX__")
+        with pytest.raises(VoxelError, match="magic"):
+            read_vox(bad)
+
+    def test_size_limit(self, tmp_path):
+        m = VoxelModel((257, 1, 1))
+        with pytest.raises(VoxelError, match="256"):
+            write_vox(m, tmp_path / "big.vox")
+
+    @given(st.lists(st.tuples(st.integers(0, 5), st.integers(0, 5), st.integers(0, 5)), max_size=20))
+    @settings(max_examples=20, deadline=None)
+    def test_round_trip_random_models(self, coords):
+        import tempfile
+        from pathlib import Path
+
+        m = VoxelModel((6, 6, 6))
+        for x, y, z in coords:
+            m.set(x, y, z, 1 + (x + y + z) % 5)
+        with tempfile.TemporaryDirectory() as d:
+            path = Path(d) / "m.vox"
+            assert np.array_equal(read_vox(write_vox(m, path)).grid, m.grid)
+
+
+class TestObjExport:
+    def test_counts_and_materials(self):
+        m = make_pallet()
+        obj, mtl = to_obj(m)
+        n_quads = obj.count("\nf ")
+        faces = m.exposed_faces()
+        visible = sum(int(mask.sum()) for mask in faces.values())
+        assert n_quads == visible
+        assert "usemtl color1" in obj and "newmtl color1" in mtl
+
+    def test_vertex_dedup(self):
+        m = VoxelModel((1, 1, 1))
+        m.set(0, 0, 0, 1)
+        obj, _ = to_obj(m)
+        assert obj.count("\nv ") == 8  # a cube has 8 corners, not 24
+
+    def test_face_indices_in_range(self):
+        m = make_packet_box()
+        obj, _ = to_obj(m)
+        n_verts = obj.count("\nv ")
+        for line in obj.splitlines():
+            if line.startswith("f "):
+                ids = [int(t) for t in line.split()[1:]]
+                assert all(1 <= i <= n_verts for i in ids)
+
+    def test_empty_model_exports_empty_geometry(self):
+        obj, mtl = to_obj(VoxelModel((2, 2, 2)))
+        assert "\nf " not in obj
+
+    def test_write_obj_files(self, tmp_path):
+        paths = write_obj(make_pallet(), tmp_path / "pallet.obj")
+        assert paths[0].exists() and paths[1].exists()
+        assert "mtllib pallet.mtl" in paths[0].read_text()
+
+    def test_multi_material_grouping(self):
+        box = make_packet_box()
+        obj, mtl = to_obj(box)
+        assert f"usemtl color{CARDBOARD}" in obj
+        assert f"usemtl color{BLACK}" in obj
+        assert mtl.count("newmtl") == 2
