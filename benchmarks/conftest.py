@@ -16,7 +16,7 @@ ARTIFACTS = Path(__file__).parent / "artifacts"
 
 @pytest.fixture(scope="session")
 def artifacts() -> Path:
-    ARTIFACTS.mkdir(exist_ok=True)
+    ARTIFACTS.mkdir(parents=True, exist_ok=True)
     return ARTIFACTS
 
 

@@ -6,6 +6,8 @@ library.  The package is organised the way the paper presents the system:
 
 * :mod:`repro.core` — labelled, coloured traffic matrices,
 * :mod:`repro.assoc` — GraphBLAS-style semiring/sparse substrate,
+* :mod:`repro.runtime` — pluggable serial/thread/process execution engine
+  behind the sparse kernels (``runtime.configure(workers=N)`` to opt in),
 * :mod:`repro.graphs` — the pattern generators behind every learning module,
 * :mod:`repro.modules` — the extensible JSON learning-module format,
 * :mod:`repro.engine` — a headless Godot-like scene-tree engine,

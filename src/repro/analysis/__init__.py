@@ -2,7 +2,12 @@
 
 from repro.analysis.anonymize import anonymize_assoc, anonymize_label, anonymize_matrix
 from repro.analysis.stats import ScalingFit, scaling_relation, synthetic_traffic
-from repro.analysis.streaming import StreamAccumulator, WindowStats, window_stream
+from repro.analysis.streaming import (
+    StreamAccumulator,
+    WindowStats,
+    merge_windows,
+    window_stream,
+)
 
 __all__ = [
     "anonymize_label",
@@ -11,6 +16,7 @@ __all__ = [
     "StreamAccumulator",
     "WindowStats",
     "window_stream",
+    "merge_windows",
     "ScalingFit",
     "scaling_relation",
     "synthetic_traffic",

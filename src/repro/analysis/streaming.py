@@ -16,8 +16,9 @@ from typing import Iterable, Iterator
 import numpy as np
 
 from repro.assoc.array import AssociativeArray
+from repro.runtime.executor import parallel_map
 
-__all__ = ["WindowStats", "StreamAccumulator", "window_stream"]
+__all__ = ["WindowStats", "StreamAccumulator", "window_stream", "merge_windows"]
 
 
 @dataclass(frozen=True)
@@ -118,3 +119,28 @@ def window_stream(
     array = acc.flush()
     if array is not None:
         yield array, WindowStats.from_array(index, count_in_window, array)
+
+
+def _merge_pair(pair: tuple[AssociativeArray, AssociativeArray]) -> AssociativeArray:
+    return pair[0].ewise_add(pair[1])
+
+
+def merge_windows(arrays: Iterable[AssociativeArray]) -> AssociativeArray:
+    """Combine per-window matrices into one aggregate by key-aligned addition.
+
+    This is the long-horizon view of the streaming lineage: many 2^k-event
+    window matrices collapse into a whole-capture traffic matrix.  The merge
+    runs as a balanced binary tree, and each level's pairwise merges execute
+    on the runtime's configured executor
+    (:func:`repro.runtime.configure`), so wide captures aggregate in parallel.
+    """
+    pending = list(arrays)
+    if not pending:
+        return AssociativeArray.empty()
+    while len(pending) > 1:
+        pairs = [
+            (pending[i], pending[i + 1]) for i in range(0, len(pending) - 1, 2)
+        ]
+        tail = [pending[-1]] if len(pending) % 2 else []
+        pending = parallel_map(_merge_pair, pairs) + tail
+    return pending[0]

@@ -9,6 +9,7 @@ from repro.assoc.algorithms import (
     triangle_count,
 )
 from repro.assoc.array import AssociativeArray
+from repro.assoc.blocked import BlockedCSR
 from repro.assoc.semiring import (
     LOR_LAND,
     MAX_MIN,
@@ -17,6 +18,7 @@ from repro.assoc.semiring import (
     MIN_FIRST,
     MIN_PLUS,
     MIN_SECOND,
+    MONOIDS,
     PLUS_MIN,
     PLUS_PAIR,
     PLUS_TIMES,
@@ -24,12 +26,14 @@ from repro.assoc.semiring import (
     BinaryOp,
     Monoid,
     Semiring,
+    monoid_by_name,
     semiring_by_name,
 )
 from repro.assoc.sparse import CSRMatrix, coalesce
 
 __all__ = [
     "AssociativeArray",
+    "BlockedCSR",
     "bfs_levels",
     "shortest_path_lengths",
     "connected_components",
@@ -43,6 +47,8 @@ __all__ = [
     "Semiring",
     "semiring_by_name",
     "SEMIRINGS",
+    "monoid_by_name",
+    "MONOIDS",
     "PLUS_TIMES",
     "PLUS_MIN",
     "MIN_PLUS",

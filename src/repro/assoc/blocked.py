@@ -1,0 +1,370 @@
+"""Row-blocked CSR tiling and the parallel entry points for every kernel.
+
+A :class:`BlockedCSR` is a :class:`~repro.assoc.sparse.CSRMatrix` cut into
+contiguous row blocks, each itself a small CSR matrix over the full column
+range.  Row blocking is the natural decomposition for the ESC semiring GEMM:
+``C[i, :]`` depends only on ``A[i, :]`` and all of ``B``, so every block
+multiplies independently and results concatenate row-wise with no reduction
+step.  The same tiling parallelises ``mxv``, the element-wise ops and
+``coalesce``.
+
+**Bit-identical results.**  The serial kernels stable-sort expansion terms by
+``row * n_cols + col`` and combine duplicates with ``reduceat``.  Row blocks
+partition that key space into disjoint, ordered ranges while preserving the
+relative order of terms inside each range, so per-block outputs concatenate
+into exactly the serial output — including float rounding, because every
+duplicate group is reduced in the same order.  The benchmark and property
+tests assert this equality rather than assuming it.
+
+The ``parallel_*`` functions here are the dispatch targets used by
+:mod:`repro.assoc.sparse` when :func:`repro.runtime.configure` enables
+workers; they can also be called directly with an explicit config.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.assoc import sparse as _sparse
+from repro.assoc.semiring import Monoid, PLUS_TIMES, Semiring
+from repro.assoc.sparse import CSRMatrix
+from repro.errors import SparseFormatError
+from repro.runtime.config import RuntimeConfig, get_config
+from repro.runtime.executor import choose_block_rows, get_executor
+
+__all__ = [
+    "BlockedCSR",
+    "parallel_mxm",
+    "parallel_mxv",
+    "parallel_ewise_union",
+    "parallel_ewise_intersect",
+    "parallel_coalesce",
+]
+
+
+def _slice_rows(csr: CSRMatrix, r0: int, r1: int) -> CSRMatrix:
+    """The ``[r0:r1)`` row block of *csr* as a standalone CSR (zero-copy views)."""
+    lo = int(csr.indptr[r0])
+    hi = int(csr.indptr[r1])
+    return CSRMatrix(
+        (r1 - r0, csr.shape[1]),
+        csr.indptr[r0 : r1 + 1] - lo,
+        csr.indices[lo:hi],
+        csr.data[lo:hi],
+        _trusted=True,
+    )
+
+
+def _row_starts(n_rows: int, block_rows: int) -> np.ndarray:
+    """Block boundary rows ``[0, k, 2k, ..., n_rows]`` (always >= 1 block)."""
+    if n_rows <= 0:
+        return np.asarray([0, 0], dtype=np.int64)
+    starts = np.arange(0, n_rows, block_rows, dtype=np.int64)
+    return np.append(starts, n_rows)
+
+
+class BlockedCSR:
+    """A CSR matrix tiled into contiguous row blocks.
+
+    Blocks are plain :class:`CSRMatrix` instances sharing the parent's column
+    range, so every serial kernel runs on a block unchanged — the engine adds
+    scheduling, not new math.
+    """
+
+    __slots__ = ("shape", "row_starts", "blocks")
+
+    def __init__(
+        self,
+        shape: tuple[int, int],
+        row_starts: np.ndarray,
+        blocks: list[CSRMatrix],
+    ) -> None:
+        self.shape = (int(shape[0]), int(shape[1]))
+        self.row_starts = np.asarray(row_starts, dtype=np.int64)
+        self.blocks = list(blocks)
+        if self.row_starts.ndim != 1 or self.row_starts.size != len(self.blocks) + 1:
+            raise SparseFormatError(
+                f"row_starts needs n_blocks+1 entries, got {self.row_starts.size} "
+                f"for {len(self.blocks)} blocks"
+            )
+        if self.row_starts[0] != 0 or self.row_starts[-1] != self.shape[0]:
+            raise SparseFormatError("row_starts must span [0, n_rows]")
+        if np.any(np.diff(self.row_starts) < 0):
+            raise SparseFormatError("row_starts must be non-decreasing")
+        for k, blk in enumerate(self.blocks):
+            span = int(self.row_starts[k + 1] - self.row_starts[k])
+            if blk.shape != (span, self.shape[1]):
+                raise SparseFormatError(
+                    f"block {k} has shape {blk.shape}, expected {(span, self.shape[1])}"
+                )
+
+    # ------------------------------------------------------------------ #
+    # construction / reassembly
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_csr(cls, csr: CSRMatrix, block_rows: int | None = None) -> "BlockedCSR":
+        """Tile *csr* into blocks of *block_rows* rows (heuristic when None).
+
+        A ``block_rows`` larger than the matrix yields a single block — the
+        degenerate tiling is valid and equivalent to the serial layout.
+        """
+        if block_rows is None:
+            cfg = get_config()
+            block_rows = choose_block_rows(
+                csr.shape[0], csr.nnz, cfg.workers, cfg.block_rows
+            )
+        if block_rows < 1:
+            raise SparseFormatError(f"block_rows must be >= 1, got {block_rows}")
+        starts = _row_starts(csr.shape[0], int(block_rows))
+        blocks = [
+            _slice_rows(csr, int(r0), int(r1))
+            for r0, r1 in zip(starts[:-1], starts[1:])
+        ]
+        return cls(csr.shape, starts, blocks)
+
+    def to_csr(self) -> CSRMatrix:
+        """Reassemble the blocks into one canonical :class:`CSRMatrix`."""
+        indptr = np.zeros(self.shape[0] + 1, dtype=np.int64)
+        offset = 0
+        for k, blk in enumerate(self.blocks):
+            r0 = int(self.row_starts[k])
+            r1 = int(self.row_starts[k + 1])
+            indptr[r0 + 1 : r1 + 1] = blk.indptr[1:] + offset
+            offset += blk.nnz
+        if self.blocks:
+            indices = np.concatenate([b.indices for b in self.blocks])
+            data = np.concatenate([b.data for b in self.blocks])
+        else:  # zero-row matrix
+            indices = np.empty(0, dtype=np.int64)
+            data = np.empty(0, dtype=np.int64)
+        return CSRMatrix(self.shape, indptr, indices, data, _trusted=True)
+
+    # ------------------------------------------------------------------ #
+    # basics
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def nnz(self) -> int:
+        return sum(b.nnz for b in self.blocks)
+
+    def block(self, k: int) -> CSRMatrix:
+        """The *k*-th row block."""
+        return self.blocks[k]
+
+    def block_spans(self) -> list[tuple[int, int]]:
+        """``(row_start, row_end)`` of every block."""
+        return [
+            (int(r0), int(r1))
+            for r0, r1 in zip(self.row_starts[:-1], self.row_starts[1:])
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"BlockedCSR(shape={self.shape}, n_blocks={self.n_blocks}, nnz={self.nnz})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # blocked kernels
+    # ------------------------------------------------------------------ #
+
+    def mxm(
+        self,
+        other: CSRMatrix,
+        semiring: Semiring = PLUS_TIMES,
+        config: RuntimeConfig | None = None,
+    ) -> "BlockedCSR":
+        """Blocked semiring product ``C = A @ B``; blocks keep their tiling."""
+        if self.shape[1] != other.shape[0]:
+            raise SparseFormatError(
+                f"inner dimension mismatch: {self.shape} @ {other.shape}"
+            )
+        cfg = get_config() if config is None else config
+        parts = get_executor(cfg).map(
+            _mxm_task, [(blk, other, semiring) for blk in self.blocks]
+        )
+        out_dtype = _mult_dtype(semiring.mult, self.blocks, other)
+        parts = [_cast_data(p, out_dtype) for p in parts]
+        return BlockedCSR((self.shape[0], other.shape[1]), self.row_starts, parts)
+
+    def mxv(
+        self,
+        x: np.ndarray,
+        semiring: Semiring = PLUS_TIMES,
+        config: RuntimeConfig | None = None,
+    ) -> np.ndarray:
+        """Blocked matrix-vector product (dense input and output)."""
+        x = np.asarray(x)
+        if x.shape != (self.shape[1],):
+            raise SparseFormatError(f"vector length {x.shape} != {(self.shape[1],)}")
+        cfg = get_config() if config is None else config
+        parts = get_executor(cfg).map(
+            _mxv_task, [(blk, x, semiring) for blk in self.blocks]
+        )
+        return np.concatenate(parts) if parts else np.empty(0)
+
+
+# ---------------------------------------------------------------------- #
+# executor task payloads (module-level so the process backend can pickle)
+# ---------------------------------------------------------------------- #
+
+
+def _mxm_task(args: tuple[CSRMatrix, CSRMatrix, Semiring]) -> CSRMatrix:
+    a_block, b, semiring = args
+    return a_block._mxm_serial(b, semiring)
+
+
+def _mxv_task(args: tuple[CSRMatrix, np.ndarray, Semiring]) -> np.ndarray:
+    block, x, semiring = args
+    return block._mxv_serial(x, semiring)
+
+
+def _ewise_union_task(args: tuple[CSRMatrix, CSRMatrix, Monoid]) -> CSRMatrix:
+    a_block, b_block, add = args
+    return a_block._ewise_union_serial(b_block, add)
+
+
+def _ewise_intersect_task(args) -> CSRMatrix:  # noqa: ANN001 - mult is any callable
+    a_block, b_block, mult = args
+    return a_block._ewise_intersect_serial(b_block, mult)
+
+
+def _coalesce_task(args: tuple[np.ndarray, np.ndarray, np.ndarray, tuple[int, int], Monoid]):
+    rows, cols, vals, shape, add = args
+    return _sparse._coalesce_core(rows, cols, vals, shape, add)
+
+
+# ---------------------------------------------------------------------- #
+# dtype normalisation
+# ---------------------------------------------------------------------- #
+
+
+def _mult_dtype(mult, blocks: list[CSRMatrix], other: CSRMatrix) -> np.dtype:  # noqa: ANN001
+    """The dtype the serial kernel's product values would carry.
+
+    Blocks whose expansion is empty short-circuit to ``result_type(a, b)``
+    in the serial kernel, which can disagree with the multiplicative
+    operator's output dtype (e.g. ``land`` on int64 data yields bool).  A
+    one-element probe pins the authoritative dtype so every block matches the
+    serial result exactly.
+    """
+    for blk in blocks:
+        if blk.nnz and other.nnz:
+            return np.asarray(mult(blk.data[:1], other.data[:1])).dtype
+    return np.result_type(
+        blocks[0].dtype if blocks else np.int64, other.dtype
+    )
+
+
+def _cast_data(part: CSRMatrix, dtype: np.dtype) -> CSRMatrix:
+    if part.dtype == dtype:
+        return part
+    return CSRMatrix(
+        part.shape,
+        part.indptr,
+        part.indices,
+        part.data.astype(dtype, copy=False),
+        _trusted=True,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# parallel entry points (dispatch targets of repro.assoc.sparse)
+# ---------------------------------------------------------------------- #
+
+
+def _blocked_operand(a: CSRMatrix, work: int, cfg: RuntimeConfig) -> BlockedCSR:
+    block_rows = choose_block_rows(a.shape[0], work, cfg.workers, cfg.block_rows)
+    return BlockedCSR.from_csr(a, block_rows)
+
+
+def parallel_mxm(
+    a: CSRMatrix, b: CSRMatrix, semiring: Semiring, config: RuntimeConfig | None = None
+) -> CSRMatrix:
+    """Row-blocked parallel ESC product, bit-identical to ``a.mxm(b)`` serial."""
+    cfg = get_config() if config is None else config
+    blocked = _blocked_operand(a, a.nnz, cfg)
+    return blocked.mxm(b, semiring, cfg).to_csr()
+
+
+def parallel_mxv(
+    a: CSRMatrix, x: np.ndarray, semiring: Semiring, config: RuntimeConfig | None = None
+) -> np.ndarray:
+    """Row-blocked parallel matrix-vector product."""
+    cfg = get_config() if config is None else config
+    return _blocked_operand(a, a.nnz, cfg).mxv(x, semiring, cfg)
+
+
+def parallel_ewise_union(
+    a: CSRMatrix, b: CSRMatrix, add: Monoid, config: RuntimeConfig | None = None
+) -> CSRMatrix:
+    """Row-blocked element-wise union: both operands share one tiling."""
+    cfg = get_config() if config is None else config
+    block_rows = choose_block_rows(a.shape[0], a.nnz + b.nnz, cfg.workers, cfg.block_rows)
+    starts = _row_starts(a.shape[0], block_rows)
+    tasks = [
+        (_slice_rows(a, int(r0), int(r1)), _slice_rows(b, int(r0), int(r1)), add)
+        for r0, r1 in zip(starts[:-1], starts[1:])
+    ]
+    parts = get_executor(cfg).map(_ewise_union_task, tasks)
+    out_dtype = np.result_type(a.dtype, b.dtype)
+    parts = [_cast_data(p, out_dtype) for p in parts]
+    return BlockedCSR(a.shape, starts, parts).to_csr()
+
+
+def parallel_ewise_intersect(
+    a: CSRMatrix, b: CSRMatrix, mult, config: RuntimeConfig | None = None  # noqa: ANN001
+) -> CSRMatrix:
+    """Row-blocked element-wise intersection."""
+    cfg = get_config() if config is None else config
+    block_rows = choose_block_rows(a.shape[0], a.nnz + b.nnz, cfg.workers, cfg.block_rows)
+    starts = _row_starts(a.shape[0], block_rows)
+    tasks = [
+        (_slice_rows(a, int(r0), int(r1)), _slice_rows(b, int(r0), int(r1)), mult)
+        for r0, r1 in zip(starts[:-1], starts[1:])
+    ]
+    parts = get_executor(cfg).map(_ewise_intersect_task, tasks)
+    out_dtype = np.asarray(mult(a.data[:1], b.data[:1])).dtype
+    parts = [_cast_data(p, out_dtype) for p in parts]
+    return BlockedCSR(a.shape, starts, parts).to_csr()
+
+
+def parallel_coalesce(
+    rows: np.ndarray,
+    cols: np.ndarray,
+    vals: np.ndarray,
+    shape: tuple[int, int],
+    add: Monoid,
+    config: RuntimeConfig | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Partition triples by row block, coalesce blocks concurrently, concat.
+
+    The stable block partition keeps each coordinate's duplicates in their
+    original relative order inside exactly one block, so per-block stable
+    sorts and ``reduceat`` reproduce the serial output bit-for-bit.
+    """
+    cfg = get_config() if config is None else config
+    n_rows = shape[0]
+    block_rows = choose_block_rows(n_rows, rows.size, cfg.workers, cfg.block_rows)
+    n_blocks = -(-n_rows // block_rows) if n_rows else 1
+    if n_blocks <= 1:
+        return _sparse._coalesce_core(rows, cols, vals, shape, add)
+    block_id = rows // np.int64(block_rows)
+    order = np.argsort(block_id, kind="stable")
+    rows, cols, vals = rows[order], cols[order], vals[order]
+    counts = np.bincount(block_id, minlength=n_blocks)
+    bounds = np.concatenate([[0], np.cumsum(counts)])
+    tasks = [
+        (rows[lo:hi], cols[lo:hi], vals[lo:hi], shape, add)
+        for lo, hi in zip(bounds[:-1], bounds[1:])
+        if hi > lo
+    ]
+    parts = get_executor(cfg).map(_coalesce_task, tasks)
+    out_r = np.concatenate([p[0] for p in parts])
+    out_c = np.concatenate([p[1] for p in parts])
+    out_v = np.concatenate([p[2] for p in parts])
+    return out_r, out_c, out_v

@@ -46,6 +46,8 @@ __all__ = [
     "MIN_SECOND",
     "semiring_by_name",
     "SEMIRINGS",
+    "monoid_by_name",
+    "MONOIDS",
 ]
 
 
@@ -145,21 +147,46 @@ def _min_value(dtype: np.dtype) -> object:
     return dtype.type(-np.inf)
 
 
+# Non-ufunc operators are module-level functions (not lambdas) so every
+# built-in Monoid/Semiring pickles — the runtime's process backend ships them
+# to workers.
+
+
+def _first(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    return x
+
+
+def _second(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    return y
+
+
+def _pair(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    return np.ones(np.broadcast(x, y).shape, dtype=np.result_type(x, y))
+
+
+def _false(dtype: np.dtype) -> object:
+    return False
+
+
+def _true(dtype: np.dtype) -> object:
+    return True
+
+
 PLUS = BinaryOp("plus", np.add)
 TIMES = BinaryOp("times", np.multiply)
 MIN = BinaryOp("min", np.minimum)
 MAX = BinaryOp("max", np.maximum)
 LOR = BinaryOp("lor", np.logical_or)
 LAND = BinaryOp("land", np.logical_and)
-FIRST = BinaryOp("first", lambda x, y: x)
-SECOND = BinaryOp("second", lambda x, y: y)
-PAIR = BinaryOp("pair", lambda x, y: np.ones(np.broadcast(x, y).shape, dtype=np.result_type(x, y)))
+FIRST = BinaryOp("first", _first)
+SECOND = BinaryOp("second", _second)
+PAIR = BinaryOp("pair", _pair)
 
 PLUS_MONOID = Monoid(PLUS, _zero)
 MIN_MONOID = Monoid(MIN, _max_value)
 MAX_MONOID = Monoid(MAX, _min_value)
-LOR_MONOID = Monoid(LOR, lambda dt: False)
-LAND_MONOID = Monoid(LAND, lambda dt: True)
+LOR_MONOID = Monoid(LOR, _false)
+LAND_MONOID = Monoid(LAND, _true)
 TIMES_MONOID = Monoid(TIMES, _one)
 
 
@@ -223,4 +250,28 @@ def semiring_by_name(name: str) -> Semiring:
     except KeyError:
         raise SemiringError(
             f"unknown semiring {name!r}; available: {sorted(SEMIRINGS)}"
+        ) from None
+
+
+#: Registry of all built-in monoids by operator name.
+MONOIDS: dict[str, Monoid] = {
+    m.name: m
+    for m in (
+        PLUS_MONOID,
+        MIN_MONOID,
+        MAX_MONOID,
+        LOR_MONOID,
+        LAND_MONOID,
+        TIMES_MONOID,
+    )
+}
+
+
+def monoid_by_name(name: str) -> Monoid:
+    """Look up a built-in monoid, e.g. ``monoid_by_name("min")``."""
+    try:
+        return MONOIDS[name]
+    except KeyError:
+        raise SemiringError(
+            f"unknown monoid {name!r}; available: {sorted(MONOIDS)}"
         ) from None

@@ -11,6 +11,12 @@ GEMM: every product term ``mult(A(i,k), B(k,j))`` is materialised by a single
 ``reduceat``.  This is the same dataflow GraphBLAS implementations use, which
 keeps the semiring generic: ``min.plus`` shortest paths and ``plus.times``
 packet counting share the code path.
+
+When the process opts in via :func:`repro.runtime.configure`, the heavy
+kernels (``coalesce``, ``mxm``, ``mxv``, the element-wise ops) transparently
+dispatch to the row-blocked parallel engine in :mod:`repro.assoc.blocked`.
+Blocked execution preserves the serial kernels' exact per-row term order, so
+both paths return bit-identical matrices.
 """
 
 from __future__ import annotations
@@ -21,6 +27,7 @@ import numpy as np
 
 from repro.assoc.semiring import Monoid, PLUS_MONOID, PLUS_TIMES, Semiring
 from repro.errors import SparseFormatError
+from repro.runtime.config import parallel_config
 
 if TYPE_CHECKING:  # pragma: no cover
     import scipy.sparse as sp
@@ -54,6 +61,25 @@ def coalesce(
         return rows, cols, vals
     if rows.min() < 0 or rows.max() >= n_rows or cols.min() < 0 or cols.max() >= n_cols:
         raise SparseFormatError(f"triple coordinates out of bounds for shape {shape}")
+    cfg = parallel_config(rows.size) if n_rows > 1 else None
+    if cfg is not None:
+        from repro.assoc.blocked import parallel_coalesce
+
+        return parallel_coalesce(rows, cols, vals, shape, add, cfg)
+    return _coalesce_core(rows, cols, vals, shape, add)
+
+
+def _coalesce_core(
+    rows: np.ndarray,
+    cols: np.ndarray,
+    vals: np.ndarray,
+    shape: tuple[int, int],
+    add: Monoid,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Serial coalesce over already-validated ``int64`` index arrays."""
+    if rows.size == 0:
+        return rows, cols, vals
+    n_cols = shape[1]
     key = rows * np.int64(n_cols) + cols
     order = np.argsort(key, kind="stable")
     key = key[order]
@@ -267,6 +293,14 @@ class CSRMatrix:
     def ewise_union(self, other: "CSRMatrix", add: Monoid = PLUS_MONOID) -> "CSRMatrix":
         """Element-wise combine over the union of patterns (GraphBLAS eWiseAdd)."""
         self._check_shape(other)
+        cfg = parallel_config(self.nnz + other.nnz) if self.shape[0] > 1 else None
+        if cfg is not None:
+            from repro.assoc.blocked import parallel_ewise_union
+
+            return parallel_ewise_union(self, other, add, cfg)
+        return self._ewise_union_serial(other, add)
+
+    def _ewise_union_serial(self, other: "CSRMatrix", add: Monoid) -> "CSRMatrix":
         r1, c1, v1 = self.triples()
         r2, c2, v2 = other.triples()
         dtype = np.result_type(v1.dtype, v2.dtype)
@@ -281,6 +315,14 @@ class CSRMatrix:
     def ewise_intersect(self, other: "CSRMatrix", mult) -> "CSRMatrix":  # noqa: ANN001
         """Element-wise combine over the pattern intersection (eWiseMult)."""
         self._check_shape(other)
+        cfg = parallel_config(self.nnz + other.nnz) if self.shape[0] > 1 else None
+        if cfg is not None:
+            from repro.assoc.blocked import parallel_ewise_intersect
+
+            return parallel_ewise_intersect(self, other, mult, cfg)
+        return self._ewise_intersect_serial(other, mult)
+
+    def _ewise_intersect_serial(self, other: "CSRMatrix", mult) -> "CSRMatrix":  # noqa: ANN001
         n_cols = np.int64(self.shape[1])
         r1, c1, v1 = self.triples()
         r2, c2, v2 = other.triples()
@@ -303,6 +345,14 @@ class CSRMatrix:
         x = np.asarray(x)
         if x.shape != (self.shape[1],):
             raise SparseFormatError(f"vector length {x.shape} != {(self.shape[1],)}")
+        cfg = parallel_config(self.nnz) if self.shape[0] > 1 else None
+        if cfg is not None:
+            from repro.assoc.blocked import parallel_mxv
+
+            return parallel_mxv(self, x, semiring, cfg)
+        return self._mxv_serial(x, semiring)
+
+    def _mxv_serial(self, x: np.ndarray, semiring: Semiring) -> np.ndarray:
         prod = semiring.mult(self.data, x[self.indices])
         prod = np.asarray(prod)
         return semiring.add.reduceat(prod, self.indptr)
@@ -335,6 +385,29 @@ class CSRMatrix:
         if total == 0:
             dtype = np.result_type(self.dtype, other.dtype)
             return CSRMatrix.empty(out_shape, dtype)
+        cfg = parallel_config(total) if self.shape[0] > 1 else None
+        if cfg is not None:
+            from repro.assoc.blocked import parallel_mxm
+
+            return parallel_mxm(self, other, semiring, cfg)
+        return self._mxm_serial(other, semiring, counts, total)
+
+    def _mxm_serial(
+        self,
+        other: "CSRMatrix",
+        semiring: Semiring,
+        counts: np.ndarray | None = None,
+        total: int | None = None,
+    ) -> "CSRMatrix":
+        """The serial ESC product; *counts*/*total* may be precomputed by mxm."""
+        out_shape = (self.shape[0], other.shape[1])
+        if counts is None:
+            if self.nnz == 0 or other.nnz == 0:
+                return CSRMatrix.empty(out_shape, np.result_type(self.dtype, other.dtype))
+            counts = other.row_nnz()[self.indices]
+            total = int(counts.sum())
+            if total == 0:
+                return CSRMatrix.empty(out_shape, np.result_type(self.dtype, other.dtype))
         a_rows = np.repeat(np.arange(self.shape[0], dtype=np.int64), self.row_nnz())
         out_rows = np.repeat(a_rows, counts)
         offsets = np.repeat(other.indptr[self.indices], counts)

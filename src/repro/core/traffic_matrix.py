@@ -11,7 +11,7 @@ warehouse floor whether or not it holds packets.  Large analytic matrices use
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable, Iterator, Mapping, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -24,6 +24,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     import networkx as nx
 
     from repro.assoc.array import AssociativeArray
+    from repro.assoc.semiring import Semiring
+    from repro.assoc.sparse import CSRMatrix
 
 __all__ = ["TrafficMatrix", "MAX_DISPLAY_PACKETS"]
 
@@ -309,19 +311,30 @@ class TrafficMatrix:
         if other._labels != self._labels:
             raise LabelError("cannot combine matrices with different axis labels")
 
-    def __add__(self, other: "TrafficMatrix") -> "TrafficMatrix":
-        """Overlay two patterns: packet counts add, colours take the maximum.
+    @classmethod
+    def overlay_style(
+        cls, matrices: Sequence["TrafficMatrix"]
+    ) -> tuple[np.ndarray, bool]:
+        """``(colour grid, extended flag)`` for an overlay of *matrices*.
 
         Colour priority red(2) > blue(1) > grey(0) means an adversarial
         annotation survives composition — exactly what the paper's "combine
-        the stages together" exercise needs.
+        the stages together" exercise needs.  This is the single definition
+        of the rule; ``__add__`` and :func:`repro.graphs.compose.overlay`
+        both use it.
         """
+        colors = np.maximum.reduce([np.asarray(m.colors) for m in matrices])
+        return colors, any(m.extended_colors for m in matrices)
+
+    def __add__(self, other: "TrafficMatrix") -> "TrafficMatrix":
+        """Overlay two patterns: packet counts add, colours take the maximum."""
         self._check_compatible(other)
+        colors, extended = TrafficMatrix.overlay_style([self, other])
         return TrafficMatrix(
             self._packets + other._packets,
             self._labels,
-            np.maximum(self._colors, other._colors),
-            extended_colors=self._extended or other._extended,
+            colors,
+            extended_colors=extended,
         )
 
     def __mul__(self, scalar: int) -> "TrafficMatrix":
@@ -396,6 +409,58 @@ class TrafficMatrix:
             row_labels=self._labels,
             col_labels=self._labels,
         )
+
+    def to_csr(self) -> "CSRMatrix":
+        """Convert to the sparse engine's :class:`~repro.assoc.sparse.CSRMatrix`.
+
+        This is the bridge onto the semiring kernels — and therefore onto the
+        blocked-parallel runtime when :func:`repro.runtime.configure` has
+        enabled workers.
+        """
+        from repro.assoc.sparse import CSRMatrix
+
+        rows, cols = np.nonzero(self._packets)
+        return CSRMatrix.from_triples(
+            rows, cols, self._packets[rows, cols], self.shape
+        )
+
+    def compose(
+        self, other: "TrafficMatrix", semiring: "str | Semiring" = "plus.times"
+    ) -> "TrafficMatrix":
+        """Relayed traffic ``self → via → other``: the semiring matrix product.
+
+        Over the default ``plus.times``, cell ``(i, j)`` counts the packets
+        flowing ``i → k`` and then ``k → j`` summed over every relay ``k`` —
+        the two-hop traffic picture used by the multi-stage exercises.  The
+        product runs on the sparse engine, so large compositions parallelize
+        under :func:`repro.runtime.configure`.  Colours are not composable and
+        reset to grey.  The semiring must produce non-negative integer counts
+        and its additive monoid must treat 0 as neutral on that domain
+        (``plus.times``, ``plus.min``, ``max.times``, …); min-like monoids
+        are rejected because absent cells would densify to 0 — the *best*
+        min value — silently corrupting the result.  Use :meth:`to_csr` or
+        :meth:`to_assoc` directly for tropical (``min.plus``) analysis.
+        """
+        from repro.assoc.semiring import semiring_by_name
+
+        self._check_compatible(other)
+        if isinstance(semiring, str):
+            semiring = semiring_by_name(semiring)
+        # Absent cells densify to 0, which is only sound when 0 is neutral
+        # for the additive monoid over non-negative counts: plus (identity
+        # 0), lor (False == 0), and max (identity int64-min, and 0 is the
+        # domain floor).  A min-like monoid's identity is int64-max; 0 would
+        # annihilate instead.
+        zero = semiring.zero(np.int64)
+        if zero != 0 and zero != np.iinfo(np.int64).min:
+            raise TrafficMatrixError(
+                f"compose cannot densify semiring {semiring.name!r}: absent "
+                f"cells would read 0, which is not neutral for its additive "
+                f"monoid {semiring.add.name!r}; use to_csr()/to_assoc() for "
+                f"sparse {semiring.name} analysis"
+            )
+        product = self.to_csr().mxm(other.to_csr(), semiring)
+        return TrafficMatrix(product.to_dense(0), self._labels)
 
     def to_networkx(self) -> "nx.DiGraph":
         """Directed weighted graph view (for cross-checking with networkx)."""

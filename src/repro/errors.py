@@ -36,6 +36,10 @@ class SparseFormatError(ReproError):
     """A sparse kernel received indices or values that violate its format."""
 
 
+class RuntimeConfigError(ReproError):
+    """Invalid :mod:`repro.runtime` configuration (workers, backend, blocks)."""
+
+
 class AssocArrayError(ReproError):
     """Invalid operation on an :class:`~repro.assoc.AssociativeArray`."""
 

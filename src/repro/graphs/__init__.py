@@ -29,7 +29,7 @@ from repro.graphs.ddos import (
 )
 # NOTE: the ``defense`` *function* is re-exported as ``defense_pattern`` so the
 # ``repro.graphs.defense`` submodule stays importable by its natural name.
-from repro.graphs.defense import DEFENSE_CONCEPTS, deterrence, security
+from repro.graphs.defense import DEFENSE_CONCEPTS, deterrence, full_posture, security
 from repro.graphs.defense import defense as defense_pattern
 from repro.graphs.metrics import (
     TrafficStats,
@@ -74,7 +74,7 @@ __all__ = [
     "planning", "staging", "infiltration", "lateral_movement", "full_attack",
     "ATTACK_STAGES",
     # Fig. 8
-    "security", "defense_pattern", "deterrence", "DEFENSE_CONCEPTS",
+    "security", "defense_pattern", "deterrence", "full_posture", "DEFENSE_CONCEPTS",
     # Fig. 9
     "command_and_control", "botnet_clients", "ddos_attack", "backscatter",
     "full_ddos", "BotnetRoles", "DDOS_COMPONENTS",

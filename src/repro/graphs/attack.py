@@ -159,12 +159,19 @@ def full_attack(
     labels: Sequence[str] | None = None,
 ) -> TrafficMatrix:
     """All four stages overlaid — the "combined together" exercise the paper
-    suggests once students know the individual signatures."""
+    suggests once students know the individual signatures.
+
+    Composition goes through :func:`repro.graphs.compose.overlay`, so very
+    large label sets benefit from the parallel sparse engine when
+    :func:`repro.runtime.configure` has enabled workers.
+    """
+    from repro.graphs.compose import overlay
+
     labels = default_labels(n) if labels is None else labels
-    combined = planning(n, packets=packets, labels=labels)
-    for stage in (staging, infiltration, lateral_movement):
-        combined = combined + stage(n, packets=packets, labels=labels)
-    return combined
+    return overlay(
+        builder(n, packets=packets, labels=labels)
+        for builder in (planning, staging, infiltration, lateral_movement)
+    )
 
 
 #: Fig. 7 stages in kill-chain order.

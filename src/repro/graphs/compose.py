@@ -13,6 +13,7 @@ from typing import Callable, Iterable, Sequence
 from repro.core.traffic_matrix import TrafficMatrix
 from repro.errors import ShapeError
 from repro.graphs.noise import with_noise
+from repro.runtime.config import parallel_config
 
 __all__ = ["overlay", "sequence", "challenge"]
 
@@ -22,11 +23,38 @@ def overlay(matrices: Iterable[TrafficMatrix]) -> TrafficMatrix:
 
     Packet counts add; colours keep the highest-priority code per cell
     (red > blue > grey), so adversarial annotation survives composition.
+
+    Classroom-sized matrices combine densely.  When the runtime has parallel
+    workers configured and the stack is large **and sparse**, the packet
+    grids are summed on the sparse engine (``ewise_union`` chains over row
+    blocks) instead — the same opt-in switch that accelerates the semiring
+    kernels.  Dense stacks always take the dense path: a CSR round trip
+    loses to one vectorized add when most cells are occupied.
     """
     matrices = list(matrices)
     if not matrices:
         raise ShapeError("overlay needs at least one matrix")
-    total = matrices[0].copy()
+    first = matrices[0]
+    total_nnz = sum(m.nnz() for m in matrices)
+    total_cells = first.n * first.n * len(matrices)
+    if (
+        len(matrices) > 1
+        and total_nnz * 8 <= total_cells  # sparse enough (< ~12% occupied)
+        and parallel_config(total_nnz) is not None
+    ):
+        for m in matrices[1:]:
+            first._check_compatible(m)
+        total = first.to_csr()
+        for m in matrices[1:]:
+            total = total.ewise_union(m.to_csr())
+        colors, extended = TrafficMatrix.overlay_style(matrices)
+        return TrafficMatrix(
+            total.to_dense(0),
+            first.labels,
+            colors,
+            extended_colors=extended,
+        )
+    total = first.copy()
     for m in matrices[1:]:
         total = total + m
     return total

@@ -183,12 +183,18 @@ def full_ddos(
     labels: Sequence[str] | None = None,
     roles: BotnetRoles | None = None,
 ) -> TrafficMatrix:
-    """All four components overlaid — the paper's suggested follow-on exercise."""
+    """All four components overlaid — the paper's suggested follow-on exercise.
+
+    Uses :func:`repro.graphs.compose.overlay`, which routes big overlays
+    through the runtime-parallel sparse engine when workers are configured.
+    """
+    from repro.graphs.compose import overlay
+
     lbls, r = _roles(n, labels, roles)
-    total = command_and_control(n, labels=lbls, roles=r)
-    for component in (botnet_clients, ddos_attack, backscatter):
-        total = total + component(n, labels=lbls, roles=r)
-    return total
+    return overlay(
+        component(n, labels=lbls, roles=r)
+        for component in (command_and_control, botnet_clients, ddos_attack, backscatter)
+    )
 
 
 #: Fig. 9 components in presentation order.

@@ -24,7 +24,7 @@ from repro.core.spaces import NetworkSpace, SpaceMap
 from repro.core.traffic_matrix import TrafficMatrix
 from repro.errors import ShapeError
 
-__all__ = ["security", "defense", "deterrence", "DEFENSE_CONCEPTS"]
+__all__ = ["security", "defense", "deterrence", "full_posture", "DEFENSE_CONCEPTS"]
 
 
 def _spaces(labels: Sequence[str]) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -110,6 +110,29 @@ def deterrence(
         np.fill_diagonal(block, 0)
         arr[np.ix_(red, red)] = block
     return TrafficMatrix(arr, labels).with_space_colors()
+
+
+def full_posture(
+    n: int = 10,
+    *,
+    packets: int = 1,
+    labels: Sequence[str] | None = None,
+) -> TrafficMatrix:
+    """All three protection concepts overlaid — a defender doing everything.
+
+    The combined matrix shows security, defense, and deterrence traffic at
+    once, mirroring the paper's "combine the stages together" exercises for
+    the attack and DDoS modules.  Routed through
+    :func:`repro.graphs.compose.overlay`, so huge label sets pick up the
+    parallel sparse engine when :func:`repro.runtime.configure` enables it.
+    """
+    from repro.graphs.compose import overlay
+
+    labels = default_labels(n) if labels is None else labels
+    return overlay(
+        builder(n, packets=packets, labels=labels)
+        for builder in (security, defense, deterrence)
+    )
 
 
 #: Fig. 8 concepts in presentation order.

@@ -13,7 +13,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.spaces import NetworkSpace
 from repro.core.traffic_matrix import TrafficMatrix
 
 __all__ = [

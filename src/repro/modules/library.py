@@ -20,6 +20,10 @@ from typing import Callable, Mapping
 import importlib
 
 from repro.core.traffic_matrix import TrafficMatrix
+from repro.graphs.compose import challenge
+from repro.modules.builder import ModuleBuilder, pattern_question
+from repro.modules.module import LearningModule, STANDARD_QUESTION
+from repro.modules.templates import template_6x6, template_10x10
 
 # ``repro.graphs`` re-exports a ``defense`` *function* that shadows the
 # submodule on any attribute-based import; go through importlib for all the
@@ -29,10 +33,6 @@ ddos = importlib.import_module("repro.graphs.ddos")
 defense = importlib.import_module("repro.graphs.defense")
 patterns = importlib.import_module("repro.graphs.patterns")
 topologies = importlib.import_module("repro.graphs.topologies")
-from repro.graphs.compose import challenge
-from repro.modules.builder import ModuleBuilder, pattern_question
-from repro.modules.module import LearningModule, Question, STANDARD_QUESTION
-from repro.modules.templates import template_6x6, template_10x10
 
 __all__ = [
     "builtin_catalog",

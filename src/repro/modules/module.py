@@ -12,7 +12,7 @@ from __future__ import annotations
 import json
 import random
 from dataclasses import dataclass, field, replace
-from typing import Any, Mapping, Sequence
+from typing import Any, Mapping
 
 from repro.core.traffic_matrix import TrafficMatrix
 from repro.errors import ModuleSchemaError, QuizError

@@ -9,7 +9,6 @@ screenshot in Figs. 5-10.
 
 from __future__ import annotations
 
-from repro.core.colors import PalletColor
 from repro.core.traffic_matrix import TrafficMatrix
 from repro.render.ansi import RESET, bg_rgb, fg_rgb
 

@@ -1,0 +1,71 @@
+"""Pluggable parallel runtime for the GraphBLAS-style sparse engine.
+
+The runtime decouples *what* the semiring kernels compute from *how* the work
+is scheduled.  :mod:`repro.assoc` stays the algebra layer; this package owns
+worker pools, chunking heuristics and host detection, so scaling the engine is
+a configuration change, not a rewrite::
+
+    from repro import runtime
+
+    runtime.configure(workers=4, block_rows=256)   # opt in, process-wide
+    C = A.mxm(B, MIN_PLUS)                          # now runs blocked-parallel
+
+    with runtime.configured(workers=1):             # scoped opt-out
+        C_serial = A.mxm(B, MIN_PLUS)
+
+Serial and parallel paths produce **bit-identical** results: row-blocked
+execution preserves the exact per-row term order the serial ESC kernel uses,
+so even non-associative float rounding matches.
+"""
+
+from repro.runtime.backends import (
+    EnvironmentInfo,
+    cpu_count,
+    detect,
+    has_scipy,
+    recommended_workers,
+)
+from repro.runtime.config import (
+    BACKENDS,
+    RuntimeConfig,
+    configure,
+    configured,
+    get_config,
+    in_serial_region,
+    parallel_config,
+    reset,
+    serial_region,
+)
+from repro.runtime.executor import (
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    choose_block_rows,
+    get_executor,
+    parallel_map,
+    shutdown_executors,
+)
+
+__all__ = [
+    "BACKENDS",
+    "RuntimeConfig",
+    "configure",
+    "configured",
+    "get_config",
+    "reset",
+    "parallel_config",
+    "serial_region",
+    "in_serial_region",
+    "EnvironmentInfo",
+    "detect",
+    "cpu_count",
+    "has_scipy",
+    "recommended_workers",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "get_executor",
+    "shutdown_executors",
+    "parallel_map",
+    "choose_block_rows",
+]

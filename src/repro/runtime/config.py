@@ -1,0 +1,190 @@
+"""Process-wide runtime configuration for the parallel sparse engine.
+
+One immutable :class:`RuntimeConfig` governs how the blocked kernels in
+:mod:`repro.assoc.blocked` split and schedule work.  Callers opt in with::
+
+    from repro import runtime
+    runtime.configure(workers=4, block_rows=256)
+
+and every semiring ``mxm`` / ``mxv`` / element-wise op / ``coalesce`` routed
+through :class:`~repro.assoc.sparse.CSRMatrix` picks the setting up — no call
+sites change.  ``configured(...)`` scopes a setting to a ``with`` block, which
+is what the tests and benchmarks use.
+
+A thread-local *serial region* flag prevents nested parallelism: tasks already
+running inside one of our executors see a serial config, so a parallel
+``mxm``'s per-block ``coalesce`` never tries to spawn a second pool.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+from typing import Iterator
+
+from repro.errors import RuntimeConfigError
+
+__all__ = [
+    "RuntimeConfig",
+    "configure",
+    "configured",
+    "get_config",
+    "reset",
+    "parallel_config",
+    "serial_region",
+    "in_serial_region",
+]
+
+#: Backends accepted by :func:`configure`.  ``auto`` resolves to ``thread``
+#: when ``workers > 1`` (NumPy kernels release the GIL) and ``serial`` otherwise.
+BACKENDS = ("auto", "serial", "thread", "process")
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Immutable snapshot of the engine settings.
+
+    Parameters
+    ----------
+    workers:
+        Number of parallel workers.  ``1`` keeps every kernel on the classic
+        serial path.
+    block_rows:
+        Rows per :class:`~repro.assoc.blocked.BlockedCSR` tile.  ``None``
+        defers to the chunk-size heuristic
+        (:func:`repro.runtime.executor.choose_block_rows`).
+    backend:
+        One of :data:`BACKENDS`.  ``process`` requires picklable semirings —
+        all built-ins qualify.
+    min_parallel_work:
+        Work-item floor (expanded product terms, nnz, …) below which kernels
+        stay serial; splitting tiny operands costs more than it saves.
+    """
+
+    workers: int = 1
+    block_rows: int | None = None
+    backend: str = "auto"
+    min_parallel_work: int = 4096
+
+    def __post_init__(self) -> None:
+        if int(self.workers) < 1:
+            raise RuntimeConfigError(f"workers must be >= 1, got {self.workers}")
+        if self.block_rows is not None and int(self.block_rows) < 1:
+            raise RuntimeConfigError(f"block_rows must be >= 1 or None, got {self.block_rows}")
+        if self.backend not in BACKENDS:
+            raise RuntimeConfigError(
+                f"unknown backend {self.backend!r}; expected one of {BACKENDS}"
+            )
+        if int(self.min_parallel_work) < 0:
+            raise RuntimeConfigError(
+                f"min_parallel_work must be >= 0, got {self.min_parallel_work}"
+            )
+
+    def resolved_backend(self) -> str:
+        """The concrete backend after ``auto`` resolution."""
+        if self.backend != "auto":
+            return self.backend
+        return "thread" if self.workers > 1 else "serial"
+
+    @property
+    def parallel(self) -> bool:
+        """Whether this config can ever run kernels in parallel."""
+        return self.workers > 1 and self.resolved_backend() != "serial"
+
+    def should_parallelize(self, work_items: int) -> bool:
+        """Parallel-worthiness of an operation with *work_items* units of work."""
+        return self.parallel and work_items >= self.min_parallel_work
+
+
+_DEFAULT = RuntimeConfig()
+_lock = threading.Lock()
+_config: RuntimeConfig = _DEFAULT
+_tls = threading.local()
+
+
+def get_config() -> RuntimeConfig:
+    """The active process-wide configuration."""
+    return _config
+
+
+def configure(
+    workers: int | None = None,
+    block_rows: int | None | str = "unchanged",
+    backend: str | None = None,
+    min_parallel_work: int | None = None,
+) -> RuntimeConfig:
+    """Update the process-wide config in place; unspecified fields persist.
+
+    ``block_rows`` accepts ``None`` explicitly (meaning "use the heuristic"),
+    so its unchanged sentinel is the string ``"unchanged"``.
+    Returns the new active config.
+    """
+    global _config
+    with _lock:
+        cfg = _config
+        updates: dict[str, object] = {}
+        if workers is not None:
+            updates["workers"] = int(workers)
+        if block_rows != "unchanged":
+            updates["block_rows"] = None if block_rows is None else int(block_rows)
+        if backend is not None:
+            updates["backend"] = backend
+        if min_parallel_work is not None:
+            updates["min_parallel_work"] = int(min_parallel_work)
+        _config = replace(cfg, **updates) if updates else cfg
+        return _config
+
+
+def reset() -> RuntimeConfig:
+    """Restore the default (serial) configuration."""
+    global _config
+    with _lock:
+        _config = _DEFAULT
+    return _config
+
+
+@contextmanager
+def configured(
+    workers: int | None = None,
+    block_rows: int | None | str = "unchanged",
+    backend: str | None = None,
+    min_parallel_work: int | None = None,
+) -> Iterator[RuntimeConfig]:
+    """Scope a configuration to a ``with`` block, restoring the previous one."""
+    global _config
+    with _lock:
+        previous = _config
+    try:
+        yield configure(workers, block_rows, backend, min_parallel_work)
+    finally:
+        with _lock:
+            _config = previous
+
+
+def in_serial_region() -> bool:
+    """True inside an executor task, where nested parallelism is forbidden."""
+    return bool(getattr(_tls, "serial_depth", 0))
+
+
+@contextmanager
+def serial_region() -> Iterator[None]:
+    """Mark the current thread as already-parallel (kernels stay serial)."""
+    _tls.serial_depth = getattr(_tls, "serial_depth", 0) + 1
+    try:
+        yield
+    finally:
+        _tls.serial_depth -= 1
+
+
+def parallel_config(work_items: int) -> RuntimeConfig | None:
+    """The active config if *work_items* should run in parallel, else ``None``.
+
+    This is the single gate every dispatching kernel calls: it folds together
+    the opt-in (``workers > 1``), the work-size floor, and the nested-region
+    guard.
+    """
+    cfg = _config
+    if not cfg.parallel or work_items < cfg.min_parallel_work or in_serial_region():
+        return None
+    return cfg

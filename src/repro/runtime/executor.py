@@ -1,0 +1,186 @@
+"""Pluggable executors and the chunk-size heuristic for blocked kernels.
+
+Three interchangeable executors share one interface (ordered ``map``):
+
+* :class:`SerialExecutor` — plain loop, zero overhead, the default;
+* :class:`ThreadExecutor` — ``concurrent.futures.ThreadPoolExecutor``.  The
+  hot NumPy loops (sorting, ``reduceat``, fancy indexing) release the GIL, so
+  row blocks genuinely overlap;
+* :class:`ProcessExecutor` — ``ProcessPoolExecutor`` for workloads where the
+  GIL-holding share matters.  Task payloads must pickle, which every built-in
+  semiring does.
+
+Pools are created lazily and cached per ``(backend, workers)`` so repeated
+kernel calls reuse warm workers; :func:`shutdown_executors` tears them down
+(registered with ``atexit``).
+
+Every task runs inside :func:`repro.runtime.config.serial_region`, so kernels
+invoked *from a worker* never try to re-enter a pool — nested parallelism is
+structurally impossible rather than merely discouraged.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import threading
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from repro.errors import RuntimeConfigError
+from repro.runtime.config import RuntimeConfig, get_config, in_serial_region, serial_region
+
+__all__ = [
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "get_executor",
+    "shutdown_executors",
+    "parallel_map",
+    "choose_block_rows",
+]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Average stored-entry floor per row block: blocks thinner than this spend
+#: more time in dispatch than in NumPy.
+MIN_NNZ_PER_BLOCK = 1024
+
+#: Blocks per worker the heuristic aims for — a few blocks of slack per
+#: worker smooths out row-imbalance without shredding the matrix.
+BLOCKS_PER_WORKER = 4
+
+
+def _guarded_call(fn: Callable[[T], R], item: T) -> R:
+    """Run one task with nested-parallelism disabled (picklable helper)."""
+    with serial_region():
+        return fn(item)
+
+
+class SerialExecutor:
+    """Ordered in-thread execution; the identity executor."""
+
+    name = "serial"
+    workers = 1
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        return [_guarded_call(fn, item) for item in items]
+
+
+class ThreadExecutor:
+    """Thread-pool executor; best default because NumPy releases the GIL."""
+
+    name = "thread"
+
+    def __init__(self, workers: int) -> None:
+        self.workers = int(workers)
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-runtime"
+        )
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        return list(self._pool.map(_guarded_call, itertools.repeat(fn), items))
+
+    def shutdown(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+class ProcessExecutor:
+    """Process-pool executor for fully GIL-free execution.
+
+    Tasks and their arguments cross a pickle boundary; all built-in semirings
+    and monoids are picklable (their operators are module-level functions).
+    """
+
+    name = "process"
+
+    def __init__(self, workers: int) -> None:
+        self.workers = int(workers)
+        self._pool = ProcessPoolExecutor(max_workers=self.workers)
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        return list(self._pool.map(_guarded_call, itertools.repeat(fn), items))
+
+    def shutdown(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+_SERIAL = SerialExecutor()
+_pools: dict[tuple[str, int], ThreadExecutor | ProcessExecutor] = {}
+_pool_lock = threading.Lock()
+
+
+def get_executor(config: RuntimeConfig | None = None):
+    """The executor for *config* (default: the active config), cached."""
+    cfg = get_config() if config is None else config
+    backend = cfg.resolved_backend()
+    if backend == "serial" or cfg.workers == 1:
+        return _SERIAL
+    key = (backend, cfg.workers)
+    with _pool_lock:
+        pool = _pools.get(key)
+        if pool is None:
+            if backend == "thread":
+                pool = ThreadExecutor(cfg.workers)
+            elif backend == "process":
+                pool = ProcessExecutor(cfg.workers)
+            else:  # pragma: no cover - BACKENDS validation makes this unreachable
+                raise RuntimeConfigError(f"unknown backend {backend!r}")
+            _pools[key] = pool
+        return pool
+
+
+def shutdown_executors() -> None:
+    """Tear down every cached pool (used by tests and process exit)."""
+    with _pool_lock:
+        pools = list(_pools.values())
+        _pools.clear()
+    for pool in pools:
+        pool.shutdown()
+
+
+atexit.register(shutdown_executors)
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    config: RuntimeConfig | None = None,
+) -> list[R]:
+    """Ordered map over *items* on the configured executor.
+
+    Single-item (or serial-config) calls skip the pool entirely, and calls
+    from inside a worker task stay serial rather than re-entering the
+    fixed-size pool (which could deadlock), so this is safe to use
+    unconditionally in fan-out helpers — nested composition included.
+    """
+    seq = list(items)
+    if len(seq) <= 1 or in_serial_region():
+        return [_guarded_call(fn, item) for item in seq]
+    return get_executor(config).map(fn, seq)
+
+
+def choose_block_rows(
+    n_rows: int,
+    nnz: int,
+    workers: int,
+    requested: int | None = None,
+) -> int:
+    """Rows per block for an ``n_rows``-row operand with *nnz* stored entries.
+
+    An explicit ``requested`` (``runtime.configure(block_rows=...)``) wins.
+    Otherwise aim for :data:`BLOCKS_PER_WORKER` blocks per worker, then widen
+    blocks until each carries at least :data:`MIN_NNZ_PER_BLOCK` entries on
+    average — thin blocks spend their time in dispatch, not arithmetic.
+    """
+    if n_rows <= 0:
+        return 1
+    if requested is not None:
+        return max(1, min(int(requested), n_rows))
+    target_blocks = max(1, min(workers * BLOCKS_PER_WORKER, n_rows))
+    block = -(-n_rows // target_blocks)  # ceil division
+    if nnz > 0:
+        rows_for_min_nnz = -(-MIN_NNZ_PER_BLOCK * n_rows // nnz)
+        block = max(block, min(rows_for_min_nnz, n_rows))
+    return max(1, min(block, n_rows))

@@ -5,7 +5,7 @@ import pytest
 
 from repro.analysis.anonymize import anonymize_assoc, anonymize_label, anonymize_matrix
 from repro.analysis.stats import scaling_relation, synthetic_traffic
-from repro.analysis.streaming import StreamAccumulator, WindowStats, window_stream
+from repro.analysis.streaming import StreamAccumulator, window_stream
 from repro.graphs.classify import classify_graph_pattern
 from repro.graphs.patterns import ring
 

@@ -6,7 +6,7 @@ import scipy.sparse as sp
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.assoc.semiring import LOR_LAND, MAX_MONOID, MIN_PLUS, PLUS_MONOID, PLUS_PAIR, PLUS_TIMES
+from repro.assoc.semiring import LOR_LAND, MAX_MONOID, MIN_PLUS, PLUS_PAIR, PLUS_TIMES
 from repro.assoc.sparse import CSRMatrix, coalesce
 from repro.errors import SparseFormatError
 

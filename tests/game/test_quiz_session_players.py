@@ -6,7 +6,6 @@ from repro.errors import GameError, QuizError
 from repro.game.players import AnalystPlayer, PerfectPlayer, RandomPlayer
 from repro.game.quiz import judge_answer, present_question
 from repro.game.session import GameSession
-from repro.modules.library import builtin_catalog
 from repro.modules.obfuscate import obfuscate_module
 
 

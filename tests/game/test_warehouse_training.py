@@ -5,7 +5,6 @@ import pytest
 from repro.errors import GameError
 from repro.game.training import TRAINING_STEPS, TrainingLevel, training_module
 from repro.game.warehouse import PALLET_SPACING, WarehouseLevel, build_level
-from repro.modules.templates import template_6x6, template_10x10
 from repro.render.camera import ViewMode
 
 

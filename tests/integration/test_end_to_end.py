@@ -1,8 +1,6 @@
 """Cross-module integration: the full educator → student → analysis loop."""
 
-import io
 
-import numpy as np
 
 from repro.analysis.anonymize import anonymize_matrix
 from repro.game.app import TrafficWarehouse

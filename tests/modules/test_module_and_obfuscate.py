@@ -16,7 +16,6 @@ from repro.modules.obfuscate import (
     verify_answer,
 )
 from repro.modules.schema import validate_module_dict
-from repro.modules.templates import template_10x10
 
 
 def q3(correct: int = 0) -> Question:

@@ -87,7 +87,7 @@ class TestValidatorTotalness:
     def test_loader_and_validator_agree(self, doc):
         """Going through JSON text cannot change the verdict."""
         try:
-            direct = validate_module_dict(doc)
+            validate_module_dict(doc)
             direct_ok = True
         except ModuleSchemaError:
             direct_ok = False

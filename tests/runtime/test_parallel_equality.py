@@ -1,0 +1,152 @@
+"""Serial vs parallel engine equality — the bit-identical guarantee.
+
+Every routed kernel (mxm, mxv, element-wise, coalesce) must return exactly
+the same matrix under ``runtime.configure(workers=N)`` as on the serial path:
+same indptr, same indices, same data bits — float rounding included, because
+blocked execution preserves the serial per-row term order.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import runtime
+from repro.assoc.semiring import (
+    LOR_LAND,
+    MIN_MONOID,
+    MIN_PLUS,
+    PLUS_PAIR,
+    PLUS_TIMES,
+)
+from repro.assoc.sparse import CSRMatrix, coalesce
+
+
+@pytest.fixture(autouse=True)
+def _pristine_runtime():
+    runtime.reset()
+    yield
+    runtime.reset()
+
+
+def parallel_cfg(**overrides):
+    kwargs = dict(workers=3, backend="thread", min_parallel_work=1, block_rows=2)
+    kwargs.update(overrides)
+    return runtime.configured(**kwargs)
+
+
+def dense_pair_strategy(max_n: int = 10):
+    return st.tuples(
+        st.integers(2, max_n), st.integers(2, max_n), st.integers(2, max_n),
+        st.integers(0, 2**31),
+    ).map(
+        lambda t: (
+            np.random.default_rng(t[3]).integers(0, 3, size=(t[0], t[1])),
+            np.random.default_rng(t[3] + 1).integers(0, 3, size=(t[1], t[2])),
+        )
+    )
+
+
+class TestPropertyEquality:
+    @given(dense_pair_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_mxm_bit_identical(self, pair):
+        a = CSRMatrix.from_dense(pair[0])
+        b = CSRMatrix.from_dense(pair[1])
+        for semiring in (PLUS_TIMES, MIN_PLUS, LOR_LAND, PLUS_PAIR):
+            serial = a.mxm(b, semiring)
+            with parallel_cfg():
+                parallel = a.mxm(b, semiring)
+            assert parallel == serial
+            assert parallel.dtype == serial.dtype
+
+    @given(dense_pair_strategy())
+    @settings(max_examples=30, deadline=None)
+    def test_float_mxm_bit_identical(self, pair):
+        """Float data: term order (hence rounding) must match exactly."""
+        a = CSRMatrix.from_dense(pair[0] * 0.137)
+        b = CSRMatrix.from_dense(pair[1] * 0.731)
+        serial = a.mxm(b, PLUS_TIMES)
+        with parallel_cfg():
+            parallel = a.mxm(b, PLUS_TIMES)
+        assert parallel == serial
+
+    @given(dense_pair_strategy())
+    @settings(max_examples=30, deadline=None)
+    def test_ewise_and_mxv_bit_identical(self, pair):
+        a = CSRMatrix.from_dense(pair[0])
+        b = CSRMatrix.from_dense(np.random.default_rng(int(pair[1][0, 0]) + 7).integers(0, 3, pair[0].shape))
+        x = np.arange(a.shape[1], dtype=np.float64)
+        serial_union = a.ewise_union(b)
+        serial_intersect = a.ewise_intersect(b, PLUS_TIMES.mult)
+        serial_mxv = a.mxv(x, MIN_PLUS)
+        with parallel_cfg():
+            assert a.ewise_union(b) == serial_union
+            assert a.ewise_intersect(b, PLUS_TIMES.mult) == serial_intersect
+            assert np.array_equal(a.mxv(x, MIN_PLUS), serial_mxv)
+
+
+class TestCoalesceParallel:
+    def test_empty_triples(self):
+        with parallel_cfg():
+            r, c, v = coalesce(np.asarray([]), np.asarray([]), np.asarray([]), (5, 5))
+        assert r.size == c.size == v.size == 0
+
+    def test_all_duplicate_coordinates(self):
+        """Every triple lands on one cell: a single entry must survive."""
+        n = 5000
+        rows = np.full(n, 3, dtype=np.int64)
+        cols = np.full(n, 4, dtype=np.int64)
+        vals = np.arange(n, dtype=np.int64)
+        serial = coalesce(rows, cols, vals, (8, 8))
+        with parallel_cfg():
+            parallel = coalesce(rows, cols, vals, (8, 8))
+        for s, p in zip(serial, parallel):
+            assert np.array_equal(s, p)
+        assert parallel[0].tolist() == [3]
+        assert parallel[2].tolist() == [n * (n - 1) // 2]
+
+    def test_all_duplicates_non_commutative_order(self):
+        """Float accumulation order is preserved exactly across blocks."""
+        n = 4097
+        rows = np.repeat(np.arange(7, dtype=np.int64), n)
+        cols = np.zeros(7 * n, dtype=np.int64)
+        vals = np.random.default_rng(0).random(7 * n) * 1e-3 + 1.0
+        serial = coalesce(rows, cols, vals, (7, 3))
+        with parallel_cfg():
+            parallel = coalesce(rows, cols, vals, (7, 3))
+        assert np.array_equal(serial[2], parallel[2])  # bitwise, not approx
+
+    @given(st.integers(0, 2**31), st.integers(1, 40), st.integers(2, 12))
+    @settings(max_examples=40, deadline=None)
+    def test_random_triples_property(self, seed, n_triples, n_rows):
+        rng = np.random.default_rng(seed)
+        rows = rng.integers(0, n_rows, n_triples)
+        cols = rng.integers(0, n_rows, n_triples)
+        vals = rng.random(n_triples)
+        serial = coalesce(rows, cols, vals, (n_rows, n_rows), MIN_MONOID)
+        with parallel_cfg():
+            parallel = coalesce(rows, cols, vals, (n_rows, n_rows), MIN_MONOID)
+        for s, p in zip(serial, parallel):
+            assert np.array_equal(s, p)
+
+
+class TestProcessBackend:
+    def test_mxm_bit_identical_across_processes(self):
+        rng = np.random.default_rng(5)
+        a = CSRMatrix.from_dense(rng.integers(0, 3, (40, 40)))
+        b = CSRMatrix.from_dense(rng.integers(0, 3, (40, 40)))
+        serial = a.mxm(b, MIN_PLUS)
+        with parallel_cfg(backend="process", workers=2, block_rows=11):
+            parallel = a.mxm(b, MIN_PLUS)
+        assert parallel == serial
+
+    def test_builtin_semirings_pickle(self):
+        import pickle
+
+        from repro.assoc.semiring import MONOIDS, SEMIRINGS
+
+        for s in SEMIRINGS.values():
+            assert pickle.loads(pickle.dumps(s)).name == s.name
+        for m in MONOIDS.values():
+            assert pickle.loads(pickle.dumps(m)).name == m.name

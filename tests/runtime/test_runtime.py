@@ -1,0 +1,165 @@
+"""Runtime configuration, executors, heuristics, and host detection."""
+
+import pytest
+
+from repro import runtime
+from repro.errors import RuntimeConfigError
+from repro.runtime.executor import MIN_NNZ_PER_BLOCK, SerialExecutor
+
+
+@pytest.fixture(autouse=True)
+def _pristine_runtime():
+    runtime.reset()
+    yield
+    runtime.reset()
+    runtime.shutdown_executors()
+
+
+class TestConfig:
+    def test_default_is_serial(self):
+        cfg = runtime.get_config()
+        assert cfg.workers == 1
+        assert not cfg.parallel
+        assert cfg.resolved_backend() == "serial"
+
+    def test_configure_merges_fields(self):
+        runtime.configure(workers=3)
+        runtime.configure(backend="thread")
+        cfg = runtime.get_config()
+        assert cfg.workers == 3 and cfg.backend == "thread"
+
+    def test_configure_block_rows_none_means_heuristic(self):
+        runtime.configure(block_rows=64)
+        assert runtime.get_config().block_rows == 64
+        runtime.configure(block_rows=None)
+        assert runtime.get_config().block_rows is None
+
+    def test_configured_restores_previous(self):
+        runtime.configure(workers=2)
+        with runtime.configured(workers=5, backend="process"):
+            assert runtime.get_config().workers == 5
+        cfg = runtime.get_config()
+        assert cfg.workers == 2 and cfg.backend == "auto"
+
+    def test_reset(self):
+        runtime.configure(workers=9, backend="thread")
+        runtime.reset()
+        assert runtime.get_config() == runtime.RuntimeConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"workers": 0},
+            {"workers": -2},
+            {"block_rows": 0},
+            {"backend": "gpu"},
+            {"min_parallel_work": -1},
+        ],
+    )
+    def test_invalid_config_rejected(self, kwargs):
+        with pytest.raises(RuntimeConfigError):
+            runtime.RuntimeConfig(**kwargs)
+
+    def test_auto_backend_resolution(self):
+        assert runtime.RuntimeConfig(workers=1).resolved_backend() == "serial"
+        assert runtime.RuntimeConfig(workers=2).resolved_backend() == "thread"
+        assert runtime.RuntimeConfig(workers=2, backend="process").resolved_backend() == "process"
+
+    def test_should_parallelize_threshold(self):
+        cfg = runtime.RuntimeConfig(workers=4, min_parallel_work=100)
+        assert cfg.should_parallelize(100)
+        assert not cfg.should_parallelize(99)
+        assert not runtime.RuntimeConfig(workers=1).should_parallelize(10**9)
+
+    def test_parallel_config_gate(self):
+        assert runtime.parallel_config(10**9) is None  # serial default
+        runtime.configure(workers=4, min_parallel_work=10)
+        assert runtime.parallel_config(10) is not None
+        assert runtime.parallel_config(9) is None
+
+    def test_serial_region_blocks_dispatch(self):
+        runtime.configure(workers=4, min_parallel_work=1)
+        assert runtime.parallel_config(100) is not None
+        with runtime.serial_region():
+            assert runtime.in_serial_region()
+            assert runtime.parallel_config(100) is None
+        assert not runtime.in_serial_region()
+
+
+class TestExecutors:
+    def test_serial_map_preserves_order(self):
+        assert SerialExecutor().map(lambda x: x * 2, [3, 1, 2]) == [6, 2, 4]
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_pool_map_preserves_order(self, backend):
+        cfg = runtime.RuntimeConfig(workers=2, backend=backend)
+        ex = runtime.get_executor(cfg)
+        assert ex.map(abs, [-5, 3, -1, 0]) == [5, 3, 1, 0]
+
+    def test_get_executor_serial_for_one_worker(self):
+        cfg = runtime.RuntimeConfig(workers=1, backend="thread")
+        assert runtime.get_executor(cfg) is runtime.get_executor(cfg)
+        assert runtime.get_executor(cfg).name == "serial"
+
+    def test_get_executor_caches_pools(self):
+        cfg = runtime.RuntimeConfig(workers=2, backend="thread")
+        assert runtime.get_executor(cfg) is runtime.get_executor(cfg)
+
+    def test_parallel_map_single_item_stays_inline(self):
+        calls = runtime.parallel_map(lambda x: x + 1, [41])
+        assert calls == [42]
+
+    def test_parallel_map_uses_active_config(self):
+        runtime.configure(workers=2, backend="thread")
+        assert runtime.parallel_map(str, [1, 2, 3]) == ["1", "2", "3"]
+
+    def test_tasks_run_in_serial_region(self):
+        runtime.configure(workers=2, backend="thread")
+        flags = runtime.parallel_map(lambda _: runtime.in_serial_region(), [0, 1, 2])
+        assert flags == [True, True, True]
+
+    def test_nested_parallel_map_stays_serial(self):
+        """parallel_map from inside a worker must not re-enter the pool."""
+        runtime.configure(workers=2, backend="thread")
+
+        def outer(_):
+            return runtime.parallel_map(lambda x: x + 1, [1, 2, 3])
+
+        assert runtime.parallel_map(outer, [0, 1, 2, 3]) == [[2, 3, 4]] * 4
+
+
+class TestHeuristics:
+    def test_explicit_request_wins(self):
+        assert runtime.choose_block_rows(1000, 10**6, workers=4, requested=17) == 17
+
+    def test_request_clamped_to_matrix(self):
+        assert runtime.choose_block_rows(10, 100, workers=4, requested=500) == 10
+
+    def test_zero_rows(self):
+        assert runtime.choose_block_rows(0, 0, workers=4) == 1
+
+    def test_dense_matrix_splits_into_blocks(self):
+        block = runtime.choose_block_rows(1024, 10**6, workers=4)
+        assert 1 <= block < 1024
+        n_blocks = -(-1024 // block)
+        assert n_blocks > 1
+
+    def test_sparse_matrix_keeps_meaty_blocks(self):
+        """Very sparse rows widen blocks to keep nnz per block above the floor."""
+        n_rows, nnz = 10_000, 2_000
+        block = runtime.choose_block_rows(n_rows, nnz, workers=4)
+        assert block * nnz / n_rows >= MIN_NNZ_PER_BLOCK * 0.5
+
+
+class TestBackends:
+    def test_cpu_count_positive(self):
+        assert runtime.cpu_count() >= 1
+
+    def test_recommended_workers_bounded(self):
+        assert 1 <= runtime.recommended_workers() <= 8
+
+    def test_detect_summary(self):
+        info = runtime.detect()
+        assert info.cpu_count == runtime.cpu_count()
+        assert isinstance(info.scipy_available, bool)
+        assert "CPU" in info.describe()
