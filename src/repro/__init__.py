@@ -9,6 +9,9 @@ library.  The package is organised the way the paper presents the system:
 * :mod:`repro.runtime` — pluggable serial/thread/process execution engine
   behind the sparse kernels (``runtime.configure(workers=N)`` to opt in),
 * :mod:`repro.graphs` — the pattern generators behind every learning module,
+* :mod:`repro.scenarios` — the unified scenario API: a registry over every
+  generator, declarative JSON-round-trippable specs, and parallel batch
+  generation on the runtime,
 * :mod:`repro.modules` — the extensible JSON learning-module format,
 * :mod:`repro.engine` — a headless Godot-like scene-tree engine,
 * :mod:`repro.gdscript` — an interpreter for the GDScript subset of the paper,
@@ -45,7 +48,19 @@ __all__ = [
     "load_module",
     "builtin_catalog",
     "TrafficWarehouse",
+    "ScenarioSpec",
+    "ScenarioBuilder",
+    "generate_batch",
 ]
+
+
+def __getattr__(name):  # noqa: ANN001, ANN202 - lazy re-exports
+    """Lazy top-level access to the scenario API (keeps base import light)."""
+    if name in ("ScenarioSpec", "ScenarioBuilder", "generate_batch"):
+        import repro.scenarios as _scenarios
+
+        return getattr(_scenarios, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
 
 
 def load_module(path):  # noqa: ANN001, ANN201 - thin convenience wrapper

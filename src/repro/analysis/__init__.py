@@ -6,6 +6,7 @@ from repro.analysis.streaming import (
     StreamAccumulator,
     WindowStats,
     merge_windows,
+    scenario_stream,
     window_stream,
 )
 
@@ -16,6 +17,7 @@ __all__ = [
     "StreamAccumulator",
     "WindowStats",
     "window_stream",
+    "scenario_stream",
     "merge_windows",
     "ScalingFit",
     "scaling_relation",

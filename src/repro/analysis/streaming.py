@@ -11,14 +11,23 @@ statistics the scaling-relations paper (ref [50]) tracks per window.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 import numpy as np
 
 from repro.assoc.array import AssociativeArray
 from repro.runtime.executor import parallel_map
 
-__all__ = ["WindowStats", "StreamAccumulator", "window_stream", "merge_windows"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.scenarios import ScenarioSpec
+
+__all__ = [
+    "WindowStats",
+    "StreamAccumulator",
+    "window_stream",
+    "scenario_stream",
+    "merge_windows",
+]
 
 
 @dataclass(frozen=True)
@@ -119,6 +128,28 @@ def window_stream(
     array = acc.flush()
     if array is not None:
         yield array, WindowStats.from_array(index, count_in_window, array)
+
+
+def scenario_stream(
+    specs: Iterable["ScenarioSpec"],
+    *,
+    window_size: int = 1024,
+    workers: int | None = None,
+) -> Iterator[tuple[AssociativeArray, WindowStats]]:
+    """Stream declaratively-specified scenarios through the window pipeline.
+
+    Each :class:`~repro.scenarios.ScenarioSpec` is realised (in one
+    :func:`~repro.scenarios.generate_batch` call, so ``workers`` parallelises
+    generation) and its non-zero cells are replayed as ``(src, dst, packets)``
+    events into :func:`window_stream` — the bridge from the scenario API to
+    the streaming lineage: a synthetic "capture" of any mix of attack,
+    defense and noise scenarios, windowed exactly like real packet data.
+    """
+    from repro.scenarios import generate_batch
+
+    matrices = generate_batch(list(specs), workers=workers)
+    events = (edge for matrix in matrices for edge in matrix.iter_edges())
+    yield from window_stream(events, window_size=window_size)
 
 
 def _merge_pair(pair: tuple[AssociativeArray, AssociativeArray]) -> AssociativeArray:

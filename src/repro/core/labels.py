@@ -18,6 +18,7 @@ __all__ = [
     "validate_labels",
     "normalize_label",
     "default_labels",
+    "space_labels",
     "TEMPLATE_LABELS_6",
     "TEMPLATE_LABELS_10",
     "MAX_LABEL_LENGTH",
@@ -103,6 +104,37 @@ def default_labels(n: int) -> tuple[str, ...]:
     if n < 1:
         raise LabelError(f"matrix size must be positive, got {n}")
     return tuple(f"N{k}" for k in range(1, n + 1))
+
+
+def space_labels(n: int) -> tuple[str, ...]:
+    """Template-style labels with blue/grey/red spaces at **any** size.
+
+    ``default_labels`` falls back to generic ``N*`` names outside the shipped
+    6×6 / 10×10 templates, which leaves every endpoint in grey space — so the
+    space-dependent generators (attack stages, DDoS roles, defense postures)
+    cannot run at other sizes.  This helper scales the template's proportions
+    instead (roughly 40% blue / 20% grey / 40% red, matching the 10×10
+    template's ``WS*``+``SRV1`` / ``EXT*`` / ``ADV*`` split), so declarative
+    scenario specs can realise any generator at any ``n >= 3``; the shipped
+    template label sets are returned verbatim at ``n == 6`` and ``n == 10``.
+    """
+    if n in (6, 10):
+        return default_labels(n)
+    if n < 1:
+        raise LabelError(f"matrix size must be positive, got {n}")
+    if n == 1:
+        return ("WS1",)
+    if n == 2:
+        return ("WS1", "ADV1")
+    grey = max(1, n // 5)
+    red = max(1, (2 * n) // 5)
+    blue = n - grey - red
+    return (
+        tuple(f"WS{k}" for k in range(1, blue))
+        + ("SRV1",)
+        + tuple(f"EXT{k}" for k in range(1, grey + 1))
+        + tuple(f"ADV{k}" for k in range(1, red + 1))
+    )
 
 
 def label_indices(labels: Sequence[str], wanted: Iterable[str]) -> list[int]:

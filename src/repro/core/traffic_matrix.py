@@ -51,7 +51,7 @@ class TrafficMatrix:
         Defaults to all grey — the uncoloured state pallets start in.
     """
 
-    __slots__ = ("_packets", "_labels", "_colors", "_space_map", "_extended")
+    __slots__ = ("_packets", "_labels", "_colors", "_space_map", "_extended", "_meta")
 
     def __init__(
         self,
@@ -60,6 +60,7 @@ class TrafficMatrix:
         colors: Sequence[Sequence[int]] | np.ndarray | None = None,
         *,
         extended_colors: bool = False,
+        meta: dict | None = None,
     ) -> None:
         arr = np.asarray(packets)
         if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
@@ -87,6 +88,7 @@ class TrafficMatrix:
                 )
             self._colors = grid
         self._space_map: SpaceMap | None = None
+        self._meta: dict = dict(meta) if meta else {}
 
     # ------------------------------------------------------------------ #
     # constructors
@@ -178,6 +180,23 @@ class TrafficMatrix:
         if self._space_map is None:
             self._space_map = SpaceMap.infer(self._labels)
         return self._space_map
+
+    @property
+    def meta(self) -> dict:
+        """Provenance metadata attached by producers (e.g. the scenario API).
+
+        Metadata is carried alongside the matrix but is *not* part of its
+        value: ``__eq__`` ignores it, and derived matrices (sums, transposes)
+        do not inherit it.  The scenario API stores the originating
+        :class:`~repro.scenarios.ScenarioSpec` document under ``"scenario"``.
+        """
+        return dict(self._meta)
+
+    def with_meta(self, **fields: object) -> "TrafficMatrix":
+        """Copy of this matrix with *fields* merged into its metadata."""
+        out = self.copy()
+        out._meta.update(fields)
+        return out
 
     # ------------------------------------------------------------------ #
     # element access
@@ -381,7 +400,11 @@ class TrafficMatrix:
 
     def copy(self) -> "TrafficMatrix":
         return TrafficMatrix(
-            self._packets.copy(), self._labels, self._colors.copy(), extended_colors=self._extended
+            self._packets.copy(),
+            self._labels,
+            self._colors.copy(),
+            extended_colors=self._extended,
+            meta=self._meta,
         )
 
     # ------------------------------------------------------------------ #

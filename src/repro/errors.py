@@ -44,6 +44,14 @@ class AssocArrayError(ReproError):
     """Invalid operation on an :class:`~repro.assoc.AssociativeArray`."""
 
 
+class ScenarioError(ReproError):
+    """Invalid use of the :mod:`repro.scenarios` registry or batch API."""
+
+
+class ScenarioSpecError(ScenarioError):
+    """A :class:`~repro.scenarios.ScenarioSpec` document is malformed."""
+
+
 class ModuleSchemaError(ReproError):
     """A learning-module JSON document does not satisfy the schema."""
 

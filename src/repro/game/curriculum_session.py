@@ -10,10 +10,14 @@ freshly shuffled answers).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 from repro.errors import GameError
 from repro.game.session import GameSession
 from repro.modules.curriculum import Curriculum, Unit
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.scenarios import ScenarioSpec
 
 __all__ = ["UnitResult", "CurriculumSession"]
 
@@ -38,6 +42,54 @@ class CurriculumSession:
         self._attempts: list[UnitResult] = []
         self._active_unit: Unit | None = None
         self._active_session: GameSession | None = None
+
+    @classmethod
+    def from_specs(
+        cls,
+        units: Mapping[str, Sequence["ScenarioSpec"]],
+        *,
+        title: str = "Scenario Curriculum",
+        pass_score: float = 0.5,
+        sequential: bool = True,
+        seed: int | None = 0,
+        workers: int | None = None,
+    ) -> "CurriculumSession":
+        """A playable curriculum generated from declarative scenario specs.
+
+        ``units`` maps unit titles to the :class:`~repro.scenarios.ScenarioSpec`
+        lists that become their modules; every matrix is realised in one
+        :func:`~repro.scenarios.generate_batch` call, so a wide curriculum
+        generates in parallel when ``workers`` (or the process-wide
+        :func:`repro.runtime.configure`) enables it.  With ``sequential``
+        (default) each unit requires the previous one, giving the
+        unlock-in-order progression of the paper's hierarchical-modules
+        future work.
+        """
+        from repro.modules.builder import scenario_module
+        from repro.scenarios import generate_batch
+
+        flat: list[tuple[str, "ScenarioSpec"]] = [
+            (unit_title, spec) for unit_title, specs in units.items() for spec in specs
+        ]
+        matrices = generate_batch([spec for _, spec in flat], workers=workers)
+        modules: dict[str, list] = {unit_title: [] for unit_title in units}
+        for (unit_title, spec), matrix in zip(flat, matrices):
+            number = len(modules[unit_title]) + 1
+            modules[unit_title].append(
+                scenario_module(spec, matrix=matrix, name=f"{unit_title} #{number}")
+            )
+        children: list[Unit] = []
+        for unit_title in units:
+            children.append(
+                Unit(
+                    title=unit_title,
+                    modules=tuple(modules[unit_title]),
+                    requires=(children[-1].title,) if sequential and children else (),
+                    pass_score=pass_score,
+                )
+            )
+        curriculum = Curriculum(Unit(title=title, children=tuple(children)))
+        return cls(curriculum, seed=seed)
 
     # ------------------------------------------------------------------ #
     # unit selection

@@ -1,0 +1,34 @@
+"""Shared argument validation for every traffic generator.
+
+Before this helper existed, generators disagreed on degenerate inputs:
+``n=0`` raised in some modules, produced empty label sets in others;
+``packets=0`` silently generated an all-zero "pattern".  Every generator now
+calls :func:`validate_positive` first, so the contract is uniform: sizes and
+packet counts must be strictly positive, and violations raise
+:class:`~repro.errors.ShapeError` with the offending argument named.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ShapeError
+
+__all__ = ["_validate_positive"]
+
+
+def _validate_positive(n: int | None = None, packets: int | None = None, **counts: int) -> None:
+    """Require a positive matrix size and positive packet count(s).
+
+    ``n`` is the endpoint count; ``packets`` the primary per-edge packet
+    count.  Extra keyword arguments name secondary counts with their
+    generator-local parameter name (``attack_packets``, ``max_packets``,
+    ``provocation_packets``, …), so error messages match the caller's
+    signature.
+    """
+    if n is not None:
+        counts = {"n": n, **counts}
+    if packets is not None:
+        counts["packets"] = packets
+    for name, value in counts.items():
+        if int(value) < 1:
+            noun = "size" if name == "n" else "count"
+            raise ShapeError(f"{name} must be a positive {noun}, got {value}")

@@ -24,6 +24,8 @@ from repro.core.labels import default_labels
 from repro.core.spaces import NetworkSpace, SpaceMap
 from repro.core.traffic_matrix import TrafficMatrix
 from repro.errors import ShapeError
+from repro.graphs._validate import _validate_positive
+from repro.scenarios.registry import register_scenario
 
 __all__ = [
     "planning",
@@ -53,6 +55,7 @@ def _require(space_name: str, idx: np.ndarray, minimum: int = 1) -> None:
         )
 
 
+@register_scenario(family="attack", tags=("fig7", "kill_chain"), display="Planning")
 def planning(
     n: int = 10,
     *,
@@ -65,6 +68,7 @@ def planning(
     space.  The defender sees *nothing* on their own network — the pedagogical
     point of Fig. 7a.
     """
+    _validate_positive(n=n, packets=packets)
     labels = default_labels(n) if labels is None else labels
     _, _, _, red = _spaces(labels)
     _require("red", red, 2)
@@ -74,6 +78,7 @@ def planning(
     return TrafficMatrix(arr, labels).with_space_colors()
 
 
+@register_scenario(family="attack", tags=("fig7", "kill_chain"), display="Staging")
 def staging(
     n: int = 10,
     *,
@@ -85,6 +90,7 @@ def staging(
     Each adversary pushes tooling to the grey endpoints (red → grey), and the
     grey endpoints replicate among themselves (grey ↔ grey).
     """
+    _validate_positive(n=n, packets=packets)
     labels = default_labels(n) if labels is None else labels
     _, _, grey, red = _spaces(labels)
     _require("grey", grey, 1)
@@ -98,6 +104,7 @@ def staging(
     return TrafficMatrix(arr, labels).with_space_colors()
 
 
+@register_scenario(family="attack", tags=("fig7", "kill_chain"), display="Infiltration")
 def infiltration(
     n: int = 10,
     *,
@@ -109,6 +116,7 @@ def infiltration(
     Staged grey endpoints probe and enter blue space; traffic sits exactly on
     the border blocks (grey → blue), the first moment the defender can see it.
     """
+    _validate_positive(n=n, packets=packets)
     labels = default_labels(n) if labels is None else labels
     _, blue, grey, _ = _spaces(labels)
     _require("blue", blue, 1)
@@ -118,6 +126,7 @@ def infiltration(
     return TrafficMatrix(arr, labels).with_space_colors()
 
 
+@register_scenario(family="attack", tags=("fig7", "kill_chain"), display="Lateral movement")
 def lateral_movement(
     n: int = 10,
     *,
@@ -132,6 +141,7 @@ def lateral_movement(
     entirely inside the blue block, the hardest stage to distinguish from
     legitimate internal load.
     """
+    _validate_positive(n=n, packets=packets)
     labels = default_labels(n) if labels is None else labels
     _, blue, _, _ = _spaces(labels)
     _require("blue", blue, 2)
@@ -152,6 +162,7 @@ def lateral_movement(
     return TrafficMatrix(arr, labels).with_space_colors()
 
 
+@register_scenario(family="attack", tags=("fig7", "composite"), display="Full attack campaign")
 def full_attack(
     n: int = 10,
     *,
@@ -167,6 +178,7 @@ def full_attack(
     """
     from repro.graphs.compose import overlay
 
+    _validate_positive(n=n, packets=packets)
     labels = default_labels(n) if labels is None else labels
     return overlay(
         builder(n, packets=packets, labels=labels)

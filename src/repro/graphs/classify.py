@@ -27,6 +27,7 @@ __all__ = [
     "classify_graph_pattern",
     "classify_topology",
     "classify_scenario",
+    "classify_spec",
     "ScenarioScore",
     "GRAPH_PATTERN_NAMES",
     "TOPOLOGY_NAMES",
@@ -340,3 +341,31 @@ def classify_scenario(matrix: TrafficMatrix) -> ScenarioScore:
 
     best = max(scores.items(), key=lambda kv: kv[1])[0]
     return ScenarioScore(best=best, scores=scores, active_blocks=_block_signature(matrix))
+
+
+# --------------------------------------------------------------------------- #
+# declarative specs (scenario API round trip)
+# --------------------------------------------------------------------------- #
+
+def classify_spec(spec) -> str:  # noqa: ANN001 - ScenarioSpec, imported lazily
+    """Realise a :class:`~repro.scenarios.ScenarioSpec` and name what it built.
+
+    Routes to the classifier matching the spec's base-generator family
+    (graph patterns → :func:`classify_graph_pattern`, Fig. 6 topologies →
+    :func:`classify_topology`, attack/defense/DDoS stages →
+    :func:`classify_scenario`) and returns the predicted name in **registry**
+    vocabulary, so ``classify_spec(ScenarioSpec(base=name)) == name`` is the
+    round-trip property the scenario tests assert.
+    """
+    from repro.scenarios.registry import REGISTRY_ALIASES, get_generator
+
+    family = get_generator(spec.base).family
+    matrix = spec.build()
+    if family == "pattern":
+        predicted = classify_graph_pattern(matrix)
+    elif family == "topology":
+        predicted = classify_topology(matrix)
+    else:
+        predicted = classify_scenario(matrix).best
+    # classifier vocabulary uses catalogue names; report registry vocabulary
+    return REGISTRY_ALIASES.get(predicted, predicted)

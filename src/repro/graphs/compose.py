@@ -33,7 +33,10 @@ def overlay(matrices: Iterable[TrafficMatrix]) -> TrafficMatrix:
     """
     matrices = list(matrices)
     if not matrices:
-        raise ShapeError("overlay needs at least one matrix")
+        raise ShapeError(
+            "overlay() received an empty collection; it needs at least one "
+            "TrafficMatrix to combine"
+        )
     first = matrices[0]
     total_nnz = sum(m.nnz() for m in matrices)
     total_cells = first.n * first.n * len(matrices)

@@ -26,6 +26,8 @@ from repro.core.labels import default_labels, label_indices
 from repro.core.spaces import NetworkSpace, SpaceMap
 from repro.core.traffic_matrix import TrafficMatrix
 from repro.errors import ShapeError
+from repro.graphs._validate import _validate_positive
+from repro.scenarios.registry import register_scenario
 
 __all__ = [
     "BotnetRoles",
@@ -99,6 +101,7 @@ def _roles(n: int, labels: Sequence[str] | None, roles: BotnetRoles | None) -> t
     return lbls, (roles if roles is not None else BotnetRoles.from_labels(lbls))
 
 
+@register_scenario(family="ddos", tags=("fig9", "botnet"), display="Command and control (C2)")
 def command_and_control(
     n: int = 10,
     *,
@@ -107,6 +110,7 @@ def command_and_control(
     roles: BotnetRoles | None = None,
 ) -> TrafficMatrix:
     """C2 servers coordinating with each other in red space (Fig. 9a)."""
+    _validate_positive(n=n, packets=packets)
     lbls, r = _roles(n, labels, roles)
     arr = np.zeros((n, n), dtype=np.int64)
     c2 = np.asarray(r.c2, dtype=np.intp)
@@ -119,6 +123,7 @@ def command_and_control(
     return TrafficMatrix(arr, lbls).with_space_colors()
 
 
+@register_scenario(family="ddos", tags=("fig9", "botnet"), display="Botnet clients")
 def botnet_clients(
     n: int = 10,
     *,
@@ -132,12 +137,14 @@ def botnet_clients(
     represented by identical communications" — every (C2, client) cell holds
     the same count, a uniformity the classifier keys on.
     """
+    _validate_positive(n=n, packets=packets)
     lbls, r = _roles(n, labels, roles)
     arr = np.zeros((n, n), dtype=np.int64)
     arr[np.ix_(np.asarray(r.c2, dtype=np.intp), np.asarray(r.clients, dtype=np.intp))] = packets
     return TrafficMatrix(arr, lbls).with_space_colors()
 
 
+@register_scenario(family="ddos", tags=("fig9", "botnet"), display="DDoS attack")
 def ddos_attack(
     n: int = 10,
     *,
@@ -150,12 +157,14 @@ def ddos_attack(
     Defaults to 9 packets per client-victim pair — heavy enough to visibly
     dominate the matrix while staying under the 15-packet display guidance.
     """
+    _validate_positive(n=n, packets=packets)
     lbls, r = _roles(n, labels, roles)
     arr = np.zeros((n, n), dtype=np.int64)
     arr[np.ix_(np.asarray(r.clients, dtype=np.intp), np.asarray(r.victims, dtype=np.intp))] = packets
     return TrafficMatrix(arr, lbls).with_space_colors()
 
 
+@register_scenario(family="ddos", tags=("fig9", "botnet"), display="Backscatter")
 def backscatter(
     n: int = 10,
     *,
@@ -170,6 +179,7 @@ def backscatter(
     ``packets``): ``backscatter(...).packets`` has the same non-zero pattern
     as ``ddos_attack(...).transpose().packets``.
     """
+    _validate_positive(n=n, packets=packets, attack_packets=attack_packets)
     lbls, r = _roles(n, labels, roles)
     attack = ddos_attack(n, packets=attack_packets, labels=lbls, roles=r)
     replied = attack.transpose()
@@ -177,6 +187,7 @@ def backscatter(
     return TrafficMatrix(scaled, lbls).with_space_colors()
 
 
+@register_scenario(family="ddos", tags=("fig9", "composite"), display="Full DDoS")
 def full_ddos(
     n: int = 10,
     *,
@@ -190,6 +201,7 @@ def full_ddos(
     """
     from repro.graphs.compose import overlay
 
+    _validate_positive(n=n)
     lbls, r = _roles(n, labels, roles)
     return overlay(
         component(n, labels=lbls, roles=r)

@@ -23,6 +23,8 @@ from repro.core.labels import default_labels
 from repro.core.spaces import NetworkSpace, SpaceMap
 from repro.core.traffic_matrix import TrafficMatrix
 from repro.errors import ShapeError
+from repro.graphs._validate import _validate_positive
+from repro.scenarios.registry import register_scenario
 
 __all__ = ["security", "defense", "deterrence", "full_posture", "DEFENSE_CONCEPTS"]
 
@@ -36,6 +38,7 @@ def _spaces(labels: Sequence[str]) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     )
 
 
+@register_scenario(family="defense", tags=("fig8",), display="Security (walls-in)")
 def security(
     n: int = 10,
     *,
@@ -48,6 +51,7 @@ def security(
     scanning, log shipping — "communicating with their own systems and
     ensuring no adversarial activity".
     """
+    _validate_positive(n=n, packets=packets)
     labels = default_labels(n) if labels is None else labels
     blue, _, _ = _spaces(labels)
     if blue.size < 2:
@@ -59,6 +63,7 @@ def security(
     return TrafficMatrix(arr, labels).with_space_colors()
 
 
+@register_scenario("defense_pattern", family="defense", tags=("fig8",), display="Defense (walls-out)")
 def defense(
     n: int = 10,
     *,
@@ -72,6 +77,7 @@ def defense(
     (red → grey) — threats identified "before they have the chance to enter"
     blue space.
     """
+    _validate_positive(n=n, packets=packets)
     labels = default_labels(n) if labels is None else labels
     blue, grey, red = _spaces(labels)
     if blue.size < 1 or grey.size < 1:
@@ -84,6 +90,7 @@ def defense(
     return TrafficMatrix(arr, labels).with_space_colors()
 
 
+@register_scenario(family="defense", tags=("fig8",), display="Deterrence")
 def deterrence(
     n: int = 10,
     *,
@@ -98,6 +105,7 @@ def deterrence(
     adversary space* (blue → red), plus the adversary-internal churn it
     causes (red ↔ red).
     """
+    _validate_positive(n=n, packets=packets, provocation_packets=provocation_packets)
     labels = default_labels(n) if labels is None else labels
     blue, _, red = _spaces(labels)
     if blue.size < 1 or red.size < 1:
@@ -112,6 +120,7 @@ def deterrence(
     return TrafficMatrix(arr, labels).with_space_colors()
 
 
+@register_scenario(family="defense", tags=("fig8", "composite"), display="Full protection posture")
 def full_posture(
     n: int = 10,
     *,
@@ -128,6 +137,7 @@ def full_posture(
     """
     from repro.graphs.compose import overlay
 
+    _validate_positive(n=n, packets=packets)
     labels = default_labels(n) if labels is None else labels
     return overlay(
         builder(n, packets=packets, labels=labels)

@@ -17,10 +17,13 @@ from repro.core.labels import default_labels
 from repro.core.spaces import NetworkSpace, SpaceMap
 from repro.core.traffic_matrix import TrafficMatrix
 from repro.errors import ShapeError
+from repro.graphs._validate import _validate_positive
+from repro.scenarios.registry import register_scenario
 
 __all__ = ["background_noise", "with_noise"]
 
 
+@register_scenario(family="noise", tags=("challenge",), display="Background noise")
 def background_noise(
     n: int = 10,
     *,
@@ -40,10 +43,9 @@ def background_noise(
     chatter only).  Determinism: an integer *seed* always produces the same
     matrix.
     """
+    _validate_positive(n=n, max_packets=max_packets)
     if not 0.0 <= density <= 1.0:
         raise ShapeError(f"noise density must be in [0, 1], got {density}")
-    if max_packets < 1:
-        raise ShapeError(f"max_packets must be >= 1, got {max_packets}")
     labels = default_labels(n) if labels is None else labels
     rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
     sm = SpaceMap.infer(labels)

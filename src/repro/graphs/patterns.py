@@ -24,6 +24,8 @@ import numpy as np
 
 from repro.core.traffic_matrix import TrafficMatrix
 from repro.errors import ShapeError
+from repro.graphs._validate import _validate_positive
+from repro.scenarios.registry import register_scenario
 
 __all__ = [
     "star",
@@ -47,8 +49,7 @@ def _build(
     mutual: bool,
     labels: Sequence[str] | None,
 ) -> TrafficMatrix:
-    if n < 1:
-        raise ShapeError(f"pattern size must be positive, got {n}")
+    _validate_positive(n=n, packets=packets)
     arr = np.zeros((n, n), dtype=np.int64)
     for i, j in edges:
         arr[i, j] = packets
@@ -57,6 +58,7 @@ def _build(
     return TrafficMatrix(arr, labels)
 
 
+@register_scenario(family="pattern", tags=("fig10", "graph_theory"), display="Star graph")
 def star(
     n: int = 10,
     *,
@@ -70,12 +72,14 @@ def star(
     On a traffic matrix this is a filled row and column through ``center`` —
     the visual signature of a client-server hub.
     """
+    _validate_positive(n=n, packets=packets)
     if not 0 <= center < n:
         raise ShapeError(f"star center {center} outside 0..{n - 1}")
     edges = [(center, j) for j in range(n) if j != center]
     return _build(n, edges, packets, mutual, labels)
 
 
+@register_scenario(family="pattern", tags=("fig10", "graph_theory"), display="Clique")
 def clique(
     n: int = 10,
     *,
@@ -93,6 +97,7 @@ def clique(
     return _build(n, edges, packets, False, labels)
 
 
+@register_scenario(family="pattern", tags=("fig10", "graph_theory"), display="Bipartite graph")
 def bipartite(
     n: int = 10,
     *,
@@ -106,6 +111,7 @@ def bipartite(
     Default split is the first half vs the rest, giving the two solid
     off-diagonal blocks of Fig. 10c.
     """
+    _validate_positive(n=n, packets=packets)
     left_set = set(range(n // 2)) if left is None else set(left)
     right = [j for j in range(n) if j not in left_set]
     if not left_set or not right:
@@ -114,6 +120,7 @@ def bipartite(
     return _build(n, edges, packets, mutual, labels)
 
 
+@register_scenario(family="pattern", tags=("fig10", "graph_theory"), display="Tree")
 def tree(
     n: int = 10,
     *,
@@ -127,12 +134,14 @@ def tree(
     Vertex ``k``'s parent is ``(k - 1) // branching`` — the band-of-bands
     pattern of Fig. 10d.
     """
+    _validate_positive(n=n, packets=packets)
     if branching < 1:
         raise ShapeError(f"tree branching factor must be >= 1, got {branching}")
     edges = [((k - 1) // branching, k) for k in range(1, n)]
     return _build(n, edges, packets, mutual, labels)
 
 
+@register_scenario(family="pattern", tags=("fig10", "graph_theory"), display="Ring")
 def ring(
     n: int = 10,
     *,
@@ -142,6 +151,7 @@ def ring(
 ) -> TrafficMatrix:
     """Ring: each endpoint talks to its successor (mod n) — the wrapped
     super/sub-diagonal of Fig. 10e."""
+    _validate_positive(n=n, packets=packets)
     if n < 3:
         raise ShapeError(f"a ring needs at least 3 vertices, got {n}")
     edges = [(i, (i + 1) % n) for i in range(n)]
@@ -161,6 +171,7 @@ def grid_dims(n: int) -> tuple[int, int]:
     return best
 
 
+@register_scenario(family="pattern", tags=("fig10", "graph_theory"), display="Mesh")
 def mesh(
     n: int = 10,
     *,
@@ -174,6 +185,7 @@ def mesh(
     Endpoints are laid out row-major on a ``rows × cols`` grid (Fig. 10f) —
     the banded matrix every HPC-interconnect course draws.
     """
+    _validate_positive(n=n, packets=packets)
     rows, cols = grid_dims(n) if dims is None else dims
     if rows * cols != n:
         raise ShapeError(f"dims {rows}x{cols} do not cover {n} vertices")
@@ -188,6 +200,7 @@ def mesh(
     return _build(n, edges, packets, mutual, labels)
 
 
+@register_scenario(family="pattern", tags=("fig10", "graph_theory"), display="Toroidal mesh")
 def toroidal_mesh(
     n: int = 10,
     *,
@@ -197,6 +210,7 @@ def toroidal_mesh(
     labels: Sequence[str] | None = None,
 ) -> TrafficMatrix:
     """Toroidal mesh: the grid of :func:`mesh` with wraparound links (Fig. 10g)."""
+    _validate_positive(n=n, packets=packets)
     rows, cols = grid_dims(n) if dims is None else dims
     if rows * cols != n:
         raise ShapeError(f"dims {rows}x{cols} do not cover {n} vertices")
@@ -213,6 +227,7 @@ def toroidal_mesh(
     return _build(n, edges, packets, mutual, labels)
 
 
+@register_scenario(family="pattern", tags=("fig10", "graph_theory"), display="Self loop")
 def self_loops(
     n: int = 10,
     *,
@@ -227,6 +242,7 @@ def self_loops(
     return _build(n, edges, packets, False, labels)
 
 
+@register_scenario(family="pattern", tags=("fig10", "graph_theory"), display="Triangle")
 def triangle(
     n: int = 10,
     *,
@@ -237,6 +253,7 @@ def triangle(
 ) -> TrafficMatrix:
     """A single triangle among three endpoints (Fig. 10i) — the motif whose
     count GraphBLAS tutorials compute with ``plus.pair``."""
+    _validate_positive(n=n, packets=packets)
     a, b, c = vertices
     if len({a, b, c}) != 3:
         raise ShapeError(f"triangle vertices must be distinct, got {vertices}")

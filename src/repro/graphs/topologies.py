@@ -28,6 +28,8 @@ from repro.core.labels import default_labels
 from repro.core.spaces import NetworkSpace, SpaceMap
 from repro.core.traffic_matrix import TrafficMatrix
 from repro.errors import ShapeError
+from repro.graphs._validate import _validate_positive
+from repro.scenarios.registry import register_scenario
 
 __all__ = [
     "isolated_links",
@@ -43,6 +45,7 @@ def _space_colored(matrix: TrafficMatrix) -> TrafficMatrix:
     return matrix.with_space_colors()
 
 
+@register_scenario(family="topology", tags=("fig6",), display="Isolated links")
 def isolated_links(
     n: int = 10,
     *,
@@ -56,6 +59,7 @@ def isolated_links(
     pairs with endpoint ``n-1-i`` (WS1↔ADV4, WS2↔ADV3, ...), producing the
     anti-diagonal signature of Fig. 6a.
     """
+    _validate_positive(n=n, packets=packets)
     labels = default_labels(n) if labels is None else labels
     if pairs is None:
         pairs = [(i, n - 1 - i) for i in range(n // 2)]
@@ -72,6 +76,7 @@ def isolated_links(
     return _space_colored(TrafficMatrix(arr, labels))
 
 
+@register_scenario(family="topology", tags=("fig6",), display="Single links")
 def single_links(
     n: int = 10,
     *,
@@ -85,6 +90,7 @@ def single_links(
     every endpoint in at most one link so the contrast with isolated links is
     exactly *directionality*.
     """
+    _validate_positive(n=n, packets=packets)
     labels = default_labels(n) if labels is None else labels
     if links is None:
         links = [(i, i + 1) for i in range(0, n - 1, 2)]
@@ -96,6 +102,7 @@ def single_links(
     return _space_colored(TrafficMatrix(arr, labels))
 
 
+@register_scenario(family="topology", tags=("fig6",), display="Internal supernode")
 def internal_supernode(
     n: int = 10,
     *,
@@ -108,6 +115,7 @@ def internal_supernode(
     Defaults to the first server label (``SRV1`` on templates) as the hub —
     the filled row-and-column *inside the blue block* of Fig. 6c.
     """
+    _validate_positive(n=n, packets=packets)
     labels = default_labels(n) if labels is None else labels
     sm = SpaceMap.infer(labels)
     blue = sm.indices(NetworkSpace.BLUE)
@@ -130,6 +138,7 @@ def internal_supernode(
     return _space_colored(TrafficMatrix(arr, labels))
 
 
+@register_scenario(family="topology", tags=("fig6",), display="External supernode")
 def external_supernode(
     n: int = 10,
     *,
@@ -142,6 +151,7 @@ def external_supernode(
     Defaults to the first external (grey-space) label — the filled
     row-and-column *crossing the blue/grey border* of Fig. 6d.
     """
+    _validate_positive(n=n, packets=packets)
     labels = default_labels(n) if labels is None else labels
     sm = SpaceMap.infer(labels)
     blue = sm.indices(NetworkSpace.BLUE)
@@ -164,6 +174,7 @@ def external_supernode(
     return _space_colored(TrafficMatrix(arr, labels))
 
 
+@register_scenario(family="topology", tags=("template",), display="Template matrix")
 def template_matrix(n: int = 10, labels: Sequence[str] | None = None) -> TrafficMatrix:
     """The exact matrix of the paper's 10×10 template listing (any even n).
 
@@ -171,6 +182,7 @@ def template_matrix(n: int = 10, labels: Sequence[str] | None = None) -> Traffic
     the anti-diagonal, coloured with the template's block colouring: the
     blue-rows × red-columns block red, the red-rows × blue-columns block blue.
     """
+    _validate_positive(n=n)
     if n % 2:
         raise ShapeError(f"template matrix layout needs an even size, got {n}")
     labels = default_labels(n) if labels is None else labels

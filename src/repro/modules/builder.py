@@ -9,7 +9,7 @@ serialise with :func:`repro.modules.loader.save_module` /
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
 import numpy as np
 
@@ -17,7 +17,10 @@ from repro.core.traffic_matrix import TrafficMatrix
 from repro.errors import ModuleSchemaError
 from repro.modules.module import STANDARD_QUESTION, LearningModule, Question
 
-__all__ = ["ModuleBuilder", "pattern_question"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.scenarios import ScenarioBuilder, ScenarioSpec
+
+__all__ = ["ModuleBuilder", "pattern_question", "scenario_module"]
 
 
 class ModuleBuilder:
@@ -65,6 +68,21 @@ class ModuleBuilder:
     ) -> "ModuleBuilder":
         """Attach raw JSON-style grids instead of a built matrix."""
         self._matrix = TrafficMatrix(np.asarray(traffic_matrix), axis_labels, traffic_matrix_colors)
+        return self
+
+    def scenario(self, spec: "ScenarioSpec | ScenarioBuilder") -> "ModuleBuilder":
+        """Attach a matrix built from a declarative scenario spec.
+
+        Accepts a :class:`~repro.scenarios.ScenarioSpec` or a
+        :class:`~repro.scenarios.ScenarioBuilder`; the realised matrix
+        carries the spec as provenance, and the spec document is also stored
+        in the module's forward-compatible ``extra`` fields so a saved module
+        records exactly how its matrix was generated.
+        """
+        if hasattr(spec, "spec"):  # a ScenarioBuilder
+            spec = spec.spec()
+        self._matrix = spec.build()
+        self._extra["scenario"] = spec.to_dict()
         return self
 
     def question(
@@ -122,8 +140,8 @@ class ModuleBuilder:
 
 def pattern_question(
     correct_name: str,
-    family_names: Sequence[str],
-    display: dict[str, str],
+    family_names: Sequence[str] | None = None,
+    display: dict[str, str] | None = None,
     *,
     hint: str | None = None,
 ) -> Question:
@@ -133,7 +151,27 @@ def pattern_question(
     catalogue order (cyclically), so every module's options are deterministic
     — reproducible bundles without an RNG — while staying plausible because
     they come from the same lesson family.
+
+    With only ``correct_name`` given, the answer family and display strings
+    come from the scenario registry (:mod:`repro.scenarios`): the family is
+    every non-composite generator registered under the same family name.
+    Explicit ``family_names`` / ``display`` still override, so bespoke answer
+    sets keep working.
     """
+    if family_names is None or display is None:
+        from repro.scenarios import get_generator, scenario_names
+
+        info = get_generator(correct_name)
+        if family_names is None:
+            family_names = [
+                name
+                for name in scenario_names(family=info.family)
+                if "composite" not in get_generator(name).tags
+            ]
+        if display is None:
+            display = {
+                name: get_generator(name).display for name in (*family_names, correct_name)
+            }
     if correct_name not in family_names:
         raise ModuleSchemaError(
             f"{correct_name!r} is not in the answer family {list(family_names)}"
@@ -150,3 +188,37 @@ def pattern_question(
         correct_answer_element=0,
         hint=hint,
     )
+
+
+def scenario_module(
+    spec: "ScenarioSpec",
+    *,
+    name: str | None = None,
+    author: str = "Traffic Warehouse",
+    hint: str | None = None,
+    matrix: TrafficMatrix | None = None,
+) -> LearningModule:
+    """A complete learning module from one declarative scenario spec.
+
+    The matrix comes from ``spec.build()``, the question is the standard
+    in-family :func:`pattern_question` for the spec's base generator, and the
+    spec document rides along in the module's ``extra`` fields — the one-call
+    path from "recipe" to "playable module" that curriculum generation and
+    the batch examples use.  ``matrix`` lets callers that already realised
+    the spec (e.g. through :func:`repro.scenarios.generate_batch`) reuse the
+    result instead of building it twice.
+    """
+    from dataclasses import replace
+
+    from repro.scenarios import get_generator
+
+    info = get_generator(spec.base)
+    builder = ModuleBuilder(name if name is not None else info.display).author(author)
+    if matrix is None:
+        builder.scenario(spec)
+    else:
+        builder.matrix(matrix).extra(scenario=spec.to_dict())
+    module = builder.build()
+    if "composite" in info.tags:
+        return module  # combined stages have no single right answer
+    return replace(module, question=pattern_question(spec.base, hint=hint))

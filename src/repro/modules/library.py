@@ -24,6 +24,8 @@ from repro.graphs.compose import challenge
 from repro.modules.builder import ModuleBuilder, pattern_question
 from repro.modules.module import LearningModule, STANDARD_QUESTION
 from repro.modules.templates import template_6x6, template_10x10
+from repro.scenarios import ScenarioSpec, ensure_registered
+from repro.scenarios.registry import REGISTRY_ALIASES, SCENARIO_REGISTRY
 
 # ``repro.graphs`` re-exports a ``defense`` *function* that shadows the
 # submodule on any attribute-based import; go through importlib for all the
@@ -63,38 +65,23 @@ HINT_TEDX = (
 
 _AUTHOR = "Traffic Warehouse"
 
-#: Human-readable answer strings per generator name.
-DISPLAY_NAMES: Mapping[str, str] = {
-    # Fig. 6
-    "isolated_links": "Isolated links",
-    "single_links": "Single links",
-    "internal_supernode": "Internal supernode",
-    "external_supernode": "External supernode",
-    # Fig. 7
-    "planning": "Planning",
-    "staging": "Staging",
-    "infiltration": "Infiltration",
-    "lateral_movement": "Lateral movement",
-    # Fig. 8
-    "security": "Security (walls-in)",
-    "defense": "Defense (walls-out)",
-    "deterrence": "Deterrence",
-    # Fig. 9
-    "command_and_control": "Command and control (C2)",
-    "botnet_clients": "Botnet clients",
-    "ddos_attack": "DDoS attack",
-    "backscatter": "Backscatter",
-    # Fig. 10
-    "star": "Star graph",
-    "clique": "Clique",
-    "bipartite": "Bipartite graph",
-    "tree": "Tree",
-    "ring": "Ring",
-    "mesh": "Mesh",
-    "toroidal_mesh": "Toroidal mesh",
-    "self_loops": "Self loop",
-    "triangle": "Triangle",
-}
+
+def _display_names() -> dict[str, str]:
+    """Human-readable answer strings per generator name, from the registry.
+
+    Catalogue aliases (``defense`` → ``defense_pattern``) appear under both
+    names; the alias table lives in :mod:`repro.scenarios.registry`.
+    """
+    ensure_registered()
+    names = {info.name: info.display for info in SCENARIO_REGISTRY.values()}
+    for catalog_name, registry_name in REGISTRY_ALIASES.items():
+        names[catalog_name] = names[registry_name]
+    return names
+
+
+#: Human-readable answer strings per generator name (registry-derived; kept
+#: as a module attribute for backwards compatibility).
+DISPLAY_NAMES: Mapping[str, str] = _display_names()
 
 
 def _family(
@@ -103,13 +90,21 @@ def _family(
     hint: str | None,
     title: Callable[[str], str] = lambda name: DISPLAY_NAMES[name],
 ) -> dict[str, LearningModule]:
+    """Build one catalogue family through the declarative scenario API.
+
+    ``generators`` supplies the catalogue names and ordering (the per-figure
+    registries the paper presents); each matrix is realised from a
+    :class:`~repro.scenarios.ScenarioSpec`, so every built-in module carries
+    provenance and could be regenerated from its JSON recipe alone.
+    """
     names = tuple(generators)
     out: dict[str, LearningModule] = {}
-    for name, gen in generators.items():
+    for name in generators:
+        spec = ScenarioSpec(base=REGISTRY_ALIASES.get(name, name), n=10)
         module = (
             ModuleBuilder(title(name))
             .author(_AUTHOR)
-            .matrix(gen(10))
+            .scenario(spec)
             .build()
         )
         question = pattern_question(name, names, dict(DISPLAY_NAMES), hint=hint)

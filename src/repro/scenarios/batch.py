@@ -1,0 +1,57 @@
+"""Batch realisation of scenario specs on the parallel runtime.
+
+:func:`generate_batch` fans a list of :class:`~repro.scenarios.ScenarioSpec`
+documents out over :mod:`repro.runtime`'s executors.  Because every spec is
+self-seeded (all randomness derives from ``spec.seed``), serial and parallel
+realisation are **bit-identical** — the same guarantee the semiring kernels
+make, asserted by ``benchmarks/bench_scenario_batch.py`` and the batch tests
+rather than assumed.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.errors import ScenarioError
+from repro.runtime.config import configured
+from repro.runtime.executor import parallel_map
+from repro.scenarios.spec import ScenarioSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.traffic_matrix import TrafficMatrix
+
+__all__ = ["realize_spec", "generate_batch"]
+
+
+def realize_spec(spec: ScenarioSpec) -> "TrafficMatrix":
+    """Build one spec (module-level, so it crosses process-pool pickling)."""
+    return spec.build()
+
+
+def generate_batch(
+    specs: Iterable[ScenarioSpec],
+    *,
+    workers: int | None = None,
+    backend: str | None = None,
+) -> list["TrafficMatrix"]:
+    """Realise *specs* in order, optionally in parallel.
+
+    ``workers=None`` uses the runtime's current configuration
+    (:func:`repro.runtime.configure`), so batch generation inherits the same
+    process-wide opt-in as the sparse kernels.  An explicit ``workers``/
+    ``backend`` scopes a config to this call only.  Results come back in
+    input order, and every spec is validated up front so a bad document
+    fails fast instead of mid-fan-out.
+    """
+    seq: Sequence[ScenarioSpec] = list(specs)
+    for k, spec in enumerate(seq):
+        if not isinstance(spec, ScenarioSpec):
+            raise ScenarioError(
+                f"generate_batch expects ScenarioSpec items, got "
+                f"{type(spec).__name__} at index {k}"
+            )
+        spec.validate()
+    if workers is None and backend is None:
+        return parallel_map(realize_spec, seq)
+    with configured(workers=workers, backend=backend, min_parallel_work=1):
+        return parallel_map(realize_spec, seq)

@@ -1,0 +1,107 @@
+"""Fluent construction of :class:`~repro.scenarios.ScenarioSpec` documents.
+
+The builder is sugar over the spec dataclass::
+
+    matrix = (
+        ScenarioBuilder()
+        .base("star", n=12)
+        .with_noise(density=0.05)
+        .overlay("ddos_attack")
+        .seed(7)
+        .build()
+    )
+
+Every step validates eagerly against the registry, so a typo'd generator or
+parameter name fails at the call site, not at batch-realisation time.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import ScenarioSpecError
+from repro.scenarios.registry import get_generator
+from repro.scenarios.spec import NoiseSpec, OverlaySpec, ScenarioSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.traffic_matrix import TrafficMatrix
+
+__all__ = ["ScenarioBuilder"]
+
+
+class ScenarioBuilder:
+    """Step-by-step assembly of a :class:`ScenarioSpec`."""
+
+    def __init__(self) -> None:
+        self._base: str | None = None
+        self._params: dict[str, Any] = {}
+        self._n: int = 10
+        self._seed: int = 0
+        self._noise: NoiseSpec | None = None
+        self._overlays: list[OverlaySpec] = []
+
+    def base(self, name: str, *, n: int | None = None, **params: Any) -> "ScenarioBuilder":
+        """Set the base generator; ``n`` here is shorthand for :meth:`size`."""
+        info = get_generator(name)
+        info.validate_params(params)
+        self._base = name
+        self._params = dict(params)
+        if n is not None:
+            self.size(n)
+        return self
+
+    def size(self, n: int) -> "ScenarioBuilder":
+        """Set the matrix size (endpoint count)."""
+        if int(n) < 1:
+            raise ScenarioSpecError(f"scenario size n must be >= 1, got {n}")
+        self._n = int(n)
+        return self
+
+    def seed(self, seed: int) -> "ScenarioBuilder":
+        """Set the seed all derived randomness (noise layers) flows from."""
+        self._seed = int(seed)
+        return self
+
+    def with_noise(
+        self,
+        *,
+        density: float = 0.1,
+        max_packets: int = 2,
+        preserve_pattern: bool = True,
+    ) -> "ScenarioBuilder":
+        """Add seeded background chatter after all layers are composed."""
+        self._noise = NoiseSpec(
+            density=density, max_packets=max_packets, preserve_pattern=preserve_pattern
+        )
+        return self
+
+    def overlay(self, name: str, **params: Any) -> "ScenarioBuilder":
+        """Stack another registered generator on top of the base layer."""
+        if "n" in params:
+            raise ScenarioSpecError(
+                "overlay layers inherit the spec's size; set it with .size(n) "
+                "instead of passing n to an overlay"
+            )
+        info = get_generator(name)
+        info.validate_params(params)
+        self._overlays.append(OverlaySpec(name=name, params=dict(params)))
+        return self
+
+    def spec(self) -> ScenarioSpec:
+        """The immutable spec described so far."""
+        if self._base is None:
+            raise ScenarioSpecError(
+                "ScenarioBuilder needs a base generator; call .base(name, ...) first"
+            )
+        return ScenarioSpec(
+            base=self._base,
+            params=dict(self._params),
+            n=self._n,
+            seed=self._seed,
+            noise=self._noise,
+            overlays=tuple(self._overlays),
+        )
+
+    def build(self) -> "TrafficMatrix":
+        """Realise the spec (see :meth:`ScenarioSpec.build`)."""
+        return self.spec().build()

@@ -1,0 +1,230 @@
+"""The scenario registry: one namespace over every traffic generator.
+
+Every generator in :mod:`repro.graphs` registers itself here (via the
+:func:`register_scenario` decorator applied at definition site), so callers
+can enumerate, introspect, and invoke the whole zoo uniformly instead of
+importing each free function by hand.  A registry entry records:
+
+* the canonical **name** (``"star"``, ``"ddos_attack"``, ``"defense_pattern"``),
+* the **family** the paper presents it in (``pattern`` / ``topology`` /
+  ``attack`` / ``ddos`` / ``defense`` / ``noise``),
+* free-form **tags** for cross-cutting selection,
+* a human-readable **display** string (quiz answer text), and
+* an introspected **parameter schema** (name, default, required, annotation)
+  derived from the generator's signature — the contract a declarative
+  :class:`~repro.scenarios.ScenarioSpec` is validated against.
+
+The registry itself imports nothing from :mod:`repro.graphs`; population
+happens when the generator modules are imported.  :func:`ensure_registered`
+forces that import, so lookups work no matter which module was loaded first.
+"""
+
+from __future__ import annotations
+
+import difflib
+import importlib
+import inspect
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Mapping
+
+from repro.errors import ScenarioError
+
+__all__ = [
+    "ParamInfo",
+    "GeneratorInfo",
+    "SCENARIO_REGISTRY",
+    "SCENARIO_FAMILIES",
+    "REGISTRY_ALIASES",
+    "register_scenario",
+    "get_generator",
+    "scenario_names",
+    "parameter_schema",
+    "ensure_registered",
+]
+
+#: Families in paper presentation order (Figs. 10, 6, 7, 8, 9, + noise).
+SCENARIO_FAMILIES = ("pattern", "topology", "attack", "defense", "ddos", "noise")
+
+#: Historical / catalogue names → canonical registry names.  The one entry is
+#: the ``defense`` function (its natural name belongs to the
+#: ``repro.graphs.defense`` submodule, so it registers as ``defense_pattern``).
+#: :func:`get_generator` resolves aliases transparently; this table is the
+#: single place a rename lives, shared by the module library and classifier.
+REGISTRY_ALIASES: dict[str, str] = {"defense": "defense_pattern"}
+
+#: Sentinel distinguishing "no default" from "default is None".
+_REQUIRED = inspect.Parameter.empty
+
+
+@dataclass(frozen=True)
+class ParamInfo:
+    """One generator parameter, as introspected from the signature."""
+
+    name: str
+    required: bool
+    default: Any = None
+    annotation: str = ""
+    keyword_only: bool = False
+
+    def to_dict(self) -> dict[str, Any]:
+        doc: dict[str, Any] = {
+            "name": self.name,
+            "required": self.required,
+            "annotation": self.annotation,
+            "keyword_only": self.keyword_only,
+        }
+        if not self.required:
+            doc["default"] = self.default
+        return doc
+
+
+@dataclass(frozen=True)
+class GeneratorInfo:
+    """Registry entry: a named, tagged, schema-introspected generator."""
+
+    name: str
+    func: Callable[..., Any]
+    family: str
+    tags: tuple[str, ...] = ()
+    display: str = ""
+    summary: str = ""
+    params: tuple[ParamInfo, ...] = ()
+
+    def param(self, name: str) -> ParamInfo:
+        for p in self.params:
+            if p.name == name:
+                return p
+        raise ScenarioError(
+            f"generator {self.name!r} has no parameter {name!r}; "
+            f"accepted: {[p.name for p in self.params]}"
+        )
+
+    def param_names(self) -> tuple[str, ...]:
+        return tuple(p.name for p in self.params)
+
+    def accepts(self, name: str) -> bool:
+        return any(p.name == name for p in self.params)
+
+    def validate_params(self, params: Mapping[str, Any]) -> None:
+        """Reject unknown parameter names with an actionable message."""
+        unknown = [k for k in params if not self.accepts(k)]
+        if unknown:
+            raise ScenarioError(
+                f"generator {self.name!r} does not accept parameter(s) "
+                f"{sorted(unknown)}; accepted: {list(self.param_names())}"
+            )
+
+    def schema(self) -> dict[str, Any]:
+        """JSON-able description of this generator (for tooling / serving)."""
+        return {
+            "name": self.name,
+            "family": self.family,
+            "tags": list(self.tags),
+            "display": self.display,
+            "summary": self.summary,
+            "params": [p.to_dict() for p in self.params],
+        }
+
+
+#: The global name → :class:`GeneratorInfo` table.
+SCENARIO_REGISTRY: dict[str, GeneratorInfo] = {}
+
+_registered = False
+
+
+def _introspect_params(func: Callable[..., Any]) -> tuple[ParamInfo, ...]:
+    out: list[ParamInfo] = []
+    for p in inspect.signature(func).parameters.values():
+        if p.kind in (inspect.Parameter.VAR_POSITIONAL, inspect.Parameter.VAR_KEYWORD):
+            continue
+        annotation = "" if p.annotation is _REQUIRED else str(p.annotation)
+        out.append(
+            ParamInfo(
+                name=p.name,
+                required=p.default is _REQUIRED,
+                default=None if p.default is _REQUIRED else p.default,
+                annotation=annotation,
+                keyword_only=p.kind is inspect.Parameter.KEYWORD_ONLY,
+            )
+        )
+    return tuple(out)
+
+
+def register_scenario(
+    name: str | None = None,
+    *,
+    family: str,
+    tags: Iterable[str] = (),
+    display: str | None = None,
+    summary: str | None = None,
+) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+    """Decorator registering a generator in :data:`SCENARIO_REGISTRY`.
+
+    The decorated function is returned unchanged — registration is a side
+    table, not a wrapper, so direct calls stay zero-overhead.  ``name``
+    defaults to the function name; ``summary`` to the first docstring line.
+    """
+    if family not in SCENARIO_FAMILIES:
+        raise ScenarioError(
+            f"unknown scenario family {family!r}; expected one of {SCENARIO_FAMILIES}"
+        )
+
+    def deco(func: Callable[..., Any]) -> Callable[..., Any]:
+        reg_name = name if name is not None else func.__name__
+        if reg_name in SCENARIO_REGISTRY:
+            raise ScenarioError(f"scenario name {reg_name!r} is already registered")
+        doc_line = (func.__doc__ or "").strip().splitlines()
+        SCENARIO_REGISTRY[reg_name] = GeneratorInfo(
+            name=reg_name,
+            func=func,
+            family=family,
+            tags=tuple(dict.fromkeys((family, *tags))),
+            display=display if display is not None else reg_name.replace("_", " ").capitalize(),
+            summary=summary if summary is not None else (doc_line[0] if doc_line else ""),
+            params=_introspect_params(func),
+        )
+        return func
+
+    return deco
+
+
+def ensure_registered() -> None:
+    """Force registration of every built-in generator (idempotent)."""
+    global _registered
+    if not _registered:
+        importlib.import_module("repro.graphs")
+        _registered = True
+
+
+def get_generator(name: str) -> GeneratorInfo:
+    """Look up a registry entry (aliases resolved), with did-you-mean on
+    unknown names."""
+    ensure_registered()
+    name = REGISTRY_ALIASES.get(name, name)
+    try:
+        return SCENARIO_REGISTRY[name]
+    except KeyError:
+        close = difflib.get_close_matches(name, SCENARIO_REGISTRY, n=3)
+        hint = f"; did you mean {close}?" if close else ""
+        raise ScenarioError(
+            f"unknown scenario generator {name!r}{hint} "
+            f"(known: {sorted(SCENARIO_REGISTRY)})"
+        ) from None
+
+
+def scenario_names(
+    *, family: str | None = None, tags: Iterable[str] = ()
+) -> tuple[str, ...]:
+    """Registered names, optionally filtered by family and/or tags (all must match)."""
+    ensure_registered()
+    want = set(tags)
+    return tuple(
+        info.name
+        for info in SCENARIO_REGISTRY.values()
+        if (family is None or info.family == family) and want <= set(info.tags)
+    )
+
+
+def parameter_schema(name: str) -> dict[str, Any]:
+    """The JSON-able parameter schema of one registered generator."""
+    return get_generator(name).schema()

@@ -4,8 +4,14 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+import importlib
+
 from repro.core.traffic_matrix import TrafficMatrix
-from repro.graphs import attack, ddos, defense, patterns, topologies
+from repro.graphs import attack, ddos, patterns, topologies
+
+# ``repro.graphs.defense`` as an attribute is the deprecated function alias;
+# the submodule is reached through the import system (as modules.library does).
+defense = importlib.import_module("repro.graphs.defense")
 from repro.graphs.classify import (
     classify_graph_pattern,
     classify_scenario,

@@ -3,9 +3,14 @@
 import numpy as np
 import pytest
 
+import importlib
+
 from repro.core.traffic_matrix import TrafficMatrix
 from repro.errors import ShapeError
-from repro.graphs import ddos, defense
+from repro.graphs import ddos
+
+# the submodule, not the deprecated function alias ``repro.graphs.defense``
+defense = importlib.import_module("repro.graphs.defense")
 from repro.graphs.compose import overlay
 from repro.graphs.firewall import (
     FirewallPolicy,

@@ -1,0 +1,84 @@
+"""Parallel batch generation: serial/parallel bit-identity, ordering, errors."""
+
+import pytest
+
+from repro import runtime
+from repro.errors import ScenarioError
+from repro.scenarios import (
+    NoiseSpec,
+    OverlaySpec,
+    ScenarioSpec,
+    generate_batch,
+    scenario_names,
+)
+
+
+def mixed_specs(count: int) -> list[ScenarioSpec]:
+    """A deterministic mixed curriculum across every family, seeded noise on."""
+    bases = sorted(set(scenario_names()) - {"background_noise"})
+    out = []
+    for k in range(count):
+        base = bases[k % len(bases)]
+        out.append(
+            ScenarioSpec(
+                base=base,
+                n=10,
+                seed=k,
+                noise=NoiseSpec(density=0.1) if k % 2 else None,
+                overlays=(OverlaySpec("background_noise", {"density": 0.05}),)
+                if k % 3 == 0
+                else (),
+            )
+        )
+    return out
+
+
+class TestBitIdentity:
+    def test_serial_vs_thread_parallel_over_32_specs(self):
+        """Acceptance: generate_batch over >= 32 specs is bit-identical
+        serial vs parallel."""
+        specs = mixed_specs(36)
+        serial = generate_batch(specs, workers=1, backend="serial")
+        parallel = generate_batch(specs, workers=4, backend="thread")
+        assert len(serial) == len(parallel) == 36
+        for a, b in zip(serial, parallel):
+            assert a == b  # packets, labels, colours — bit for bit
+            assert a.meta == b.meta
+
+    def test_serial_vs_process_parallel(self):
+        specs = mixed_specs(8)
+        serial = generate_batch(specs, workers=1, backend="serial")
+        parallel = generate_batch(specs, workers=2, backend="process")
+        for a, b in zip(serial, parallel):
+            assert a == b
+            assert a.meta == b.meta
+
+    def test_repeated_runs_are_deterministic(self):
+        specs = mixed_specs(8)
+        assert generate_batch(specs, workers=3) == generate_batch(specs, workers=3)
+
+
+class TestSemantics:
+    def test_results_in_input_order(self):
+        specs = [ScenarioSpec(base="star", params={"center": c}, seed=c) for c in range(6)]
+        for c, matrix in enumerate(generate_batch(specs, workers=3)):
+            assert matrix.packets[c].sum() > 0  # row c filled means center == c
+            assert matrix.meta["scenario"]["params"]["center"] == c
+
+    def test_default_uses_process_wide_runtime_config(self):
+        specs = mixed_specs(4)
+        with runtime.configured(workers=2, backend="thread"):
+            matrices = generate_batch(specs)
+        assert matrices == generate_batch(specs, workers=1, backend="serial")
+
+    def test_empty_batch(self):
+        assert generate_batch([]) == []
+
+    def test_non_spec_items_rejected_up_front(self):
+        with pytest.raises(ScenarioError, match="index 1"):
+            generate_batch([ScenarioSpec(base="ring"), "ring"])
+
+    def test_invalid_spec_fails_before_fan_out(self):
+        bad = [ScenarioSpec(base="ring"), ScenarioSpec(base="not_real")]
+        with pytest.raises(ScenarioError, match="unknown scenario generator"):
+            generate_batch(bad, workers=4)
