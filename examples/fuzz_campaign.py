@@ -1,0 +1,89 @@
+"""An open-ended differential fuzzing campaign over the scenario space.
+
+Where ``tests/verify/test_fuzz_corpus.py`` replays one fixed-seed corpus on
+every CI push, this script keeps drawing *new* corpora — round after round,
+each from a fresh seed — and fans them over the parallel runtime.  Any
+oracle disagreement is shrunk to a minimal spec and written to
+``tests/corpus/`` as a replayable JSON repro file (see the README there).
+
+Run:  python examples/fuzz_campaign.py                      # until interrupted
+      python examples/fuzz_campaign.py --rounds 5           # bounded soak
+      python examples/fuzz_campaign.py --seed 7 --specs 500 # one named corpus
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.verify import CorpusConfig, make_corpus, run_corpus
+
+DEFAULT_REPRO_DIR = Path(__file__).resolve().parent.parent / "tests" / "corpus"
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rounds", type=int, default=0,
+                        help="rounds to run (0 = until interrupted or failing)")
+    parser.add_argument("--specs", type=int, default=300,
+                        help="specs per round (default 300)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="seed of the first round (default: wall clock)")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="runtime workers for the fan-out (default 4)")
+    parser.add_argument("--backend", default="thread",
+                        choices=("serial", "thread", "process"))
+    parser.add_argument("--max-n", type=int, default=32,
+                        help="largest matrix size to draw (default 32)")
+    parser.add_argument("--repro-dir", type=Path, default=DEFAULT_REPRO_DIR,
+                        help="where minimized failing specs are written")
+    parser.add_argument("--keep-going", action="store_true",
+                        help="continue past a failing round")
+    return parser.parse_args()
+
+
+def main() -> int:
+    args = parse_args()
+    config = CorpusConfig(n_range=(4, args.max_n))
+    seed = args.seed if args.seed is not None else int(time.time())
+    checked = failures = round_no = 0
+    started = time.time()
+    print(f"fuzzing: {args.specs} specs/round, backend={args.backend}, "
+          f"workers={args.workers}, first seed={seed}")
+    try:
+        while args.rounds <= 0 or round_no < args.rounds:
+            round_seed = seed + round_no
+            round_no += 1
+            corpus = make_corpus(args.specs, seed=round_seed, config=config)
+            t0 = time.time()
+            report = run_corpus(
+                corpus,
+                workers=args.workers,
+                backend=args.backend,
+                repro_dir=args.repro_dir,
+            )
+            counts = report.counts
+            checked += counts["specs"]
+            failures += len(report.failures)
+            print(f"round {round_no:>4} (seed {round_seed}): "
+                  f"{counts['passed']} passed, {counts['failed']} failed, "
+                  f"{counts['skipped']} skipped  [{time.time() - t0:.1f}s]")
+            if not report.ok:
+                print(report.summary())
+                if not args.keep_going:
+                    break
+    except KeyboardInterrupt:
+        print("\ninterrupted")
+    elapsed = max(time.time() - started, 1e-9)
+    print(f"\ncampaign: {checked} specs in {round_no} round(s), "
+          f"{failures} failure(s), {elapsed:.0f}s "
+          f"({checked / elapsed:.0f} specs/s)")
+    if failures:
+        print(f"minimized repros in {args.repro_dir}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

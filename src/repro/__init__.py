@@ -12,6 +12,8 @@ library.  The package is organised the way the paper presents the system:
 * :mod:`repro.scenarios` — the unified scenario API: a registry over every
   generator, declarative JSON-round-trippable specs, and parallel batch
   generation on the runtime,
+* :mod:`repro.verify` — differential verification: spec-space fuzzing with
+  cross-path agreement oracles and minimized JSON repros,
 * :mod:`repro.modules` — the extensible JSON learning-module format,
 * :mod:`repro.engine` — a headless Godot-like scene-tree engine,
 * :mod:`repro.gdscript` — an interpreter for the GDScript subset of the paper,

@@ -351,7 +351,9 @@ def parallel_coalesce(
     n_rows = shape[0]
     block_rows = choose_block_rows(n_rows, rows.size, cfg.workers, cfg.block_rows)
     n_blocks = -(-n_rows // block_rows) if n_rows else 1
-    if n_blocks <= 1:
+    if n_blocks <= 1 or rows.size == 0:
+        # zero triples would leave every block empty below (nothing to
+        # concatenate); the serial core already handles that shape exactly
         return _sparse._coalesce_core(rows, cols, vals, shape, add)
     block_id = rows // np.int64(block_rows)
     order = np.argsort(block_id, kind="stable")

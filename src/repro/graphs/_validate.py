@@ -10,9 +10,11 @@ packet counts must be strictly positive, and violations raise
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.errors import ShapeError
 
-__all__ = ["_validate_positive"]
+__all__ = ["_validate_positive", "_check_endpoints", "_resolve_index"]
 
 
 def _validate_positive(n: int | None = None, packets: int | None = None, **counts: int) -> None:
@@ -32,3 +34,35 @@ def _validate_positive(n: int | None = None, packets: int | None = None, **count
         if int(value) < 1:
             noun = "size" if name == "n" else "count"
             raise ShapeError(f"{name} must be a positive {noun}, got {value}")
+
+
+def _check_endpoints(n: int, what: str, pairs: Sequence[tuple[int, int]]) -> None:
+    """Reject endpoint indices outside the matrix with a :class:`ShapeError`.
+
+    Without this, out-of-range pairs surface as raw ``IndexError`` from the
+    NumPy write — the schema/body disagreement the spec-space fuzzer flags.
+    """
+    bad = [(i, j) for i, j in pairs if not (0 <= i < n and 0 <= j < n)]
+    if bad:
+        raise ShapeError(f"{what} {bad[:3]} outside 0..{n - 1} for an {n}x{n} matrix")
+
+
+def _resolve_index(labels: Sequence[str], value: int | str, what: str) -> int:
+    """An endpoint argument (label string or index) as a validated index.
+
+    Used by every generator that takes a named endpoint (``hub``,
+    ``foothold``): unknown labels and out-of-range indices raise
+    :class:`ShapeError` with the parameter named, never ``ValueError`` /
+    ``IndexError`` from the lookup itself.
+    """
+    if isinstance(value, str):
+        try:
+            return list(labels).index(value.upper())
+        except ValueError:
+            raise ShapeError(
+                f"{what} label {value!r} not found in labels {list(labels)}"
+            ) from None
+    idx = int(value)
+    if not 0 <= idx < len(labels):
+        raise ShapeError(f"{what} index {idx} outside 0..{len(labels) - 1}")
+    return idx

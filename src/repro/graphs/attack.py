@@ -24,7 +24,7 @@ from repro.core.labels import default_labels
 from repro.core.spaces import NetworkSpace, SpaceMap
 from repro.core.traffic_matrix import TrafficMatrix
 from repro.errors import ShapeError
-from repro.graphs._validate import _validate_positive
+from repro.graphs._validate import _resolve_index, _validate_positive
 from repro.scenarios.registry import register_scenario
 
 __all__ = [
@@ -55,7 +55,10 @@ def _require(space_name: str, idx: np.ndarray, minimum: int = 1) -> None:
         )
 
 
-@register_scenario(family="attack", tags=("fig7", "kill_chain"), display="Planning")
+@register_scenario(
+    family="attack", tags=("fig7", "kill_chain"), display="Planning",
+    min_n=5, bounds={"packets": (1, None)},
+)
 def planning(
     n: int = 10,
     *,
@@ -78,7 +81,10 @@ def planning(
     return TrafficMatrix(arr, labels).with_space_colors()
 
 
-@register_scenario(family="attack", tags=("fig7", "kill_chain"), display="Staging")
+@register_scenario(
+    family="attack", tags=("fig7", "kill_chain"), display="Staging",
+    min_n=3, bounds={"packets": (1, None)},
+)
 def staging(
     n: int = 10,
     *,
@@ -104,7 +110,10 @@ def staging(
     return TrafficMatrix(arr, labels).with_space_colors()
 
 
-@register_scenario(family="attack", tags=("fig7", "kill_chain"), display="Infiltration")
+@register_scenario(
+    family="attack", tags=("fig7", "kill_chain"), display="Infiltration",
+    min_n=3, bounds={"packets": (1, None)},
+)
 def infiltration(
     n: int = 10,
     *,
@@ -126,7 +135,10 @@ def infiltration(
     return TrafficMatrix(arr, labels).with_space_colors()
 
 
-@register_scenario(family="attack", tags=("fig7", "kill_chain"), display="Lateral movement")
+@register_scenario(
+    family="attack", tags=("fig7", "kill_chain"), display="Lateral movement",
+    min_n=4, bounds={"packets": (1, None)},
+)
 def lateral_movement(
     n: int = 10,
     *,
@@ -147,10 +159,8 @@ def lateral_movement(
     _require("blue", blue, 2)
     if foothold is None:
         foot = int(blue[0])
-    elif isinstance(foothold, str):
-        foot = list(labels).index(foothold.upper())
     else:
-        foot = int(foothold)
+        foot = _resolve_index(labels, foothold, "foothold")
     if foot not in set(blue.tolist()):
         raise ShapeError(f"foothold {labels[foot]!r} must be a blue-space endpoint")
     arr = np.zeros((n, n), dtype=np.int64)
@@ -162,7 +172,10 @@ def lateral_movement(
     return TrafficMatrix(arr, labels).with_space_colors()
 
 
-@register_scenario(family="attack", tags=("fig7", "composite"), display="Full attack campaign")
+@register_scenario(
+    family="attack", tags=("fig7", "composite"), display="Full attack campaign",
+    min_n=5, bounds={"packets": (1, None)},
+)
 def full_attack(
     n: int = 10,
     *,

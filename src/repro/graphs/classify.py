@@ -28,6 +28,7 @@ __all__ = [
     "classify_topology",
     "classify_scenario",
     "classify_spec",
+    "classify_matrix",
     "ScenarioScore",
     "GRAPH_PATTERN_NAMES",
     "TOPOLOGY_NAMES",
@@ -180,16 +181,20 @@ def classify_graph_pattern(matrix: TrafficMatrix) -> str:
     if diag:
         return "unknown"  # mixed self loops + links is a composite, not a family
 
+    # Directionality is deliberately ignored from here on: the generators
+    # emit one-directional variants of every family (``mutual=False``), and
+    # a directed ring is still the ring family — classification works on the
+    # symmetrised structure.  (The spec-space fuzzer found the old
+    # symmetric-only gates rejecting exactly those variants.)
     u = _undirected(p)
-    symmetric = bool(np.array_equal(off, off.T))
     active = _active(p)
     m = active.size
     deg = u[np.ix_(active, active)].sum(axis=1)
 
-    if symmetric and m == 3 and _count_edges(u) == 3:
+    if m == 3 and _count_edges(u) == 3:
         return "triangle"
 
-    if symmetric and m >= 3 and np.all(deg == m - 1):
+    if m >= 3 and np.all(deg == m - 1):
         return "clique"
 
     # star: one hub adjacent to all others, leaves adjacent only to the hub
@@ -198,25 +203,22 @@ def classify_graph_pattern(matrix: TrafficMatrix) -> str:
         if hub_candidates.size == 1 and np.sum(deg == 1) == m - 1:
             return "star"
 
-    if symmetric and m >= 3 and np.all(deg == 2) and _is_connected(u, active):
+    if m >= 3 and np.all(deg == 2) and _is_connected(u, active):
         # a single cycle through every active vertex
         if _count_edges(u) == m:
-            if _matches_grid(u, active, wrap=True) and m >= 6:
-                # degenerate 2×k torus is also all-degree-2 only when k == 2
-                pass
             return "ring"
 
-    if symmetric and _matches_grid(u, active, wrap=True):
+    if _matches_grid(u, active, wrap=True):
         return "toroidal_mesh"
 
-    if symmetric and _matches_grid(u, active, wrap=False):
+    if _matches_grid(u, active, wrap=False):
         return "mesh"
 
-    if symmetric and _is_complete_bipartite(u, active):
+    if _is_complete_bipartite(u, active):
         return "bipartite"
 
     # tree: connected and acyclic (checked last — stars and paths are trees)
-    if symmetric and m >= 2 and _is_connected(u, active) and _count_edges(u) == m - 1:
+    if m >= 2 and _is_connected(u, active) and _count_edges(u) == m - 1:
         return "tree"
 
     return "unknown"
@@ -347,20 +349,18 @@ def classify_scenario(matrix: TrafficMatrix) -> ScenarioScore:
 # declarative specs (scenario API round trip)
 # --------------------------------------------------------------------------- #
 
-def classify_spec(spec) -> str:  # noqa: ANN001 - ScenarioSpec, imported lazily
-    """Realise a :class:`~repro.scenarios.ScenarioSpec` and name what it built.
+def classify_matrix(matrix: TrafficMatrix, family: str) -> str:
+    """Name an already-built matrix using the classifier for *family*.
 
-    Routes to the classifier matching the spec's base-generator family
-    (graph patterns → :func:`classify_graph_pattern`, Fig. 6 topologies →
-    :func:`classify_topology`, attack/defense/DDoS stages →
-    :func:`classify_scenario`) and returns the predicted name in **registry**
-    vocabulary, so ``classify_spec(ScenarioSpec(base=name)) == name`` is the
-    round-trip property the scenario tests assert.
+    Routes graph patterns → :func:`classify_graph_pattern`, Fig. 6
+    topologies → :func:`classify_topology`, and attack/defense/DDoS stages →
+    :func:`classify_scenario`, reporting the prediction in **registry**
+    vocabulary.  This is the shared dispatch behind :func:`classify_spec`;
+    callers that already hold the matrix (the differential classifier oracle)
+    use it directly instead of rebuilding the spec.
     """
-    from repro.scenarios.registry import REGISTRY_ALIASES, get_generator
+    from repro.scenarios.registry import REGISTRY_ALIASES
 
-    family = get_generator(spec.base).family
-    matrix = spec.build()
     if family == "pattern":
         predicted = classify_graph_pattern(matrix)
     elif family == "topology":
@@ -369,3 +369,15 @@ def classify_spec(spec) -> str:  # noqa: ANN001 - ScenarioSpec, imported lazily
         predicted = classify_scenario(matrix).best
     # classifier vocabulary uses catalogue names; report registry vocabulary
     return REGISTRY_ALIASES.get(predicted, predicted)
+
+
+def classify_spec(spec) -> str:  # noqa: ANN001 - ScenarioSpec, imported lazily
+    """Realise a :class:`~repro.scenarios.ScenarioSpec` and name what it built.
+
+    ``classify_spec(ScenarioSpec(base=name)) == name`` is the round-trip
+    property the scenario tests assert; see :func:`classify_matrix` for the
+    family dispatch.
+    """
+    from repro.scenarios.registry import get_generator
+
+    return classify_matrix(spec.build(), get_generator(spec.base).family)

@@ -101,7 +101,10 @@ def _roles(n: int, labels: Sequence[str] | None, roles: BotnetRoles | None) -> t
     return lbls, (roles if roles is not None else BotnetRoles.from_labels(lbls))
 
 
-@register_scenario(family="ddos", tags=("fig9", "botnet"), display="Command and control (C2)")
+@register_scenario(
+    family="ddos", tags=("fig9", "botnet"), display="Command and control (C2)",
+    min_n=5, bounds={"packets": (1, None)},
+)
 def command_and_control(
     n: int = 10,
     *,
@@ -123,7 +126,10 @@ def command_and_control(
     return TrafficMatrix(arr, lbls).with_space_colors()
 
 
-@register_scenario(family="ddos", tags=("fig9", "botnet"), display="Botnet clients")
+@register_scenario(
+    family="ddos", tags=("fig9", "botnet"), display="Botnet clients",
+    min_n=5, bounds={"packets": (1, None)},
+)
 def botnet_clients(
     n: int = 10,
     *,
@@ -144,7 +150,10 @@ def botnet_clients(
     return TrafficMatrix(arr, lbls).with_space_colors()
 
 
-@register_scenario(family="ddos", tags=("fig9", "botnet"), display="DDoS attack")
+@register_scenario(
+    family="ddos", tags=("fig9", "botnet"), display="DDoS attack",
+    min_n=5, bounds={"packets": (1, None)},
+)
 def ddos_attack(
     n: int = 10,
     *,
@@ -164,7 +173,10 @@ def ddos_attack(
     return TrafficMatrix(arr, lbls).with_space_colors()
 
 
-@register_scenario(family="ddos", tags=("fig9", "botnet"), display="Backscatter")
+@register_scenario(
+    family="ddos", tags=("fig9", "botnet"), display="Backscatter",
+    min_n=5, bounds={"packets": (1, None), "attack_packets": (1, None)},
+)
 def backscatter(
     n: int = 10,
     *,
@@ -187,7 +199,10 @@ def backscatter(
     return TrafficMatrix(scaled, lbls).with_space_colors()
 
 
-@register_scenario(family="ddos", tags=("fig9", "composite"), display="Full DDoS")
+@register_scenario(
+    family="ddos", tags=("fig9", "composite"), display="Full DDoS",
+    min_n=5,
+)
 def full_ddos(
     n: int = 10,
     *,

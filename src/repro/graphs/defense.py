@@ -38,7 +38,10 @@ def _spaces(labels: Sequence[str]) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     )
 
 
-@register_scenario(family="defense", tags=("fig8",), display="Security (walls-in)")
+@register_scenario(
+    family="defense", tags=("fig8",), display="Security (walls-in)",
+    min_n=4, bounds={"packets": (1, None)},
+)
 def security(
     n: int = 10,
     *,
@@ -63,7 +66,10 @@ def security(
     return TrafficMatrix(arr, labels).with_space_colors()
 
 
-@register_scenario("defense_pattern", family="defense", tags=("fig8",), display="Defense (walls-out)")
+@register_scenario(
+    "defense_pattern", family="defense", tags=("fig8",), display="Defense (walls-out)",
+    min_n=3, bounds={"packets": (1, None)},
+)
 def defense(
     n: int = 10,
     *,
@@ -90,7 +96,10 @@ def defense(
     return TrafficMatrix(arr, labels).with_space_colors()
 
 
-@register_scenario(family="defense", tags=("fig8",), display="Deterrence")
+@register_scenario(
+    family="defense", tags=("fig8",), display="Deterrence",
+    min_n=2, bounds={"packets": (1, None), "provocation_packets": (1, None)},
+)
 def deterrence(
     n: int = 10,
     *,
@@ -120,7 +129,10 @@ def deterrence(
     return TrafficMatrix(arr, labels).with_space_colors()
 
 
-@register_scenario(family="defense", tags=("fig8", "composite"), display="Full protection posture")
+@register_scenario(
+    family="defense", tags=("fig8", "composite"), display="Full protection posture",
+    min_n=4, bounds={"packets": (1, None)},
+)
 def full_posture(
     n: int = 10,
     *,

@@ -23,7 +23,10 @@ from repro.scenarios.registry import register_scenario
 __all__ = ["background_noise", "with_noise"]
 
 
-@register_scenario(family="noise", tags=("challenge",), display="Background noise")
+@register_scenario(
+    family="noise", tags=("challenge",), display="Background noise",
+    bounds={"density": (0.0, 1.0), "max_packets": (1, None)},
+)
 def background_noise(
     n: int = 10,
     *,

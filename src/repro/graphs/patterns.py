@@ -24,7 +24,7 @@ import numpy as np
 
 from repro.core.traffic_matrix import TrafficMatrix
 from repro.errors import ShapeError
-from repro.graphs._validate import _validate_positive
+from repro.graphs._validate import _check_endpoints, _validate_positive
 from repro.scenarios.registry import register_scenario
 
 __all__ = [
@@ -50,6 +50,7 @@ def _build(
     labels: Sequence[str] | None,
 ) -> TrafficMatrix:
     _validate_positive(n=n, packets=packets)
+    _check_endpoints(n, "edge endpoint(s)", edges)
     arr = np.zeros((n, n), dtype=np.int64)
     for i, j in edges:
         arr[i, j] = packets
@@ -58,7 +59,12 @@ def _build(
     return TrafficMatrix(arr, labels)
 
 
-@register_scenario(family="pattern", tags=("fig10", "graph_theory"), display="Star graph")
+@register_scenario(
+    family="pattern", tags=("fig10", "graph_theory"), display="Star graph",
+    # center's real range is 0..n-1 — n-dependent, so (like hub/foothold) it
+    # declares no static bound; the body validates and the sampler special-cases
+    bounds={"packets": (1, None)},
+)
 def star(
     n: int = 10,
     *,
@@ -79,7 +85,10 @@ def star(
     return _build(n, edges, packets, mutual, labels)
 
 
-@register_scenario(family="pattern", tags=("fig10", "graph_theory"), display="Clique")
+@register_scenario(
+    family="pattern", tags=("fig10", "graph_theory"), display="Clique",
+    bounds={"packets": (1, None)},
+)
 def clique(
     n: int = 10,
     *,
@@ -97,7 +106,10 @@ def clique(
     return _build(n, edges, packets, False, labels)
 
 
-@register_scenario(family="pattern", tags=("fig10", "graph_theory"), display="Bipartite graph")
+@register_scenario(
+    family="pattern", tags=("fig10", "graph_theory"), display="Bipartite graph",
+    min_n=2, bounds={"packets": (1, None)},
+)
 def bipartite(
     n: int = 10,
     *,
@@ -120,7 +132,10 @@ def bipartite(
     return _build(n, edges, packets, mutual, labels)
 
 
-@register_scenario(family="pattern", tags=("fig10", "graph_theory"), display="Tree")
+@register_scenario(
+    family="pattern", tags=("fig10", "graph_theory"), display="Tree",
+    bounds={"packets": (1, None), "branching": (1, None)},
+)
 def tree(
     n: int = 10,
     *,
@@ -141,7 +156,10 @@ def tree(
     return _build(n, edges, packets, mutual, labels)
 
 
-@register_scenario(family="pattern", tags=("fig10", "graph_theory"), display="Ring")
+@register_scenario(
+    family="pattern", tags=("fig10", "graph_theory"), display="Ring",
+    min_n=3, bounds={"packets": (1, None)},
+)
 def ring(
     n: int = 10,
     *,
@@ -171,7 +189,10 @@ def grid_dims(n: int) -> tuple[int, int]:
     return best
 
 
-@register_scenario(family="pattern", tags=("fig10", "graph_theory"), display="Mesh")
+@register_scenario(
+    family="pattern", tags=("fig10", "graph_theory"), display="Mesh",
+    bounds={"packets": (1, None)},
+)
 def mesh(
     n: int = 10,
     *,
@@ -200,7 +221,10 @@ def mesh(
     return _build(n, edges, packets, mutual, labels)
 
 
-@register_scenario(family="pattern", tags=("fig10", "graph_theory"), display="Toroidal mesh")
+@register_scenario(
+    family="pattern", tags=("fig10", "graph_theory"), display="Toroidal mesh",
+    bounds={"packets": (1, None)},
+)
 def toroidal_mesh(
     n: int = 10,
     *,
@@ -227,7 +251,10 @@ def toroidal_mesh(
     return _build(n, edges, packets, mutual, labels)
 
 
-@register_scenario(family="pattern", tags=("fig10", "graph_theory"), display="Self loop")
+@register_scenario(
+    family="pattern", tags=("fig10", "graph_theory"), display="Self loop",
+    bounds={"packets": (1, None)},
+)
 def self_loops(
     n: int = 10,
     *,
@@ -242,7 +269,10 @@ def self_loops(
     return _build(n, edges, packets, False, labels)
 
 
-@register_scenario(family="pattern", tags=("fig10", "graph_theory"), display="Triangle")
+@register_scenario(
+    family="pattern", tags=("fig10", "graph_theory"), display="Triangle",
+    min_n=3, bounds={"packets": (1, None)},
+)
 def triangle(
     n: int = 10,
     *,

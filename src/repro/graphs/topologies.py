@@ -28,7 +28,7 @@ from repro.core.labels import default_labels
 from repro.core.spaces import NetworkSpace, SpaceMap
 from repro.core.traffic_matrix import TrafficMatrix
 from repro.errors import ShapeError
-from repro.graphs._validate import _validate_positive
+from repro.graphs._validate import _check_endpoints, _resolve_index, _validate_positive
 from repro.scenarios.registry import register_scenario
 
 __all__ = [
@@ -45,7 +45,10 @@ def _space_colored(matrix: TrafficMatrix) -> TrafficMatrix:
     return matrix.with_space_colors()
 
 
-@register_scenario(family="topology", tags=("fig6",), display="Isolated links")
+@register_scenario(
+    family="topology", tags=("fig6",), display="Isolated links",
+    bounds={"packets": (1, None)},
+)
 def isolated_links(
     n: int = 10,
     *,
@@ -63,6 +66,7 @@ def isolated_links(
     labels = default_labels(n) if labels is None else labels
     if pairs is None:
         pairs = [(i, n - 1 - i) for i in range(n // 2)]
+    _check_endpoints(n, "isolated link pair(s)", pairs)
     used: set[int] = set()
     arr = np.zeros((n, n), dtype=np.int64)
     for i, j in pairs:
@@ -76,7 +80,10 @@ def isolated_links(
     return _space_colored(TrafficMatrix(arr, labels))
 
 
-@register_scenario(family="topology", tags=("fig6",), display="Single links")
+@register_scenario(
+    family="topology", tags=("fig6",), display="Single links",
+    bounds={"packets": (1, None)},
+)
 def single_links(
     n: int = 10,
     *,
@@ -94,6 +101,7 @@ def single_links(
     labels = default_labels(n) if labels is None else labels
     if links is None:
         links = [(i, i + 1) for i in range(0, n - 1, 2)]
+    _check_endpoints(n, "single link(s)", links)
     arr = np.zeros((n, n), dtype=np.int64)
     for i, j in links:
         if i == j:
@@ -102,7 +110,10 @@ def single_links(
     return _space_colored(TrafficMatrix(arr, labels))
 
 
-@register_scenario(family="topology", tags=("fig6",), display="Internal supernode")
+@register_scenario(
+    family="topology", tags=("fig6",), display="Internal supernode",
+    min_n=4, bounds={"packets": (1, None)},
+)
 def internal_supernode(
     n: int = 10,
     *,
@@ -124,10 +135,8 @@ def internal_supernode(
     if hub is None:
         srv = [i for i in blue.tolist() if labels[i].startswith("SRV")]
         hub_idx = srv[0] if srv else int(blue[0])
-    elif isinstance(hub, str):
-        hub_idx = list(labels).index(hub.upper())
     else:
-        hub_idx = int(hub)
+        hub_idx = _resolve_index(labels, hub, "hub")
     if hub_idx not in set(blue.tolist()):
         raise ShapeError(f"hub {labels[hub_idx]!r} is not in blue space")
     arr = np.zeros((n, n), dtype=np.int64)
@@ -138,7 +147,10 @@ def internal_supernode(
     return _space_colored(TrafficMatrix(arr, labels))
 
 
-@register_scenario(family="topology", tags=("fig6",), display="External supernode")
+@register_scenario(
+    family="topology", tags=("fig6",), display="External supernode",
+    min_n=2, bounds={"packets": (1, None)},
+)
 def external_supernode(
     n: int = 10,
     *,
@@ -161,10 +173,8 @@ def external_supernode(
     if hub is None:
         grey = sm.indices(NetworkSpace.GREY)
         hub_idx = int(grey[0]) if grey.size else outside[0]
-    elif isinstance(hub, str):
-        hub_idx = list(labels).index(hub.upper())
     else:
-        hub_idx = int(hub)
+        hub_idx = _resolve_index(labels, hub, "hub")
     if hub_idx in set(blue.tolist()):
         raise ShapeError(f"hub {labels[hub_idx]!r} must be outside blue space")
     arr = np.zeros((n, n), dtype=np.int64)
@@ -174,7 +184,10 @@ def external_supernode(
     return _space_colored(TrafficMatrix(arr, labels))
 
 
-@register_scenario(family="topology", tags=("template",), display="Template matrix")
+@register_scenario(
+    family="topology", tags=("template",), display="Template matrix",
+    min_n=2, n_multiple_of=2,
+)
 def template_matrix(n: int = 10, labels: Sequence[str] | None = None) -> TrafficMatrix:
     """The exact matrix of the paper's 10×10 template listing (any even n).
 

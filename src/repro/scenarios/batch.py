@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Iterable, Sequence
 
-from repro.errors import ScenarioError
+from repro.errors import ReproError, ScenarioError
 from repro.runtime.config import configured
 from repro.runtime.executor import parallel_map
 from repro.scenarios.spec import ScenarioSpec
@@ -26,6 +26,24 @@ __all__ = ["realize_spec", "generate_batch"]
 def realize_spec(spec: ScenarioSpec) -> "TrafficMatrix":
     """Build one spec (module-level, so it crosses process-pool pickling)."""
     return spec.build()
+
+
+def _realize_indexed(item: "tuple[int, ScenarioSpec]") -> "TrafficMatrix":
+    """Build one ``(index, spec)`` pair, naming the spec on failure.
+
+    A generator can reject a spec that passed registry validation (body-level
+    constraints the schema cannot express).  Mid-fan-out failures must say
+    *which* spec broke — a batch of hundreds is unactionable otherwise — and
+    they must not take the executor pool down with them: the pools cache per
+    ``(backend, workers)`` and a raised task leaves the pool reusable.
+    """
+    index, spec = item
+    try:
+        return spec.build()
+    except ReproError as exc:
+        raise ScenarioError(
+            f"spec {index} ({spec.base!r}) failed to build: {exc}"
+        ) from exc
 
 
 def generate_batch(
@@ -50,8 +68,14 @@ def generate_batch(
                 f"generate_batch expects ScenarioSpec items, got "
                 f"{type(spec).__name__} at index {k}"
             )
-        spec.validate()
+        try:
+            spec.validate()
+        except ReproError as exc:
+            raise ScenarioError(
+                f"spec {k} ({spec.base!r}) failed validation: {exc}"
+            ) from exc
+    items = list(enumerate(seq))
     if workers is None and backend is None:
-        return parallel_map(realize_spec, seq)
+        return parallel_map(_realize_indexed, items)
     with configured(workers=workers, backend=backend, min_parallel_work=1):
-        return parallel_map(realize_spec, seq)
+        return parallel_map(_realize_indexed, items)

@@ -58,13 +58,38 @@ _REQUIRED = inspect.Parameter.empty
 
 @dataclass(frozen=True)
 class ParamInfo:
-    """One generator parameter, as introspected from the signature."""
+    """One generator parameter, as introspected from the signature.
+
+    ``minimum`` / ``maximum`` are the declared numeric bounds (inclusive,
+    ``None`` = unbounded on that side).  They are part of the generator's
+    public contract: the body must accept every in-bounds value and raise
+    :class:`~repro.errors.ShapeError` for every out-of-bounds one — the
+    agreement the spec-space fuzzer (:mod:`repro.verify`) samples against.
+    """
 
     name: str
     required: bool
     default: Any = None
     annotation: str = ""
     keyword_only: bool = False
+    minimum: float | int | None = None
+    maximum: float | int | None = None
+
+    @property
+    def bounded(self) -> bool:
+        return self.minimum is not None or self.maximum is not None
+
+    def in_bounds(self, value: Any) -> bool:
+        """Whether a numeric *value* satisfies the declared bounds."""
+        try:
+            v = float(value)
+        except (TypeError, ValueError):
+            return True  # non-numeric values are outside bounds' jurisdiction
+        if self.minimum is not None and v < self.minimum:
+            return False
+        if self.maximum is not None and v > self.maximum:
+            return False
+        return True
 
     def to_dict(self) -> dict[str, Any]:
         doc: dict[str, Any] = {
@@ -75,12 +100,25 @@ class ParamInfo:
         }
         if not self.required:
             doc["default"] = self.default
+        if self.minimum is not None:
+            doc["minimum"] = self.minimum
+        if self.maximum is not None:
+            doc["maximum"] = self.maximum
         return doc
 
 
 @dataclass(frozen=True)
 class GeneratorInfo:
-    """Registry entry: a named, tagged, schema-introspected generator."""
+    """Registry entry: a named, tagged, schema-introspected generator.
+
+    ``min_n`` is the smallest matrix size the generator accepts when driven
+    through the spec path (space-scaled template labels from
+    :func:`repro.core.labels.space_labels`); space-dependent generators need
+    enough endpoints in each network space.  ``n_multiple_of`` declares a
+    divisibility constraint (the template matrix needs an even size).  Both
+    feed :meth:`ScenarioSpec.validate` and the corpus sampler in
+    :mod:`repro.verify`.
+    """
 
     name: str
     func: Callable[..., Any]
@@ -89,6 +127,12 @@ class GeneratorInfo:
     display: str = ""
     summary: str = ""
     params: tuple[ParamInfo, ...] = ()
+    min_n: int = 1
+    n_multiple_of: int = 1
+
+    def valid_n(self, n: int) -> bool:
+        """Whether matrix size *n* satisfies this generator's declared bounds."""
+        return int(n) >= self.min_n and int(n) % self.n_multiple_of == 0
 
     def param(self, name: str) -> ParamInfo:
         for p in self.params:
@@ -106,13 +150,22 @@ class GeneratorInfo:
         return any(p.name == name for p in self.params)
 
     def validate_params(self, params: Mapping[str, Any]) -> None:
-        """Reject unknown parameter names with an actionable message."""
+        """Reject unknown parameter names and out-of-bounds values."""
         unknown = [k for k in params if not self.accepts(k)]
         if unknown:
             raise ScenarioError(
                 f"generator {self.name!r} does not accept parameter(s) "
                 f"{sorted(unknown)}; accepted: {list(self.param_names())}"
             )
+        for key, value in params.items():
+            p = self.param(key)
+            if p.bounded and not p.in_bounds(value):
+                raise ScenarioError(
+                    f"generator {self.name!r} parameter {key!r} = {value!r} is "
+                    f"outside its declared bounds "
+                    f"[{p.minimum if p.minimum is not None else '-inf'}, "
+                    f"{p.maximum if p.maximum is not None else 'inf'}]"
+                )
 
     def schema(self) -> dict[str, Any]:
         """JSON-able description of this generator (for tooling / serving)."""
@@ -122,6 +175,8 @@ class GeneratorInfo:
             "tags": list(self.tags),
             "display": self.display,
             "summary": self.summary,
+            "min_n": self.min_n,
+            "n_multiple_of": self.n_multiple_of,
             "params": [p.to_dict() for p in self.params],
         }
 
@@ -132,12 +187,18 @@ SCENARIO_REGISTRY: dict[str, GeneratorInfo] = {}
 _registered = False
 
 
-def _introspect_params(func: Callable[..., Any]) -> tuple[ParamInfo, ...]:
+def _introspect_params(
+    func: Callable[..., Any],
+    bounds: Mapping[str, tuple[float | int | None, float | int | None]],
+) -> tuple[ParamInfo, ...]:
     out: list[ParamInfo] = []
+    seen: set[str] = set()
     for p in inspect.signature(func).parameters.values():
         if p.kind in (inspect.Parameter.VAR_POSITIONAL, inspect.Parameter.VAR_KEYWORD):
             continue
         annotation = "" if p.annotation is _REQUIRED else str(p.annotation)
+        lo, hi = bounds.get(p.name, (None, None))
+        seen.add(p.name)
         out.append(
             ParamInfo(
                 name=p.name,
@@ -145,7 +206,15 @@ def _introspect_params(func: Callable[..., Any]) -> tuple[ParamInfo, ...]:
                 default=None if p.default is _REQUIRED else p.default,
                 annotation=annotation,
                 keyword_only=p.kind is inspect.Parameter.KEYWORD_ONLY,
+                minimum=lo,
+                maximum=hi,
             )
+        )
+    stray = set(bounds) - seen
+    if stray:
+        raise ScenarioError(
+            f"bounds declared for unknown parameter(s) {sorted(stray)} of "
+            f"{func.__name__!r}"
         )
     return tuple(out)
 
@@ -157,17 +226,31 @@ def register_scenario(
     tags: Iterable[str] = (),
     display: str | None = None,
     summary: str | None = None,
+    min_n: int = 1,
+    n_multiple_of: int = 1,
+    bounds: Mapping[str, tuple[float | int | None, float | int | None]] | None = None,
 ) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
     """Decorator registering a generator in :data:`SCENARIO_REGISTRY`.
 
     The decorated function is returned unchanged — registration is a side
     table, not a wrapper, so direct calls stay zero-overhead.  ``name``
     defaults to the function name; ``summary`` to the first docstring line.
+
+    ``min_n`` / ``n_multiple_of`` declare the sizes the generator supports on
+    the spec path (space-scaled labels), and ``bounds`` maps numeric parameter
+    names to inclusive ``(minimum, maximum)`` ranges (``None`` = open side).
+    Declared bounds are a *contract*: the body must accept every in-bounds
+    value, which is what the differential fuzzer in :mod:`repro.verify`
+    samples and enforces.
     """
     if family not in SCENARIO_FAMILIES:
         raise ScenarioError(
             f"unknown scenario family {family!r}; expected one of {SCENARIO_FAMILIES}"
         )
+    if min_n < 1:
+        raise ScenarioError(f"min_n must be >= 1, got {min_n}")
+    if n_multiple_of < 1:
+        raise ScenarioError(f"n_multiple_of must be >= 1, got {n_multiple_of}")
 
     def deco(func: Callable[..., Any]) -> Callable[..., Any]:
         reg_name = name if name is not None else func.__name__
@@ -181,7 +264,9 @@ def register_scenario(
             tags=tuple(dict.fromkeys((family, *tags))),
             display=display if display is not None else reg_name.replace("_", " ").capitalize(),
             summary=summary if summary is not None else (doc_line[0] if doc_line else ""),
-            params=_introspect_params(func),
+            params=_introspect_params(func, bounds or {}),
+            min_n=int(min_n),
+            n_multiple_of=int(n_multiple_of),
         )
         return func
 

@@ -126,7 +126,15 @@ class ScenarioSpec:
                     f"matrix size belongs in the spec's 'n' field, not in "
                     f"{name!r} {where}: every layer must share one size"
                 )
-            get_generator(name).validate_params(params)
+            info = get_generator(name)
+            if info.accepts("n") and not info.valid_n(self.n):
+                constraint = f"needs n >= {info.min_n}"
+                if info.n_multiple_of > 1:
+                    constraint += f" and n divisible by {info.n_multiple_of}"
+                raise ScenarioSpecError(
+                    f"generator {name!r} {constraint} on the spec path, got n={self.n}"
+                )
+            info.validate_params(params)
         return self
 
     # ------------------------------------------------------------------ #
@@ -212,6 +220,20 @@ class ScenarioSpec:
             return info.func(self.n, **kwargs)
         return info.func(**kwargs)
 
+    def layer_matrices(self) -> list["TrafficMatrix"]:
+        """Every layer (base first, then overlays) materialised independently.
+
+        These are exactly the matrices :meth:`build` sums via
+        :func:`repro.graphs.compose.overlay` — exposed so differential tests
+        (:mod:`repro.verify`) can recombine them in other orders and assert
+        the composition is order-insensitive.
+        """
+        self.validate()
+        layers = [self._materialize(get_generator(self.base), self.params, 0)]
+        for k, ov in enumerate(self.overlays, start=1):
+            layers.append(self._materialize(get_generator(ov.name), ov.params, k))
+        return layers
+
     def build(self) -> "TrafficMatrix":
         """Realise the spec into a :class:`~repro.core.TrafficMatrix`.
 
@@ -222,10 +244,7 @@ class ScenarioSpec:
         from repro.graphs.compose import overlay
         from repro.graphs.noise import with_noise
 
-        self.validate()
-        layers = [self._materialize(get_generator(self.base), self.params, 0)]
-        for k, ov in enumerate(self.overlays, start=1):
-            layers.append(self._materialize(get_generator(ov.name), ov.params, k))
+        layers = self.layer_matrices()
         matrix = layers[0] if len(layers) == 1 else overlay(layers)
         if self.noise is not None:
             matrix = with_noise(

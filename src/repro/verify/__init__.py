@@ -1,0 +1,78 @@
+"""Differential verification: spec-space fuzzing with agreement oracles.
+
+This package turns the determinism guarantees of the runtime and scenario
+subsystems into continuously enforced properties.  It draws random-but-valid
+:class:`~repro.scenarios.ScenarioSpec` documents from the registry's
+introspected schemas (:func:`make_corpus`), runs each through a battery of
+independent-path oracles (:func:`default_oracles`), and reports — shrinking
+and persisting any failure as a replayable JSON repro file.
+
+The four standard oracles:
+
+* :class:`KernelEqualityOracle` — serial vs row-blocked semiring kernels on
+  corpus-derived CSR matrices, bit for bit (plus a dense reference for
+  ``plus.times``);
+* :class:`RoundTripOracle` — spec → JSON → spec → matrix identity, and
+  provenance metadata that rebuilds its own matrix;
+* :class:`ClassifierOracle` — the rule-based classifier recovers the
+  generating family (documented ambiguities excepted);
+* :class:`OverlayMetamorphicOracle` — overlay composition is
+  order-insensitive and preserves provenance.
+
+Quickstart::
+
+    from repro.verify import make_corpus, run_corpus
+
+    report = run_corpus(make_corpus(200, seed=7), workers=4)
+    assert report.ok, report.summary()
+"""
+
+from repro.verify.corpus import (
+    CorpusConfig,
+    make_corpus,
+    random_spec,
+    sampleable_names,
+)
+from repro.verify.oracles import (
+    CLASSIFIER_AMBIGUITIES,
+    ClassifierOracle,
+    KernelEqualityOracle,
+    Oracle,
+    OracleVerdict,
+    OverlayMetamorphicOracle,
+    RoundTripOracle,
+    default_oracles,
+)
+from repro.verify.runner import (
+    CorpusFailure,
+    CorpusReport,
+    SpecResult,
+    load_repro,
+    replay_repro,
+    run_corpus,
+    save_repro,
+)
+from repro.verify.shrink import shrink_spec
+
+__all__ = [
+    "CorpusConfig",
+    "make_corpus",
+    "random_spec",
+    "sampleable_names",
+    "Oracle",
+    "OracleVerdict",
+    "KernelEqualityOracle",
+    "RoundTripOracle",
+    "ClassifierOracle",
+    "OverlayMetamorphicOracle",
+    "CLASSIFIER_AMBIGUITIES",
+    "default_oracles",
+    "SpecResult",
+    "CorpusFailure",
+    "CorpusReport",
+    "run_corpus",
+    "save_repro",
+    "load_repro",
+    "replay_repro",
+    "shrink_spec",
+]

@@ -1,0 +1,207 @@
+"""Seeded random-spec corpus generation over the scenario registry.
+
+The sampler walks :data:`~repro.scenarios.SCENARIO_REGISTRY` and draws valid
+:class:`~repro.scenarios.ScenarioSpec` documents: a base generator, in-bounds
+parameters from its introspected schema, an optional overlay stack, and
+optional background noise.  Every spec a corpus emits must *validate and
+build* — anything else is a registry/schema bug, which is exactly what the
+boundary tests in ``tests/scenarios`` pin down.
+
+Determinism is the whole point: ``make_corpus(count, seed)`` returns the same
+specs on every machine, so a failing corpus index is a complete bug report.
+All randomness flows through one :class:`numpy.random.Generator`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ScenarioError
+from repro.scenarios.registry import (
+    SCENARIO_REGISTRY,
+    GeneratorInfo,
+    ensure_registered,
+    get_generator,
+)
+from repro.scenarios.spec import NoiseSpec, OverlaySpec, ScenarioSpec
+
+__all__ = ["CorpusConfig", "random_spec", "make_corpus", "sampleable_names"]
+
+#: Parameters the sampler never draws: handled by the spec machinery itself
+#: (``seed``, ``labels``), or structured values (vertex subsets, role
+#: assignments, grid dims) whose constraints the flat schema cannot express.
+_UNSAMPLED = frozenset(
+    {
+        "seed",
+        "labels",
+        "roles",
+        "members",
+        "left",
+        "vertices",
+        "pairs",
+        "links",
+        "dims",
+        "hub",
+        "foothold",
+        "src_space",
+        "dst_space",
+    }
+)
+
+#: Soft caps applied on top of open-ended schema bounds, keeping corpus
+#: matrices inside the paper's display guidance (and fuzz runs fast).
+_SOFT_MAX = {
+    "packets": 9,
+    "attack_packets": 9,
+    "provocation_packets": 9,
+    "max_packets": 4,
+    "branching": 4,
+}
+
+
+class CorpusConfig:
+    """Knobs for :func:`random_spec` / :func:`make_corpus`.
+
+    Plain attributes instead of a dataclass so a config can be shared and
+    tweaked in tests without ceremony.
+    """
+
+    def __init__(
+        self,
+        *,
+        n_range: tuple[int, int] = (4, 24),
+        families: Sequence[str] | None = None,
+        exclude: Iterable[str] = (),
+        max_overlays: int = 2,
+        overlay_probability: float = 0.35,
+        noise_probability: float = 0.4,
+        noise_density_range: tuple[float, float] = (0.02, 0.25),
+    ) -> None:
+        lo, hi = int(n_range[0]), int(n_range[1])
+        if not 1 <= lo <= hi:
+            raise ScenarioError(f"corpus n_range must satisfy 1 <= lo <= hi, got {n_range}")
+        self.n_range = (lo, hi)
+        self.families = None if families is None else tuple(families)
+        self.exclude = frozenset(exclude)
+        self.max_overlays = int(max_overlays)
+        self.overlay_probability = float(overlay_probability)
+        self.noise_probability = float(noise_probability)
+        self.noise_density_range = (
+            float(noise_density_range[0]),
+            float(noise_density_range[1]),
+        )
+
+
+def sampleable_names(config: CorpusConfig | None = None) -> tuple[str, ...]:
+    """Registry names the corpus sampler draws from, in sorted order."""
+    ensure_registered()
+    cfg = config or CorpusConfig()
+    return tuple(
+        name
+        for name in sorted(SCENARIO_REGISTRY)
+        if name not in cfg.exclude
+        and (cfg.families is None or SCENARIO_REGISTRY[name].family in cfg.families)
+    )
+
+
+def _valid_sizes(info: GeneratorInfo, n_range: tuple[int, int]) -> list[int]:
+    lo, hi = n_range
+    lo = max(lo, info.min_n)
+    sizes = [n for n in range(lo, max(lo, hi) + 1) if n % info.n_multiple_of == 0]
+    if not sizes:
+        # the range excludes every legal size; fall back to the smallest legal one
+        first = info.min_n
+        if first % info.n_multiple_of:
+            first += info.n_multiple_of - first % info.n_multiple_of
+        sizes = [first]
+    return sizes
+
+
+def _sample_params(
+    info: GeneratorInfo, n: int, rng: np.random.Generator
+) -> dict[str, Any]:
+    """In-bounds keyword arguments for *info*, each drawn with probability 1/2.
+
+    Values come from the declared schema bounds (soft-capped for open upper
+    ends); ``center`` is the one parameter whose real upper bound depends on
+    ``n``, so it is special-cased.  Everything returned is a plain Python
+    scalar — specs must serialise to JSON.
+    """
+    params: dict[str, Any] = {}
+    for p in info.params:
+        if p.name in _UNSAMPLED or p.name == "n":
+            continue
+        if rng.random() < 0.5:
+            continue  # keep defaults in the corpus too
+        if p.name == "center":
+            params[p.name] = int(rng.integers(0, n))
+        elif isinstance(p.default, bool):
+            params[p.name] = bool(rng.random() < 0.5)
+        elif p.name == "density":
+            lo = p.minimum if p.minimum is not None else 0.0
+            hi = p.maximum if p.maximum is not None else 1.0
+            params[p.name] = round(float(rng.uniform(lo, min(hi, 0.3))), 3)
+        elif p.bounded:
+            lo = int(p.minimum if p.minimum is not None else 1)
+            hi = int(p.maximum) if p.maximum is not None else _SOFT_MAX.get(p.name, lo + 8)
+            params[p.name] = int(rng.integers(lo, hi + 1))
+        # unbounded, non-special parameters stay at their defaults
+    return params
+
+
+def random_spec(
+    rng: np.random.Generator, config: CorpusConfig | None = None
+) -> ScenarioSpec:
+    """Draw one valid scenario spec from the registry's schema space."""
+    cfg = config or CorpusConfig()
+    names = sampleable_names(cfg)
+    if not names:
+        raise ScenarioError("corpus configuration excludes every registered generator")
+    base = str(rng.choice(list(names)))
+    info = get_generator(base)
+    n = int(rng.choice(_valid_sizes(info, cfg.n_range)))
+
+    overlays: list[OverlaySpec] = []
+    if cfg.max_overlays > 0 and rng.random() < cfg.overlay_probability:
+        pool = [name for name in names if get_generator(name).valid_n(n)]
+        count = int(rng.integers(1, cfg.max_overlays + 1))
+        for _ in range(count):
+            ov_name = str(rng.choice(pool))
+            ov_info = get_generator(ov_name)
+            overlays.append(OverlaySpec(ov_name, _sample_params(ov_info, n, rng)))
+
+    noise = None
+    if rng.random() < cfg.noise_probability:
+        lo, hi = cfg.noise_density_range
+        noise = NoiseSpec(
+            density=round(float(rng.uniform(lo, hi)), 3),
+            max_packets=int(rng.integers(1, 4)),
+            preserve_pattern=bool(rng.random() < 0.8),
+        )
+
+    spec = ScenarioSpec(
+        base=base,
+        params=_sample_params(info, n, rng),
+        n=n,
+        seed=int(rng.integers(0, 2**31)),
+        noise=noise,
+        overlays=tuple(overlays),
+    )
+    return spec.validate()
+
+
+def make_corpus(
+    count: int, seed: int, config: CorpusConfig | None = None
+) -> list[ScenarioSpec]:
+    """A deterministic corpus of *count* random specs derived from *seed*.
+
+    Same ``(count, seed, config)`` → same specs, on every machine and every
+    executor — corpora can be named by their seed in bug reports and CI logs.
+    A corpus prefix is stable: ``make_corpus(50, s)[:10] == make_corpus(10, s)``.
+    """
+    if count < 0:
+        raise ScenarioError(f"corpus size must be >= 0, got {count}")
+    rng = np.random.default_rng(int(seed))
+    return [random_spec(rng, config) for _ in range(count)]

@@ -1,0 +1,338 @@
+"""Differential-testing oracles: independent paths that must agree.
+
+Each oracle takes one :class:`~repro.scenarios.ScenarioSpec` and returns an
+:class:`OracleVerdict`.  The theme is MindOpt-style adapter-level differential
+benchmarking: run the *same* workload through independent implementations
+(serial vs blocked kernels, spec vs its JSON round trip, generator vs
+classifier, overlay order vs its permutation) and demand agreement.  An
+oracle never mutates global runtime state, so corpora can be fanned over the
+process-pool executors — every oracle here is a picklable frozen dataclass.
+
+Verdicts are three-valued: *passed*, *failed*, or *skipped* (the oracle does
+not apply to this spec — e.g. the classifier oracle on a composite base).
+Skips are recorded, not silently dropped, so a corpus report shows exactly
+how much each oracle covered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.assoc.blocked import (
+    parallel_coalesce,
+    parallel_ewise_intersect,
+    parallel_ewise_union,
+    parallel_mxm,
+    parallel_mxv,
+)
+from repro.assoc.semiring import PLUS_MONOID, PLUS_TIMES, Monoid, Semiring
+from repro.assoc.sparse import CSRMatrix, _coalesce_core
+from repro.runtime.config import RuntimeConfig
+from repro.scenarios.registry import get_generator
+from repro.scenarios.spec import ScenarioSpec
+
+__all__ = [
+    "OracleVerdict",
+    "Oracle",
+    "KernelEqualityOracle",
+    "RoundTripOracle",
+    "ClassifierOracle",
+    "OverlayMetamorphicOracle",
+    "default_oracles",
+]
+
+
+@dataclass(frozen=True)
+class OracleVerdict:
+    """Outcome of one oracle on one spec."""
+
+    oracle: str
+    passed: bool
+    skipped: bool = False
+    detail: str = ""
+
+    @property
+    def failed(self) -> bool:
+        return not self.passed and not self.skipped
+
+
+@runtime_checkable
+class Oracle(Protocol):
+    """The pluggable oracle contract: a name and a pure ``check``."""
+
+    name: str
+
+    def check(self, spec: ScenarioSpec) -> OracleVerdict:  # pragma: no cover
+        ...
+
+
+def _passed(name: str, detail: str = "") -> OracleVerdict:
+    return OracleVerdict(oracle=name, passed=True, detail=detail)
+
+
+def _failed(name: str, detail: str) -> OracleVerdict:
+    return OracleVerdict(oracle=name, passed=False, detail=detail)
+
+
+def _skipped(name: str, detail: str) -> OracleVerdict:
+    return OracleVerdict(oracle=name, passed=False, skipped=True, detail=detail)
+
+
+def _csr_identical(a: CSRMatrix, b: CSRMatrix) -> bool:
+    """Bit-identity: same shape, structure, values, and dtype."""
+    return (
+        a.shape == b.shape
+        and a.dtype == b.dtype
+        and np.array_equal(a.indptr, b.indptr)
+        and np.array_equal(a.indices, b.indices)
+        and np.array_equal(a.data, b.data)
+    )
+
+
+# --------------------------------------------------------------------------- #
+# 1. serial vs blocked-parallel kernel equality
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class KernelEqualityOracle:
+    """Serial kernels vs their row-blocked decomposition, bit for bit.
+
+    The corpus matrix is converted to CSR and pushed through every kernel the
+    blocked engine parallelises (``mxm``, ``mxv``, ``ewise_union``,
+    ``ewise_intersect``, ``coalesce``) twice: once on the plain serial path
+    and once through :class:`~repro.assoc.blocked.BlockedCSR` tiling with a
+    deliberately tiny ``block_rows`` so every matrix splits into several
+    blocks.  Results must be identical to the bit (values, structure, dtype).
+
+    The blocked evaluation runs on a serial executor by design: the *math*
+    of the tiled decomposition is what differential testing probes here, and
+    keeping the oracle executor-free lets :func:`repro.verify.run_corpus`
+    fan whole corpora over thread/process pools without nesting pools inside
+    worker tasks.  ``semiring``/``monoid`` are injectable so a test fixture
+    can plant a perturbed operator and watch this oracle catch it.
+    """
+
+    semiring: Semiring = PLUS_TIMES
+    monoid: Monoid = PLUS_MONOID
+    block_rows: int = 3
+
+    name = "kernel_equality"
+
+    def _config(self) -> RuntimeConfig:
+        return RuntimeConfig(workers=1, backend="serial", block_rows=self.block_rows)
+
+    def check(self, spec: ScenarioSpec) -> OracleVerdict:
+        cfg = self._config()
+        a = spec.build().to_csr()
+        at = a.transpose()
+        rng = np.random.default_rng(spec.seed)
+        x = rng.integers(0, 5, size=a.shape[1]).astype(np.int64)
+
+        serial_mxm = a._mxm_serial(a, self.semiring)
+        blocked_mxm = parallel_mxm(a, a, self.semiring, cfg)
+        if not _csr_identical(serial_mxm, blocked_mxm):
+            return _failed(self.name, f"mxm serial != blocked ({self.semiring.name})")
+        if self.semiring is PLUS_TIMES:
+            dense_ref = a.to_dense(0) @ a.to_dense(0)
+            if not np.array_equal(blocked_mxm.to_dense(0), dense_ref):
+                return _failed(self.name, "mxm disagrees with dense reference")
+
+        serial_mxv = a._mxv_serial(x, self.semiring)
+        blocked_mxv = parallel_mxv(a, x, self.semiring, cfg)
+        if serial_mxv.dtype != blocked_mxv.dtype or not np.array_equal(
+            serial_mxv, blocked_mxv
+        ):
+            return _failed(self.name, f"mxv serial != blocked ({self.semiring.name})")
+
+        serial_union = a._ewise_union_serial(at, self.monoid)
+        blocked_union = parallel_ewise_union(a, at, self.monoid, cfg)
+        if not _csr_identical(serial_union, blocked_union):
+            return _failed(self.name, f"ewise_union serial != blocked ({self.monoid.name})")
+
+        mult = self.semiring.mult
+        serial_inter = a._ewise_intersect_serial(at, mult)
+        blocked_inter = parallel_ewise_intersect(a, at, mult, cfg)
+        if not _csr_identical(serial_inter, blocked_inter):
+            return _failed(self.name, f"ewise_intersect serial != blocked ({mult.name})")
+
+        rows, cols, vals = a.triples()
+        rows = np.concatenate([rows, rows])
+        cols = np.concatenate([cols, cols])
+        vals = np.concatenate([vals, vals])
+        order = rng.permutation(rows.size)
+        rows, cols, vals = rows[order], cols[order], vals[order]
+        s_r, s_c, s_v = _coalesce_core(rows, cols, vals, a.shape, self.monoid)
+        p_r, p_c, p_v = parallel_coalesce(rows, cols, vals, a.shape, self.monoid, cfg)
+        if not (
+            np.array_equal(s_r, p_r)
+            and np.array_equal(s_c, p_c)
+            and np.array_equal(s_v, p_v)
+            and s_v.dtype == p_v.dtype
+        ):
+            return _failed(self.name, f"coalesce serial != blocked ({self.monoid.name})")
+
+        return _passed(self.name, f"5 kernels agree at block_rows={self.block_rows}")
+
+
+# --------------------------------------------------------------------------- #
+# 2. spec → JSON → spec → matrix round trip
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class RoundTripOracle:
+    """Serialisation is lossless and provenance is rebuildable.
+
+    ``spec → to_json → from_json`` must reproduce the spec, both documents
+    must build bit-identical matrices, and the provenance metadata stamped on
+    the built matrix must itself rebuild the same matrix — three independent
+    representations of one scenario.
+    """
+
+    name = "round_trip"
+
+    def check(self, spec: ScenarioSpec) -> OracleVerdict:
+        decoded = ScenarioSpec.from_json(spec.to_json())
+        if decoded != spec:
+            return _failed(self.name, "spec != from_json(to_json(spec))")
+        built = spec.build()
+        rebuilt = decoded.build()
+        if built != rebuilt or built.meta != rebuilt.meta:
+            return _failed(self.name, "decoded spec builds a different matrix")
+        provenance = built.meta.get("scenario")
+        if provenance != spec.to_dict():
+            return _failed(self.name, "provenance metadata != spec document")
+        if ScenarioSpec.from_dict(provenance).build() != built:
+            return _failed(self.name, "provenance document does not rebuild the matrix")
+        return _passed(self.name)
+
+
+# --------------------------------------------------------------------------- #
+# 3. classifier agreement
+# --------------------------------------------------------------------------- #
+
+#: Structural ambiguities the classifier cannot resolve even in principle:
+#: at sizes with a single grey-space endpoint, ``staging`` (red→grey with no
+#: grey↔grey replication) is cell-for-cell identical to uniform botnet
+#: tasking, so either answer is correct.
+CLASSIFIER_AMBIGUITIES: dict[str, frozenset[str]] = {
+    "staging": frozenset({"botnet_clients"}),
+}
+
+#: Families whose generators the rule-based classifiers cover.
+_CLASSIFIABLE_FAMILIES = frozenset({"pattern", "topology", "attack", "defense", "ddos"})
+
+
+@dataclass(frozen=True)
+class ClassifierOracle:
+    """The rule-based classifier must recover the generating family.
+
+    For every non-composite, overlay-free spec, :func:`classify_spec` runs
+    the matrix back through the structural classifiers; the predicted label
+    (in registry vocabulary) must belong to the same family that generated
+    it, modulo the documented :data:`CLASSIFIER_AMBIGUITIES`.
+
+    Noise handling: specs whose noise density is at or below
+    ``noise_threshold`` are classified as-is (classification must survive
+    that much chatter); noisier specs are classified with the noise stage
+    stripped, so the generator↔classifier agreement is still exercised on
+    every spec the corpus draws.  The structural classifiers are exact by
+    design — a single stray cell can change a star into "unknown" — so the
+    default threshold is 0.0; raise it deliberately in tests that construct
+    noise known not to land.
+    """
+
+    noise_threshold: float = 0.0
+
+    name = "classifier_agreement"
+
+    def check(self, spec: ScenarioSpec) -> OracleVerdict:
+        info = get_generator(spec.base)
+        if info.family not in _CLASSIFIABLE_FAMILIES:
+            return _skipped(self.name, f"family {info.family!r} has no classifier")
+        if "composite" in info.tags:
+            return _skipped(self.name, f"{spec.base!r} is a multi-family composite")
+        if spec.overlays:
+            return _skipped(self.name, "overlay stacks are composites")
+
+        target = spec
+        if spec.noise is not None and spec.noise.density > self.noise_threshold:
+            target = replace(spec, noise=None)
+        matrix = target.build()
+        if matrix.nnz() == 0:
+            return _skipped(self.name, "empty matrix carries no signature")
+
+        from repro.graphs.classify import classify_matrix
+
+        # classify_matrix already reports registry vocabulary (aliases resolved)
+        canonical = predicted = classify_matrix(matrix, info.family)
+        if canonical in CLASSIFIER_AMBIGUITIES.get(info.name, frozenset()):
+            return _passed(self.name, f"{predicted!r} accepted (documented ambiguity)")
+        try:
+            predicted_family = get_generator(canonical).family
+        except Exception:
+            predicted_family = "unknown"
+        if predicted_family != info.family:
+            return _failed(
+                self.name,
+                f"{spec.base!r} ({info.family}) classified as {predicted!r} "
+                f"({predicted_family})",
+            )
+        return _passed(self.name, f"classified as {predicted!r}")
+
+
+# --------------------------------------------------------------------------- #
+# 4. metamorphic overlay properties
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class OverlayMetamorphicOracle:
+    """Overlay composition is order-insensitive and provenance-preserving.
+
+    :func:`repro.graphs.compose.overlay` sums layers with the commutative
+    ``plus`` monoid and resolves colours by a per-cell priority rule, so any
+    permutation of the same materialised layers must produce the same matrix
+    — packets, labels, and colours.  The built matrix must also carry the
+    full spec document as provenance.  Specs without overlays only exercise
+    the provenance half (a single layer has one ordering).
+    """
+
+    name = "overlay_metamorphic"
+
+    def check(self, spec: ScenarioSpec) -> OracleVerdict:
+        from repro.graphs.compose import overlay
+
+        built = spec.build()
+        if built.meta.get("scenario") != spec.to_dict():
+            return _failed(self.name, "provenance metadata lost in composition")
+        if not spec.overlays:
+            return _passed(self.name, "single layer; provenance verified")
+
+        layers = spec.layer_matrices()
+        forward = overlay(layers)
+        for label, permuted in (
+            ("reversed", list(reversed(layers))),
+            ("rotated", layers[1:] + layers[:1]),
+        ):
+            other = overlay(permuted)
+            if forward != other:
+                return _failed(
+                    self.name,
+                    f"overlay of {len(layers)} layers changed under {label} order",
+                )
+        return _passed(self.name, f"{len(layers)}-layer overlay is order-insensitive")
+
+
+def default_oracles() -> tuple[Oracle, ...]:
+    """The standard battery: all four differential oracles, default settings."""
+    return (
+        KernelEqualityOracle(),
+        RoundTripOracle(),
+        ClassifierOracle(),
+        OverlayMetamorphicOracle(),
+    )

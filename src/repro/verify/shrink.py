@@ -1,0 +1,118 @@
+"""Greedy spec minimisation: smaller repros while the failure persists.
+
+``shrink_spec`` takes a failing spec and a predicate ("does this candidate
+still fail?") and applies delta-debugging-style reductions until a fixpoint:
+drop overlay layers, drop the noise stage, drop sampled parameters back to
+their defaults, shrink the matrix size toward the registry's ``min_n``, and
+zero the seed.  Every accepted candidate still satisfies the predicate, so
+the result is a *verified* minimal(ish) reproduction — the JSON that lands
+in ``tests/corpus/`` is as small as this pass can make it.
+
+The pass is deterministic (candidate order is fixed) and bounded
+(``max_attempts`` predicate calls), so shrinking inside CI cannot run away.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+from typing import Callable, Iterator
+
+from repro.errors import ReproError
+from repro.scenarios.registry import get_generator
+from repro.scenarios.spec import ScenarioSpec
+
+__all__ = ["shrink_spec"]
+
+
+def _layer_names(spec: ScenarioSpec) -> list[str]:
+    return [spec.base, *(ov.name for ov in spec.overlays)]
+
+
+def _min_valid_n(spec: ScenarioSpec) -> tuple[int, int]:
+    """(smallest legal n, required multiple) across every layer generator."""
+    infos = [get_generator(name) for name in _layer_names(spec)]
+    floor = max(info.min_n for info in infos)
+    step = math.lcm(*(info.n_multiple_of for info in infos))
+    if floor % step:
+        floor += step - floor % step
+    return floor, step
+
+
+def _candidates(spec: ScenarioSpec) -> Iterator[ScenarioSpec]:
+    """Strictly-simpler variants of *spec*, most aggressive first."""
+    # 1. drop whole overlay layers
+    for k in range(len(spec.overlays)):
+        yield replace(spec, overlays=spec.overlays[:k] + spec.overlays[k + 1 :])
+    # 2. drop the noise stage
+    if spec.noise is not None:
+        yield replace(spec, noise=None)
+    # 3. revert sampled parameters to generator defaults, one at a time
+    for key in sorted(spec.params):
+        trimmed = {k: v for k, v in spec.params.items() if k != key}
+        yield replace(spec, params=trimmed)
+    for idx, ov in enumerate(spec.overlays):
+        for key in sorted(ov.params):
+            trimmed_ov = replace(ov, params={k: v for k, v in ov.params.items() if k != key})
+            yield replace(
+                spec, overlays=spec.overlays[:idx] + (trimmed_ov,) + spec.overlays[idx + 1 :]
+            )
+    # 4. shrink the matrix: jump to the floor, then bisect, then step down
+    floor, step = _min_valid_n(spec)
+    seen = set()
+    for n in (floor, (spec.n + floor) // 2, spec.n - step):
+        n -= n % step
+        if floor <= n < spec.n and n not in seen:
+            seen.add(n)
+            yield replace(spec, n=n)
+    # 5. canonicalise the seed
+    if spec.seed != 0:
+        yield replace(spec, seed=0)
+
+
+def _acceptable(candidate: ScenarioSpec, still_fails: Callable[[ScenarioSpec], bool]) -> bool:
+    """A candidate is accepted when it is valid *and* still failing.
+
+    Candidates that no longer validate (a parameter the failure needed, a
+    size below a layer's floor) are simply rejected — shrinking must never
+    turn a real failure into a malformed spec.
+    """
+    try:
+        candidate.validate()
+    except ReproError:
+        return False
+    try:
+        return bool(still_fails(candidate))
+    except ReproError:
+        # a candidate that *errors* still reproduces a defect only if the
+        # predicate says so; a raising predicate means "cannot evaluate"
+        return False
+
+
+def shrink_spec(
+    spec: ScenarioSpec,
+    still_fails: Callable[[ScenarioSpec], bool],
+    *,
+    max_attempts: int = 200,
+) -> ScenarioSpec:
+    """Minimise *spec* while ``still_fails(candidate)`` stays true.
+
+    Returns the smallest spec found (possibly *spec* itself when nothing
+    simpler reproduces).  The caller's predicate defines "failing" — usually
+    one oracle's ``check(...).failed`` — and is invoked at most
+    ``max_attempts`` times.
+    """
+    current = spec
+    attempts = 0
+    progress = True
+    while progress and attempts < max_attempts:
+        progress = False
+        for candidate in _candidates(current):
+            attempts += 1
+            if attempts > max_attempts:
+                break
+            if _acceptable(candidate, still_fails):
+                current = candidate
+                progress = True
+                break  # restart the scan from the simplified spec
+    return current

@@ -82,3 +82,49 @@ class TestSemantics:
         bad = [ScenarioSpec(base="ring"), ScenarioSpec(base="not_real")]
         with pytest.raises(ScenarioError, match="unknown scenario generator"):
             generate_batch(bad, workers=4)
+
+
+class TestFailurePaths:
+    """One bad spec must fail loudly (index + name) without poisoning pools."""
+
+    def bad_batch(self) -> list[ScenarioSpec]:
+        # index 2 passes registry validation but the body rejects it:
+        # dims that do not cover n is a constraint the schema cannot express
+        return [
+            ScenarioSpec(base="star", seed=0),
+            ScenarioSpec(base="ring", seed=1),
+            ScenarioSpec(base="mesh", n=6, params={"dims": [2, 2]}, seed=2),
+            ScenarioSpec(base="clique", seed=3),
+        ]
+
+    def test_validation_failure_names_index_and_spec(self):
+        batch = [ScenarioSpec(base="star"), ScenarioSpec(base="nope_not_real")]
+        with pytest.raises(ScenarioError, match=r"spec 1 \('nope_not_real'\)"):
+            generate_batch(batch)
+
+    @pytest.mark.parametrize(
+        "workers,backend",
+        [(1, "serial"), (3, "thread"), (2, "process")],
+        ids=["serial", "thread", "process"],
+    )
+    def test_build_failure_names_index_and_spec(self, workers, backend):
+        with pytest.raises(ScenarioError, match=r"spec 2 \('mesh'\) failed to build"):
+            generate_batch(self.bad_batch(), workers=workers, backend=backend)
+
+    @pytest.mark.parametrize(
+        "workers,backend",
+        [(3, "thread"), (2, "process")],
+        ids=["thread", "process"],
+    )
+    def test_failure_does_not_poison_the_cached_pool(self, workers, backend):
+        """The same (backend, workers) pool must keep serving after a raise."""
+        good = mixed_specs(6)
+        with pytest.raises(ScenarioError):
+            generate_batch(self.bad_batch(), workers=workers, backend=backend)
+        after = generate_batch(good, workers=workers, backend=backend)
+        assert after == generate_batch(good, workers=1, backend="serial")
+
+    def test_serial_failure_leaves_runtime_usable(self):
+        with pytest.raises(ScenarioError):
+            generate_batch(self.bad_batch(), workers=1, backend="serial")
+        assert len(generate_batch(mixed_specs(4))) == 4

@@ -1,0 +1,140 @@
+"""Registry-wide contract: declared schema bounds and bodies must agree.
+
+Satellite of the differential-verification work: the corpus sampler draws
+parameter values straight from each generator's introspected schema, so any
+generator whose body rejects an in-bounds value (or accepts an out-of-bounds
+one with a raw ``IndexError``) breaks fuzzing.  These tests walk the whole
+registry and slam every declared boundary.
+"""
+
+import pytest
+
+from repro.errors import ReproError, ScenarioError, ShapeError
+from repro.scenarios import (
+    SCENARIO_REGISTRY,
+    ScenarioSpec,
+    ensure_registered,
+    get_generator,
+    scenario_names,
+)
+
+ensure_registered()
+
+
+def smallest_valid_n(name: str) -> int:
+    info = get_generator(name)
+    n = info.min_n
+    if n % info.n_multiple_of:
+        n += info.n_multiple_of - n % info.n_multiple_of
+    return n
+
+
+class TestSizeBoundaries:
+    @pytest.mark.parametrize("name", sorted(SCENARIO_REGISTRY))
+    def test_builds_at_declared_min_n(self, name):
+        """The floor is tight from above: min_n itself must build."""
+        n = smallest_valid_n(name)
+        matrix = ScenarioSpec(base=name, n=n, seed=1).build()
+        assert matrix.n == n
+
+    @pytest.mark.parametrize("name", sorted(SCENARIO_REGISTRY))
+    def test_below_min_n_rejected_as_repro_error(self, name):
+        """Below the floor every failure is a library error, never a raw
+        IndexError/ValueError out of a NumPy write."""
+        info = get_generator(name)
+        if info.min_n <= 1:
+            pytest.skip("floor of 1 has no below-floor size")
+        with pytest.raises(ReproError):
+            ScenarioSpec(base=name, n=info.min_n - 1, seed=1).build()
+
+    def test_template_matrix_odd_size_rejected(self):
+        with pytest.raises(ReproError, match="divisible by 2"):
+            ScenarioSpec(base="template_matrix", n=5).validate()
+
+
+class TestParamBoundaries:
+    @pytest.mark.parametrize("name", sorted(SCENARIO_REGISTRY))
+    def test_every_bounded_param_builds_at_its_minimum(self, name):
+        info = get_generator(name)
+        n = smallest_valid_n(name)
+        for p in info.params:
+            if p.minimum is None:
+                continue
+            value = type(p.default)(p.minimum) if p.default is not None else p.minimum
+            spec = ScenarioSpec(base=name, n=n, seed=1, params={p.name: value})
+            matrix = spec.build()
+            assert matrix.n == n, (name, p.name, value)
+
+    @pytest.mark.parametrize("name", sorted(SCENARIO_REGISTRY))
+    def test_every_finitely_bounded_param_builds_at_its_maximum(self, name):
+        info = get_generator(name)
+        n = smallest_valid_n(name)
+        for p in info.params:
+            if p.maximum is None:
+                continue
+            value = type(p.default)(p.maximum) if p.default is not None else p.maximum
+            spec = ScenarioSpec(base=name, n=n, seed=1, params={p.name: value})
+            assert spec.build().n == n, (name, p.name, value)
+
+    @pytest.mark.parametrize("name", sorted(SCENARIO_REGISTRY))
+    def test_below_minimum_rejected_at_validation(self, name):
+        info = get_generator(name)
+        for p in info.params:
+            if p.minimum is None:
+                continue
+            bad = p.minimum - 1
+            with pytest.raises(ScenarioError, match="outside its declared bounds"):
+                ScenarioSpec(base=name, n=smallest_valid_n(name), params={p.name: bad}).validate()
+
+    def test_packets_zero_rejected_by_body_too(self):
+        """Defence in depth: the body's _validate_positive still guards
+        direct calls that never saw spec validation."""
+        import repro.graphs as g
+
+        with pytest.raises(ShapeError, match="packets"):
+            g.star(5, packets=0)
+
+
+class TestSamplerAgreement:
+    def test_schema_reports_bounds(self):
+        doc = get_generator("deterrence").schema()
+        by_name = {p["name"]: p for p in doc["params"]}
+        assert by_name["packets"]["minimum"] == 1
+        assert by_name["provocation_packets"]["minimum"] == 1
+        assert doc["min_n"] == 2
+
+    def test_noise_density_bounds_are_closed(self):
+        info = get_generator("background_noise")
+        density = info.param("density")
+        assert (density.minimum, density.maximum) == (0.0, 1.0)
+        # both endpoints are legal
+        for value in (0.0, 1.0):
+            ScenarioSpec(
+                base="background_noise", n=6, params={"density": value}
+            ).build()
+
+    def test_out_of_range_vertex_args_raise_shape_error(self):
+        """The fixes the corpus sampler's early runs demanded: structured
+        vertex arguments outside the matrix raise ShapeError, not IndexError."""
+        import repro.graphs as g
+
+        cases = [
+            lambda: g.triangle(4, vertices=(0, 1, 9)),
+            lambda: g.self_loops(3, vertices=[5]),
+            lambda: g.clique(3, members=[0, 7]),
+            lambda: g.bipartite(3, left=[9]),
+            lambda: g.isolated_links(3, pairs=[(0, 9)]),
+            lambda: g.single_links(3, links=[(0, 9)]),
+            lambda: g.internal_supernode(10, hub=40),
+            lambda: g.external_supernode(10, hub="NOPE"),
+            lambda: g.lateral_movement(10, foothold=99),
+        ]
+        for case in cases:
+            with pytest.raises(ShapeError):
+                case()
+
+    def test_registry_names_all_sampleable(self):
+        """Every registered generator is reachable by the corpus sampler."""
+        from repro.verify import sampleable_names
+
+        assert set(sampleable_names()) == set(scenario_names())

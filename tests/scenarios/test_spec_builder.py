@@ -170,9 +170,15 @@ class TestSpecValidation:
         with pytest.raises(ScenarioSpecError, match="'name'"):
             ScenarioSpec.from_dict({"base": "ring", "overlays": [{"params": {}}]})
 
+    def test_undersized_n_caught_at_validation(self):
+        # a ring needs 3 vertices; the registry's min_n catches it up front
+        with pytest.raises(ScenarioSpecError, match="needs n >= 3"):
+            ScenarioSpec(base="ring", n=2).build()
+
     def test_generator_level_errors_still_surface(self):
+        # dims consistency is a body-level check the schema cannot express
         with pytest.raises(ShapeError):
-            ScenarioSpec(base="ring", n=2).build()  # a ring needs 3 vertices
+            ScenarioSpec(base="mesh", n=6, params={"dims": [2, 2]}).build()
 
 
 class TestDeterminism:

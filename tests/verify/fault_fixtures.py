@@ -1,0 +1,23 @@
+"""Deliberately broken operators for fault-injection tests.
+
+The perturbed semiring's multiplicative operator leaks the *size* of the
+array it is applied to.  The serial ESC kernel applies ``mult`` to one full
+expansion while the blocked kernel applies it per row block, so the bias
+makes blocked results drift from serial ones — the class of tile-dependent
+kernel bug the differential :class:`~repro.verify.KernelEqualityOracle`
+exists to catch.  Module-level (not test-local) so thread-backend corpus
+runs can ship it to workers.
+"""
+
+import numpy as np
+
+from repro.assoc.semiring import PLUS_MONOID, BinaryOp, Semiring
+
+
+def _tile_sensitive_times(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Multiply, plus a bias that leaks the operand length — a planted bug."""
+    return np.multiply(x, y) + np.asarray(x).size
+
+
+#: A semiring that is wrong in a way only tiling can reveal.
+PERTURBED_SEMIRING = Semiring(PLUS_MONOID, BinaryOp("tile_times", _tile_sensitive_times))

@@ -1,0 +1,94 @@
+"""Corpus sampler: determinism, validity, coverage, and bound respect."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ScenarioError
+from repro.scenarios import SCENARIO_FAMILIES, ScenarioSpec, get_generator
+from repro.verify import CorpusConfig, make_corpus, random_spec, sampleable_names
+
+
+class TestDeterminism:
+    def test_same_seed_same_corpus(self):
+        assert make_corpus(50, seed=11) == make_corpus(50, seed=11)
+
+    def test_different_seeds_differ(self):
+        assert make_corpus(50, seed=1) != make_corpus(50, seed=2)
+
+    def test_prefix_stability(self):
+        """Growing a corpus never changes the specs already drawn."""
+        assert make_corpus(40, seed=5)[:10] == make_corpus(10, seed=5)
+
+    def test_specs_are_json_stable(self):
+        for spec in make_corpus(30, seed=3):
+            assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+
+class TestValidity:
+    def test_every_spec_validates_and_builds(self):
+        for spec in make_corpus(60, seed=21):
+            matrix = spec.validate().build()
+            assert matrix.n == spec.n
+
+    def test_sampled_params_respect_declared_bounds(self):
+        for spec in make_corpus(80, seed=9):
+            info = get_generator(spec.base)
+            assert info.valid_n(spec.n)
+            for key, value in spec.params.items():
+                assert info.param(key).in_bounds(value), (spec.base, key, value)
+            for ov in spec.overlays:
+                ov_info = get_generator(ov.name)
+                assert ov_info.valid_n(spec.n)
+                for key, value in ov.params.items():
+                    assert ov_info.param(key).in_bounds(value)
+
+    def test_noise_density_stays_in_configured_range(self):
+        cfg = CorpusConfig(noise_probability=1.0, noise_density_range=(0.05, 0.1))
+        for spec in make_corpus(20, seed=2, config=cfg):
+            assert spec.noise is not None
+            assert 0.05 <= spec.noise.density <= 0.1
+
+
+class TestCoverage:
+    def test_all_families_appear_in_a_modest_corpus(self):
+        corpus = make_corpus(150, seed=4)
+        families = {get_generator(s.base).family for s in corpus}
+        assert families == set(SCENARIO_FAMILIES)
+
+    def test_overlays_and_noise_both_appear(self):
+        corpus = make_corpus(100, seed=6)
+        assert any(s.overlays for s in corpus)
+        assert any(s.noise is not None for s in corpus)
+        assert any(not s.overlays and s.noise is None for s in corpus)
+
+    def test_family_filter(self):
+        cfg = CorpusConfig(families=("pattern",))
+        corpus = make_corpus(25, seed=8, config=cfg)
+        assert {get_generator(s.base).family for s in corpus} == {"pattern"}
+
+    def test_exclude_filter(self):
+        cfg = CorpusConfig(exclude=("background_noise",))
+        assert "background_noise" not in sampleable_names(cfg)
+        corpus = make_corpus(40, seed=13, config=cfg)
+        assert all(s.base != "background_noise" for s in corpus)
+
+
+class TestConfigErrors:
+    def test_bad_n_range_rejected(self):
+        with pytest.raises(ScenarioError, match="n_range"):
+            CorpusConfig(n_range=(9, 4))
+
+    def test_excluding_everything_is_an_error(self):
+        cfg = CorpusConfig(exclude=tuple(sampleable_names()))
+        with pytest.raises(ScenarioError, match="excludes every"):
+            random_spec(np.random.default_rng(0), cfg)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ScenarioError, match=">= 0"):
+            make_corpus(-1, seed=0)
+
+    def test_template_matrix_only_drawn_at_even_sizes(self):
+        cfg = CorpusConfig(families=("topology",))
+        for spec in make_corpus(60, seed=17, config=cfg):
+            if spec.base == "template_matrix":
+                assert spec.n % 2 == 0

@@ -1,0 +1,167 @@
+"""Oracle semantics: pass/skip verdicts, and fault injection that must fail.
+
+The fault-injection fixture is the acceptance check for the whole subsystem:
+a deliberately perturbed semiring whose multiplicative operator depends on
+the *size* of the array it sees.  The serial ESC kernel applies ``mult`` to
+one full expansion while the blocked kernel applies it per row block, so the
+perturbation makes blocked results drift from serial ones — exactly the
+class of tile-dependent kernel bug differential testing exists to catch.
+"""
+
+from fault_fixtures import PERTURBED_SEMIRING
+
+from repro.assoc.semiring import PLUS_TIMES
+from repro.scenarios import NoiseSpec, OverlaySpec, ScenarioSpec
+from repro.verify import (
+    ClassifierOracle,
+    KernelEqualityOracle,
+    OverlayMetamorphicOracle,
+    RoundTripOracle,
+    default_oracles,
+    make_corpus,
+)
+
+
+class TestKernelEqualityOracle:
+    def test_passes_on_corpus_specs(self):
+        oracle = KernelEqualityOracle()
+        for spec in make_corpus(20, seed=31):
+            verdict = oracle.check(spec)
+            assert verdict.passed, verdict.detail
+
+    def test_passes_on_empty_matrix(self):
+        # isolated_links at n=1 builds an all-zero matrix
+        verdict = KernelEqualityOracle().check(ScenarioSpec(base="isolated_links", n=1))
+        assert verdict.passed
+
+    def test_injected_fault_is_caught(self):
+        oracle = KernelEqualityOracle(semiring=PERTURBED_SEMIRING)
+        verdict = oracle.check(ScenarioSpec(base="clique", n=10, seed=3))
+        assert verdict.failed
+        assert "mxm" in verdict.detail
+
+    def test_unperturbed_semiring_passes_where_fault_fails(self):
+        spec = ScenarioSpec(base="clique", n=10, seed=3)
+        assert KernelEqualityOracle().check(spec).passed
+        assert KernelEqualityOracle(semiring=PERTURBED_SEMIRING).check(spec).failed
+
+    def test_min_plus_semiring_also_verified(self):
+        from repro.assoc.semiring import MIN_PLUS
+
+        oracle = KernelEqualityOracle(semiring=MIN_PLUS)
+        verdict = oracle.check(ScenarioSpec(base="ring", n=12, seed=5))
+        assert verdict.passed, verdict.detail
+
+
+class TestRoundTripOracle:
+    def test_passes_on_corpus_specs(self):
+        oracle = RoundTripOracle()
+        for spec in make_corpus(20, seed=32):
+            verdict = oracle.check(spec)
+            assert verdict.passed, verdict.detail
+
+    def test_detects_non_roundtrippable_spec(self):
+        # a params value JSON cannot carry (a tuple decodes as a list)
+        spec = ScenarioSpec(base="mesh", n=6, params={"dims": (2, 3)})
+        verdict = RoundTripOracle().check(spec)
+        assert verdict.failed
+        assert "from_json" in verdict.detail
+
+
+class TestClassifierOracle:
+    def test_noise_free_specs_classify_to_their_family(self):
+        oracle = ClassifierOracle()
+        for base in ("star", "ring", "security", "ddos_attack", "isolated_links"):
+            verdict = oracle.check(ScenarioSpec(base=base, n=10, seed=1))
+            assert verdict.passed, (base, verdict.detail)
+
+    def test_directed_variants_classify(self):
+        # the corpus fuzzer originally found mutual=False rejected as unknown
+        oracle = ClassifierOracle()
+        for base in ("ring", "triangle", "tree", "bipartite"):
+            verdict = oracle.check(
+                ScenarioSpec(base=base, n=6, params={"mutual": False})
+            )
+            assert verdict.passed, (base, verdict.detail)
+
+    def test_composites_are_skipped(self):
+        verdict = ClassifierOracle().check(ScenarioSpec(base="full_ddos", n=10))
+        assert verdict.skipped
+
+    def test_overlay_stacks_are_skipped(self):
+        spec = ScenarioSpec(base="star", n=10, overlays=(OverlaySpec("ring"),))
+        assert ClassifierOracle().check(spec).skipped
+
+    def test_unclassifiable_family_is_skipped(self):
+        verdict = ClassifierOracle().check(
+            ScenarioSpec(base="background_noise", n=10, params={"density": 0.2})
+        )
+        assert verdict.skipped
+
+    def test_empty_matrix_is_skipped(self):
+        verdict = ClassifierOracle().check(ScenarioSpec(base="isolated_links", n=1))
+        assert verdict.skipped
+
+    def test_noise_above_threshold_is_stripped_not_skipped(self):
+        spec = ScenarioSpec(base="star", n=10, seed=2, noise=NoiseSpec(density=0.3))
+        verdict = ClassifierOracle(noise_threshold=0.0).check(spec)
+        assert verdict.passed and not verdict.skipped
+
+    def test_noise_below_threshold_is_classified_as_is(self):
+        # density 0 noise adds nothing: classification must survive it as-is
+        spec = ScenarioSpec(base="star", n=10, seed=2, noise=NoiseSpec(density=0.0))
+        verdict = ClassifierOracle(noise_threshold=0.05).check(spec)
+        assert verdict.passed
+
+    def test_staging_botnet_ambiguity_is_documented_not_failed(self):
+        # at sizes with one grey endpoint, staging == uniform botnet tasking
+        verdict = ClassifierOracle().check(ScenarioSpec(base="staging", n=6))
+        assert verdict.passed
+
+
+class TestOverlayMetamorphicOracle:
+    def test_single_layer_checks_provenance_only(self):
+        verdict = OverlayMetamorphicOracle().check(ScenarioSpec(base="star", n=8))
+        assert verdict.passed
+        assert "provenance" in verdict.detail
+
+    def test_overlay_stacks_are_order_insensitive(self):
+        oracle = OverlayMetamorphicOracle()
+        spec = ScenarioSpec(
+            base="security",
+            n=10,
+            seed=4,
+            overlays=(
+                OverlaySpec("ddos_attack"),
+                OverlaySpec("background_noise", {"density": 0.1}),
+            ),
+        )
+        verdict = oracle.check(spec)
+        assert verdict.passed, verdict.detail
+
+    def test_passes_on_corpus_specs(self):
+        oracle = OverlayMetamorphicOracle()
+        for spec in make_corpus(20, seed=33):
+            verdict = oracle.check(spec)
+            assert verdict.passed, verdict.detail
+
+
+class TestBattery:
+    def test_default_battery_has_all_four(self):
+        names = [oracle.name for oracle in default_oracles()]
+        assert names == [
+            "kernel_equality",
+            "round_trip",
+            "classifier_agreement",
+            "overlay_metamorphic",
+        ]
+
+    def test_oracles_are_picklable(self):
+        import pickle
+
+        for oracle in default_oracles():
+            clone = pickle.loads(pickle.dumps(oracle))
+            assert clone.name == oracle.name
+
+    def test_default_semiring_is_plus_times(self):
+        assert KernelEqualityOracle().semiring is PLUS_TIMES

@@ -1,0 +1,86 @@
+"""Shrink pass: minimises while the failure persists, deterministically."""
+
+from fault_fixtures import PERTURBED_SEMIRING
+
+from repro.scenarios import NoiseSpec, OverlaySpec, ScenarioSpec, get_generator
+from repro.verify import KernelEqualityOracle, shrink_spec
+
+
+def big_failing_spec() -> ScenarioSpec:
+    return ScenarioSpec(
+        base="clique",
+        params={"packets": 7},
+        n=20,
+        seed=991,
+        noise=NoiseSpec(density=0.2, max_packets=3),
+        overlays=(OverlaySpec("ring", {"packets": 2}), OverlaySpec("star")),
+    )
+
+
+class TestShrink:
+    def test_minimizes_perturbed_semiring_failure(self):
+        oracle = KernelEqualityOracle(semiring=PERTURBED_SEMIRING)
+        spec = big_failing_spec()
+        assert oracle.check(spec).failed  # precondition
+        minimized = shrink_spec(spec, lambda s: oracle.check(s).failed)
+        # the failure survives minimisation ...
+        assert oracle.check(minimized).failed
+        # ... and everything incidental is gone
+        assert minimized.overlays == ()
+        assert minimized.noise is None
+        assert minimized.params == {}
+        assert minimized.seed == 0
+        assert minimized.n < spec.n
+        assert minimized.n >= get_generator(spec.base).min_n
+
+    def test_shrink_is_deterministic(self):
+        oracle = KernelEqualityOracle(semiring=PERTURBED_SEMIRING)
+        spec = big_failing_spec()
+        a = shrink_spec(spec, lambda s: oracle.check(s).failed)
+        b = shrink_spec(spec, lambda s: oracle.check(s).failed)
+        assert a == b
+
+    def test_nothing_shrinkable_returns_original(self):
+        spec = ScenarioSpec(base="ring", n=3, seed=0)
+        assert shrink_spec(spec, lambda s: True) == spec
+
+    def test_never_returns_a_passing_spec(self):
+        """Shrinking a failure that depends on an overlay keeps the overlay."""
+        def fails(spec: ScenarioSpec) -> bool:
+            return any(ov.name == "ddos_attack" for ov in spec.overlays)
+
+        spec = ScenarioSpec(
+            base="star",
+            n=12,
+            seed=5,
+            noise=NoiseSpec(density=0.1),
+            overlays=(OverlaySpec("ring"), OverlaySpec("ddos_attack")),
+        )
+        minimized = shrink_spec(spec, fails)
+        assert fails(minimized)
+        assert [ov.name for ov in minimized.overlays] == ["ddos_attack"]
+        assert minimized.noise is None
+
+    def test_respects_max_attempts(self):
+        calls = []
+
+        def fails(spec: ScenarioSpec) -> bool:
+            calls.append(spec)
+            return True
+
+        shrink_spec(big_failing_spec(), fails, max_attempts=5)
+        assert len(calls) <= 5
+
+    def test_candidates_always_validate(self):
+        """Shrinking never proposes a spec below a layer generator's floor."""
+        seen = []
+
+        def fails(spec: ScenarioSpec) -> bool:
+            spec.validate()  # raises if the shrinker produced garbage
+            seen.append(spec.n)
+            return True
+
+        spec = ScenarioSpec(base="planning", n=20, seed=1)  # min_n == 5
+        minimized = shrink_spec(spec, fails)
+        assert minimized.n == get_generator("planning").min_n
+        assert all(n >= 5 for n in seen)
