@@ -152,26 +152,36 @@ def scenario_stream(
     yield from window_stream(events, window_size=window_size)
 
 
-def _merge_pair(pair: tuple[AssociativeArray, AssociativeArray]) -> AssociativeArray:
-    return pair[0].ewise_add(pair[1])
+def _reindex_task(args: tuple[AssociativeArray, tuple[str, ...], tuple[str, ...]]):
+    array, r_axis, c_axis = args
+    return array.reindex(r_axis, c_axis).csr
 
 
 def merge_windows(arrays: Iterable[AssociativeArray]) -> AssociativeArray:
     """Combine per-window matrices into one aggregate by key-aligned addition.
 
     This is the long-horizon view of the streaming lineage: many 2^k-event
-    window matrices collapse into a whole-capture traffic matrix.  The merge
-    runs as a balanced binary tree, and each level's pairwise merges execute
-    on the runtime's configured executor
-    (:func:`repro.runtime.configure`), so wide captures aggregate in parallel.
+    window matrices collapse into a whole-capture traffic matrix.  Every
+    window is reindexed once onto the union label axes (in parallel on the
+    runtime's configured executor), then a single accumulator assignment —
+    ``total(accum=PLUS) << union_all(windows)`` on the expression layer —
+    collapses them with one fused concatenate + coalesce, itself row-blocked
+    under :func:`repro.runtime.configure`.  One sort over all windows
+    replaces the old ``log₂(windows)`` rounds of pairwise tree merges.
     """
     pending = list(arrays)
     if not pending:
         return AssociativeArray.empty()
-    while len(pending) > 1:
-        pairs = [
-            (pending[i], pending[i + 1]) for i in range(0, len(pending) - 1, 2)
-        ]
-        tail = [pending[-1]] if len(pending) % 2 else []
-        pending = parallel_map(_merge_pair, pairs) + tail
-    return pending[0]
+    if len(pending) == 1:
+        return pending[0]
+    from repro.assoc.expr import Mat, union_all
+    from repro.assoc.semiring import PLUS
+
+    r_axis = tuple(sorted(set().union(*(a.row_labels for a in pending))))
+    c_axis = tuple(sorted(set().union(*(a.col_labels for a in pending))))
+    reindexed = parallel_map(
+        _reindex_task, [(a, r_axis, c_axis) for a in pending]
+    )
+    total = Mat.from_csr(reindexed[0])
+    total(accum=PLUS) << union_all(reindexed[1:])
+    return AssociativeArray(r_axis, c_axis, total.csr)

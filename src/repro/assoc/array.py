@@ -242,15 +242,88 @@ class AssociativeArray:
         c_axis = _union_labels(self.col_labels, other.col_labels)
         return self.reindex(r_axis, c_axis), other.reindex(r_axis, c_axis)
 
-    def ewise_add(self, other: "AssociativeArray", add: Monoid = PLUS_MONOID) -> "AssociativeArray":
-        """Key-aligned element-wise addition over the union of patterns."""
-        a, b = self._aligned(other)
-        return AssociativeArray(a.row_labels, a.col_labels, a.csr.ewise_union(b.csr, add))
+    def _mask_csr(
+        self,
+        mask: object,
+        row_labels: tuple[str, ...],
+        col_labels: tuple[str, ...],
+    ) -> "CSRMatrix":
+        """Resolve *mask* to a CSR pattern over the given label axes.
 
-    def ewise_mult(self, other: "AssociativeArray", mult: BinaryOp = TIMES) -> "AssociativeArray":
-        """Key-aligned element-wise multiply over the pattern intersection."""
+        An :class:`AssociativeArray` mask is key-aligned (reindexed onto the
+        output axes — its keys must be a subset); anything else goes through
+        :func:`repro.assoc.expr.as_mask` and must already match the output
+        shape.
+        """
+        from repro.assoc import expr
+
+        if isinstance(mask, AssociativeArray):
+            return mask.reindex(row_labels, col_labels).csr
+        pattern = expr.as_mask(mask).pattern
+        if pattern.shape != (len(row_labels), len(col_labels)):
+            raise AssocArrayError(
+                f"mask shape {pattern.shape} does not match the "
+                f"({len(row_labels)}, {len(col_labels)}) output axes"
+            )
+        return pattern
+
+    def ewise_add(
+        self,
+        other: "AssociativeArray",
+        add: Monoid = PLUS_MONOID,
+        *,
+        mask: object = None,
+        complement: bool = False,
+    ) -> "AssociativeArray":
+        """Key-aligned element-wise addition over the union of patterns.
+
+        With *mask* (another array, a CSR pattern, or a dense boolean grid)
+        the union is masked on the expression layer: triples outside the
+        allowed coordinates are dropped before the combining sort.
+        """
         a, b = self._aligned(other)
-        return AssociativeArray(a.row_labels, a.col_labels, a.csr.ewise_intersect(b.csr, mult))
+        if mask is None:
+            csr = a.csr.ewise_union(b.csr, add)
+        else:
+            from repro.assoc import expr
+
+            m = self._mask_csr(mask, a.row_labels, a.col_labels)
+            csr = expr.lazy(a.csr).ewise(b.csr, add, how="union").new(
+                mask=m, complement=complement
+            )
+        return AssociativeArray(a.row_labels, a.col_labels, csr)
+
+    def ewise_mult(
+        self,
+        other: "AssociativeArray",
+        mult: BinaryOp = TIMES,
+        *,
+        mask: object = None,
+        complement: bool = False,
+    ) -> "AssociativeArray":
+        """Key-aligned element-wise multiply over the pattern intersection
+        (optionally masked — the planner pushes the mask into the left
+        operand, so the unmasked intersection is never built)."""
+        a, b = self._aligned(other)
+        if mask is None:
+            csr = a.csr.ewise_intersect(b.csr, mult)
+        else:
+            from repro.assoc import expr
+
+            m = self._mask_csr(mask, a.row_labels, a.col_labels)
+            csr = expr.lazy(a.csr).ewise(b.csr, mult, how="intersect").new(
+                mask=m, complement=complement
+            )
+        return AssociativeArray(a.row_labels, a.col_labels, csr)
+
+    def select(self, mask: object, *, complement: bool = False) -> "AssociativeArray":
+        """Entries at coordinates the structural *mask* allows (``A⟨M⟩``)."""
+        from repro.assoc.sparse import masked_select
+
+        m = self._mask_csr(mask, self.row_labels, self.col_labels)
+        return AssociativeArray(
+            self.row_labels, self.col_labels, masked_select(self.csr, m, complement)
+        )
 
     def __add__(self, other: "AssociativeArray") -> "AssociativeArray":
         if not isinstance(other, AssociativeArray):
@@ -276,12 +349,30 @@ class AssociativeArray:
 
     __rmul__ = __mul__
 
-    def mxm(self, other: "AssociativeArray", semiring: Semiring = PLUS_TIMES) -> "AssociativeArray":
-        """Key-aligned matrix product: inner axes are unioned before multiply."""
+    def mxm(
+        self,
+        other: "AssociativeArray",
+        semiring: Semiring = PLUS_TIMES,
+        *,
+        mask: object = None,
+        complement: bool = False,
+    ) -> "AssociativeArray":
+        """Key-aligned matrix product: inner axes are unioned before multiply.
+
+        With a non-complemented *mask* the product runs the fused masked
+        kernel — rows of the output the mask excludes are never expanded.
+        """
         inner = _union_labels(self.col_labels, other.row_labels)
         a = self.reindex(self.row_labels, inner)
         b = other.reindex(inner, other.col_labels)
-        return AssociativeArray(self.row_labels, other.col_labels, a.csr.mxm(b.csr, semiring))
+        if mask is None:
+            csr = a.csr.mxm(b.csr, semiring)
+        else:
+            from repro.assoc import expr
+
+            m = self._mask_csr(mask, self.row_labels, other.col_labels)
+            csr = expr.lazy(a.csr).mxm(b.csr, semiring).new(mask=m, complement=complement)
+        return AssociativeArray(self.row_labels, other.col_labels, csr)
 
     def __matmul__(self, other: "AssociativeArray") -> "AssociativeArray":
         if not isinstance(other, AssociativeArray):

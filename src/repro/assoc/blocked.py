@@ -39,6 +39,10 @@ __all__ = [
     "parallel_ewise_union",
     "parallel_ewise_intersect",
     "parallel_coalesce",
+    "parallel_masked_mxm",
+    "parallel_masked_mxv",
+    "parallel_masked_intersect",
+    "parallel_union_all",
 ]
 
 
@@ -238,6 +242,26 @@ def _coalesce_task(args: tuple[np.ndarray, np.ndarray, np.ndarray, tuple[int, in
     return _sparse._coalesce_core(rows, cols, vals, shape, add)
 
 
+def _masked_mxm_task(args) -> CSRMatrix:  # noqa: ANN001
+    a_block, b, semiring, mask_block, out_dtype = args
+    return _sparse._masked_mxm_serial(a_block, b, semiring, mask_block, out_dtype)
+
+
+def _masked_mxv_task(args) -> np.ndarray:  # noqa: ANN001
+    a_block, x, semiring, allow_block = args
+    return _sparse._masked_mxv_serial(a_block, x, semiring, allow_block)
+
+
+def _masked_intersect_task(args) -> CSRMatrix:  # noqa: ANN001
+    a_block, b_block, mult, mask_block, complement = args
+    return _sparse._masked_intersect_serial(a_block, b_block, mult, mask_block, complement)
+
+
+def _union_all_task(args) -> CSRMatrix:  # noqa: ANN001
+    part_blocks, add, mask_block, complement = args
+    return _sparse._union_all_serial(part_blocks, add, mask_block, complement)
+
+
 # ---------------------------------------------------------------------- #
 # dtype normalisation
 # ---------------------------------------------------------------------- #
@@ -370,3 +394,111 @@ def parallel_coalesce(
     out_c = np.concatenate([p[1] for p in parts])
     out_v = np.concatenate([p[2] for p in parts])
     return out_r, out_c, out_v
+
+
+# ---------------------------------------------------------------------- #
+# masked parallel entry points (dispatch targets of repro.assoc.planner)
+#
+# The mask shares the operand's row tiling, so each block task sees exactly
+# the mask rows it owns; the bit-identity argument is unchanged — masked
+# filtering is per-row, so a row partition of the masked kernel is a
+# partition of the masked serial output.
+# ---------------------------------------------------------------------- #
+
+
+def parallel_masked_mxm(
+    a: CSRMatrix,
+    b: CSRMatrix,
+    semiring: Semiring,
+    mask: CSRMatrix,
+    config: RuntimeConfig | None = None,
+) -> CSRMatrix:
+    """Row-blocked fused masked product, bit-identical to the serial masked
+    kernel (and therefore to eager-then-filter)."""
+    cfg = get_config() if config is None else config
+    block_rows = choose_block_rows(a.shape[0], a.nnz, cfg.workers, cfg.block_rows)
+    starts = _row_starts(a.shape[0], block_rows)
+    out_dtype = _sparse._mxm_out_dtype(a, b, semiring.mult)
+    tasks = [
+        (_slice_rows(a, int(r0), int(r1)), b, semiring, _slice_rows(mask, int(r0), int(r1)), out_dtype)
+        for r0, r1 in zip(starts[:-1], starts[1:])
+    ]
+    parts = get_executor(cfg).map(_masked_mxm_task, tasks)
+    parts = [_cast_data(p, out_dtype) for p in parts]
+    return BlockedCSR((a.shape[0], b.shape[1]), starts, parts).to_csr()
+
+
+def parallel_masked_mxv(
+    a: CSRMatrix,
+    x: np.ndarray,
+    semiring: Semiring,
+    allow: np.ndarray,
+    config: RuntimeConfig | None = None,
+) -> np.ndarray:
+    """Row-blocked masked matrix-vector product."""
+    cfg = get_config() if config is None else config
+    block_rows = choose_block_rows(a.shape[0], a.nnz, cfg.workers, cfg.block_rows)
+    starts = _row_starts(a.shape[0], block_rows)
+    tasks = [
+        (_slice_rows(a, int(r0), int(r1)), x, semiring, allow[int(r0):int(r1)])
+        for r0, r1 in zip(starts[:-1], starts[1:])
+    ]
+    parts = get_executor(cfg).map(_masked_mxv_task, tasks)
+    return np.concatenate(parts) if parts else np.empty(0)
+
+
+def parallel_masked_intersect(
+    a: CSRMatrix,
+    b: CSRMatrix,
+    mult,  # noqa: ANN001
+    mask: CSRMatrix,
+    complement: bool,
+    config: RuntimeConfig | None = None,
+) -> CSRMatrix:
+    """Row-blocked fused masked element-wise intersection."""
+    cfg = get_config() if config is None else config
+    block_rows = choose_block_rows(a.shape[0], a.nnz + b.nnz, cfg.workers, cfg.block_rows)
+    starts = _row_starts(a.shape[0], block_rows)
+    tasks = [
+        (
+            _slice_rows(a, int(r0), int(r1)),
+            _slice_rows(b, int(r0), int(r1)),
+            mult,
+            _slice_rows(mask, int(r0), int(r1)),
+            complement,
+        )
+        for r0, r1 in zip(starts[:-1], starts[1:])
+    ]
+    parts = get_executor(cfg).map(_masked_intersect_task, tasks)
+    out_dtype = np.asarray(mult(a.data[:1], b.data[:1])).dtype
+    parts = [_cast_data(p, out_dtype) for p in parts]
+    return BlockedCSR(a.shape, starts, parts).to_csr()
+
+
+def parallel_union_all(
+    parts: list[CSRMatrix],
+    add: Monoid,
+    mask: CSRMatrix | None,
+    complement: bool,
+    config: RuntimeConfig | None = None,
+) -> CSRMatrix:
+    """Row-blocked n-ary fused union (optionally masked): every operand
+    shares one tiling; each block concatenates its slices and coalesces once."""
+    cfg = get_config() if config is None else config
+    shape = parts[0].shape
+    work = sum(p.nnz for p in parts)
+    block_rows = choose_block_rows(shape[0], work, cfg.workers, cfg.block_rows)
+    starts = _row_starts(shape[0], block_rows)
+    tasks = [
+        (
+            [_slice_rows(p, int(r0), int(r1)) for p in parts],
+            add,
+            None if mask is None else _slice_rows(mask, int(r0), int(r1)),
+            complement,
+        )
+        for r0, r1 in zip(starts[:-1], starts[1:])
+    ]
+    blocks = get_executor(cfg).map(_union_all_task, tasks)
+    out_dtype = np.result_type(*(p.dtype for p in parts))
+    blocks = [_cast_data(p, out_dtype) for p in blocks]
+    return BlockedCSR(shape, starts, blocks).to_csr()

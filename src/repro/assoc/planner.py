@@ -1,0 +1,316 @@
+"""The fusing planner: expression trees → staged, runtime-dispatched kernels.
+
+:func:`evaluate` walks a :class:`~repro.assoc.expr.MatExpr` /
+:class:`~repro.assoc.expr.VecExpr` tree and executes it bottom-up, applying
+the fusion rules; :func:`plan` performs the same walk without executing and
+returns an inspectable :class:`Plan`, so tests (and the masked-mxm benchmark)
+can assert *which* kernels an evaluation will run.
+
+Fusion rules:
+
+* **transpose folding** — a transposed leaf resolves against the operand's
+  cached transpose (the descriptor path: one rebuild ever); a transpose above
+  a compound expression pushes the *mask* through the transposition instead
+  (``(Aᵀ)⟨M⟩ = (A⟨Mᵀ⟩)ᵀ``), so the child still evaluates fused;
+* **mask pushdown** — masks distribute over element-wise unions and the left
+  operand of intersections, so each sub-expression evaluates already-masked;
+* **fused masked kernels** — a non-complemented mask on ``mxm`` runs the
+  masked ESC kernel (masked-out rows are never expanded; the full product is
+  never materialised); masks on unions/intersections filter triples before
+  the coalesce sort; a *complemented* mask on ``mxm`` is the one case that
+  computes the full product and filters (the complement of a sparse mask
+  keeps almost every entry, so there is nothing to skip);
+* **union chain collapse** — ``A + B + C`` (same monoid) runs one
+  concatenate + coalesce instead of two pairwise unions.
+
+Every dispatch point consults :func:`repro.runtime.config.parallel_config`,
+so fused masked kernels run on the same row-blocked executors as the eager
+paths — with the same bit-identical serial ≡ parallel guarantee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.assoc import expr as E
+from repro.assoc.sparse import (
+    CSRMatrix,
+    _masked_intersect_serial,
+    _masked_mxm_serial,
+    _masked_mxv_serial,
+    _masked_reduce_rows_serial,
+    _union_all_serial,
+    masked_select,
+)
+from repro.errors import ExpressionError
+from repro.runtime.config import parallel_config
+
+__all__ = ["Step", "Plan", "plan", "plan_vec", "evaluate", "evaluate_vec"]
+
+
+@dataclass(frozen=True)
+class Step:
+    """One kernel invocation in a plan."""
+
+    kernel: str
+    fused_mask: bool = False
+    note: str = ""
+
+    def __str__(self) -> str:
+        suffix = "[fused mask]" if self.fused_mask else ""
+        return f"{self.kernel}{suffix}"
+
+
+@dataclass(frozen=True)
+class Plan:
+    """The ordered kernel schedule an evaluation will follow."""
+
+    steps: tuple[Step, ...]
+
+    @property
+    def kernels(self) -> tuple[str, ...]:
+        return tuple(step.kernel for step in self.steps)
+
+    @property
+    def uses_fused_mask(self) -> bool:
+        return any(step.fused_mask for step in self.steps)
+
+    @property
+    def materializes_unmasked(self) -> bool:
+        """True when the plan computes a full result and filters afterwards
+        (only the complement-masked ``mxm`` path does)."""
+        return "mask_filter" in self.kernels
+
+    def describe(self) -> str:
+        return " -> ".join(str(step) for step in self.steps) or "(empty)"
+
+
+# --------------------------------------------------------------------------- #
+# runtime-gated dispatch helpers
+# --------------------------------------------------------------------------- #
+
+
+def _dispatch_masked_mxm(
+    a: CSRMatrix, b: CSRMatrix, semiring, mask: CSRMatrix  # noqa: ANN001
+) -> CSRMatrix:
+    if a.shape[1] != b.shape[0]:
+        raise ExpressionError(f"inner dimension mismatch: {a.shape} @ {b.shape}")
+    work = int(b.row_nnz()[a.indices].sum()) if a.nnz and b.nnz else 0
+    cfg = parallel_config(work) if a.shape[0] > 1 else None
+    if cfg is not None:
+        from repro.assoc.blocked import parallel_masked_mxm
+
+        return parallel_masked_mxm(a, b, semiring, mask, cfg)
+    return _masked_mxm_serial(a, b, semiring, mask)
+
+
+def _dispatch_union_all(
+    parts: list[CSRMatrix], add, mask: CSRMatrix | None, complement: bool  # noqa: ANN001
+) -> CSRMatrix:
+    work = sum(p.nnz for p in parts)
+    cfg = parallel_config(work) if parts[0].shape[0] > 1 else None
+    if cfg is not None:
+        from repro.assoc.blocked import parallel_union_all
+
+        return parallel_union_all(parts, add, mask, complement, cfg)
+    return _union_all_serial(parts, add, mask, complement)
+
+
+def _dispatch_masked_intersect(
+    a: CSRMatrix, b: CSRMatrix, mult, mask: CSRMatrix, complement: bool  # noqa: ANN001
+) -> CSRMatrix:
+    cfg = parallel_config(a.nnz + b.nnz) if a.shape[0] > 1 else None
+    if cfg is not None:
+        from repro.assoc.blocked import parallel_masked_intersect
+
+        return parallel_masked_intersect(a, b, mult, mask, complement, cfg)
+    return _masked_intersect_serial(a, b, mult, mask, complement)
+
+
+def _dispatch_masked_mxv(
+    a: CSRMatrix, x: np.ndarray, semiring, allow: np.ndarray  # noqa: ANN001
+) -> np.ndarray:
+    cfg = parallel_config(a.nnz) if a.shape[0] > 1 else None
+    if cfg is not None:
+        from repro.assoc.blocked import parallel_masked_mxv
+
+        return parallel_masked_mxv(a, x, semiring, allow, cfg)
+    return _masked_mxv_serial(a, x, semiring, allow)
+
+
+def _check_mask(mask: E.Mask | None, shape: tuple[int, int]) -> None:
+    if mask is not None and mask.shape != shape:
+        raise ExpressionError(
+            f"mask shape {mask.shape} does not match expression shape {shape}"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# evaluation
+# --------------------------------------------------------------------------- #
+
+
+def evaluate(e: E.MatExpr, mask: E.Mask | None = None) -> CSRMatrix:
+    """Execute a matrix expression, fusing *mask* into the kernels."""
+    _check_mask(mask, e.shape)
+    if isinstance(e, E.MatLeaf):
+        csr = e.resolve()
+        if mask is None:
+            return csr
+        return masked_select(csr, mask.pattern, mask.complement)
+    if isinstance(e, E.MxM):
+        a = evaluate(e.left, None)
+        b = evaluate(e.right, None)
+        if mask is None:
+            return a._mxm_dispatch(b, e.semiring)
+        if mask.complement:
+            full = a._mxm_dispatch(b, e.semiring)
+            return masked_select(full, mask.pattern, True)
+        return _dispatch_masked_mxm(a, b, e.semiring, mask.pattern)
+    if isinstance(e, E.UnionAll):
+        if mask is None:
+            parts = [evaluate(p, None) for p in e.parts]
+            if len(parts) == 1:
+                return parts[0]
+            if len(parts) == 2:
+                return parts[0]._ewise_union_dispatch(parts[1], e.add)
+            return _dispatch_union_all(parts, e.add, None, False)
+        # mask pushdown only into compound children (their evaluation fuses
+        # it); leaf operands stay unfiltered and the fused union kernel
+        # filters their triples inline, pre-sort — no double filtering of
+        # leaves, and no intermediate per-leaf selects
+        parts = [
+            evaluate(p, None) if isinstance(p, E.MatLeaf) else evaluate(p, mask)
+            for p in e.parts
+        ]
+        if len(parts) == 1:
+            return masked_select(parts[0], mask.pattern, mask.complement)
+        return _dispatch_union_all(parts, e.add, mask.pattern, mask.complement)
+    if isinstance(e, E.EWiseMult):
+        if mask is None:
+            a = evaluate(e.left, None)
+            b = evaluate(e.right, None)
+            return a._ewise_intersect_dispatch(b, e.mult)
+        # mask pushdown: (A⟨M⟩ ⊗ B) == (A ⊗ B)⟨M⟩.  A leaf left operand is
+        # filtered once, inline in the fused kernel; a compound left operand
+        # evaluates fused under the mask (the kernel's re-check of its
+        # already-restricted triples is the cheaper side of that trade)
+        a = (
+            evaluate(e.left, None)
+            if isinstance(e.left, E.MatLeaf)
+            else evaluate(e.left, mask)
+        )
+        b = evaluate(e.right, None)
+        return _dispatch_masked_intersect(a, b, e.mult, mask.pattern, mask.complement)
+    if isinstance(e, E.TransposeExpr):
+        pushed = None if mask is None else mask.transpose()
+        return evaluate(e.child, pushed).transpose()
+    raise ExpressionError(f"unknown expression node {type(e).__name__}")
+
+
+def evaluate_vec(v: E.VecExpr, allow: np.ndarray | None = None) -> np.ndarray:
+    """Execute a vector expression; *allow* is a dense boolean row mask with
+    any complement already applied."""
+    if isinstance(v, E.MxV):
+        a = evaluate(v.mat, None)
+        if allow is None:
+            return a._mxv_dispatch(v.x, v.semiring)
+        return _dispatch_masked_mxv(a, v.x, v.semiring, allow)
+    if isinstance(v, E.ReduceRows):
+        a = evaluate(v.mat, None)
+        if allow is None:
+            return a.reduce_rows(v.add)
+        return _masked_reduce_rows_serial(a, v.add, allow)
+    raise ExpressionError(f"unknown vector expression node {type(v).__name__}")
+
+
+# --------------------------------------------------------------------------- #
+# static planning (same walk, no execution)
+# --------------------------------------------------------------------------- #
+
+
+def plan(e: E.MatExpr, mask: E.Mask | None = None) -> Plan:
+    """The kernel schedule :func:`evaluate` would follow for this tree."""
+    steps: list[Step] = []
+    _plan_mat(e, mask, steps)
+    return Plan(tuple(steps))
+
+
+def plan_vec(v: E.VecExpr, allow: np.ndarray | None = None) -> Plan:
+    steps: list[Step] = []
+    if isinstance(v, E.MxV):
+        _plan_mat(v.mat, None, steps)
+        if allow is None:
+            steps.append(Step("mxv"))
+        else:
+            steps.append(Step("masked_mxv", fused_mask=True, note="masked rows skipped"))
+    elif isinstance(v, E.ReduceRows):
+        _plan_mat(v.mat, None, steps)
+        if allow is None:
+            steps.append(Step("reduce_rows"))
+        else:
+            steps.append(Step("masked_reduce_rows", fused_mask=True))
+    else:
+        raise ExpressionError(f"unknown vector expression node {type(v).__name__}")
+    return Plan(tuple(steps))
+
+
+def _plan_mat(e: E.MatExpr, mask: E.Mask | None, steps: list[Step]) -> None:
+    _check_mask(mask, e.shape)
+    if isinstance(e, E.MatLeaf):
+        note = "transposed (cached descriptor)" if e.transposed else ""
+        steps.append(Step("leaf", note=note))
+        if mask is not None:
+            steps.append(Step("masked_select", fused_mask=True))
+        return
+    if isinstance(e, E.MxM):
+        _plan_mat(e.left, None, steps)
+        _plan_mat(e.right, None, steps)
+        if mask is None:
+            steps.append(Step("mxm"))
+        elif mask.complement:
+            steps.append(Step("mxm"))
+            steps.append(
+                Step("mask_filter", note="complement mask: full product then filter")
+            )
+        else:
+            steps.append(
+                Step("masked_mxm", fused_mask=True, note="masked rows never expanded")
+            )
+        return
+    if isinstance(e, E.UnionAll):
+        for p in e.parts:
+            child_mask = None if (mask is None or isinstance(p, E.MatLeaf)) else mask
+            _plan_mat(p, child_mask, steps)
+        if mask is None and len(e.parts) == 2:
+            steps.append(Step("ewise_union"))
+        elif mask is None:
+            steps.append(Step("union_all", note=f"{len(e.parts)}-way fused"))
+        else:
+            steps.append(
+                Step(
+                    "masked_union",
+                    fused_mask=True,
+                    note=f"{len(e.parts)}-way fused, triples filtered pre-sort",
+                )
+            )
+        return
+    if isinstance(e, E.EWiseMult):
+        if mask is None:
+            _plan_mat(e.left, None, steps)
+            _plan_mat(e.right, None, steps)
+            steps.append(Step("ewise_intersect"))
+        else:
+            left_mask = None if isinstance(e.left, E.MatLeaf) else mask
+            _plan_mat(e.left, left_mask, steps)
+            _plan_mat(e.right, None, steps)
+            steps.append(Step("masked_intersect", fused_mask=True, note="mask pushed to left operand"))
+        return
+    if isinstance(e, E.TransposeExpr):
+        pushed = None if mask is None else mask.transpose()
+        _plan_mat(e.child, pushed, steps)
+        steps.append(Step("transpose", note="mask pushed through transpose" if mask else ""))
+        return
+    raise ExpressionError(f"unknown expression node {type(e).__name__}")

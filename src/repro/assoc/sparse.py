@@ -21,7 +21,7 @@ both paths return bit-identical matrices.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -32,7 +32,7 @@ from repro.runtime.config import parallel_config
 if TYPE_CHECKING:  # pragma: no cover
     import scipy.sparse as sp
 
-__all__ = ["coalesce", "CSRMatrix"]
+__all__ = ["coalesce", "CSRMatrix", "masked_select"]
 
 
 def coalesce(
@@ -106,7 +106,7 @@ class CSRMatrix:
     removed with :meth:`prune`).
     """
 
-    __slots__ = ("shape", "indptr", "indices", "data")
+    __slots__ = ("shape", "indptr", "indices", "data", "_t_cache")
 
     def __init__(
         self,
@@ -121,8 +121,22 @@ class CSRMatrix:
         self.indptr = np.asarray(indptr, dtype=np.int64)
         self.indices = np.asarray(indices, dtype=np.int64)
         self.data = np.asarray(data)
+        self._t_cache: "CSRMatrix | None" = None
         if not _trusted:
             self._validate()
+
+    def __getstate__(self):
+        # the transpose cache is derivable (and mutually referential); keep it
+        # out of pickles so process-backend task payloads stay lean
+        return (self.shape, self.indptr, self.indices, self.data)
+
+    def __setstate__(self, state) -> None:
+        shape, indptr, indices, data = state
+        self.shape = shape
+        self.indptr = indptr
+        self.indices = indices
+        self.data = data
+        self._t_cache = None
 
     def _validate(self) -> None:
         n_rows, n_cols = self.shape
@@ -241,12 +255,60 @@ class CSRMatrix:
         return f"CSRMatrix(shape={self.shape}, nnz={self.nnz}, dtype={self.dtype})"
 
     # ------------------------------------------------------------------ #
+    # operator sugar (defined via the expression layer)
+    # ------------------------------------------------------------------ #
+
+    def __matmul__(self, other: "CSRMatrix") -> "CSRMatrix":
+        """``A @ B`` — the default ``plus.times`` semiring product."""
+        if not isinstance(other, CSRMatrix):
+            return NotImplemented
+        return self.mxm(other, PLUS_TIMES)
+
+    def __add__(self, other: "CSRMatrix") -> "CSRMatrix":
+        """``A + B`` — element-wise union under the ``plus`` monoid."""
+        if not isinstance(other, CSRMatrix):
+            return NotImplemented
+        return self.ewise_union(other, PLUS_MONOID)
+
+    def __mul__(self, other):  # noqa: ANN001
+        """``A * B`` — element-wise intersection under ``times``; scalars scale."""
+        if isinstance(other, CSRMatrix):
+            return self.ewise_intersect(other, PLUS_TIMES.mult)
+        if isinstance(other, (int, float, np.number)):
+            return CSRMatrix(
+                self.shape,
+                self.indptr.copy(),
+                self.indices.copy(),
+                self.data * other,
+                _trusted=True,
+            )
+        return NotImplemented
+
+    __rmul__ = __mul__
+
+    # ------------------------------------------------------------------ #
     # structural ops
     # ------------------------------------------------------------------ #
 
     def transpose(self) -> "CSRMatrix":
-        rows, cols, vals = self.triples()
-        return CSRMatrix.from_triples(cols, rows, vals, (self.shape[1], self.shape[0]))
+        """The transpose, computed once and cached.
+
+        :class:`CSRMatrix` is treated as immutable by the whole engine, so
+        the transpose is memoized.  This is the "descriptor" half of the lazy
+        expression layer: folding a transpose into an operand costs one
+        CSC-style rebuild ever, not one per call — the fix for ``vxm``
+        rebuilding its transpose on every product.  The memo is one-way (no
+        back-link), so a matrix/transpose pair never forms a reference cycle
+        and reference counting reclaims temporaries promptly.  Callers that
+        mutate ``data`` in place must not rely on a previously-taken
+        transpose staying in sync.
+        """
+        if self._t_cache is None:
+            rows, cols, vals = self.triples()
+            self._t_cache = CSRMatrix.from_triples(
+                cols, rows, vals, (self.shape[1], self.shape[0])
+            )
+        return self._t_cache
 
     @property
     def T(self) -> "CSRMatrix":
@@ -291,7 +353,18 @@ class CSRMatrix:
     # ------------------------------------------------------------------ #
 
     def ewise_union(self, other: "CSRMatrix", add: Monoid = PLUS_MONOID) -> "CSRMatrix":
-        """Element-wise combine over the union of patterns (GraphBLAS eWiseAdd)."""
+        """Element-wise combine over the union of patterns (GraphBLAS eWiseAdd).
+
+        Eager surface: builds a one-node expression and evaluates it
+        immediately, so the call exercises the same planner path as the lazy
+        API (:mod:`repro.assoc.expr`).
+        """
+        from repro.assoc import expr
+
+        return expr.as_expr(self).ewise(other, add, how="union").new()
+
+    def _ewise_union_dispatch(self, other: "CSRMatrix", add: Monoid) -> "CSRMatrix":
+        """The eager union kernel with runtime gating (planner dispatch target)."""
         self._check_shape(other)
         cfg = parallel_config(self.nnz + other.nnz) if self.shape[0] > 1 else None
         if cfg is not None:
@@ -314,6 +387,12 @@ class CSRMatrix:
 
     def ewise_intersect(self, other: "CSRMatrix", mult) -> "CSRMatrix":  # noqa: ANN001
         """Element-wise combine over the pattern intersection (eWiseMult)."""
+        from repro.assoc import expr
+
+        return expr.as_expr(self).ewise(other, mult, how="intersect").new()
+
+    def _ewise_intersect_dispatch(self, other: "CSRMatrix", mult) -> "CSRMatrix":  # noqa: ANN001
+        """The eager intersect kernel with runtime gating (planner dispatch target)."""
         self._check_shape(other)
         cfg = parallel_config(self.nnz + other.nnz) if self.shape[0] > 1 else None
         if cfg is not None:
@@ -342,6 +421,12 @@ class CSRMatrix:
 
     def mxv(self, x: np.ndarray, semiring: Semiring = PLUS_TIMES) -> np.ndarray:
         """Matrix-vector product ``y[i] = add_k mult(A[i,k], x[k])`` (dense x/y)."""
+        from repro.assoc import expr
+
+        return expr.as_expr(self).mxv(x, semiring).new()
+
+    def _mxv_dispatch(self, x: np.ndarray, semiring: Semiring) -> np.ndarray:
+        """The eager mxv kernel with runtime gating (planner dispatch target)."""
         x = np.asarray(x)
         if x.shape != (self.shape[1],):
             raise SparseFormatError(f"vector length {x.shape} != {(self.shape[1],)}")
@@ -358,8 +443,16 @@ class CSRMatrix:
         return semiring.add.reduceat(prod, self.indptr)
 
     def vxm(self, x: np.ndarray, semiring: Semiring = PLUS_TIMES) -> np.ndarray:
-        """Vector-matrix product ``y = x A`` — ``mxv`` on the transpose."""
-        return self.transpose().mxv(x, semiring)
+        """Vector-matrix product ``y = x A`` — ``mxv`` through the transpose
+        descriptor.
+
+        The transpose is folded by the planner onto the cached transpose
+        (:meth:`transpose`), so repeated ``vxm`` on the same matrix costs one
+        transpose build total instead of an O(nnz) rebuild per call.
+        """
+        from repro.assoc import expr
+
+        return expr.as_expr(self).T.mxv(x, semiring).new()
 
     def mxm(self, other: "CSRMatrix", semiring: Semiring = PLUS_TIMES) -> "CSRMatrix":
         """Sparse matrix product over *semiring* using vectorized ESC.
@@ -370,7 +463,16 @@ class CSRMatrix:
         with the additive monoid.  The expanded intermediate has
         ``sum_k nnz(A[:,k]) * nnz(B[k,:])`` entries — the usual sparse-GEMM
         FLOP count.
+
+        Eager surface: evaluates a one-node expression through the planner, so
+        the eager and lazy (:mod:`repro.assoc.expr`) paths share one dispatch.
         """
+        from repro.assoc import expr
+
+        return expr.as_expr(self).mxm(other, semiring).new()
+
+    def _mxm_dispatch(self, other: "CSRMatrix", semiring: Semiring) -> "CSRMatrix":
+        """The eager mxm kernel with runtime gating (planner dispatch target)."""
         if self.shape[1] != other.shape[0]:
             raise SparseFormatError(
                 f"inner dimension mismatch: {self.shape} @ {other.shape}"
@@ -475,3 +577,227 @@ class CSRMatrix:
             csr.data.copy(),
             _trusted=True,
         )
+
+
+# ---------------------------------------------------------------------- #
+# masked (fused) serial kernels
+#
+# These are the dispatch targets the expression planner
+# (repro.assoc.planner) uses when an assignment carries a structural mask.
+# They restrict *computation* to the mask's pattern — masked-out rows are
+# never expanded and masked-out product terms are dropped before the
+# coalesce sort — instead of materialising the full result and filtering.
+# Each is bit-identical to its eager-then-filter equivalent: filtering the
+# ESC expansion preserves the relative order of the surviving terms, so the
+# stable sort groups and reduces them exactly as the unmasked kernel would.
+# ---------------------------------------------------------------------- #
+
+
+def _mask_keep(
+    rows: np.ndarray,
+    cols: np.ndarray,
+    mask: "CSRMatrix",
+    complement: bool,
+    n_cols: int,
+) -> np.ndarray:
+    """Boolean keep-array: which ``(rows, cols)`` coordinates the mask allows.
+
+    Membership is a ``searchsorted`` against the mask's row-major flat keys
+    (canonical CSR order makes them pre-sorted) — O((nnz + m) log m), no
+    dense materialisation.
+    """
+    n_cols = np.int64(n_cols)
+    m_rows = np.repeat(np.arange(mask.shape[0], dtype=np.int64), mask.row_nnz())
+    m_keys = m_rows * n_cols + mask.indices
+    keys = np.asarray(rows, dtype=np.int64) * n_cols + np.asarray(cols, dtype=np.int64)
+    if m_keys.size == 0:
+        hit = np.zeros(keys.shape, dtype=bool)
+    else:
+        pos = np.searchsorted(m_keys, keys)
+        hit = (pos < m_keys.size) & (m_keys[np.minimum(pos, m_keys.size - 1)] == keys)
+    return ~hit if complement else hit
+
+
+def masked_select(a: "CSRMatrix", mask: "CSRMatrix", complement: bool = False) -> "CSRMatrix":
+    """Entries of *a* at coordinates the structural *mask* allows.
+
+    This is GraphBLAS ``C⟨M⟩ = A`` for a leaf expression: a pure pattern
+    filter, never densified.  With ``complement=True`` it keeps the entries
+    *outside* the mask pattern instead.
+    """
+    if a.shape != mask.shape:
+        raise SparseFormatError(f"mask shape {mask.shape} != operand shape {a.shape}")
+    rows, cols, vals = a.triples()
+    keep = _mask_keep(rows, cols, mask, complement, a.shape[1])
+    return CSRMatrix.from_triples(rows[keep], cols[keep], vals[keep], a.shape)
+
+
+def _mxm_out_dtype(a: "CSRMatrix", b: "CSRMatrix", mult) -> np.dtype:  # noqa: ANN001
+    """The dtype ``a.mxm(b)`` would produce (probe rule of the eager kernel)."""
+    if a.nnz == 0 or b.nnz == 0:
+        return np.result_type(a.dtype, b.dtype)
+    if int(b.row_nnz()[a.indices].sum()) == 0:
+        return np.result_type(a.dtype, b.dtype)
+    return np.asarray(mult(a.data[:1], b.data[:1])).dtype
+
+
+def _masked_mxm_serial(
+    a: "CSRMatrix",
+    b: "CSRMatrix",
+    semiring: Semiring,
+    mask: "CSRMatrix",
+    out_dtype: np.dtype | None = None,
+) -> "CSRMatrix":
+    """Fused masked ESC product: ``C⟨M⟩ = A ⊕.⊗ B`` without the full product.
+
+    Rows whose mask row is empty are skipped entirely (never expanded), and
+    expansion terms landing outside the mask pattern are dropped *before*
+    the coalesce sort — the expensive O(t log t) step only ever sees
+    surviving terms.  Non-complemented masks only; the planner routes
+    complement masks through the unmasked kernel plus a filter (a complement
+    of a sparse mask keeps almost everything, so there is nothing to skip).
+    """
+    out_shape = (a.shape[0], b.shape[1])
+    if mask.shape != out_shape:
+        raise SparseFormatError(f"mask shape {mask.shape} != product shape {out_shape}")
+    if out_dtype is None:
+        out_dtype = _mxm_out_dtype(a, b, semiring.mult)
+    sel = np.flatnonzero((a.row_nnz() > 0) & (mask.row_nnz() > 0))
+    if a.nnz == 0 or b.nnz == 0 or sel.size == 0:
+        return CSRMatrix.empty(out_shape, out_dtype)
+    # gather the stored entries of the selected (mask-active) rows of A
+    a_counts = a.row_nnz()[sel]
+    total_a = int(a_counts.sum())
+    a_offsets = np.repeat(a.indptr[sel], a_counts)
+    a_ramp = np.arange(total_a, dtype=np.int64) - np.repeat(
+        np.cumsum(a_counts) - a_counts, a_counts
+    )
+    a_pos = a_offsets + a_ramp
+    a_cols = a.indices[a_pos]
+    a_rows = np.repeat(sel.astype(np.int64), a_counts)
+    # ESC expansion restricted to those rows
+    counts = b.row_nnz()[a_cols]
+    total = int(counts.sum())
+    if total == 0:
+        return CSRMatrix.empty(out_shape, out_dtype)
+    out_rows = np.repeat(a_rows, counts)
+    offsets = np.repeat(b.indptr[a_cols], counts)
+    ramp = np.arange(total, dtype=np.int64) - np.repeat(np.cumsum(counts) - counts, counts)
+    b_pos = offsets + ramp
+    out_cols = b.indices[b_pos]
+    # drop masked-out terms before multiplying or sorting
+    keep = _mask_keep(out_rows, out_cols, mask, False, out_shape[1])
+    out_rows = out_rows[keep]
+    out_cols = out_cols[keep]
+    a_vals = np.repeat(a.data[a_pos], counts)[keep]
+    b_vals = b.data[b_pos[keep]]
+    out_vals = np.asarray(semiring.mult(a_vals, b_vals))
+    if out_vals.size == 0:
+        return CSRMatrix.empty(out_shape, out_dtype)
+    result = CSRMatrix.from_triples(out_rows, out_cols, out_vals, out_shape, semiring.add)
+    return result.prune(semiring.zero(out_vals.dtype))
+
+
+def _masked_mxv_serial(
+    a: "CSRMatrix",
+    x: np.ndarray,
+    semiring: Semiring,
+    allow: np.ndarray,
+) -> np.ndarray:
+    """Masked matrix-vector product: only rows with ``allow[i]`` are computed.
+
+    *allow* is a dense boolean row mask with any complement already applied.
+    Unselected rows carry the additive identity — exactly what
+    eager-then-filter would leave there.
+    """
+    # dtype probe on empty slices: same input dtypes as the full product
+    prod_dtype = np.asarray(semiring.mult(a.data[:0], x[:0])).dtype
+    out = np.full(a.shape[0], semiring.add.identity(prod_dtype), dtype=prod_dtype)
+    sel = np.flatnonzero(allow)
+    if sel.size == 0 or a.nnz == 0:
+        return out
+    counts = a.row_nnz()[sel]
+    total = int(counts.sum())
+    offsets = np.repeat(a.indptr[sel], counts)
+    ramp = np.arange(total, dtype=np.int64) - np.repeat(np.cumsum(counts) - counts, counts)
+    pos = offsets + ramp
+    prod = np.asarray(semiring.mult(a.data[pos], x[a.indices[pos]]))
+    seg = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+    out[sel] = semiring.add.reduceat(prod, seg)
+    return out
+
+
+def _masked_reduce_rows_serial(a: "CSRMatrix", add: Monoid, allow: np.ndarray) -> np.ndarray:
+    """Per-row reduction computed only for rows with ``allow[i]`` set.
+
+    Unselected rows carry the monoid identity, matching eager-then-filter.
+    """
+    out = np.full(a.shape[0], add.identity(a.dtype), dtype=a.dtype)
+    sel = np.flatnonzero(allow)
+    if sel.size == 0 or a.nnz == 0:
+        return out
+    counts = a.row_nnz()[sel]
+    total = int(counts.sum())
+    offsets = np.repeat(a.indptr[sel], counts)
+    ramp = np.arange(total, dtype=np.int64) - np.repeat(np.cumsum(counts) - counts, counts)
+    pos = offsets + ramp
+    seg = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+    out[sel] = add.reduceat(a.data[pos], seg)
+    return out
+
+
+def _masked_intersect_serial(
+    a: "CSRMatrix",
+    b: "CSRMatrix",
+    mult,  # noqa: ANN001
+    mask: "CSRMatrix",
+    complement: bool,
+) -> "CSRMatrix":
+    """Fused masked eWiseMult: the left operand is mask-filtered *before*
+    intersecting, so ``(A ∩ mask) ∩ B == (A ∩ B) ∩ mask`` never exists
+    unmasked."""
+    n_cols = np.int64(a.shape[1])
+    r1, c1, v1 = a.triples()
+    keep = _mask_keep(r1, c1, mask, complement, a.shape[1])
+    r1, c1, v1 = r1[keep], c1[keep], v1[keep]
+    r2, c2, v2 = b.triples()
+    k1 = r1 * n_cols + c1
+    k2 = r2 * n_cols + c2
+    common, i1, i2 = np.intersect1d(k1, k2, assume_unique=True, return_indices=True)
+    vals = mult(v1[i1], v2[i2])
+    return CSRMatrix.from_triples(common // n_cols, common % n_cols, vals, a.shape)
+
+
+def _union_all_serial(
+    parts: Sequence["CSRMatrix"],
+    add: Monoid,
+    mask: "CSRMatrix | None" = None,
+    complement: bool = False,
+) -> "CSRMatrix":
+    """N-ary fused eWiseAdd: one concatenate + one coalesce for *parts*.
+
+    The concatenation order is the operand order, so duplicate coordinates
+    reduce left-to-right — bit-identical to the pairwise
+    ``ewise_union`` left-fold the chain would otherwise run, at a single
+    sort instead of ``len(parts) - 1`` of them.  With a mask, each operand's
+    triples are filtered before the sort (fused masked union).
+    """
+    shape = parts[0].shape
+    dtype = np.result_type(*(p.dtype for p in parts))
+    rows_l: list[np.ndarray] = []
+    cols_l: list[np.ndarray] = []
+    vals_l: list[np.ndarray] = []
+    for p in parts:
+        r, c, v = p.triples()
+        if mask is not None:
+            keep = _mask_keep(r, c, mask, complement, shape[1])
+            r, c, v = r[keep], c[keep], v[keep]
+        rows_l.append(r)
+        cols_l.append(c)
+        vals_l.append(v.astype(dtype))
+    rows = np.concatenate(rows_l)
+    cols = np.concatenate(cols_l)
+    vals = np.concatenate(vals_l)
+    if rows.size == 0:
+        return CSRMatrix.empty(shape, dtype)
+    return CSRMatrix.from_triples(rows, cols, vals, shape, add)

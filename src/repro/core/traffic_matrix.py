@@ -384,6 +384,36 @@ class TrafficMatrix:
             extended_colors=self._extended,
         )
 
+    def masked_where(
+        self,
+        mask: "TrafficMatrix | CSRMatrix | np.ndarray",
+        *,
+        complement: bool = False,
+        color: int | None = None,
+    ) -> "TrafficMatrix":
+        """Keep only the cells a structural *mask* allows (sparse masked select).
+
+        The filter runs on the expression layer (:mod:`repro.assoc.expr`), so
+        only the stored flows are touched — no dense boolean scratch grids.
+        *mask* may be another :class:`TrafficMatrix` (its non-empty cells form
+        the pattern), a :class:`~repro.assoc.sparse.CSRMatrix`, or a dense
+        boolean array; ``complement=True`` keeps the cells *outside* the
+        pattern instead.  Kept cells keep their colour, or take *color* when
+        given (the firewall panels paint violations red this way); dropped
+        cells reset to grey.
+        """
+        from repro.assoc import expr
+
+        if isinstance(mask, TrafficMatrix):
+            mask = mask.to_csr()
+        kept = expr.lazy(self.to_csr()).select(mask, complement=complement)
+        rows, cols, vals = kept.triples()
+        packets = np.zeros(self.shape, dtype=np.int64)
+        packets[rows, cols] = vals
+        colors = np.zeros(self.shape, dtype=np.int8)
+        colors[rows, cols] = np.int8(color) if color is not None else self._colors[rows, cols]
+        return TrafficMatrix(packets, self._labels, colors, extended_colors=self._extended)
+
     def with_colors(
         self,
         colors: np.ndarray | Sequence[Sequence[int]],
@@ -448,7 +478,12 @@ class TrafficMatrix:
         )
 
     def compose(
-        self, other: "TrafficMatrix", semiring: "str | Semiring" = "plus.times"
+        self,
+        other: "TrafficMatrix",
+        semiring: "str | Semiring" = "plus.times",
+        *,
+        mask: "TrafficMatrix | CSRMatrix | np.ndarray | None" = None,
+        complement: bool = False,
     ) -> "TrafficMatrix":
         """Relayed traffic ``self → via → other``: the semiring matrix product.
 
@@ -463,6 +498,11 @@ class TrafficMatrix:
         are rejected because absent cells would densify to 0 — the *best*
         min value — silently corrupting the result.  Use :meth:`to_csr` or
         :meth:`to_assoc` directly for tropical (``min.plus``) analysis.
+
+        With a *mask*, only the allowed cells of the product are computed:
+        the expression planner fuses the mask into the blocked product kernel
+        (a sparse non-complemented mask never materialises the full product)
+        — "which relayed flows would the firewall pass" in one call.
         """
         from repro.assoc.semiring import semiring_by_name
 
@@ -482,7 +522,16 @@ class TrafficMatrix:
                 f"monoid {semiring.add.name!r}; use to_csr()/to_assoc() for "
                 f"sparse {semiring.name} analysis"
             )
-        product = self.to_csr().mxm(other.to_csr(), semiring)
+        if mask is None:
+            product = self.to_csr().mxm(other.to_csr(), semiring)
+        else:
+            from repro.assoc import expr
+
+            if isinstance(mask, TrafficMatrix):
+                mask = mask.to_csr()
+            product = expr.lazy(self.to_csr()).mxm(other.to_csr(), semiring).new(
+                mask=mask, complement=complement
+            )
         return TrafficMatrix(product.to_dense(0), self._labels)
 
     def to_networkx(self) -> "nx.DiGraph":

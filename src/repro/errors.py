@@ -36,6 +36,10 @@ class SparseFormatError(ReproError):
     """A sparse kernel received indices or values that violate its format."""
 
 
+class ExpressionError(ReproError):
+    """Invalid construction or evaluation of a lazy :mod:`repro.assoc.expr` expression."""
+
+
 class RuntimeConfigError(ReproError):
     """Invalid :mod:`repro.runtime` configuration (workers, backend, blocks)."""
 

@@ -26,10 +26,12 @@ def overlay(matrices: Iterable[TrafficMatrix]) -> TrafficMatrix:
 
     Classroom-sized matrices combine densely.  When the runtime has parallel
     workers configured and the stack is large **and sparse**, the packet
-    grids are summed on the sparse engine (``ewise_union`` chains over row
-    blocks) instead — the same opt-in switch that accelerates the semiring
-    kernels.  Dense stacks always take the dense path: a CSR round trip
-    loses to one vectorized add when most cells are occupied.
+    grids are summed on the sparse engine through the expression layer: one
+    accumulator assignment (``total(accum=PLUS) << union_all(rest)``) whose
+    fused n-ary union runs a single row-blocked concatenate + coalesce
+    instead of a chain of pairwise unions.  Dense stacks always take the
+    dense path: a CSR round trip loses to one vectorized add when most cells
+    are occupied.
     """
     matrices = list(matrices)
     if not matrices:
@@ -47,9 +49,11 @@ def overlay(matrices: Iterable[TrafficMatrix]) -> TrafficMatrix:
     ):
         for m in matrices[1:]:
             first._check_compatible(m)
-        total = first.to_csr()
-        for m in matrices[1:]:
-            total = total.ewise_union(m.to_csr())
+        from repro.assoc.expr import Mat, union_all
+        from repro.assoc.semiring import PLUS
+
+        total = Mat.from_csr(first.to_csr())
+        total(accum=PLUS) << union_all([m.to_csr() for m in matrices[1:]])
         colors, extended = TrafficMatrix.overlay_style(matrices)
         return TrafficMatrix(
             total.to_dense(0),

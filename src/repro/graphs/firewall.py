@@ -66,6 +66,17 @@ class FirewallPolicy:
         colors = np.where(self.allowed, 1, 2).astype(np.int8)
         return TrafficMatrix(self.allowed.astype(np.int64), self.labels, colors)
 
+    def as_mask(self) -> "CSRMatrix":
+        """The allow-matrix as a structural mask for the expression layer.
+
+        ``traffic⟨mask⟩`` keeps the permitted flows; the complemented mask
+        keeps the violations.  This is the bridge from policy checking to the
+        fused masked kernels in :mod:`repro.assoc.expr`.
+        """
+        from repro.assoc.sparse import CSRMatrix
+
+        return CSRMatrix.from_dense(self.allowed)
+
 
 def default_policy(labels: Sequence[str] | None = None, n: int = 10) -> FirewallPolicy:
     """The perimeter policy described in the module docstring."""
@@ -88,37 +99,41 @@ def default_policy(labels: Sequence[str] | None = None, n: int = 10) -> Firewall
     return FirewallPolicy(labels, allowed)
 
 
+def _check_axes(traffic: TrafficMatrix, policy: FirewallPolicy) -> None:
+    if traffic.labels != policy.labels:
+        raise ShapeError("traffic and policy must share the same label axis")
+
+
 def violations(traffic: TrafficMatrix, policy: FirewallPolicy) -> list[tuple[str, str, int]]:
     """Flows present in *traffic* that the policy denies.
 
     Returns ``(source, destination, packets)`` triples in row-major order —
-    the firewall's drop log for this matrix.
+    the firewall's drop log for this matrix.  Computed as a sparse masked
+    select (``traffic⟨¬allowed⟩``) on the expression layer: only the stored
+    flows are examined, never the full grid.
     """
-    if traffic.labels != policy.labels:
-        raise ShapeError("traffic and policy must share the same label axis")
-    bad = (traffic.packets > 0) & ~policy.allowed
-    rows, cols = np.nonzero(bad)
+    from repro.assoc import expr
+
+    _check_axes(traffic, policy)
+    bad = expr.lazy(traffic.to_csr()).select(policy.as_mask(), complement=True)
+    rows, cols, vals = bad.triples()
     return [
-        (traffic.labels[i], traffic.labels[j], int(traffic.packets[i, j]))
-        for i, j in zip(rows.tolist(), cols.tolist())
+        (traffic.labels[i], traffic.labels[j], int(v))
+        for i, j, v in zip(rows.tolist(), cols.tolist(), vals.tolist())
     ]
 
 
 def violating_traffic(traffic: TrafficMatrix, policy: FirewallPolicy) -> TrafficMatrix:
-    """Just the denied flows, coloured red — the panel a lesson displays."""
-    if traffic.labels != policy.labels:
-        raise ShapeError("traffic and policy must share the same label axis")
-    bad = (traffic.packets > 0) & ~policy.allowed
-    packets = np.where(bad, traffic.packets, 0)
-    colors = np.where(bad, 2, 0).astype(np.int8)
-    return TrafficMatrix(packets, traffic.labels, colors)
+    """Just the denied flows, coloured red — the panel a lesson displays.
+
+    A complement-masked select (``traffic⟨¬allowed⟩``) instead of dense
+    ``np.where`` grids — the kernel layer now expresses the mask directly.
+    """
+    _check_axes(traffic, policy)
+    return traffic.masked_where(policy.as_mask(), complement=True, color=2)
 
 
 def compliant_traffic(traffic: TrafficMatrix, policy: FirewallPolicy) -> TrafficMatrix:
-    """The flows the firewall passes, coloured blue."""
-    if traffic.labels != policy.labels:
-        raise ShapeError("traffic and policy must share the same label axis")
-    ok = (traffic.packets > 0) & policy.allowed
-    packets = np.where(ok, traffic.packets, 0)
-    colors = np.where(ok, 1, 0).astype(np.int8)
-    return TrafficMatrix(packets, traffic.labels, colors)
+    """The flows the firewall passes, coloured blue (``traffic⟨allowed⟩``)."""
+    _check_axes(traffic, policy)
+    return traffic.masked_where(policy.as_mask(), color=1)

@@ -55,14 +55,24 @@ def reciprocity(matrix: TrafficMatrix) -> float:
 
     1.0 for fully mutual patterns (clique, ring), 0.0 for one-way patterns
     (single links, DDoS flood) — a one-number mutual/one-way discriminator.
+
+    Sparse formulation on the expression layer: a complement-masked select
+    drops the diagonal (``P⟨¬I⟩``), and the mutual count is the masked
+    pattern intersection ``(P ⊗ Pᵀ)⟨¬I⟩`` — the transpose folds onto the
+    cached descriptor, and only stored links are ever touched.
     """
-    p = matrix.packets > 0
-    off = p.copy()
-    np.fill_diagonal(off, False)
-    links = int(off.sum())
+    from repro.assoc.expr import lazy
+    from repro.assoc.semiring import PAIR
+    from repro.assoc.sparse import CSRMatrix
+
+    p = matrix.to_csr()
+    eye = CSRMatrix.identity(matrix.n)
+    links = lazy(p).select(eye, complement=True).nnz
     if links == 0:
         return 0.0
-    mutual = int((off & off.T).sum())
+    mutual = (
+        lazy(p).ewise(p.transpose(), PAIR, how="intersect").new(mask=eye, complement=True).nnz
+    )
     return mutual / links
 
 
@@ -81,10 +91,16 @@ def supernodes(matrix: TrafficMatrix, *, min_fan: int | None = None) -> list[str
     everybody" signature of Fig. 6c/6d.  Fan counts distinct peers in either
     direction, excluding self.
     """
-    p = matrix.packets > 0
-    peers = p | p.T
-    np.fill_diagonal(peers, False)
-    fan = peers.sum(axis=1)
+    from repro.assoc.expr import lazy
+    from repro.assoc.semiring import MAX_MONOID
+    from repro.assoc.sparse import CSRMatrix
+
+    p = matrix.to_csr()
+    eye = CSRMatrix.identity(matrix.n)
+    # peer pattern = (P ∪ Pᵀ)⟨¬I⟩, fused: one union coalesce, diagonal
+    # dropped pre-sort, transpose from the cached descriptor
+    peers = lazy(p).ewise(p.transpose(), MAX_MONOID).new(mask=eye, complement=True)
+    fan = peers.row_nnz()
     threshold = max(2, (matrix.n - 1) // 2) if min_fan is None else min_fan
     return [matrix.labels[i] for i in np.flatnonzero(fan >= threshold).tolist()]
 

@@ -7,11 +7,14 @@ introspected schemas (:func:`make_corpus`), runs each through a battery of
 independent-path oracles (:func:`default_oracles`), and reports — shrinking
 and persisting any failure as a replayable JSON repro file.
 
-The four standard oracles:
+The five standard oracles:
 
 * :class:`KernelEqualityOracle` — serial vs row-blocked semiring kernels on
   corpus-derived CSR matrices, bit for bit (plus a dense reference for
   ``plus.times``);
+* :class:`MaskedEqualityOracle` — the expression layer's fused masked kernels
+  (masked ``mxm``/union/intersect/select/``mxv`` and accumulator assignment)
+  vs independent eager-then-filter references, serial and blocked;
 * :class:`RoundTripOracle` — spec → JSON → spec → matrix identity, and
   provenance metadata that rebuilds its own matrix;
 * :class:`ClassifierOracle` — the rule-based classifier recovers the
@@ -37,6 +40,7 @@ from repro.verify.oracles import (
     CLASSIFIER_AMBIGUITIES,
     ClassifierOracle,
     KernelEqualityOracle,
+    MaskedEqualityOracle,
     Oracle,
     OracleVerdict,
     OverlayMetamorphicOracle,
@@ -62,6 +66,7 @@ __all__ = [
     "Oracle",
     "OracleVerdict",
     "KernelEqualityOracle",
+    "MaskedEqualityOracle",
     "RoundTripOracle",
     "ClassifierOracle",
     "OverlayMetamorphicOracle",

@@ -25,11 +25,23 @@ from repro.assoc.blocked import (
     parallel_coalesce,
     parallel_ewise_intersect,
     parallel_ewise_union,
+    parallel_masked_intersect,
+    parallel_masked_mxm,
+    parallel_masked_mxv,
     parallel_mxm,
     parallel_mxv,
+    parallel_union_all,
 )
 from repro.assoc.semiring import PLUS_MONOID, PLUS_TIMES, Monoid, Semiring
-from repro.assoc.sparse import CSRMatrix, _coalesce_core
+from repro.assoc.sparse import (
+    CSRMatrix,
+    _coalesce_core,
+    _masked_intersect_serial,
+    _masked_mxm_serial,
+    _masked_mxv_serial,
+    _union_all_serial,
+    masked_select,
+)
 from repro.runtime.config import RuntimeConfig
 from repro.scenarios.registry import get_generator
 from repro.scenarios.spec import ScenarioSpec
@@ -38,6 +50,7 @@ __all__ = [
     "OracleVerdict",
     "Oracle",
     "KernelEqualityOracle",
+    "MaskedEqualityOracle",
     "RoundTripOracle",
     "ClassifierOracle",
     "OverlayMetamorphicOracle",
@@ -176,6 +189,141 @@ class KernelEqualityOracle:
             return _failed(self.name, f"coalesce serial != blocked ({self.monoid.name})")
 
         return _passed(self.name, f"5 kernels agree at block_rows={self.block_rows}")
+
+
+# --------------------------------------------------------------------------- #
+# 1b. lazy-masked ≡ eager-then-filter
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class MaskedEqualityOracle:
+    """Fused masked evaluation vs independent eager-then-filter references.
+
+    Every corpus matrix is pushed through the expression layer's masked
+    kernels three ways — serial fused, row-blocked fused (deliberately tiny
+    blocks), and the lazy ``.new(mask=…)`` surface — and each must be
+    bit-identical to an *independent* dense reference that materialises the
+    full result and zeroes the masked-out cells.  Covered: masked ``mxm``
+    (plain and complement), the fused n-ary union, the masked intersection,
+    ``masked_select``, masked ``mxv``, and the mask+accumulator assignment
+    rule.  The structural mask is drawn deterministically from the spec seed,
+    so the corpus replays identically everywhere.
+
+    Like :class:`KernelEqualityOracle`, the blocked paths run on an explicit
+    serial config so whole corpora can fan over thread/process pools without
+    nesting executors.
+    """
+
+    semiring: Semiring = PLUS_TIMES
+    monoid: Monoid = PLUS_MONOID
+    block_rows: int = 3
+    mask_density: float = 0.3
+
+    name = "masked_equality"
+
+    def _config(self) -> RuntimeConfig:
+        return RuntimeConfig(workers=1, backend="serial", block_rows=self.block_rows)
+
+    @staticmethod
+    def _filtered_ref(result: CSRMatrix, allow: np.ndarray) -> CSRMatrix:
+        """Independent reference: densify, zero the disallowed cells, rebuild."""
+        dense = result.to_dense(0)
+        dense = np.where(allow, dense, 0)
+        rows, cols = np.nonzero(dense)
+        return CSRMatrix.from_triples(
+            rows, cols, dense[rows, cols].astype(result.dtype), result.shape
+        )
+
+    def check(self, spec: ScenarioSpec) -> OracleVerdict:
+        from repro.assoc import expr
+
+        cfg = self._config()
+        a = spec.build().to_csr()
+        at = a.transpose()
+        n = a.shape[0]
+        rng = np.random.default_rng(spec.seed + 7)
+        allow = rng.random(a.shape) < self.mask_density
+        mask = CSRMatrix.from_dense(allow)
+        sr, add = self.semiring, self.monoid
+
+        # masked mxm: fused serial ≡ fused blocked ≡ lazy surface ≡ dense ref
+        eager = a._mxm_serial(a, sr)
+        for complement, allowed in ((False, allow), (True, ~allow)):
+            ref = self._filtered_ref(eager, allowed)
+            lazy_out = expr.lazy(a).mxm(a, sr).new(mask=mask, complement=complement)
+            if not _csr_identical(lazy_out, ref):
+                return _failed(self.name, f"lazy masked mxm != eager-then-filter (complement={complement})")
+            if not complement:
+                fused = _masked_mxm_serial(a, a, sr, mask)
+                blocked = parallel_masked_mxm(a, a, sr, mask, cfg)
+                if not (_csr_identical(fused, ref) and _csr_identical(blocked, ref)):
+                    return _failed(self.name, "fused masked mxm != eager-then-filter")
+                plan = expr.lazy(a).mxm(a, sr).plan(mask=mask)
+                if plan.materializes_unmasked or "masked_mxm" not in plan.kernels:
+                    return _failed(self.name, f"planner did not fuse the mask: {plan.describe()}")
+
+        # fused n-ary masked union over [A, Aᵀ, A]
+        parts = [a, at, a]
+        eager_union = a._ewise_union_serial(at, add)._ewise_union_serial(a, add)
+        for complement, allowed in ((False, allow), (True, ~allow)):
+            ref = self._filtered_ref(eager_union, allowed)
+            fused = _union_all_serial(parts, add, mask, complement)
+            blocked = parallel_union_all(parts, add, mask, complement, cfg)
+            lazy_out = (expr.lazy(a) + at + a).new(mask=mask, complement=complement)
+            if not (
+                _csr_identical(fused, ref)
+                and _csr_identical(blocked, ref)
+                and _csr_identical(lazy_out, ref)
+            ):
+                return _failed(self.name, f"masked union != eager-then-filter (complement={complement})")
+
+        # masked intersection A ⊗ Aᵀ
+        mult = sr.mult
+        eager_inter = a._ewise_intersect_serial(at, mult)
+        for complement, allowed in ((False, allow), (True, ~allow)):
+            ref = self._filtered_ref(eager_inter, allowed)
+            fused = _masked_intersect_serial(a, at, mult, mask, complement)
+            blocked = parallel_masked_intersect(a, at, mult, mask, complement, cfg)
+            if not (_csr_identical(fused, ref) and _csr_identical(blocked, ref)):
+                return _failed(self.name, f"masked intersect != eager-then-filter (complement={complement})")
+
+        # masked select of the operand itself
+        for complement, allowed in ((False, allow), (True, ~allow)):
+            ref = self._filtered_ref(a, allowed)
+            if not _csr_identical(masked_select(a, mask, complement), ref):
+                return _failed(self.name, f"masked select != eager-then-filter (complement={complement})")
+
+        # masked mxv: unselected rows carry the additive identity
+        x = rng.integers(0, 5, size=n).astype(np.int64)
+        row_allow = rng.random(n) < 0.5
+        y_ref = a._mxv_serial(x, sr)
+        y_ref = np.where(row_allow, y_ref, sr.add.identity(y_ref.dtype))
+        y_fused = _masked_mxv_serial(a, x, sr, row_allow)
+        y_blocked = parallel_masked_mxv(a, x, sr, row_allow, cfg)
+        y_lazy = expr.lazy(a).mxv(x, sr).new(mask=row_allow)
+        if not (
+            np.array_equal(y_ref, y_fused)
+            and np.array_equal(y_ref, y_blocked)
+            and np.array_equal(y_ref, y_lazy)
+            and y_ref.dtype == y_fused.dtype == y_blocked.dtype == y_lazy.dtype
+        ):
+            return _failed(self.name, "masked mxv != eager-then-filter")
+
+        # mask + accumulator assignment vs a dense model of the GraphBLAS rule
+        result = masked_select(at, mask, False)
+        for replace in (False, True):
+            assigned = expr.apply_assign(a, result, expr.Mask(mask), PLUS_MONOID, replace)
+            old_d = a.to_dense(0)
+            res_d = result.to_dense(0)
+            po, pr = old_d != 0, res_d != 0
+            out = np.where(pr & po, old_d + res_d, np.where(pr, res_d, old_d))
+            if replace:
+                out = np.where(~allow & po & ~pr, 0, out)
+            if not np.array_equal(assigned.to_dense(0), out):
+                return _failed(self.name, f"accum assignment diverged (replace={replace})")
+
+        return _passed(self.name, "6 masked paths agree with eager-then-filter")
 
 
 # --------------------------------------------------------------------------- #
@@ -329,9 +477,10 @@ class OverlayMetamorphicOracle:
 
 
 def default_oracles() -> tuple[Oracle, ...]:
-    """The standard battery: all four differential oracles, default settings."""
+    """The standard battery: all five differential oracles, default settings."""
     return (
         KernelEqualityOracle(),
+        MaskedEqualityOracle(),
         RoundTripOracle(),
         ClassifierOracle(),
         OverlayMetamorphicOracle(),

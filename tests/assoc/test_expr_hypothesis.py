@@ -1,0 +1,175 @@
+"""Property tests: mask edge cases and assignment semantics under hypothesis.
+
+The model is dense: every lazy-masked evaluation must equal "materialise
+eagerly, zero the disallowed cells", and every masked assignment must follow
+the GraphBLAS ``C⟨M⟩ ⊕= Z`` rule replayed cell by cell on dense grids.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.assoc.expr import Mask, Mat, apply_assign, lazy
+from repro.assoc.semiring import PLUS, PLUS_MONOID, PLUS_TIMES
+from repro.assoc.sparse import CSRMatrix, masked_select
+
+SIZES = st.integers(min_value=1, max_value=8)
+
+
+@st.composite
+def dense_matrix(draw, n=None, m=None, dtype=np.int64):
+    rows = draw(SIZES) if n is None else n
+    cols = draw(SIZES) if m is None else m
+    cells = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=6),
+            min_size=rows * cols,
+            max_size=rows * cols,
+        )
+    )
+    return np.asarray(cells, dtype=dtype).reshape(rows, cols)
+
+
+@st.composite
+def matrix_and_mask(draw):
+    dense = draw(dense_matrix())
+    n, m = dense.shape
+    kind = draw(st.sampled_from(["random", "empty", "full"]))
+    if kind == "empty":
+        allow = np.zeros((n, m), dtype=bool)
+    elif kind == "full":
+        allow = np.ones((n, m), dtype=bool)
+    else:
+        bits = draw(
+            st.lists(st.booleans(), min_size=n * m, max_size=n * m)
+        )
+        allow = np.asarray(bits, dtype=bool).reshape(n, m)
+    complement = draw(st.booleans())
+    return dense, allow, complement
+
+
+class TestMaskedEvaluationProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(matrix_and_mask())
+    def test_masked_select_equals_dense_filter(self, case):
+        dense, allow, complement = case
+        a = CSRMatrix.from_dense(dense)
+        mask = CSRMatrix.from_dense(allow)
+        allowed = ~allow if complement else allow
+        got = masked_select(a, mask, complement).to_dense(0)
+        assert np.array_equal(got, np.where(allowed, dense, 0))
+
+    @settings(max_examples=60, deadline=None)
+    @given(matrix_and_mask(), dense_matrix())
+    def test_masked_mxm_equals_filtered_product(self, case, other):
+        dense, allow, complement = case
+        n = dense.shape[0]
+        b = np.resize(other, (dense.shape[1], n)).astype(np.int64)
+        a_csr = CSRMatrix.from_dense(dense)
+        b_csr = CSRMatrix.from_dense(b)
+        mask = CSRMatrix.from_dense(np.resize(allow, (n, n)))
+        allowed = np.resize(allow, (n, n))
+        allowed = ~allowed if complement else allowed
+        got = lazy(a_csr).mxm(b_csr).new(mask=mask, complement=complement)
+        ref = np.where(allowed, dense @ b, 0)
+        assert np.array_equal(got.to_dense(0), ref)
+
+    @settings(max_examples=60, deadline=None)
+    @given(matrix_and_mask(), st.integers(min_value=0, max_value=6))
+    def test_masked_union_equals_filtered_sum(self, case, shift):
+        dense, allow, complement = case
+        other = np.roll(dense, shift, axis=1)
+        a = CSRMatrix.from_dense(dense)
+        b = CSRMatrix.from_dense(other)
+        mask = CSRMatrix.from_dense(allow)
+        allowed = ~allow if complement else allow
+        got = lazy(a).ewise(b, PLUS_MONOID).new(mask=mask, complement=complement)
+        assert np.array_equal(got.to_dense(0), np.where(allowed, dense + other, 0))
+
+    @settings(max_examples=60, deadline=None)
+    @given(matrix_and_mask())
+    def test_masked_intersect_equals_filtered_product(self, case):
+        dense, allow, complement = case
+        other = dense.T.copy() if dense.shape[0] == dense.shape[1] else dense.copy()
+        a = CSRMatrix.from_dense(dense)
+        b = CSRMatrix.from_dense(other)
+        mask = CSRMatrix.from_dense(allow)
+        allowed = ~allow if complement else allow
+        got = lazy(a).ewise(b, PLUS_TIMES.mult, how="intersect").new(
+            mask=mask, complement=complement
+        )
+        assert np.array_equal(got.to_dense(0), np.where(allowed, dense * other, 0))
+
+
+def dense_assign_model(old, res, allow, accum, replace):
+    """Cell-by-cell model of the GraphBLAS masked-assignment rule."""
+    out = old.copy()
+    po, pr = old != 0, res != 0
+    if accum is None:
+        # allowed region takes the result pattern outright
+        out = np.where(allow, res, out)
+        if replace:
+            out = np.where(~allow, 0, out)
+    else:
+        out = np.where(allow & po & pr, old + res, out)
+        out = np.where(allow & ~po & pr, res, out)
+        if replace:
+            out = np.where(~allow & ~pr, 0, out)
+    return out
+
+
+class TestAssignmentProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(matrix_and_mask(), st.booleans(), st.booleans())
+    def test_assignment_matches_dense_model(self, case, use_accum, replace):
+        old_dense, allow, complement = case
+        allowed = ~allow if complement else allow
+        rng = np.random.default_rng(int(old_dense.sum()) + 1)
+        res_dense = np.where(allowed, rng.integers(0, 5, old_dense.shape), 0)
+        old = CSRMatrix.from_dense(old_dense)
+        res = CSRMatrix.from_dense(res_dense)
+        mask = Mask(CSRMatrix.from_dense(allow), complement)
+        accum = PLUS if use_accum else None
+        got = apply_assign(old, res, mask, accum, replace)
+        model = dense_assign_model(
+            old_dense.astype(np.int64), res_dense.astype(np.int64), allowed,
+            accum, replace,
+        )
+        assert np.array_equal(got.to_dense(0), model)
+
+    @settings(max_examples=40, deadline=None)
+    @given(dense_matrix(dtype=np.int32))
+    def test_accum_dtype_promotion(self, old_dense):
+        """int32 target ⊕= float64 result promotes with np.result_type."""
+        old = CSRMatrix.from_dense(old_dense)
+        res_dense = (old_dense * 0.5).astype(np.float64)
+        res = CSRMatrix.from_dense(res_dense)
+        got = apply_assign(old, res, None, PLUS, False)
+        assert got.dtype == np.result_type(np.int32, np.float64)
+        assert np.array_equal(
+            got.to_dense(0),
+            dense_assign_model(
+                old_dense.astype(np.float64),
+                res_dense,
+                np.ones(old_dense.shape, dtype=bool),
+                PLUS,
+                False,
+            ),
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(matrix_and_mask())
+    def test_mat_surface_matches_apply_assign(self, case):
+        old_dense, allow, complement = case
+        old = CSRMatrix.from_dense(old_dense)
+        res = CSRMatrix.from_dense(np.ones(old_dense.shape, dtype=np.int64))
+        c = Mat.from_csr(old)
+        c(mask=CSRMatrix.from_dense(allow), accum=PLUS, complement=complement) << res
+        expected = apply_assign(
+            old,
+            masked_select(res, CSRMatrix.from_dense(allow), complement),
+            Mask(CSRMatrix.from_dense(allow), complement),
+            PLUS,
+            False,
+        )
+        assert c.csr == expected

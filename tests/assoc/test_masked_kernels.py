@@ -1,0 +1,291 @@
+"""Fused masked kernels: serial ≡ blocked ≡ eager-then-filter, bit for bit."""
+
+import numpy as np
+import pytest
+
+from repro import runtime
+from repro.assoc.blocked import (
+    parallel_masked_intersect,
+    parallel_masked_mxm,
+    parallel_masked_mxv,
+    parallel_union_all,
+)
+from repro.assoc.expr import lazy
+from repro.assoc.semiring import (
+    LOR_LAND,
+    MIN_PLUS,
+    PLUS_MONOID,
+    PLUS_TIMES,
+    MAX_MONOID,
+)
+from repro.assoc.sparse import (
+    CSRMatrix,
+    _masked_intersect_serial,
+    _masked_mxm_serial,
+    _masked_mxv_serial,
+    _union_all_serial,
+    masked_select,
+)
+from repro.runtime.config import RuntimeConfig
+
+TINY_BLOCKS = RuntimeConfig(workers=1, backend="serial", block_rows=3)
+
+
+def random_csr(n_rows, n_cols, density, seed, dtype=np.int64):
+    rng = np.random.default_rng(seed)
+    dense = np.zeros((n_rows, n_cols), dtype=dtype)
+    nnz = max(1, int(n_rows * n_cols * density))
+    dense[rng.integers(0, n_rows, nnz), rng.integers(0, n_cols, nnz)] = rng.integers(
+        1, 9, nnz
+    ).astype(dtype)
+    return CSRMatrix.from_dense(dense)
+
+
+def random_mask(n_rows, n_cols, density, seed):
+    rng = np.random.default_rng(seed)
+    return CSRMatrix.from_dense(rng.random((n_rows, n_cols)) < density)
+
+
+def identical(x: CSRMatrix, y: CSRMatrix) -> bool:
+    return (
+        x.shape == y.shape
+        and x.dtype == y.dtype
+        and np.array_equal(x.indptr, y.indptr)
+        and np.array_equal(x.indices, y.indices)
+        and np.array_equal(x.data, y.data)
+    )
+
+
+class TestMaskedMxm:
+    @pytest.mark.parametrize("semiring", [PLUS_TIMES, MIN_PLUS, LOR_LAND])
+    @pytest.mark.parametrize("mask_density", [0.02, 0.2, 0.8])
+    def test_serial_blocked_and_filter_agree(self, semiring, mask_density):
+        dtype = np.float64 if semiring is MIN_PLUS else np.int64
+        a = random_csr(30, 30, 0.15, seed=1, dtype=dtype)
+        b = random_csr(30, 30, 0.15, seed=2, dtype=dtype)
+        mask = random_mask(30, 30, mask_density, seed=3)
+        ref = masked_select(a.mxm(b, semiring), mask)
+        fused = _masked_mxm_serial(a, b, semiring, mask)
+        blocked = parallel_masked_mxm(a, b, semiring, mask, TINY_BLOCKS)
+        assert identical(fused, ref)
+        assert identical(blocked, ref)
+
+    def test_never_materializes_unmasked(self):
+        a = random_csr(40, 40, 0.2, seed=4)
+        mask = random_mask(40, 40, 0.01, seed=5)
+        plan = lazy(a).mxm(a).plan(mask=mask)
+        assert not plan.materializes_unmasked
+        assert plan.uses_fused_mask
+
+    def test_empty_mask_yields_empty_product(self):
+        a = random_csr(12, 12, 0.3, seed=6)
+        mask = CSRMatrix.empty((12, 12), np.bool_)
+        out = _masked_mxm_serial(a, a, PLUS_TIMES, mask)
+        assert out.nnz == 0
+        assert out.dtype == a.mxm(a).dtype  # dtype matches eager-then-filter
+
+    def test_full_mask_equals_unmasked(self):
+        a = random_csr(12, 12, 0.3, seed=7)
+        mask = CSRMatrix.from_dense(np.ones((12, 12), dtype=bool))
+        assert identical(_masked_mxm_serial(a, a, PLUS_TIMES, mask), a.mxm(a))
+
+    def test_rectangular_shapes(self):
+        a = random_csr(9, 14, 0.3, seed=8)
+        b = random_csr(14, 6, 0.3, seed=9)
+        mask = random_mask(9, 6, 0.3, seed=10)
+        ref = masked_select(a.mxm(b), mask)
+        assert identical(_masked_mxm_serial(a, b, PLUS_TIMES, mask), ref)
+        assert identical(parallel_masked_mxm(a, b, PLUS_TIMES, mask, TINY_BLOCKS), ref)
+
+    def test_thread_runtime_matches_serial(self):
+        a = random_csr(60, 60, 0.2, seed=11)
+        mask = random_mask(60, 60, 0.1, seed=12)
+        serial = lazy(a).mxm(a).new(mask=mask)
+        with runtime.configured(workers=4, backend="thread", min_parallel_work=1):
+            parallel = lazy(a).mxm(a).new(mask=mask)
+        assert identical(serial, parallel)
+
+    def test_complement_path_matches_filter(self):
+        a = random_csr(20, 20, 0.2, seed=13)
+        mask = random_mask(20, 20, 0.3, seed=14)
+        ref = masked_select(a.mxm(a), mask, complement=True)
+        assert identical(lazy(a).mxm(a).new(mask=mask, complement=True), ref)
+
+
+class TestMaskedUnion:
+    def test_nary_union_masked(self):
+        parts = [random_csr(15, 15, 0.2, seed=s) for s in (20, 21, 22)]
+        mask = random_mask(15, 15, 0.4, seed=23)
+        eager = parts[0].ewise_union(parts[1]).ewise_union(parts[2])
+        for complement in (False, True):
+            ref = masked_select(eager, mask, complement)
+            fused = _union_all_serial(parts, PLUS_MONOID, mask, complement)
+            blocked = parallel_union_all(parts, PLUS_MONOID, mask, complement, TINY_BLOCKS)
+            assert identical(fused, ref)
+            assert identical(blocked, ref)
+
+    def test_max_monoid_union(self):
+        a = random_csr(10, 10, 0.3, seed=24)
+        b = random_csr(10, 10, 0.3, seed=25)
+        mask = random_mask(10, 10, 0.5, seed=26)
+        ref = masked_select(a.ewise_union(b, MAX_MONOID), mask)
+        assert identical(_union_all_serial([a, b], MAX_MONOID, mask, False), ref)
+
+
+class TestMaskedIntersect:
+    def test_serial_blocked_filter_agree(self):
+        a = random_csr(18, 18, 0.3, seed=30)
+        b = random_csr(18, 18, 0.3, seed=31)
+        mask = random_mask(18, 18, 0.3, seed=32)
+        mult = PLUS_TIMES.mult
+        for complement in (False, True):
+            ref = masked_select(a.ewise_intersect(b, mult), mask, complement)
+            assert identical(_masked_intersect_serial(a, b, mult, mask, complement), ref)
+            assert identical(
+                parallel_masked_intersect(a, b, mult, mask, complement, TINY_BLOCKS), ref
+            )
+
+
+class TestMaskedSelect:
+    def test_empty_and_full(self):
+        a = random_csr(8, 8, 0.4, seed=40)
+        empty = CSRMatrix.empty((8, 8), np.bool_)
+        full = CSRMatrix.from_dense(np.ones((8, 8), dtype=bool))
+        assert masked_select(a, empty).nnz == 0
+        assert masked_select(a, empty, complement=True) == a
+        assert masked_select(a, full) == a
+        assert masked_select(a, full, complement=True).nnz == 0
+
+    def test_shape_mismatch(self):
+        from repro.errors import SparseFormatError
+
+        with pytest.raises(SparseFormatError):
+            masked_select(CSRMatrix.empty((3, 3)), CSRMatrix.empty((4, 4)))
+
+
+class TestMaskedMxv:
+    @pytest.mark.parametrize("semiring", [PLUS_TIMES, MIN_PLUS])
+    def test_serial_blocked_filter_agree(self, semiring):
+        dtype = np.float64 if semiring is MIN_PLUS else np.int64
+        a = random_csr(25, 25, 0.2, seed=50, dtype=dtype)
+        x = np.random.default_rng(51).integers(0, 5, 25).astype(dtype)
+        allow = np.random.default_rng(52).random(25) < 0.4
+        ref = a.mxv(x, semiring)
+        ref = np.where(allow, ref, semiring.add.identity(ref.dtype))
+        fused = _masked_mxv_serial(a, x, semiring, allow)
+        blocked = parallel_masked_mxv(a, x, semiring, allow, TINY_BLOCKS)
+        assert np.array_equal(ref, fused) and ref.dtype == fused.dtype
+        assert np.array_equal(ref, blocked) and ref.dtype == blocked.dtype
+
+    def test_all_rows_masked_out(self):
+        a = random_csr(10, 10, 0.3, seed=53)
+        x = np.ones(10, dtype=np.int64)
+        out = _masked_mxv_serial(a, x, PLUS_TIMES, np.zeros(10, dtype=bool))
+        assert not out.any()
+
+
+class TestConsumerEquivalence:
+    """The rewired consumers still compute exactly what they used to."""
+
+    def test_firewall_split_matches_dense_reference(self):
+        from repro.graphs import ddos
+        from repro.graphs.compose import overlay
+        from repro.graphs.firewall import (
+            compliant_traffic,
+            default_policy,
+            violating_traffic,
+            violations,
+        )
+
+        defense = __import__("repro.graphs.defense", fromlist=["security"])
+        traffic = overlay([defense.security(10), ddos.ddos_attack(10)])
+        policy = default_policy()
+        bad_ref = (traffic.packets > 0) & ~policy.allowed
+        good_ref = (traffic.packets > 0) & policy.allowed
+        bad = violating_traffic(traffic, policy)
+        good = compliant_traffic(traffic, policy)
+        assert np.array_equal(bad.packets, np.where(bad_ref, traffic.packets, 0))
+        assert np.array_equal(bad.colors, np.where(bad_ref, 2, 0))
+        assert np.array_equal(good.packets, np.where(good_ref, traffic.packets, 0))
+        assert np.array_equal(good.colors, np.where(good_ref, 1, 0))
+        viols = violations(traffic, policy)
+        rows, cols = np.nonzero(bad_ref)
+        assert viols == [
+            (traffic.labels[i], traffic.labels[j], int(traffic.packets[i, j]))
+            for i, j in zip(rows.tolist(), cols.tolist())
+        ]
+
+    def test_metrics_match_dense_reference(self):
+        from repro.graphs.metrics import reciprocity, supernodes
+
+        rng = np.random.default_rng(60)
+        from repro.core.traffic_matrix import TrafficMatrix
+
+        packets = rng.integers(0, 3, (12, 12))
+        m = TrafficMatrix(packets, [f"WS{i}" for i in range(1, 13)])
+        p = m.packets > 0
+        off = p.copy()
+        np.fill_diagonal(off, False)
+        links = int(off.sum())
+        expected = (int((off & off.T).sum()) / links) if links else 0.0
+        assert reciprocity(m) == expected
+        peers = p | p.T
+        np.fill_diagonal(peers, False)
+        fan = peers.sum(axis=1)
+        thr = max(2, 11 // 2)
+        assert supernodes(m) == [m.labels[i] for i in np.flatnonzero(fan >= thr).tolist()]
+
+    def test_masked_compose_never_builds_full_product(self):
+        from repro.core.traffic_matrix import TrafficMatrix
+
+        rng = np.random.default_rng(61)
+        a = TrafficMatrix(rng.integers(0, 3, (10, 10)))
+        b = TrafficMatrix(rng.integers(0, 3, (10, 10)))
+        mask = np.zeros((10, 10), dtype=bool)
+        mask[2, :] = True
+        masked = a.compose(b, mask=mask)
+        full = a.compose(b)
+        assert np.array_equal(masked.packets, np.where(mask, full.packets, 0))
+
+    def test_traffic_masked_where(self):
+        from repro.core.traffic_matrix import TrafficMatrix
+
+        rng = np.random.default_rng(62)
+        m = TrafficMatrix(rng.integers(0, 4, (8, 8)))
+        mask = rng.random((8, 8)) < 0.4
+        kept = m.masked_where(mask)
+        dropped = m.masked_where(mask, complement=True, color=2)
+        assert np.array_equal(kept.packets, np.where(mask, m.packets, 0))
+        assert np.array_equal(
+            kept.packets + dropped.packets, m.packets
+        )  # a mask and its complement partition the traffic
+        assert (dropped.colors[dropped.packets > 0] == 2).all()
+
+    def test_assoc_masked_ops(self):
+        from repro.assoc.array import AssociativeArray
+
+        a = AssociativeArray.from_dict({("a", "b"): 2, ("b", "c"): 3, ("c", "a"): 4})
+        b = AssociativeArray.from_dict({("a", "b"): 5, ("c", "a"): 1, ("b", "b"): 7})
+        mask = AssociativeArray.from_dict({("a", "b"): 1, ("b", "b"): 1})
+        added = a.ewise_add(b, mask=mask)
+        assert added.to_dict() == {("a", "b"): 7, ("b", "b"): 7}
+        multed = a.ewise_mult(b, mask=mask)
+        assert multed.to_dict() == {("a", "b"): 10}
+        inv = a.select(mask, complement=True)
+        assert inv.to_dict() == {("b", "c"): 3, ("c", "a"): 4}
+        prod = a.mxm(b, mask=mask)
+        ref = a.mxm(b)
+        assert prod.to_dict() == {
+            k: v for k, v in ref.to_dict().items() if k in {("a", "b"), ("b", "b")}
+        }
+
+    def test_merge_windows_totals_and_parallel(self):
+        from repro.analysis.streaming import merge_windows, window_stream
+
+        events = [(f"S{i % 11}", f"D{i % 5}", 1 + i % 4) for i in range(1500)]
+        wins = [w for w, _ in window_stream(events, window_size=128)]
+        total = merge_windows(wins)
+        assert int(total.sum()) == sum(int(w.sum()) for w in wins)
+        with runtime.configured(workers=4, backend="thread", min_parallel_work=1):
+            parallel = merge_windows(wins)
+        assert parallel == total

@@ -1,7 +1,7 @@
 """The CI differential-fuzzing entry point: seeded, bounded, cross-backend.
 
 This is the acceptance gate for the verification subsystem: a fixed-seed
-200-spec corpus drawn from the whole registry runs all four oracles green
+200-spec corpus drawn from the whole registry runs all five oracles green
 under the serial, thread, and process executors, with identical verdicts on
 each — every push replays the same differential campaign.  The seed and
 size are environment-overridable (``REPRO_FUZZ_SEED`` / ``REPRO_FUZZ_SPECS``)
@@ -18,7 +18,7 @@ import pytest
 from repro.verify import default_oracles, make_corpus, run_corpus
 
 #: Fixed defaults keep the CI campaign deterministic and inside the smoke
-#: budget (~200 specs × 4 oracles ≈ a few seconds single-threaded).
+#: budget (~200 specs × 5 oracles ≈ a few seconds single-threaded).
 FUZZ_SEED = int(os.environ.get("REPRO_FUZZ_SEED", "20240607"))
 FUZZ_SPECS = int(os.environ.get("REPRO_FUZZ_SPECS", "200"))
 

@@ -147,10 +147,11 @@ class TestOverlayMetamorphicOracle:
 
 
 class TestBattery:
-    def test_default_battery_has_all_four(self):
+    def test_default_battery_has_all_five(self):
         names = [oracle.name for oracle in default_oracles()]
         assert names == [
             "kernel_equality",
+            "masked_equality",
             "round_trip",
             "classifier_agreement",
             "overlay_metamorphic",
