@@ -135,6 +135,7 @@ def scenario_stream(
     *,
     window_size: int = 1024,
     workers: int | None = None,
+    service: object | None = None,
 ) -> Iterator[tuple[AssociativeArray, WindowStats]]:
     """Stream declaratively-specified scenarios through the window pipeline.
 
@@ -144,10 +145,27 @@ def scenario_stream(
     events into :func:`window_stream` — the bridge from the scenario API to
     the streaming lineage: a synthetic "capture" of any mix of attack,
     defense and noise scenarios, windowed exactly like real packet data.
-    """
-    from repro.scenarios import generate_batch
 
-    matrices = generate_batch(list(specs), workers=workers)
+    ``service`` (a :class:`~repro.scenarios.ScenarioService` or a bare
+    :class:`~repro.scenarios.ScenarioCache`) routes realisation through that
+    service's content-addressed cache: specs already resident stream without
+    rebuilding — bit-identical, since the cache serves exactly what a fresh
+    build would produce — and fresh builds are cached for the next stream.
+    """
+    from repro.errors import ScenarioError
+    from repro.scenarios import ScenarioCache, ScenarioService, generate_batch
+
+    cache = None
+    if isinstance(service, ScenarioService):
+        cache = service.cache
+    elif isinstance(service, ScenarioCache):
+        cache = service
+    elif service is not None:
+        raise ScenarioError(
+            f"scenario_stream expects a ScenarioService or ScenarioCache for "
+            f"'service', got {type(service).__name__}"
+        )
+    matrices = generate_batch(list(specs), workers=workers, cache=cache)
     events = (edge for matrix in matrices for edge in matrix.iter_edges())
     yield from window_stream(events, window_size=window_size)
 

@@ -56,6 +56,11 @@ class ScenarioSpecError(ScenarioError):
     """A :class:`~repro.scenarios.ScenarioSpec` document is malformed."""
 
 
+class ScenarioServiceError(ScenarioError):
+    """Invalid use of the :class:`~repro.scenarios.ScenarioService` front end
+    (not started, saturated queue, bad configuration)."""
+
+
 class ModuleSchemaError(ReproError):
     """A learning-module JSON document does not satisfy the schema."""
 

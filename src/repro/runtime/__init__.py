@@ -40,6 +40,7 @@ from repro.runtime.executor import (
     ProcessExecutor,
     SerialExecutor,
     ThreadExecutor,
+    async_submit,
     choose_block_rows,
     get_executor,
     parallel_map,
@@ -67,5 +68,6 @@ __all__ = [
     "get_executor",
     "shutdown_executors",
     "parallel_map",
+    "async_submit",
     "choose_block_rows",
 ]

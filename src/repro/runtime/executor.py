@@ -21,10 +21,11 @@ structurally impossible rather than merely discouraged.
 
 from __future__ import annotations
 
+import asyncio
 import atexit
 import itertools
 import threading
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, as_completed
 from typing import Callable, Iterable, Sequence, TypeVar
 
 from repro.errors import RuntimeConfigError
@@ -37,11 +38,16 @@ __all__ = [
     "get_executor",
     "shutdown_executors",
     "parallel_map",
+    "async_submit",
     "choose_block_rows",
 ]
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+#: Progress hook signature: ``on_progress(done, total)``.  Hooks fire in task
+#: *completion* order (not submission order), once per finished task.
+ProgressCallback = Callable[[int, int], None]
 
 #: Average stored-entry floor per row block: blocks thinner than this spend
 #: more time in dispatch than in NumPy.
@@ -58,14 +64,55 @@ def _guarded_call(fn: Callable[[T], R], item: T) -> R:
         return fn(item)
 
 
+def _serial_map(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    on_progress: ProgressCallback | None,
+) -> list[R]:
+    out: list[R] = []
+    total = len(items)
+    for k, item in enumerate(items, start=1):
+        out.append(_guarded_call(fn, item))
+        if on_progress is not None:
+            on_progress(k, total)
+    return out
+
+
+def _pool_map(
+    pool: ThreadPoolExecutor | ProcessPoolExecutor,
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    on_progress: ProgressCallback | None,
+) -> list[R]:
+    """Ordered pool map; with a hook, progress fires in completion order.
+
+    The hook runs in the *calling* thread (one ``as_completed`` loop), so
+    callbacks never race each other.  A task that raised still counts as done
+    — its exception surfaces afterwards, when results are collected in order,
+    matching plain ``Executor.map`` semantics.
+    """
+    if on_progress is None:
+        return list(pool.map(_guarded_call, itertools.repeat(fn), items))
+    futures = [pool.submit(_guarded_call, fn, item) for item in items]
+    total = len(futures)
+    for done, _ in enumerate(as_completed(futures), start=1):
+        on_progress(done, total)
+    return [f.result() for f in futures]
+
+
 class SerialExecutor:
     """Ordered in-thread execution; the identity executor."""
 
     name = "serial"
     workers = 1
 
-    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
-        return [_guarded_call(fn, item) for item in items]
+    def map(
+        self,
+        fn: Callable[[T], R],
+        items: Sequence[T],
+        on_progress: ProgressCallback | None = None,
+    ) -> list[R]:
+        return _serial_map(fn, items, on_progress)
 
 
 class ThreadExecutor:
@@ -79,8 +126,13 @@ class ThreadExecutor:
             max_workers=self.workers, thread_name_prefix="repro-runtime"
         )
 
-    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
-        return list(self._pool.map(_guarded_call, itertools.repeat(fn), items))
+    def map(
+        self,
+        fn: Callable[[T], R],
+        items: Sequence[T],
+        on_progress: ProgressCallback | None = None,
+    ) -> list[R]:
+        return _pool_map(self._pool, fn, items, on_progress)
 
     def shutdown(self) -> None:
         self._pool.shutdown(wait=True)
@@ -99,8 +151,13 @@ class ProcessExecutor:
         self.workers = int(workers)
         self._pool = ProcessPoolExecutor(max_workers=self.workers)
 
-    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
-        return list(self._pool.map(_guarded_call, itertools.repeat(fn), items))
+    def map(
+        self,
+        fn: Callable[[T], R],
+        items: Sequence[T],
+        on_progress: ProgressCallback | None = None,
+    ) -> list[R]:
+        return _pool_map(self._pool, fn, items, on_progress)
 
     def shutdown(self) -> None:
         self._pool.shutdown(wait=True)
@@ -147,6 +204,8 @@ def parallel_map(
     fn: Callable[[T], R],
     items: Iterable[T],
     config: RuntimeConfig | None = None,
+    *,
+    on_progress: ProgressCallback | None = None,
 ) -> list[R]:
     """Ordered map over *items* on the configured executor.
 
@@ -154,11 +213,37 @@ def parallel_map(
     from inside a worker task stay serial rather than re-entering the
     fixed-size pool (which could deadlock), so this is safe to use
     unconditionally in fan-out helpers — nested composition included.
+
+    ``on_progress(done, total)`` (when given) fires once per finished task,
+    in **completion** order — not item order — from the calling thread.
+    Results still come back in input order.
     """
     seq = list(items)
     if len(seq) <= 1 or in_serial_region():
-        return [_guarded_call(fn, item) for item in seq]
-    return get_executor(config).map(fn, seq)
+        return _serial_map(fn, seq, on_progress)
+    return get_executor(config).map(fn, seq, on_progress)
+
+
+async def async_submit(
+    fn: Callable[[T], R],
+    item: T,
+    config: RuntimeConfig | None = None,
+) -> R:
+    """Run one task on the configured executor without blocking the event loop.
+
+    This is the asyncio bridge the scenario service builds on: thread and
+    process configs reuse the same cached pools as :func:`parallel_map`
+    (``loop.run_in_executor`` accepts a ``concurrent.futures`` pool directly),
+    while a serial config runs the task on a transient thread
+    (``asyncio.to_thread``) so a blocking build never stalls the loop.  The
+    task runs inside :func:`~repro.runtime.config.serial_region` either way —
+    nested parallelism stays structurally impossible.
+    """
+    executor = get_executor(config)
+    if isinstance(executor, SerialExecutor):
+        return await asyncio.to_thread(_guarded_call, fn, item)
+    loop = asyncio.get_running_loop()
+    return await loop.run_in_executor(executor._pool, _guarded_call, fn, item)
 
 
 def choose_block_rows(

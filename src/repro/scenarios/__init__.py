@@ -9,7 +9,13 @@ extensible subsystem:
   + overlays + seed + size) and :class:`ScenarioBuilder`, its fluent front;
 * :func:`generate_batch` — spec fan-out over :mod:`repro.runtime`'s
   executors with deterministic per-spec seeding (serial ≡ parallel, bit for
-  bit).
+  bit), optional content-addressed caching, and completion-order progress;
+* :class:`ScenarioService` — the long-running asyncio front: bounded intake
+  queue with backpressure, fixed worker concurrency, a shared
+  :class:`ScenarioCache` keyed by :meth:`ScenarioSpec.cache_key`, cache
+  warming, per-batch cancellation, and :func:`apply_delta` incremental
+  rebuilds that recompute only the row blocks a delta overlay touches —
+  bit-identical to a full rebuild.
 
 Quickstart::
 
@@ -27,10 +33,22 @@ Quickstart::
 
     specs = [ScenarioSpec("ring", seed=k) for k in range(100)]
     matrices = generate_batch(specs, workers=4)
+
+    async with ScenarioService(concurrency=4) as service:   # resident front
+        await service.warm(specs[:10])
+        results = await service.generate(specs)
+        print(service.stats()["cache"]["hit_rate"])
 """
 
 from repro.scenarios.batch import generate_batch, realize_spec
 from repro.scenarios.builder import ScenarioBuilder
+from repro.scenarios.cache import CacheAnalytics, ScenarioCache, matrix_bytes
+from repro.scenarios.delta import (
+    DeltaResult,
+    DeltaStats,
+    apply_delta,
+    extend_spec,
+)
 from repro.scenarios.registry import (
     REGISTRY_ALIASES,
     SCENARIO_FAMILIES,
@@ -49,6 +67,7 @@ from repro.scenarios.spec import (
     OverlaySpec,
     ScenarioSpec,
 )
+from repro.scenarios.service import BatchHandle, ScenarioService, run_batch_sync
 
 # Populate the registry eagerly so ``SCENARIO_REGISTRY`` is complete the
 # moment this package is imported (iterating the exported dict must never
@@ -75,4 +94,14 @@ __all__ = [
     "ScenarioBuilder",
     "generate_batch",
     "realize_spec",
+    "run_batch_sync",
+    "ScenarioCache",
+    "CacheAnalytics",
+    "matrix_bytes",
+    "ScenarioService",
+    "BatchHandle",
+    "apply_delta",
+    "extend_spec",
+    "DeltaResult",
+    "DeltaStats",
 ]

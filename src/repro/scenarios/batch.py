@@ -6,19 +6,24 @@ self-seeded (all randomness derives from ``spec.seed``), serial and parallel
 realisation are **bit-identical** — the same guarantee the semiring kernels
 make, asserted by ``benchmarks/bench_scenario_batch.py`` and the batch tests
 rather than assumed.
+
+Since the scenario service landed, this module is the *synchronous façade*:
+validation, realisation, caching, and progress all live in
+:func:`repro.scenarios.service.run_batch_sync`, the same code path the
+asyncio :class:`~repro.scenarios.ScenarioService` drives.  Both fronts
+therefore share one contract — identical error messages, identical cache
+semantics, identical completion-order progress hooks.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable
 
-from repro.errors import ReproError, ScenarioError
-from repro.runtime.config import configured
-from repro.runtime.executor import parallel_map
 from repro.scenarios.spec import ScenarioSpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.traffic_matrix import TrafficMatrix
+    from repro.scenarios.cache import ScenarioCache
 
 __all__ = ["realize_spec", "generate_batch"]
 
@@ -28,31 +33,15 @@ def realize_spec(spec: ScenarioSpec) -> "TrafficMatrix":
     return spec.build()
 
 
-def _realize_indexed(item: "tuple[int, ScenarioSpec]") -> "TrafficMatrix":
-    """Build one ``(index, spec)`` pair, naming the spec on failure.
-
-    A generator can reject a spec that passed registry validation (body-level
-    constraints the schema cannot express).  Mid-fan-out failures must say
-    *which* spec broke — a batch of hundreds is unactionable otherwise — and
-    they must not take the executor pool down with them: the pools cache per
-    ``(backend, workers)`` and a raised task leaves the pool reusable.
-    """
-    index, spec = item
-    try:
-        return spec.build()
-    except ReproError as exc:
-        raise ScenarioError(
-            f"spec {index} ({spec.base!r}) failed to build: {exc}"
-        ) from exc
-
-
 def generate_batch(
     specs: Iterable[ScenarioSpec],
     *,
     workers: int | None = None,
     backend: str | None = None,
+    cache: "ScenarioCache | None" = None,
+    on_progress: Callable[[int, int], None] | None = None,
 ) -> list["TrafficMatrix"]:
-    """Realise *specs* in order, optionally in parallel.
+    """Realise *specs* in order, optionally in parallel and through a cache.
 
     ``workers=None`` uses the runtime's current configuration
     (:func:`repro.runtime.configure`), so batch generation inherits the same
@@ -60,22 +49,22 @@ def generate_batch(
     ``backend`` scopes a config to this call only.  Results come back in
     input order, and every spec is validated up front so a bad document
     fails fast instead of mid-fan-out.
+
+    ``cache`` routes the batch through a content-addressed
+    :class:`~repro.scenarios.ScenarioCache`: specs already resident are served
+    (bit-identically) without building, and fresh builds are stored for next
+    time.  Cache hits resolve before the fan-out starts.
+
+    ``on_progress(done, total)`` (when given) fires once per finished spec in
+    **completion** order — worker order, not spec order — from the calling
+    thread.  ``done`` is cumulative and reaches ``total`` exactly once.
     """
-    seq: Sequence[ScenarioSpec] = list(specs)
-    for k, spec in enumerate(seq):
-        if not isinstance(spec, ScenarioSpec):
-            raise ScenarioError(
-                f"generate_batch expects ScenarioSpec items, got "
-                f"{type(spec).__name__} at index {k}"
-            )
-        try:
-            spec.validate()
-        except ReproError as exc:
-            raise ScenarioError(
-                f"spec {k} ({spec.base!r}) failed validation: {exc}"
-            ) from exc
-    items = list(enumerate(seq))
-    if workers is None and backend is None:
-        return parallel_map(_realize_indexed, items)
-    with configured(workers=workers, backend=backend, min_parallel_work=1):
-        return parallel_map(_realize_indexed, items)
+    from repro.scenarios.service import run_batch_sync
+
+    return run_batch_sync(
+        specs,
+        workers=workers,
+        backend=backend,
+        cache=cache,
+        on_progress=on_progress,
+    )

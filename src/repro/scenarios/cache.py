@@ -1,0 +1,337 @@
+"""Content-addressed scenario result cache with LRU + byte-budget eviction.
+
+A :class:`ScenarioCache` maps :meth:`ScenarioSpec.cache_key()
+<repro.scenarios.ScenarioSpec.cache_key>` — the SHA-256 of a spec's canonical
+JSON — to its built :class:`~repro.core.TrafficMatrix`.  Because a spec fully
+determines its matrix (all randomness flows through the spec's seed, the
+guarantee :mod:`repro.verify` fuzzes continuously), serving a cached result is
+*bit-identical* to rebuilding: packets, colours, labels, and provenance
+metadata all match.  That contract is what makes the cache safe to put in
+front of every build path, and it is enforced by the ``cache_delta`` oracle in
+:func:`repro.verify.default_oracles`, not assumed.
+
+Entries are stored and served as **copies** — :class:`TrafficMatrix` is
+mutable, and a caller scribbling on a result must never corrupt what the next
+hit receives.  Eviction is plain LRU, bounded by entry count and/or resident
+bytes; both bounds are deterministic, so a replayed workload evicts the same
+keys in the same order on every backend.
+
+:class:`CacheAnalytics` is the observability surface: hits, misses,
+evictions, resident bytes, and per-family hit rates, exposed through
+``ScenarioService.stats()`` and :meth:`ScenarioCache.stats`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Mapping
+
+from repro.errors import ScenarioError
+from repro.scenarios.registry import get_generator
+from repro.scenarios.spec import ScenarioSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.traffic_matrix import TrafficMatrix
+
+__all__ = ["matrix_bytes", "CacheAnalytics", "ScenarioCache"]
+
+
+def matrix_bytes(matrix: "TrafficMatrix") -> int:
+    """Approximate resident size of one cached matrix.
+
+    Counts the two dense grids (packets, colours) plus label text; the small
+    per-object overheads are deliberately ignored — the byte budget exists to
+    bound memory at the array level, where the real weight is.
+    """
+    return int(
+        matrix.packets.nbytes
+        + matrix.colors.nbytes
+        + sum(len(label) for label in matrix.labels)
+    )
+
+
+@dataclass(frozen=True)
+class CacheAnalytics:
+    """Immutable snapshot of a cache's counters at one instant.
+
+    ``family_hits``/``family_misses`` bucket traffic by the *base* generator's
+    registry family (``pattern``, ``attack``, ``ddos``, …) — the per-workload
+    view that tells an operator which scenario families actually benefit from
+    warming.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    puts: int = 0
+    entries: int = 0
+    bytes: int = 0
+    max_entries: int | None = None
+    max_bytes: int | None = None
+    family_hits: Mapping[str, int] = field(default_factory=dict)
+    family_misses: Mapping[str, int] = field(default_factory=dict)
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Overall hit fraction (0.0 on a cold, untouched cache)."""
+        return self.hits / self.requests if self.requests else 0.0
+
+    def family_hit_rates(self) -> dict[str, float]:
+        """Hit fraction per scenario family, for every family seen."""
+        out: dict[str, float] = {}
+        for family in sorted(set(self.family_hits) | set(self.family_misses)):
+            h = self.family_hits.get(family, 0)
+            m = self.family_misses.get(family, 0)
+            out[family] = h / (h + m) if h + m else 0.0
+        return out
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-able form (what ``ScenarioService.stats()`` embeds)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "puts": self.puts,
+            "entries": self.entries,
+            "bytes": self.bytes,
+            "max_entries": self.max_entries,
+            "max_bytes": self.max_bytes,
+            "hit_rate": self.hit_rate,
+            "family_hit_rates": self.family_hit_rates(),
+        }
+
+
+class ScenarioCache:
+    """LRU result cache keyed by :meth:`ScenarioSpec.cache_key`.
+
+    Parameters
+    ----------
+    max_entries:
+        Entry-count bound (``None`` = unbounded).  The least-recently-used
+        entry is evicted first.
+    max_bytes:
+        Resident-byte bound over all cached grids (``None`` = unbounded).
+        A single matrix larger than the whole budget is simply not retained —
+        admitting it would evict everything else for a entry that can never
+        pay for itself.
+
+    All operations are thread-safe (one re-entrant lock): the asyncio service
+    touches the cache from its event-loop thread and from ``to_thread`` delta
+    rebuilds, while the sync batch path may use the same instance.
+    """
+
+    def __init__(
+        self, max_entries: int | None = 256, max_bytes: int | None = None
+    ) -> None:
+        if max_entries is not None and int(max_entries) < 1:
+            raise ScenarioError(
+                f"cache max_entries must be >= 1 or None, got {max_entries}"
+            )
+        if max_bytes is not None and int(max_bytes) < 1:
+            raise ScenarioError(
+                f"cache max_bytes must be >= 1 or None, got {max_bytes}"
+            )
+        self.max_entries = None if max_entries is None else int(max_entries)
+        self.max_bytes = None if max_bytes is None else int(max_bytes)
+        # key -> (family, matrix, bytes); insertion order doubles as LRU order
+        self._entries: "OrderedDict[str, tuple[str, TrafficMatrix, int]]" = OrderedDict()
+        self._bytes = 0
+        self._lock = threading.RLock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._puts = 0
+        self._family_hits: dict[str, int] = {}
+        self._family_misses: dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # keys
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def key_of(spec: "ScenarioSpec | str") -> str:
+        """The cache key for *spec* (a raw key string passes through)."""
+        if isinstance(spec, ScenarioSpec):
+            return spec.cache_key()
+        if isinstance(spec, str):
+            return spec
+        raise ScenarioError(
+            f"cache keys come from ScenarioSpec or str, got {type(spec).__name__}"
+        )
+
+    @staticmethod
+    def _family_of(spec: ScenarioSpec) -> str:
+        try:
+            return get_generator(spec.base).family
+        except ScenarioError:
+            return "unknown"
+
+    # ------------------------------------------------------------------ #
+    # core operations
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, spec: "ScenarioSpec | str") -> bool:
+        """Presence peek — does **not** count as a hit/miss or touch LRU order."""
+        with self._lock:
+            return self.key_of(spec) in self._entries
+
+    def get(self, spec: ScenarioSpec) -> "TrafficMatrix | None":
+        """The cached matrix for *spec* (a fresh copy), or ``None`` on a miss.
+
+        Counts one hit or miss and refreshes the entry's LRU position.
+        """
+        key = self.key_of(spec)
+        family = self._family_of(spec)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                self._family_misses[family] = self._family_misses.get(family, 0) + 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            self._family_hits[family] = self._family_hits.get(family, 0) + 1
+            return entry[1].copy()
+
+    def put(self, spec: ScenarioSpec, matrix: "TrafficMatrix") -> str:
+        """Store a built matrix under the spec's content address.
+
+        The cache keeps its own copy (callers may keep mutating theirs), then
+        evicts least-recently-used entries until both bounds hold.  Returns
+        the cache key.
+        """
+        key = self.key_of(spec)
+        family = self._family_of(spec)
+        size = matrix_bytes(matrix)
+        if self.max_bytes is not None and size > self.max_bytes:
+            # An entry larger than the whole budget can never pay for itself;
+            # admitting it would flush every other entry first.  Refuse it
+            # (and drop any stale entry under the same key) instead.
+            with self._lock:
+                old = self._entries.pop(key, None)
+                if old is not None:
+                    self._bytes -= old[2]
+                    self._evictions += 1
+            return key
+        stored = matrix.copy()
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= old[2]
+            self._entries[key] = (family, stored, size)
+            self._bytes += size
+            self._puts += 1
+            self._evict_over_budget()
+        return key
+
+    def _evict_over_budget(self) -> None:
+        """Drop LRU entries until both bounds hold (call with the lock held)."""
+        while self._entries and (
+            (self.max_entries is not None and len(self._entries) > self.max_entries)
+            or (self.max_bytes is not None and self._bytes > self.max_bytes)
+        ):
+            _, (_, _, size) = self._entries.popitem(last=False)
+            self._bytes -= size
+            self._evictions += 1
+
+    def fetch(
+        self, spec: ScenarioSpec
+    ) -> "tuple[TrafficMatrix, bool]":
+        """Get-or-build: ``(matrix, was_hit)``.  A miss builds and stores."""
+        cached = self.get(spec)
+        if cached is not None:
+            return cached, True
+        built = spec.build()
+        self.put(spec, built)
+        return built, False
+
+    def warm(
+        self,
+        specs: Iterable[ScenarioSpec],
+        *,
+        workers: int | None = None,
+        backend: str | None = None,
+    ) -> int:
+        """Pre-populate the cache; returns the number of specs actually built.
+
+        Idempotent: specs already resident are skipped with a counter-neutral
+        presence peek (warming is maintenance, not traffic — it must not skew
+        hit rates), and duplicate specs in one call build once.  The builds
+        themselves run through :func:`repro.scenarios.generate_batch` with
+        this cache attached, so they parallelise like any batch and their
+        misses/puts are accounted normally.
+        """
+        from repro.scenarios.batch import generate_batch
+
+        missing: list[ScenarioSpec] = []
+        seen: set[str] = set()
+        for spec in specs:
+            if not isinstance(spec, ScenarioSpec):
+                raise ScenarioError(
+                    f"warm expects ScenarioSpec items, got {type(spec).__name__}"
+                )
+            key = spec.cache_key()
+            if key in seen or spec in self:
+                continue
+            seen.add(key)
+            missing.append(spec)
+        if missing:
+            generate_batch(missing, workers=workers, backend=backend, cache=self)
+        return len(missing)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept — lifetime analytics survive)."""
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+
+    # ------------------------------------------------------------------ #
+    # observability
+    # ------------------------------------------------------------------ #
+
+    @property
+    def resident_bytes(self) -> int:
+        with self._lock:
+            return self._bytes
+
+    def keys(self) -> list[str]:
+        """Cache keys in LRU order (least recently used first)."""
+        with self._lock:
+            return list(self._entries)
+
+    def analytics(self) -> CacheAnalytics:
+        """A consistent snapshot of every counter."""
+        with self._lock:
+            return CacheAnalytics(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                puts=self._puts,
+                entries=len(self._entries),
+                bytes=self._bytes,
+                max_entries=self.max_entries,
+                max_bytes=self.max_bytes,
+                family_hits=dict(self._family_hits),
+                family_misses=dict(self._family_misses),
+            )
+
+    def stats(self) -> dict[str, object]:
+        """JSON-able analytics (see :meth:`CacheAnalytics.to_dict`)."""
+        return self.analytics().to_dict()
+
+    def __repr__(self) -> str:
+        a = self.analytics()
+        return (
+            f"ScenarioCache(entries={a.entries}, bytes={a.bytes}, "
+            f"hits={a.hits}, misses={a.misses}, evictions={a.evictions})"
+        )

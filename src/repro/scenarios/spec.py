@@ -13,6 +13,7 @@ fuzzing corpora, and service requests can all be stored and shipped as text.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Mapping
@@ -198,6 +199,35 @@ class ScenarioSpec:
         except json.JSONDecodeError as exc:
             raise ScenarioSpecError(f"spec is not valid JSON: {exc}") from None
         return cls.from_dict(doc)
+
+    # ------------------------------------------------------------------ #
+    # content addressing
+    # ------------------------------------------------------------------ #
+
+    def canonical_json(self) -> str:
+        """The canonical serialisation: sorted keys, no whitespace.
+
+        Two specs produce the same canonical document iff they are equal, so
+        this string (not the pretty ``to_json`` form) is what gets hashed for
+        content addressing.
+        """
+        try:
+            return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        except TypeError as exc:
+            raise ScenarioSpecError(
+                f"spec for {self.base!r} holds non-JSON parameter values: {exc}"
+            ) from None
+
+    def cache_key(self) -> str:
+        """SHA-256 of :meth:`canonical_json` — the spec's content address.
+
+        This is the single content address in the codebase: the scenario
+        result cache (:class:`~repro.scenarios.ScenarioCache`) keys entries
+        by it and :func:`repro.verify.save_repro` names repro files with it.
+        Because a spec fully determines its matrix (all randomness flows from
+        ``seed``), equal keys imply bit-identical builds.
+        """
+        return hashlib.sha256(self.canonical_json().encode("utf-8")).hexdigest()
 
     # ------------------------------------------------------------------ #
     # realisation

@@ -7,7 +7,7 @@ introspected schemas (:func:`make_corpus`), runs each through a battery of
 independent-path oracles (:func:`default_oracles`), and reports — shrinking
 and persisting any failure as a replayable JSON repro file.
 
-The five standard oracles:
+The six standard oracles:
 
 * :class:`KernelEqualityOracle` — serial vs row-blocked semiring kernels on
   corpus-derived CSR matrices, bit for bit (plus a dense reference for
@@ -20,7 +20,11 @@ The five standard oracles:
 * :class:`ClassifierOracle` — the rule-based classifier recovers the
   generating family (documented ambiguities excepted);
 * :class:`OverlayMetamorphicOracle` — overlay composition is
-  order-insensitive and preserves provenance.
+  order-insensitive and preserves provenance;
+* :class:`CacheDeltaOracle` — the content-addressed scenario cache is
+  transparent (hit ≡ miss ≡ direct build, provenance included) and the
+  row-blocked :func:`~repro.scenarios.apply_delta` incremental rebuild is
+  bit-identical to the full rebuild.
 
 Quickstart::
 
@@ -38,6 +42,7 @@ from repro.verify.corpus import (
 )
 from repro.verify.oracles import (
     CLASSIFIER_AMBIGUITIES,
+    CacheDeltaOracle,
     ClassifierOracle,
     KernelEqualityOracle,
     MaskedEqualityOracle,
@@ -70,6 +75,7 @@ __all__ = [
     "RoundTripOracle",
     "ClassifierOracle",
     "OverlayMetamorphicOracle",
+    "CacheDeltaOracle",
     "CLASSIFIER_AMBIGUITIES",
     "default_oracles",
     "SpecResult",

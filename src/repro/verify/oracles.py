@@ -44,7 +44,7 @@ from repro.assoc.sparse import (
 )
 from repro.runtime.config import RuntimeConfig
 from repro.scenarios.registry import get_generator
-from repro.scenarios.spec import ScenarioSpec
+from repro.scenarios.spec import OverlaySpec, ScenarioSpec
 
 __all__ = [
     "OracleVerdict",
@@ -54,6 +54,7 @@ __all__ = [
     "RoundTripOracle",
     "ClassifierOracle",
     "OverlayMetamorphicOracle",
+    "CacheDeltaOracle",
     "default_oracles",
 ]
 
@@ -476,12 +477,86 @@ class OverlayMetamorphicOracle:
         return _passed(self.name, f"{len(layers)}-layer overlay is order-insensitive")
 
 
+# --------------------------------------------------------------------------- #
+# 5. cache transparency and delta-rebuild bit-identity
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class CacheDeltaOracle:
+    """The cache serves bit-identical results and delta rebuilds match full ones.
+
+    Two independent claims the scenario service stands on, fuzzed per spec:
+
+    * **Cache transparency** — routing a spec through a fresh
+      :class:`~repro.scenarios.ScenarioCache` twice must produce the direct
+      ``spec.build()`` result both times, packets *and* provenance metadata,
+      with the analytics counting exactly one miss then one hit.  The cache
+      must be unobservable except in speed.
+    * **Delta bit-identity** — splitting the spec into a base plus its last
+      overlay (or, for overlay-free specs, appending the spec's own base
+      generator as a synthetic delta layer) and rebuilding through
+      :func:`~repro.scenarios.apply_delta` must reproduce the full
+      from-scratch build of the combined spec bit for bit, noise and
+      provenance included — the row-blocked incremental path against the
+      monolithic one.
+    """
+
+    name = "cache_delta"
+
+    def check(self, spec: ScenarioSpec) -> OracleVerdict:
+        from repro.scenarios.batch import generate_batch
+        from repro.scenarios.cache import ScenarioCache
+        from repro.scenarios.delta import apply_delta, extend_spec
+
+        direct = spec.build()
+
+        cache = ScenarioCache()
+        first = generate_batch([spec], cache=cache)[0]
+        second = generate_batch([spec], cache=cache)[0]
+        if first != direct or first.meta != direct.meta:
+            return _failed(self.name, "cache miss path != direct build")
+        if second != direct or second.meta != direct.meta:
+            return _failed(self.name, "cache hit != direct build")
+        analytics = cache.analytics()
+        if analytics.misses != 1 or analytics.hits != 1:
+            return _failed(
+                self.name,
+                f"analytics miscounted: {analytics.misses} misses, "
+                f"{analytics.hits} hits (expected 1 and 1)",
+            )
+
+        if spec.overlays:
+            base = replace(spec, overlays=spec.overlays[:-1])
+            delta = spec.overlays[-1:]
+        else:
+            base = spec
+            delta = (OverlaySpec(spec.base, dict(spec.params)),)
+        target = extend_spec(base, delta)
+        full = target.build()
+        result = apply_delta(base, delta, cache=ScenarioCache())
+        if result.spec != target:
+            return _failed(self.name, "apply_delta built the wrong combined spec")
+        if result.matrix != full or result.matrix.meta != full.meta:
+            return _failed(
+                self.name,
+                f"delta rebuild != full rebuild of {target.base!r} "
+                f"(+{len(delta)} overlay)",
+            )
+        return _passed(
+            self.name,
+            f"cache transparent; delta recomputed "
+            f"{result.stats.rows_recomputed}/{result.stats.rows} rows identically",
+        )
+
+
 def default_oracles() -> tuple[Oracle, ...]:
-    """The standard battery: all five differential oracles, default settings."""
+    """The standard battery: all six differential oracles, default settings."""
     return (
         KernelEqualityOracle(),
         MaskedEqualityOracle(),
         RoundTripOracle(),
         ClassifierOracle(),
         OverlayMetamorphicOracle(),
+        CacheDeltaOracle(),
     )

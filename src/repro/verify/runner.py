@@ -156,20 +156,33 @@ def _still_fails(oracle: Oracle, candidate: ScenarioSpec) -> bool:
         return True
 
 
+def _legacy_repro_digest(failure: CorpusFailure) -> str:
+    """The pre-``cache_key`` file digest (sha1 of the pretty-sorted document)."""
+    return hashlib.sha1(
+        json.dumps(failure.minimized.to_dict(), sort_keys=True).encode()
+    ).hexdigest()[:10]
+
+
 def save_repro(failure: CorpusFailure, repro_dir: Path | str) -> Path:
     """Persist one failure as a self-contained JSON repro file.
 
-    The file name is content-addressed (oracle + base + digest of the
-    minimized document), so re-running a failing corpus overwrites the same
-    repro instead of accumulating duplicates.
+    The file name is content-addressed (oracle + base + a prefix of the
+    minimized spec's :meth:`~repro.scenarios.ScenarioSpec.cache_key` — the
+    same single content address the scenario cache uses), so re-running a
+    failing corpus overwrites the same repro instead of accumulating
+    duplicates.  A repro for the same failure saved under the older sha1
+    naming scheme is removed on overwrite; :func:`load_repro` still reads
+    old files by path — the digest only ever named the file.
     """
     repro_dir = Path(repro_dir)
     repro_dir.mkdir(parents=True, exist_ok=True)
     minimized_doc = failure.minimized.to_dict()
-    digest = hashlib.sha1(
-        json.dumps(minimized_doc, sort_keys=True).encode()
-    ).hexdigest()[:10]
-    path = repro_dir / f"repro_{failure.oracle}_{failure.minimized.base}_{digest}.json"
+    digest = failure.minimized.cache_key()[:10]
+    stem = f"repro_{failure.oracle}_{failure.minimized.base}"
+    path = repro_dir / f"{stem}_{digest}.json"
+    legacy = repro_dir / f"{stem}_{_legacy_repro_digest(failure)}.json"
+    if legacy != path and legacy.exists():
+        legacy.unlink()
     document = {
         "repro_version": REPRO_FILE_VERSION,
         "oracle": failure.oracle,

@@ -144,6 +144,40 @@ class TestScenarioStream:
         for a, b in zip(via_specs, manual):
             assert a.to_dict() == b.to_dict()
 
+    def test_stream_through_service_cache_is_bit_identical(self):
+        import asyncio
+
+        from repro.scenarios import ScenarioCache, ScenarioService
+
+        specs = [ScenarioSpec(base="clique", seed=k) for k in range(3)]
+        plain = [(a.to_dict(), s.events) for a, s in scenario_stream(specs, window_size=50)]
+
+        cache = ScenarioCache()
+        cache.warm(specs)
+        cached = [
+            (a.to_dict(), s.events)
+            for a, s in scenario_stream(specs, window_size=50, service=cache)
+        ]
+        assert cached == plain
+        assert cache.analytics().hits == 3  # every spec streamed from cache
+
+        async def main():
+            async with ScenarioService() as service:
+                return [
+                    (a.to_dict(), s.events)
+                    for a, s in scenario_stream(
+                        specs, window_size=50, service=service
+                    )
+                ]
+
+        assert asyncio.run(main()) == plain
+
+    def test_stream_rejects_non_service_objects(self):
+        from repro.errors import ScenarioError
+
+        with pytest.raises(ScenarioError, match="ScenarioService or ScenarioCache"):
+            list(scenario_stream([ScenarioSpec(base="ring")], service=object()))
+
 
 class TestDefenseNamingWart:
     def test_defense_pattern_is_canonical(self):

@@ -13,6 +13,7 @@ from fault_fixtures import PERTURBED_SEMIRING
 from repro.assoc.semiring import PLUS_TIMES
 from repro.scenarios import NoiseSpec, OverlaySpec, ScenarioSpec
 from repro.verify import (
+    CacheDeltaOracle,
     ClassifierOracle,
     KernelEqualityOracle,
     OverlayMetamorphicOracle,
@@ -146,8 +147,65 @@ class TestOverlayMetamorphicOracle:
             assert verdict.passed, verdict.detail
 
 
+class TestCacheDeltaOracle:
+    def test_passes_on_overlay_free_spec(self):
+        verdict = CacheDeltaOracle().check(ScenarioSpec(base="ring", n=12, seed=4))
+        assert verdict.passed, verdict.detail
+
+    def test_passes_on_noisy_overlaid_spec(self):
+        spec = ScenarioSpec(
+            base="star",
+            n=14,
+            seed=9,
+            noise=NoiseSpec(density=0.1),
+            overlays=(OverlaySpec("ddos_attack"), OverlaySpec("clique")),
+        )
+        verdict = CacheDeltaOracle().check(spec)
+        assert verdict.passed, verdict.detail
+
+    def test_passes_on_corpus_specs(self):
+        oracle = CacheDeltaOracle()
+        for spec in make_corpus(20, seed=37):
+            verdict = oracle.check(spec)
+            assert verdict.passed, verdict.detail
+
+    def test_injected_delta_fault_is_caught(self, monkeypatch):
+        """A delta path that perturbs one cell must fail the oracle."""
+        from repro.scenarios import delta as delta_mod
+
+        true_apply = delta_mod.apply_delta
+
+        def corrupted(base_spec, delta, **kwargs):
+            result = true_apply(base_spec, delta, **kwargs)
+            broken = result.matrix.copy()
+            broken.add_packets(0, 1, 1)  # one stray packet
+            return type(result)(spec=result.spec, matrix=broken, stats=result.stats)
+
+        monkeypatch.setattr(delta_mod, "apply_delta", corrupted)
+        verdict = CacheDeltaOracle().check(ScenarioSpec(base="ring", n=10, seed=1))
+        assert verdict.failed
+        assert "delta rebuild != full rebuild" in verdict.detail
+
+    def test_injected_cache_fault_is_caught(self, monkeypatch):
+        """A cache that serves a stale/corrupted entry must fail the oracle."""
+        from repro.scenarios.cache import ScenarioCache
+
+        true_get = ScenarioCache.get
+
+        def corrupted(self, spec):
+            matrix = true_get(self, spec)
+            if matrix is not None:
+                matrix.add_packets(0, 1, 1)
+            return matrix
+
+        monkeypatch.setattr(ScenarioCache, "get", corrupted)
+        verdict = CacheDeltaOracle().check(ScenarioSpec(base="ring", n=10, seed=1))
+        assert verdict.failed
+        assert "cache hit != direct build" in verdict.detail
+
+
 class TestBattery:
-    def test_default_battery_has_all_five(self):
+    def test_default_battery_has_all_six(self):
         names = [oracle.name for oracle in default_oracles()]
         assert names == [
             "kernel_equality",
@@ -155,6 +213,7 @@ class TestBattery:
             "round_trip",
             "classifier_agreement",
             "overlay_metamorphic",
+            "cache_delta",
         ]
 
     def test_oracles_are_picklable(self):
