@@ -38,9 +38,13 @@ suite exercises this layer as a compatibility gate.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable, Sequence, TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.assoc.planner import Plan
+    from repro.staticcheck.shapes import ExprType
 
 from repro.assoc.semiring import (
     BinaryOp,
@@ -240,11 +244,20 @@ class MatExpr:
 
         return planner.evaluate(self, as_mask(mask, complement))
 
-    def plan(self, mask: object = None, *, complement: bool = False):
+    def plan(self, mask: object = None, *, complement: bool = False) -> Plan:
         """The :class:`~repro.assoc.planner.Plan` evaluation would follow."""
         from repro.assoc import planner
 
         return planner.plan(self, as_mask(mask, complement))
+
+    def typecheck(self, mask: object = None, *, complement: bool = False) -> ExprType:
+        """Statically infer this tree's result shape and dtype without
+        executing it (see :func:`repro.staticcheck.shapes.infer`); raises
+        :class:`~repro.errors.ShapeInferenceError` naming the offending
+        subtree if the tree cannot evaluate."""
+        from repro.staticcheck import shapes
+
+        return shapes.infer(self, as_mask(mask, complement))
 
 
 class MatLeaf(MatExpr):
@@ -294,7 +307,7 @@ class EWiseMult(MatExpr):
 
     __slots__ = ("left", "right", "mult")
 
-    def __init__(self, left: MatExpr, right: MatExpr, mult) -> None:  # noqa: ANN001
+    def __init__(self, left: MatExpr, right: MatExpr, mult: object) -> None:
         self.left = left
         self.right = right
         self.mult = mult
@@ -359,10 +372,17 @@ class VecExpr:
             self, _as_vec_mask(mask, complement, self.size)
         )
 
-    def plan(self, mask: object = None, *, complement: bool = False):
+    def plan(self, mask: object = None, *, complement: bool = False) -> Plan:
         from repro.assoc import planner
 
         return planner.plan_vec(self, _as_vec_mask(mask, complement, self.size))
+
+    def typecheck(self, mask: object = None, *, complement: bool = False) -> ExprType:
+        """Statically infer result size and dtype (see
+        :func:`repro.staticcheck.shapes.infer_vec`)."""
+        from repro.staticcheck import shapes
+
+        return shapes.infer_vec(self, _as_vec_mask(mask, complement, self.size))
 
 
 class MxV(VecExpr):

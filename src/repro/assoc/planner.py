@@ -30,7 +30,7 @@ paths — with the same bit-identical serial ≡ parallel guarantee.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -65,9 +65,16 @@ class Step:
 
 @dataclass(frozen=True)
 class Plan:
-    """The ordered kernel schedule an evaluation will follow."""
+    """The ordered kernel schedule an evaluation will follow.
+
+    ``expr``/``mask`` carry the tree the plan was built from (excluded from
+    equality: two plans with the same kernel schedule compare equal), which
+    is what :meth:`typecheck` and :meth:`explain` operate on.
+    """
 
     steps: tuple[Step, ...]
+    expr: object | None = field(default=None, compare=False, repr=False)
+    mask: object | None = field(default=None, compare=False, repr=False)
 
     @property
     def kernels(self) -> tuple[str, ...]:
@@ -85,6 +92,39 @@ class Plan:
 
     def describe(self) -> str:
         return " -> ".join(str(step) for step in self.steps) or "(empty)"
+
+    def typecheck(self):  # noqa: ANN201 - ExprType, imported lazily
+        """Statically prove the plan's expression well-shaped before running.
+
+        Returns the inferred :class:`~repro.staticcheck.shapes.ExprType`
+        (result shape + dtype); raises
+        :class:`~repro.errors.ShapeInferenceError` naming the offending
+        subtree for trees the builder methods never validated (raw node
+        construction, stale operands, mismatched masks).
+        """
+        from repro.assoc import expr as E
+        from repro.staticcheck import shapes
+
+        if self.expr is None:
+            raise ExpressionError(
+                "plan carries no expression tree to typecheck (it was built "
+                "directly from steps, not by plan()/plan_vec())"
+            )
+        if isinstance(self.expr, E.VecExpr):
+            return shapes.infer_vec(self.expr, self.mask)
+        return shapes.infer(self.expr, self.mask)
+
+    def explain(self) -> str:
+        """The kernel schedule plus the typed expression tree — and, for an
+        ill-shaped tree, the ``!!``-marked subtree that fails inference."""
+        from repro.staticcheck import shapes
+
+        lines = [f"plan: {self.describe()}"]
+        if self.mask is not None:
+            lines.append(f"mask: {self.mask!r}")
+        if self.expr is not None:
+            lines.append(shapes.annotate(self.expr))
+        return "\n".join(lines)
 
 
 # --------------------------------------------------------------------------- #
@@ -235,7 +275,7 @@ def plan(e: E.MatExpr, mask: E.Mask | None = None) -> Plan:
     """The kernel schedule :func:`evaluate` would follow for this tree."""
     steps: list[Step] = []
     _plan_mat(e, mask, steps)
-    return Plan(tuple(steps))
+    return Plan(tuple(steps), expr=e, mask=mask)
 
 
 def plan_vec(v: E.VecExpr, allow: np.ndarray | None = None) -> Plan:
@@ -254,7 +294,7 @@ def plan_vec(v: E.VecExpr, allow: np.ndarray | None = None) -> Plan:
             steps.append(Step("masked_reduce_rows", fused_mask=True))
     else:
         raise ExpressionError(f"unknown vector expression node {type(v).__name__}")
-    return Plan(tuple(steps))
+    return Plan(tuple(steps), expr=v, mask=allow)
 
 
 def _plan_mat(e: E.MatExpr, mask: E.Mask | None, steps: list[Step]) -> None:

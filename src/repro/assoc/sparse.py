@@ -157,7 +157,13 @@ class CSRMatrix:
             nondecreasing = np.diff(self.indices) > 0
             row_starts = np.zeros(self.indices.size - 1, dtype=bool)
             starts = self.indptr[1:-1]
-            row_starts[starts[starts < self.indices.size] - 1] = True
+            # gap i sits between indices[i] and indices[i+1]; a row beginning
+            # at index s exempts gap s-1.  s == 0 (leading empty rows) has no
+            # preceding gap — without the lower bound it wrapped to gap -1,
+            # crashing at nnz == 1 and silently exempting the *last* gap
+            # otherwise.
+            exempt = starts[(starts > 0) & (starts < self.indices.size)]
+            row_starts[exempt - 1] = True
             if not np.all(nondecreasing | row_starts):
                 raise SparseFormatError("indices must be strictly increasing within each row")
 

@@ -40,6 +40,25 @@ class ExpressionError(ReproError):
     """Invalid construction or evaluation of a lazy :mod:`repro.assoc.expr` expression."""
 
 
+class ShapeInferenceError(ExpressionError):
+    """Static shape/dtype inference rejected an expression tree.
+
+    Raised by :func:`repro.staticcheck.shapes.infer` (and therefore by
+    :meth:`repro.assoc.planner.Plan.typecheck`) with a dotted *path* naming
+    the offending subtree, e.g. ``mxm.left.union[2]``.
+    """
+
+    def __init__(self, message: str, *, path: str = "expr") -> None:
+        super().__init__(f"{path}: {message}")
+        self.path = path
+        self.message = message
+
+
+class StaticCheckError(ReproError):
+    """The :mod:`repro.staticcheck` framework was misused (unparseable file,
+    unknown rule code, malformed baseline document)."""
+
+
 class RuntimeConfigError(ReproError):
     """Invalid :mod:`repro.runtime` configuration (workers, backend, blocks)."""
 

@@ -188,7 +188,7 @@ def external_supernode(
     family="topology", tags=("template",), display="Template matrix",
     min_n=2, n_multiple_of=2,
 )
-def template_matrix(n: int = 10, labels: Sequence[str] | None = None) -> TrafficMatrix:
+def template_matrix(n: int = 10, *, labels: Sequence[str] | None = None) -> TrafficMatrix:
     """The exact matrix of the paper's 10×10 template listing (any even n).
 
     Self loops of 1 packet on the diagonal plus isolated links of 2 packets on

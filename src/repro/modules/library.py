@@ -84,11 +84,16 @@ def _display_names() -> dict[str, str]:
 DISPLAY_NAMES: Mapping[str, str] = _display_names()
 
 
+def _display_title(name: str) -> str:
+    """The registry display string for *name* (the default module title)."""
+    return DISPLAY_NAMES[name]
+
+
 def _family(
     family: str,
     generators: Mapping[str, Callable[..., TrafficMatrix]],
     hint: str | None,
-    title: Callable[[str], str] = lambda name: DISPLAY_NAMES[name],
+    title: Callable[[str], str] = _display_title,
 ) -> dict[str, LearningModule]:
     """Build one catalogue family through the declarative scenario API.
 

@@ -168,7 +168,9 @@ _pools: dict[tuple[str, int], ThreadExecutor | ProcessExecutor] = {}
 _pool_lock = threading.Lock()
 
 
-def get_executor(config: RuntimeConfig | None = None):
+def get_executor(
+    config: RuntimeConfig | None = None,
+) -> SerialExecutor | ThreadExecutor | ProcessExecutor:
     """The executor for *config* (default: the active config), cached."""
     cfg = get_config() if config is None else config
     backend = cfg.resolved_backend()

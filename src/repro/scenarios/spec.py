@@ -233,7 +233,9 @@ class ScenarioSpec:
     # realisation
     # ------------------------------------------------------------------ #
 
-    def _materialize(self, info: GeneratorInfo, params: Mapping[str, Any], layer: int):
+    def _materialize(
+        self, info: GeneratorInfo, params: Mapping[str, Any], layer: int
+    ) -> "TrafficMatrix":
         from repro.core.labels import space_labels
 
         kwargs = dict(params)

@@ -1,0 +1,57 @@
+"""Domain-aware static analysis for the repro codebase.
+
+Four rule families, one framework:
+
+* ``DET`` (:mod:`~repro.staticcheck.determinism`) — unseeded randomness,
+  wall clocks, ``id()`` ordering, set-iteration order in contract code;
+* ``EXEC`` (:mod:`~repro.staticcheck.executor`) — unpicklable workers and
+  nested parallelism at the runtime entry points;
+* ``REG`` (:mod:`~repro.staticcheck.registry_schema`) — ``@register_scenario``
+  decorator schemas cross-checked against generator signatures;
+* ``SHP`` (:mod:`~repro.staticcheck.exprsites` +
+  :mod:`~repro.staticcheck.shapes`) — expression-construction hygiene as a
+  lint, plus :func:`~repro.staticcheck.shapes.infer`, the symbolic
+  shape/dtype verifier behind :meth:`repro.assoc.planner.Plan.typecheck`.
+
+Run it: ``python -m repro.staticcheck src/`` (see ``--help``).  Suppress one
+line with ``# staticcheck: ignore[CODE]``; accept legacy findings with
+``--baseline`` (this repository keeps its baseline empty).
+"""
+
+from repro.staticcheck.cli import default_rules, main
+from repro.staticcheck.core import (
+    Baseline,
+    FileContext,
+    Finding,
+    Rule,
+    check_file,
+    check_paths,
+    iter_python_files,
+    parse_suppressions,
+)
+from repro.staticcheck.determinism import DeterminismRule
+from repro.staticcheck.executor import ExecutorSafetyRule
+from repro.staticcheck.exprsites import ExprSiteRule
+from repro.staticcheck.registry_schema import RegistrySchemaRule
+from repro.staticcheck.shapes import ExprType, annotate, infer, infer_vec
+
+__all__ = [
+    "Baseline",
+    "DeterminismRule",
+    "ExecutorSafetyRule",
+    "ExprSiteRule",
+    "ExprType",
+    "FileContext",
+    "Finding",
+    "RegistrySchemaRule",
+    "Rule",
+    "annotate",
+    "check_file",
+    "check_paths",
+    "default_rules",
+    "infer",
+    "infer_vec",
+    "iter_python_files",
+    "main",
+    "parse_suppressions",
+]

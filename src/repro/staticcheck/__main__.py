@@ -1,0 +1,7 @@
+"""Entry point for ``python -m repro.staticcheck``."""
+
+import sys
+
+from repro.staticcheck.cli import main
+
+sys.exit(main())

@@ -1,0 +1,113 @@
+"""``python -m repro.staticcheck`` — lint a tree with the domain rules.
+
+Exit codes: ``0`` clean (or everything baselined), ``1`` findings, ``2``
+usage / framework error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.errors import StaticCheckError
+from repro.staticcheck.core import Baseline, Rule, check_paths
+from repro.staticcheck.determinism import DeterminismRule
+from repro.staticcheck.executor import ExecutorSafetyRule
+from repro.staticcheck.exprsites import ExprSiteRule
+from repro.staticcheck.registry_schema import RegistrySchemaRule
+from repro.staticcheck.report import render_json, render_rule_table, render_text
+
+__all__ = ["default_rules", "main"]
+
+
+def default_rules() -> tuple[Rule, ...]:
+    """The four built-in rule families, in code order."""
+    return (
+        DeterminismRule(),
+        ExecutorSafetyRule(),
+        RegistrySchemaRule(),
+        ExprSiteRule(),
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.staticcheck",
+        description="Domain-aware static analysis for the repro codebase.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"], help="files or directories to lint"
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        default=None,
+        metavar="CODE",
+        help="only run codes matching this prefix (repeatable): DET, EXEC003, ...",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help="baseline JSON: accepted findings are not reported",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        default=None,
+        help="write current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule table and exit"
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    rules = default_rules()
+
+    if args.list_rules:
+        print(render_rule_table(rules))
+        return 0
+
+    try:
+        from repro.staticcheck.core import iter_python_files
+
+        files = list(iter_python_files(args.paths))
+        findings = check_paths(args.paths, rules, select=args.select)
+
+        if args.write_baseline:
+            Baseline.from_findings(findings).save(args.write_baseline)
+            print(
+                f"wrote baseline with {len(findings)} finding(s) to "
+                f"{args.write_baseline}"
+            )
+            return 0
+
+        baselined = 0
+        if args.baseline:
+            baseline_path = Path(args.baseline)
+            if not baseline_path.exists():
+                raise StaticCheckError(f"baseline file not found: {baseline_path}")
+            findings, baselined = Baseline.load(baseline_path).filter(findings)
+    except StaticCheckError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    render = render_json if args.format == "json" else render_text
+    print(render(findings, baselined=baselined, checked_files=len(files)))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,413 @@
+"""The lint framework: findings, rules, suppressions, baselines, walkers.
+
+This module is deliberately dependency-light — it imports only the standard
+library — so ``python -m repro.staticcheck`` can lint a tree without pulling
+in NumPy or realising any scenario.  Rules that *do* need domain constants
+(the scenario family list, the expression node names) hardcode or lazily
+import them.
+
+The moving parts:
+
+* :class:`Finding` — one diagnostic, with a stable :meth:`baseline_key`
+  (path, rule, source-line text) that survives unrelated line drift;
+* :class:`Rule` — the pluggable protocol: a named family that inspects one
+  :class:`FileContext` and yields findings under one or more rule codes;
+* :class:`FileContext` — parsed AST + source + resolved dotted module name +
+  an :class:`ImportResolver` every rule shares;
+* per-line suppressions — ``# staticcheck: ignore`` silences every rule on
+  that line, ``# staticcheck: ignore[DET001,EXEC002]`` only the named codes;
+* :class:`Baseline` — a JSON ledger of accepted findings: the checker fails
+  only on findings *not* in the baseline, so a rule can be introduced before
+  the tree is clean (this repository keeps an empty baseline).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Mapping, Protocol, Sequence, runtime_checkable
+
+from repro.errors import StaticCheckError
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "FileContext",
+    "ImportResolver",
+    "Baseline",
+    "SUPPRESS_PATTERN",
+    "parse_suppressions",
+    "iter_python_files",
+    "check_file",
+    "check_paths",
+    "dotted_name",
+    "module_name_for",
+]
+
+#: ``# staticcheck: ignore`` or ``# staticcheck: ignore[CODE, CODE]``.
+SUPPRESS_PATTERN = re.compile(
+    r"#\s*staticcheck:\s*ignore(?:\[(?P<codes>[A-Z0-9_,\s]+)\])?"
+)
+
+
+# --------------------------------------------------------------------------- #
+# findings
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic: a rule code anchored to a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    snippet: str = ""
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def baseline_key(self) -> tuple[str, str, str]:
+        """Identity used by baselines: the line *text*, not the line number,
+        so accepted findings survive edits elsewhere in the file."""
+        return (self.path, self.rule, self.snippet)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+        }
+
+    def __str__(self) -> str:
+        return f"{self.location}: {self.rule} {self.message}"
+
+
+# --------------------------------------------------------------------------- #
+# import resolution (shared by every rule)
+# --------------------------------------------------------------------------- #
+
+
+class ImportResolver:
+    """Canonicalises names through the file's imports.
+
+    ``import numpy as np`` makes ``np.random.rand`` resolve to
+    ``numpy.random.rand``; ``from numpy.random import default_rng as rng``
+    makes a bare ``rng`` resolve to ``numpy.random.default_rng``.  Only
+    module-level and function-level ``import`` statements are consulted —
+    dynamic importing is out of scope for a syntactic checker.
+    """
+
+    def __init__(self, tree: ast.Module) -> None:
+        self._aliases: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self._aliases[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name if alias.asname else alias.name.split(".")[0]
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    self._aliases[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+
+    def resolve(self, expr: ast.expr) -> str | None:
+        """The canonical dotted name of a Name/Attribute chain, or ``None``."""
+        parts = dotted_name(expr)
+        if parts is None:
+            return None
+        head, *rest = parts.split(".")
+        head = self._aliases.get(head, head)
+        return ".".join([head, *rest])
+
+
+def dotted_name(expr: ast.expr) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    node = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+# --------------------------------------------------------------------------- #
+# file context
+# --------------------------------------------------------------------------- #
+
+
+def module_name_for(path: Path) -> str | None:
+    """Best-effort dotted module name: walk up while ``__init__.py`` exists.
+
+    ``src/repro/assoc/expr.py`` → ``repro.assoc.expr``; a loose script (or a
+    test fixture) with no package parents returns ``None``.
+    """
+    resolved = path.resolve()
+    if resolved.name == "__init__.py":
+        parts: list[str] = []
+        package_dir = resolved.parent
+    else:
+        parts = [resolved.stem]
+        package_dir = resolved.parent
+    while (package_dir / "__init__.py").exists():
+        parts.append(package_dir.name)
+        package_dir = package_dir.parent
+    if len(parts) <= (0 if resolved.name == "__init__.py" else 1):
+        return None
+    return ".".join(reversed(parts)) or None
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to inspect one file."""
+
+    path: Path
+    display_path: str
+    source: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+    module: str | None = None
+    imports: ImportResolver = field(default=None)  # type: ignore[assignment]
+
+    @classmethod
+    def from_path(cls, path: Path, display_path: str | None = None) -> "FileContext":
+        source = path.read_text(encoding="utf-8")
+        return cls.from_source(source, path, display_path)
+
+    @classmethod
+    def from_source(
+        cls, source: str, path: Path, display_path: str | None = None
+    ) -> "FileContext":
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            raise StaticCheckError(f"{path}: not parseable python: {exc}") from None
+        ctx = cls(
+            path=path,
+            display_path=display_path if display_path is not None else path.as_posix(),
+            source=source,
+            tree=tree,
+            lines=source.splitlines(),
+            module=module_name_for(path),
+        )
+        ctx.imports = ImportResolver(tree)
+        return ctx
+
+    def snippet(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def finding(self, rule: str, node: ast.AST, message: str) -> Finding:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            rule=rule,
+            path=self.display_path,
+            line=line,
+            col=col + 1,
+            message=message,
+            snippet=self.snippet(line),
+        )
+
+
+@runtime_checkable
+class Rule(Protocol):
+    """One rule family: a name, a code table, and a ``check``.
+
+    ``codes`` maps each rule code the family can emit (``"DET001"``) to a
+    one-line description — the CLI rule table and ``--select`` both read it.
+    """
+
+    name: str
+    codes: Mapping[str, str]
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:  # pragma: no cover
+        ...
+
+
+# --------------------------------------------------------------------------- #
+# suppressions
+# --------------------------------------------------------------------------- #
+
+
+def parse_suppressions(lines: Sequence[str]) -> dict[int, frozenset[str] | None]:
+    """Per-line suppressions: line number → frozenset of codes, or ``None``
+    meaning *every* rule is ignored on that line."""
+    out: dict[int, frozenset[str] | None] = {}
+    for k, text in enumerate(lines, start=1):
+        if "staticcheck" not in text:
+            continue
+        match = SUPPRESS_PATTERN.search(text)
+        if match is None:
+            continue
+        codes = match.group("codes")
+        if codes is None:
+            out[k] = None
+        else:
+            out[k] = frozenset(c.strip() for c in codes.split(",") if c.strip())
+    return out
+
+
+def _suppressed(finding: Finding, table: Mapping[int, frozenset[str] | None]) -> bool:
+    if finding.line not in table:
+        return False
+    codes = table[finding.line]
+    return codes is None or finding.rule in codes
+
+
+# --------------------------------------------------------------------------- #
+# walkers
+# --------------------------------------------------------------------------- #
+
+
+def _selected(code: str, select: Sequence[str] | None) -> bool:
+    if not select:
+        return True
+    return any(code == want or code.startswith(want) for want in select)
+
+
+def check_file(
+    path: Path | str,
+    rules: Sequence[Rule],
+    *,
+    select: Sequence[str] | None = None,
+    display_path: str | None = None,
+) -> list[Finding]:
+    """Run *rules* over one file; suppressions applied, findings sorted."""
+    ctx = FileContext.from_path(Path(path), display_path)
+    table = parse_suppressions(ctx.lines)
+    findings: list[Finding] = []
+    for rule in rules:
+        if select and not any(_selected(code, select) for code in rule.codes):
+            continue
+        for finding in rule.check(ctx):
+            if finding.rule not in rule.codes:  # pragma: no cover - rule bug guard
+                raise StaticCheckError(
+                    f"rule {rule.name!r} emitted undeclared code {finding.rule!r}"
+                )
+            if _selected(finding.rule, select) and not _suppressed(finding, table):
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.line, f.col, f.rule))
+    return findings
+
+
+def iter_python_files(paths: Iterable[Path | str]) -> Iterator[tuple[Path, str]]:
+    """Every ``.py`` file under *paths* (files pass through), sorted, with the
+    display path relative to the given root.  Hidden directories and
+    ``__pycache__`` are skipped."""
+    for raw in paths:
+        root = Path(raw)
+        if root.is_file():
+            yield root, root.as_posix()
+            continue
+        if not root.exists():
+            raise StaticCheckError(f"no such file or directory: {root}")
+        for candidate in sorted(root.rglob("*.py")):
+            relative = candidate.relative_to(root)
+            if any(
+                part.startswith(".") or part == "__pycache__"
+                for part in relative.parts
+            ):
+                continue
+            yield candidate, (root / relative).as_posix()
+
+
+def check_paths(
+    paths: Iterable[Path | str],
+    rules: Sequence[Rule],
+    *,
+    select: Sequence[str] | None = None,
+) -> list[Finding]:
+    """Run *rules* over every python file under *paths* (project walker)."""
+    findings: list[Finding] = []
+    for path, display in iter_python_files(paths):
+        findings.extend(check_file(path, rules, select=select, display_path=display))
+    return findings
+
+
+# --------------------------------------------------------------------------- #
+# baselines
+# --------------------------------------------------------------------------- #
+
+#: Version stamp written into baseline documents.
+BASELINE_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """Accepted findings, counted by :meth:`Finding.baseline_key`.
+
+    ``filter`` subtracts baselined occurrences: if the baseline accepts two
+    ``DET001`` findings on a given source line text and the tree now has
+    three, one is reported.  An empty baseline reports everything — the
+    steady state this repository holds itself to.
+    """
+
+    entries: Counter = field(default_factory=Counter)
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        return cls(Counter(f.baseline_key() for f in findings))
+
+    @classmethod
+    def load(cls, path: Path | str) -> "Baseline":
+        document = json.loads(Path(path).read_text(encoding="utf-8"))
+        version = document.get("baseline_version")
+        if version != BASELINE_VERSION:
+            raise StaticCheckError(
+                f"unsupported baseline_version {version!r} in {path} "
+                f"(this checker reads {BASELINE_VERSION})"
+            )
+        entries: Counter = Counter()
+        for row in document.get("entries", []):
+            entries[(row["path"], row["rule"], row["snippet"])] = int(
+                row.get("count", 1)
+            )
+        return cls(entries)
+
+    def save(self, path: Path | str) -> None:
+        rows = [
+            {"path": p, "rule": r, "snippet": s, "count": count}
+            for (p, r, s), count in sorted(self.entries.items())
+        ]
+        Path(path).write_text(
+            json.dumps(
+                {"baseline_version": BASELINE_VERSION, "entries": rows},
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n",
+            encoding="utf-8",
+        )
+
+    def filter(self, findings: Sequence[Finding]) -> tuple[list[Finding], int]:
+        """``(new_findings, baselined_count)`` — occurrences beyond the
+        baselined count for a key are reported, earliest lines accepted."""
+        budget = Counter(self.entries)
+        fresh: list[Finding] = []
+        accepted = 0
+        for finding in findings:
+            key = finding.baseline_key()
+            if budget[key] > 0:
+                budget[key] -= 1
+                accepted += 1
+            else:
+                fresh.append(finding)
+        return fresh, accepted

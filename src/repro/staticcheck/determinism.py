@@ -1,0 +1,249 @@
+"""R1 — the determinism lint (``DET``).
+
+The serial ≡ blocked bit-identity contract (and the spec → matrix
+reproducibility contract built on it) makes *any* hidden source of run-to-run
+variation a correctness bug inside kernel, scenario, and verification code:
+an unseeded RNG changes the matrix, a wall-clock read changes provenance, an
+``id()``-keyed sort or a bare ``set`` iteration changes term order — and term
+order is part of the bit-identity guarantee.
+
+Codes:
+
+* ``DET001`` — unseeded randomness: module-level ``random.*`` calls, the
+  legacy ``numpy.random.*`` global API, ``random.Random()`` and
+  ``numpy.random.default_rng()`` with no seed argument;
+* ``DET002`` — wall-clock reads (``time.time``, ``datetime.now``, …);
+* ``DET003`` — ``id()`` used as a sort key (CPython address order is
+  allocation order, which is not stable across runs);
+* ``DET004`` — iterating a ``set`` into ordered output (``for x in {…}``,
+  ``list(set(…))``, comprehensions over set expressions) — set iteration
+  order depends on string hash randomisation.
+
+The family only fires inside *contract* modules (``repro.assoc``,
+``repro.graphs``, ``repro.scenarios``, ``repro.verify``, ``repro.runtime``,
+``repro.analysis``, ``repro.core``) — game, rendering, and interpreter code
+is allowed to be as random as it likes.  Files that resolve to no ``repro``
+module at all (fixtures, scripts) are treated as contract code.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.staticcheck.core import FileContext, Finding
+
+__all__ = ["DeterminismRule", "CONTRACT_PREFIXES"]
+
+#: Module prefixes where the bit-identity / reproducibility contract applies.
+CONTRACT_PREFIXES = (
+    "repro.assoc",
+    "repro.graphs",
+    "repro.scenarios",
+    "repro.verify",
+    "repro.runtime",
+    "repro.analysis",
+    "repro.core",
+)
+
+#: ``random`` module functions that consume the hidden global RNG state.
+_GLOBAL_RANDOM_FNS = frozenset(
+    {
+        "random", "randint", "randrange", "choice", "choices", "shuffle",
+        "sample", "uniform", "triangular", "gauss", "normalvariate",
+        "lognormvariate", "expovariate", "vonmisesvariate", "betavariate",
+        "gammavariate", "paretovariate", "weibullvariate", "getrandbits",
+        "randbytes", "seed",
+    }
+)
+
+#: Legacy ``numpy.random`` global-state API (anything but Generator methods).
+_NP_RANDOM_FNS = frozenset(
+    {
+        "rand", "randn", "randint", "random", "random_sample", "ranf",
+        "sample", "choice", "shuffle", "permutation", "seed", "bytes",
+        "uniform", "normal", "standard_normal", "poisson", "binomial",
+        "exponential", "beta", "gamma", "geometric", "hypergeometric",
+        "laplace", "logistic", "lognormal", "multinomial", "pareto",
+        "rayleigh", "triangular", "vonmises", "wald", "weibull", "zipf",
+        "get_state", "set_state",
+    }
+)
+
+#: Wall-clock reads, by canonical dotted-name suffix.
+_CLOCK_SUFFIXES = (
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "date.today",
+)
+
+#: Callables whose sole set argument is an *unordered* consumer (safe).
+_ORDER_INSENSITIVE = frozenset(
+    {"sorted", "len", "sum", "min", "max", "any", "all", "set", "frozenset",
+     "bool", "repr", "str"}
+)
+
+#: Callables that freeze set iteration order into ordered output.
+_ORDER_SENSITIVE = frozenset({"list", "tuple", "enumerate", "iter", "reversed"})
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in {"set", "frozenset"}
+    # set operators on set-typed operands: {a} | {b}
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.BitOr, ast.BitAnd, ast.Sub)):
+        return _is_set_expr(node.left) or _is_set_expr(node.right)
+    # set(...).union(...) / .difference(...) / .intersection(...)
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in {"union", "difference", "intersection", "symmetric_difference"}
+    ):
+        return _is_set_expr(node.func.value)
+    return False
+
+
+def _key_uses_id(key: ast.expr) -> bool:
+    if isinstance(key, ast.Name) and key.id == "id":
+        return True
+    if isinstance(key, ast.Lambda):
+        return any(
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Name)
+            and sub.func.id == "id"
+            for sub in ast.walk(key.body)
+        )
+    return False
+
+
+class DeterminismRule:
+    """DET — randomness, clocks, address order, and set order in contract code."""
+
+    name = "determinism"
+    codes = {
+        "DET001": "unseeded randomness (global random/np.random state or seedless constructor)",
+        "DET002": "wall-clock read in deterministic code",
+        "DET003": "id() used as a sort key (address order is not reproducible)",
+        "DET004": "iteration over a set feeding ordered output",
+    }
+
+    def applies(self, ctx: FileContext) -> bool:
+        module = ctx.module
+        if module is None or not (module == "repro" or module.startswith("repro.")):
+            return True  # fixtures / scripts: assume contract code
+        return module.startswith(CONTRACT_PREFIXES)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not self.applies(ctx):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                yield from self._check_iter(ctx, node.iter)
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+                for gen in node.generators:
+                    yield from self._check_iter(ctx, gen.iter)
+
+    # -- DET001 / DET002 ------------------------------------------------- #
+
+    def _check_call(self, ctx: FileContext, node: ast.Call) -> Iterator[Finding]:
+        target = ctx.imports.resolve(node.func)
+        if target is not None:
+            yield from self._check_random(ctx, node, target)
+            yield from self._check_clock(ctx, node, target)
+        yield from self._check_sort_key(ctx, node)
+        yield from self._check_set_consumer(ctx, node)
+
+    def _check_random(
+        self, ctx: FileContext, node: ast.Call, target: str
+    ) -> Iterator[Finding]:
+        head, _, tail = target.rpartition(".")
+        if head == "random" and tail in _GLOBAL_RANDOM_FNS:
+            yield ctx.finding(
+                "DET001",
+                node,
+                f"call to random.{tail} uses the hidden global RNG; "
+                f"thread a seeded random.Random / np.random.default_rng(seed) instead",
+            )
+        elif head in {"numpy.random", "np.random"} and tail in _NP_RANDOM_FNS:
+            yield ctx.finding(
+                "DET001",
+                node,
+                f"legacy numpy.random.{tail} mutates global RNG state; "
+                f"use np.random.default_rng(seed) and pass the generator explicitly",
+            )
+        elif target in {"random.Random", "numpy.random.default_rng"} and not (
+            node.args or node.keywords
+        ):
+            yield ctx.finding(
+                "DET001",
+                node,
+                f"{tail}() without a seed draws OS entropy; pass an explicit seed "
+                f"derived from the spec/config",
+            )
+
+    def _check_clock(
+        self, ctx: FileContext, node: ast.Call, target: str
+    ) -> Iterator[Finding]:
+        for suffix in _CLOCK_SUFFIXES:
+            if target == suffix or target.endswith("." + suffix):
+                yield ctx.finding(
+                    "DET002",
+                    node,
+                    f"wall-clock read {suffix}() makes output depend on run time; "
+                    f"deterministic code must take timestamps as inputs",
+                )
+                return
+
+    # -- DET003 ----------------------------------------------------------- #
+
+    def _check_sort_key(self, ctx: FileContext, node: ast.Call) -> Iterator[Finding]:
+        is_sort_call = (
+            isinstance(node.func, ast.Name) and node.func.id in {"sorted", "min", "max"}
+        ) or (isinstance(node.func, ast.Attribute) and node.func.attr == "sort")
+        if not is_sort_call:
+            return
+        for kw in node.keywords:
+            if kw.arg == "key" and _key_uses_id(kw.value):
+                yield ctx.finding(
+                    "DET003",
+                    node,
+                    "ordering by id() sorts by allocation address, which varies "
+                    "between runs; sort by a value-derived key",
+                )
+
+    # -- DET004 ----------------------------------------------------------- #
+
+    def _check_iter(self, ctx: FileContext, iter_node: ast.expr) -> Iterator[Finding]:
+        if _is_set_expr(iter_node):
+            yield ctx.finding(
+                "DET004",
+                iter_node,
+                "iterating a set produces hash-order, which is randomised per "
+                "process for strings; wrap in sorted(...) before ordered use",
+            )
+
+    def _check_set_consumer(self, ctx: FileContext, node: ast.Call) -> Iterator[Finding]:
+        if not (isinstance(node.func, ast.Name) and node.func.id in _ORDER_SENSITIVE):
+            return
+        if node.func.id in _ORDER_INSENSITIVE:  # pragma: no cover - disjoint sets
+            return
+        if len(node.args) >= 1 and _is_set_expr(node.args[0]):
+            yield ctx.finding(
+                "DET004",
+                node,
+                f"{node.func.id}(set) freezes nondeterministic hash order into a "
+                f"sequence; use sorted(...) to fix the order first",
+            )

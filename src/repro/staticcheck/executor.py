@@ -1,0 +1,201 @@
+"""R2 — the executor-safety checker (``EXEC``).
+
+The process backend ships the worker function to child interpreters by
+pickling it, and pickle can only serialise functions importable by qualified
+name.  Lambdas, closures, and functions defined inside another function all
+fail — but only at runtime, and only when ``backend="process"`` is selected,
+so the bug hides behind the serial and thread backends until deployment.
+
+Codes:
+
+* ``EXEC001`` — a ``lambda`` flows directly into a parallel entry point
+  (``parallel_map``, ``async_submit``, ``generate_batch``,
+  ``run_batch_sync``);
+* ``EXEC002`` — a locally-defined function or a name bound to a lambda flows
+  into a parallel entry point (simple in-scope aliasing is resolved);
+* ``EXEC003`` — a parallel entry point is called *inside* a worker function:
+  nested pools deadlock the process backend and are rejected by the
+  ``serial_region`` guard only once a task actually runs.
+
+The ``on_progress`` keyword is exempt everywhere: progress callbacks execute
+in the *calling* thread and never cross the pickle boundary (that contract is
+documented on :func:`repro.runtime.parallel_map`).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.staticcheck.core import FileContext, Finding, dotted_name
+
+__all__ = ["ExecutorSafetyRule", "PARALLEL_ENTRY_POINTS"]
+
+#: Final name segments that identify a parallel entry point.
+PARALLEL_ENTRY_POINTS = frozenset(
+    {"parallel_map", "async_submit", "generate_batch", "run_batch_sync"}
+)
+
+#: Keyword arguments that run in the calling thread (never pickled).
+_EXEMPT_KWARGS = frozenset({"on_progress"})
+
+
+def _entry_point_name(ctx: FileContext, call: ast.Call) -> str | None:
+    """The matched entry-point name if *call* targets one, else ``None``."""
+    target = ctx.imports.resolve(call.func) or dotted_name(call.func)
+    if target is None:
+        return None
+    tail = target.rpartition(".")[2]
+    return tail if tail in PARALLEL_ENTRY_POINTS else None
+
+
+class _Scope:
+    """One lexical function scope: which local names are unpicklable."""
+
+    __slots__ = ("node", "local_defs", "lambda_names")
+
+    def __init__(self, node: ast.AST) -> None:
+        self.node = node
+        self.local_defs: set[str] = set()
+        self.lambda_names: set[str] = set()
+
+
+class ExecutorSafetyRule:
+    """EXEC — unpicklable workers and nested parallelism, found statically."""
+
+    name = "executor-safety"
+    codes = {
+        "EXEC001": "lambda passed to a parallel entry point (unpicklable on the process backend)",
+        "EXEC002": "closure/locally-defined function passed to a parallel entry point",
+        "EXEC003": "nested parallelism: entry point called inside a worker function",
+    }
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        findings: list[Finding] = []
+        worker_names: set[str] = set()
+        entry_calls_by_function: dict[ast.AST, list[ast.Call]] = {}
+        self._visit(
+            ctx, ctx.tree, [_Scope(ctx.tree)], findings, worker_names,
+            entry_calls_by_function,
+        )
+        # Second pass: a function whose *name* is handed to an entry point as
+        # the worker must not itself fan out (EXEC003).
+        for fn_node, calls in entry_calls_by_function.items():
+            if getattr(fn_node, "name", None) in worker_names:
+                for call in calls:
+                    findings.append(
+                        ctx.finding(
+                            "EXEC003",
+                            call,
+                            f"worker function {fn_node.name!r} calls a parallel "
+                            f"entry point; nested pools deadlock the process "
+                            f"backend — hoist the inner fan-out to the caller",
+                        )
+                    )
+        yield from findings
+
+    # ------------------------------------------------------------------ #
+
+    def _visit(
+        self,
+        ctx: FileContext,
+        node: ast.AST,
+        scopes: list[_Scope],
+        findings: list[Finding],
+        worker_names: set[str],
+        entry_calls_by_function: dict[ast.AST, list[ast.Call]],
+    ) -> None:
+        in_function = not isinstance(scopes[-1].node, ast.Module)
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if in_function:
+                    # a def nested inside a function is a closure, unpicklable
+                    scopes[-1].local_defs.add(child.name)
+                self._visit(
+                    ctx, child, scopes + [_Scope(child)], findings,
+                    worker_names, entry_calls_by_function,
+                )
+                continue
+            if isinstance(child, ast.Assign) and isinstance(child.value, ast.Lambda):
+                # name = lambda ...: unpicklable wherever it is bound —
+                # even module-level lambdas pickle by (unusable) qualname
+                for tgt in child.targets:
+                    if isinstance(tgt, ast.Name):
+                        scopes[-1].lambda_names.add(tgt.id)
+            if isinstance(child, ast.Call):
+                entry = _entry_point_name(ctx, child)
+                if entry is not None:
+                    self._check_entry_call(
+                        ctx, child, entry, scopes, findings, worker_names
+                    )
+                    if scopes:
+                        entry_calls_by_function.setdefault(
+                            scopes[-1].node, []
+                        ).append(child)
+            self._visit(
+                ctx, child, scopes, findings, worker_names,
+                entry_calls_by_function,
+            )
+
+    def _check_entry_call(
+        self,
+        ctx: FileContext,
+        call: ast.Call,
+        entry: str,
+        scopes: list[_Scope],
+        findings: list[Finding],
+        worker_names: set[str],
+    ) -> None:
+        candidates: list[tuple[ast.expr, str | None]] = [
+            (arg, None) for arg in call.args
+        ]
+        candidates += [
+            (kw.value, kw.arg)
+            for kw in call.keywords
+            if kw.arg not in _EXEMPT_KWARGS
+        ]
+        for value, kwarg in candidates:
+            where = f"keyword {kwarg!r} of" if kwarg else "argument to"
+            if isinstance(value, ast.Lambda):
+                findings.append(
+                    ctx.finding(
+                        "EXEC001",
+                        value,
+                        f"lambda as {where} {entry}() cannot be pickled by the "
+                        f"process backend; use a module-level function or "
+                        f"functools.partial of one",
+                    )
+                )
+            elif isinstance(value, ast.Name):
+                binding = self._resolve_local(value.id, scopes)
+                if binding == "lambda":
+                    findings.append(
+                        ctx.finding(
+                            "EXEC002",
+                            value,
+                            f"{value.id!r} is bound to a lambda in this scope and "
+                            f"flows into {entry}(); the process backend cannot "
+                            f"pickle it — define it at module level",
+                        )
+                    )
+                elif binding == "localdef":
+                    findings.append(
+                        ctx.finding(
+                            "EXEC002",
+                            value,
+                            f"{value.id!r} is defined inside a function and flows "
+                            f"into {entry}(); closures are unpicklable on the "
+                            f"process backend — hoist it to module level",
+                        )
+                    )
+                else:
+                    worker_names.add(value.id)
+
+    @staticmethod
+    def _resolve_local(name: str, scopes: list[_Scope]) -> str | None:
+        for scope in reversed(scopes):
+            if name in scope.lambda_names:
+                return "lambda"
+            if name in scope.local_defs:
+                return "localdef"
+        return None

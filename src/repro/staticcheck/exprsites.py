@@ -1,0 +1,106 @@
+"""R4 (lint half) — expression-construction site checks (``SHP``).
+
+:func:`repro.staticcheck.shapes.infer` types a *live* tree; this rule covers
+what can be said about expression code *as text*.  The builder methods
+(``A.mxm(B)``, ``.ewise``, ``union_all``) validate shapes at construction,
+so the dangerous sites are the ones that sidestep them:
+
+* ``SHP001`` — a raw expression node constructor (``MxM(a, b, sr)``,
+  ``UnionAll(...)``, …) called outside :mod:`repro.assoc` itself: raw
+  constructors skip shape validation entirely, so the site must run
+  ``Plan.typecheck()`` (or ``shapes.infer``) before evaluating — the lint
+  makes such sites visible and suppressable one by one;
+* ``SHP002`` — ``union_all([])`` / ``UnionAll(())`` with a literal empty
+  operand list: unconditionally raises at evaluation;
+* ``SHP003`` — a deferred-expression builder called as a bare expression
+  statement: the node is constructed, never evaluated, and silently
+  discarded (almost always a forgotten ``.new()`` / ``<<``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.staticcheck.core import FileContext, Finding, dotted_name
+
+__all__ = ["ExprSiteRule", "RAW_NODE_CONSTRUCTORS", "DEFERRED_BUILDERS"]
+
+#: Expression node classes whose constructors perform no shape validation.
+RAW_NODE_CONSTRUCTORS = frozenset(
+    {"MxM", "EWiseMult", "UnionAll", "TransposeExpr", "MxV", "ReduceRows"}
+)
+
+#: Builder methods that return a deferred expression (no side effects).
+DEFERRED_BUILDERS = frozenset(
+    {"mxm", "ewise", "mxv", "reduce_rows", "reduce_cols", "transpose"}
+)
+
+#: Module prefix where raw constructors are the implementation, not a smell.
+_ASSOC_PREFIX = "repro.assoc"
+
+
+def _is_empty_literal(node: ast.expr) -> bool:
+    return isinstance(node, (ast.List, ast.Tuple, ast.Set)) and not node.elts
+
+
+class ExprSiteRule:
+    """SHP — raw constructors, empty unions, and discarded expressions."""
+
+    name = "expr-sites"
+    codes = {
+        "SHP001": "raw expression node constructor bypasses shape validation",
+        "SHP002": "union over a literal empty operand list always raises",
+        "SHP003": "deferred expression built and discarded (missing .new()/<<)",
+    }
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        in_assoc = ctx.module is not None and (
+            ctx.module == _ASSOC_PREFIX or ctx.module.startswith(_ASSOC_PREFIX + ".")
+        )
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node, in_assoc)
+            elif isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
+                yield from self._check_bare_statement(ctx, node.value)
+
+    def _check_call(
+        self, ctx: FileContext, node: ast.Call, in_assoc: bool
+    ) -> Iterator[Finding]:
+        target = ctx.imports.resolve(node.func) or dotted_name(node.func)
+        tail = target.rpartition(".")[2] if target else None
+
+        if tail in RAW_NODE_CONSTRUCTORS and not in_assoc:
+            resolved = ctx.imports.resolve(node.func) or ""
+            if resolved.startswith("repro.assoc") or tail == resolved:
+                yield ctx.finding(
+                    "SHP001",
+                    node,
+                    f"raw {tail}(...) skips the builder's shape validation; "
+                    f"prefer the builder method, or typecheck the tree with "
+                    f"staticcheck.shapes.infer before evaluating",
+                )
+
+        if tail in {"union_all", "UnionAll"} and node.args:
+            if _is_empty_literal(node.args[0]):
+                yield ctx.finding(
+                    "SHP002",
+                    node,
+                    f"{tail}() over a literal empty operand list raises "
+                    f"ExpressionError at evaluation; guard the empty case",
+                )
+
+    def _check_bare_statement(
+        self, ctx: FileContext, call: ast.Call
+    ) -> Iterator[Finding]:
+        if not isinstance(call.func, ast.Attribute):
+            return
+        if call.func.attr not in DEFERRED_BUILDERS:
+            return
+        yield ctx.finding(
+            "SHP003",
+            call,
+            f".{call.func.attr}(...) builds a deferred expression with no side "
+            f"effects; as a bare statement the result is discarded — evaluate "
+            f"it with .new() or assign it",
+        )

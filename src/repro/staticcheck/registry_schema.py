@@ -1,0 +1,217 @@
+"""R3 — registry-schema conformance (``REG``).
+
+``@register_scenario`` declares a generator's public contract — family,
+size floor, numeric parameter bounds — and ``_introspect_params`` marries it
+to the function signature *at import time*.  Some drift is caught there
+(bounds naming a parameter that does not exist raises), but most is not: a
+default outside its own declared bounds, a positional parameter the spec
+path will never be able to address, a count parameter with no bounds for the
+fuzzer to sample.  Those only surface when the fuzzer happens to draw the
+right spec.  This rule cross-checks decorator against signature statically,
+without importing the generator modules (so it runs without NumPy).
+
+Codes:
+
+* ``REG001`` — ``bounds`` names a parameter absent from the signature;
+* ``REG002`` — a literal default falls outside its own declared bounds;
+* ``REG003`` — a parameter besides the leading size parameter is
+  positional-or-keyword: the spec path passes params by keyword only, so
+  everything after ``n`` must sit behind a ``*``;
+* ``REG004`` — a parameter besides the leading size parameter is required
+  (no default): ``ScenarioSpec`` treats params as optional overrides;
+* ``REG005`` — a recognisably numeric count/rate/density parameter declares
+  no bounds, leaving the fuzzer's sampler unanchored;
+* ``REG006`` — the ``family`` literal is not one of the known families.
+
+Only literal decorator arguments are inspected; computed families or bounds
+are skipped rather than guessed at.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.staticcheck.core import FileContext, Finding, dotted_name
+
+__all__ = ["RegistrySchemaRule", "KNOWN_FAMILIES", "BOUNDED_PARAM_NAMES"]
+
+#: Mirror of ``repro.scenarios.registry.SCENARIO_FAMILIES`` — hardcoded so the
+#: checker never imports the scenario layer (kept in sync by a test).
+KNOWN_FAMILIES = ("pattern", "topology", "attack", "defense", "ddos", "noise")
+
+#: Parameter names that are numeric knobs by convention and must carry bounds.
+BOUNDED_PARAM_NAMES = frozenset(
+    {
+        "packets",
+        "attack_packets",
+        "max_packets",
+        "density",
+        "branching",
+        "rate",
+        "intensity",
+        "count",
+        "fraction",
+        "probability",
+        "scale",
+    }
+)
+
+
+def _const(node: ast.expr) -> object:
+    """The literal value of a Constant node, else the node itself."""
+    return node.value if isinstance(node, ast.Constant) else node
+
+
+def _bounds_literal(
+    node: ast.expr,
+) -> dict[str, tuple[float | None, float | None]] | None:
+    """Parse a literal ``bounds={...}`` dict; ``None`` if any part is computed."""
+    if not isinstance(node, ast.Dict):
+        return None
+    out: dict[str, tuple[float | None, float | None]] = {}
+    for key, value in zip(node.keys, node.values):
+        if not (isinstance(key, ast.Constant) and isinstance(key.value, str)):
+            return None
+        if not (isinstance(value, (ast.Tuple, ast.List)) and len(value.elts) == 2):
+            return None
+        lo, hi = (_const(e) for e in value.elts)
+        if not all(v is None or isinstance(v, (int, float)) for v in (lo, hi)):
+            return None
+        out[key.value] = (lo, hi)  # type: ignore[assignment]
+    return out
+
+
+class _Param:
+    __slots__ = ("name", "keyword_only", "default", "has_default", "node")
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        keyword_only: bool,
+        default: ast.expr | None,
+        node: ast.arg,
+    ) -> None:
+        self.name = name
+        self.keyword_only = keyword_only
+        self.default = default
+        self.has_default = default is not None
+        self.node = node
+
+
+def _signature_params(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> list[_Param]:
+    params: list[_Param] = []
+    positional = [*fn.args.posonlyargs, *fn.args.args]
+    pos_defaults: list[ast.expr | None] = [None] * (
+        len(positional) - len(fn.args.defaults)
+    ) + list(fn.args.defaults)
+    for arg, default in zip(positional, pos_defaults):
+        params.append(_Param(arg.arg, keyword_only=False, default=default, node=arg))
+    for arg, default in zip(fn.args.kwonlyargs, fn.args.kw_defaults):
+        params.append(_Param(arg.arg, keyword_only=True, default=default, node=arg))
+    return params
+
+
+class RegistrySchemaRule:
+    """REG — decorator schema vs. signature, checked without importing."""
+
+    name = "registry-schema"
+    codes = {
+        "REG001": "bounds declared for a parameter the generator does not take",
+        "REG002": "literal default lies outside the declared bounds",
+        "REG003": "parameter after the size parameter is not keyword-only",
+        "REG004": "parameter after the size parameter has no default",
+        "REG005": "numeric count/rate parameter declares no bounds",
+        "REG006": "unknown scenario family literal",
+    }
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for deco in node.decorator_list:
+                if not isinstance(deco, ast.Call):
+                    continue
+                target = ctx.imports.resolve(deco.func) or dotted_name(deco.func)
+                if target is None or target.rpartition(".")[2] != "register_scenario":
+                    continue
+                yield from self._check_registration(ctx, node, deco)
+
+    def _check_registration(
+        self,
+        ctx: FileContext,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        deco: ast.Call,
+    ) -> Iterator[Finding]:
+        keywords = {kw.arg: kw.value for kw in deco.keywords if kw.arg}
+        params = _signature_params(fn)
+        param_names = {p.name for p in params}
+
+        family_node = keywords.get("family")
+        if isinstance(family_node, ast.Constant) and isinstance(family_node.value, str):
+            if family_node.value not in KNOWN_FAMILIES:
+                yield ctx.finding(
+                    "REG006",
+                    family_node,
+                    f"family {family_node.value!r} is not one of {KNOWN_FAMILIES}; "
+                    f"registration will raise at import time",
+                )
+
+        bounds_node = keywords.get("bounds")
+        bounds = _bounds_literal(bounds_node) if bounds_node is not None else {}
+        if bounds is None:
+            bounds = {}
+        elif bounds_node is not None and isinstance(bounds_node, ast.Dict):
+            for key in bounds:
+                if key not in param_names:
+                    yield ctx.finding(
+                        "REG001",
+                        bounds_node,
+                        f"bounds declared for {key!r}, but {fn.name}() has no "
+                        f"such parameter (takes {sorted(param_names)})",
+                    )
+
+        for index, param in enumerate(params):
+            if index == 0:
+                continue  # the leading size parameter (`n`) is positional by design
+            if not param.keyword_only:
+                yield ctx.finding(
+                    "REG003",
+                    param.node,
+                    f"parameter {param.name!r} of {fn.name}() is "
+                    f"positional-or-keyword; the spec path passes params by "
+                    f"keyword — put it after a bare `*`",
+                )
+            if not param.has_default:
+                yield ctx.finding(
+                    "REG004",
+                    param.node,
+                    f"parameter {param.name!r} of {fn.name}() has no default; "
+                    f"ScenarioSpec params are optional overrides, so every "
+                    f"non-size parameter needs one",
+                )
+            if param.name in BOUNDED_PARAM_NAMES and param.name not in bounds:
+                yield ctx.finding(
+                    "REG005",
+                    param.node,
+                    f"numeric parameter {param.name!r} of {fn.name}() declares "
+                    f"no bounds; the fuzzer cannot sample it — add it to the "
+                    f"decorator's bounds mapping",
+                )
+            lo_hi = bounds.get(param.name)
+            if (
+                lo_hi is not None
+                and isinstance(param.default, ast.Constant)
+                and isinstance(param.default.value, (int, float))
+                and not isinstance(param.default.value, bool)
+            ):
+                lo, hi = lo_hi
+                value = param.default.value
+                if (lo is not None and value < lo) or (hi is not None and value > hi):
+                    yield ctx.finding(
+                        "REG002",
+                        param.default,
+                        f"default {param.name}={value!r} of {fn.name}() violates "
+                        f"its own declared bounds [{lo}, {hi}]",
+                    )

@@ -1,0 +1,63 @@
+"""Reporters: findings → text for humans, JSON for tooling."""
+
+from __future__ import annotations
+
+import json
+from typing import Mapping, Sequence
+
+from repro.staticcheck.core import Finding, Rule
+
+__all__ = ["render_text", "render_json", "render_rule_table"]
+
+
+def render_text(
+    findings: Sequence[Finding], *, baselined: int = 0, checked_files: int = 0
+) -> str:
+    """The human report: one ``path:line:col: CODE message`` per finding, the
+    offending source line indented beneath, and a one-line summary."""
+    lines: list[str] = []
+    for f in findings:
+        lines.append(f"{f.location}: {f.rule} {f.message}")
+        if f.snippet:
+            lines.append(f"    {f.snippet}")
+    noun = "finding" if len(findings) == 1 else "findings"
+    summary = f"{len(findings)} {noun}"
+    if checked_files:
+        summary += f" in {checked_files} files"
+    if baselined:
+        summary += f" ({baselined} baselined occurrences suppressed)"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(
+    findings: Sequence[Finding], *, baselined: int = 0, checked_files: int = 0
+) -> str:
+    """The machine report: a stable JSON document (sorted keys, one object
+    per finding in report order)."""
+    return json.dumps(
+        {
+            "findings": [f.to_dict() for f in findings],
+            "count": len(findings),
+            "baselined": baselined,
+            "checked_files": checked_files,
+        },
+        indent=2,
+        sort_keys=True,
+    )
+
+
+def render_rule_table(rules: Sequence[Rule]) -> str:
+    """The ``--list-rules`` table: every code each family can emit."""
+    rows: list[tuple[str, str, str]] = []
+    for rule in rules:
+        codes: Mapping[str, str] = rule.codes
+        for code in sorted(codes):
+            rows.append((code, rule.name, codes[code]))
+    width_code = max((len(r[0]) for r in rows), default=4)
+    width_name = max((len(r[1]) for r in rows), default=4)
+    lines = [
+        f"{code:<{width_code}}  {name:<{width_name}}  {desc}"
+        for code, name, desc in rows
+    ]
+    return "\n".join(lines)

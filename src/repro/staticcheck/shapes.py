@@ -1,0 +1,240 @@
+"""R4 — static shape/dtype inference over lazy expression trees.
+
+The builder methods on :class:`~repro.assoc.expr.MatExpr` validate operand
+shapes, but the raw node constructors (``MxM(a, b, sr)``, ``UnionAll(...)``)
+do not — an ill-formed tree built programmatically (a planner rewrite, a
+test harness, generated code) only explodes when a kernel finally gathers
+mismatched arrays.  :func:`infer` walks the tree *without executing it* and
+proves, or refutes:
+
+* inner-dimension conformability of ``mxm`` / ``mxv``;
+* shape equality across element-wise unions and intersections;
+* transpose propagation;
+* mask-shape compatibility (including the vector-mask length rule);
+* the result dtype, using the *same* rules as the kernels — size-1 ufunc
+  probes for semiring products (mirroring ``_mxm_out_dtype`` /
+  ``_masked_mxv_serial``), ``np.result_type`` promotion for unions and
+  statically-empty products, dtype preservation for row reductions.
+
+Failures raise :class:`~repro.errors.ShapeInferenceError` whose ``path``
+names the offending subtree in ``explain()`` notation — ``mxm.left.union[2]``
+means "the third operand of the union on the left side of the product".
+
+One deliberate approximation: the eager ``mxm`` kernel degrades to
+``np.result_type`` when an *operand* turns out empty at runtime.  Emptiness
+of a leaf is statically visible (and honoured here); emptiness of a computed
+operand is not, so :func:`infer` reports the nonempty-path dtype for nested
+products.  The ``static_shapes`` oracle accounts for this by comparing
+dtypes only on non-degenerate corpus results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ShapeInferenceError
+
+__all__ = ["ExprType", "infer", "infer_vec", "annotate"]
+
+
+@dataclass(frozen=True)
+class ExprType:
+    """The static type of an expression: result shape and element dtype."""
+
+    shape: tuple[int, ...]
+    dtype: np.dtype
+
+    def __str__(self) -> str:
+        return f"{self.shape} {np.dtype(self.dtype).name}"
+
+
+def _probe_dtype(op, left: np.dtype, right: np.dtype) -> np.dtype:  # noqa: ANN001
+    """The dtype *op* produces on operands of the given dtypes (size-1 probe,
+    the rule the kernels themselves use — ``ones`` avoids divide warnings)."""
+    return np.asarray(op(np.ones(1, dtype=left), np.ones(1, dtype=right))).dtype
+
+
+def _fail(path: str, message: str) -> ShapeInferenceError:
+    return ShapeInferenceError(message, path=path)
+
+
+def infer(expr, mask=None, *, path: str = "expr") -> ExprType:  # noqa: ANN001
+    """Statically type a :class:`~repro.assoc.expr.MatExpr` tree.
+
+    *mask* is anything :func:`repro.assoc.expr.as_mask` accepts; its shape is
+    checked against the expression's.  Raises
+    :class:`~repro.errors.ShapeInferenceError` on any inconsistency.
+    """
+    from repro.assoc.expr import as_mask
+
+    t = _infer_mat(expr, path)
+    m = as_mask(mask)
+    if m is not None and m.shape != t.shape:
+        raise _fail(
+            path,
+            f"mask shape {m.shape} does not match expression shape {t.shape}",
+        )
+    return t
+
+
+def infer_vec(vexpr, allow=None, *, path: str = "expr") -> ExprType:  # noqa: ANN001
+    """Statically type a :class:`~repro.assoc.expr.VecExpr` tree (with an
+    optional dense boolean row-mask whose length is checked)."""
+    from repro.assoc import expr as E
+
+    if isinstance(vexpr, E.MxV):
+        mat_t = _infer_mat(vexpr.mat, f"{path}.mxv.mat")
+        x = np.asarray(vexpr.x)
+        if x.ndim != 1:
+            raise _fail(f"{path}.mxv.x", f"operand vector is {x.ndim}-D, expected 1-D")
+        if x.shape != (mat_t.shape[1],):
+            raise _fail(
+                f"{path}.mxv",
+                f"vector length {x.shape[0]} does not match matrix columns "
+                f"{mat_t.shape[1]}",
+            )
+        out = ExprType(
+            (mat_t.shape[0],), _probe_dtype(vexpr.semiring.mult, mat_t.dtype, x.dtype)
+        )
+    elif isinstance(vexpr, E.ReduceRows):
+        mat_t = _infer_mat(vexpr.mat, f"{path}.reduce_rows.mat")
+        # monoid reduceat preserves the input dtype (see Monoid.reduceat)
+        out = ExprType((mat_t.shape[0],), mat_t.dtype)
+    else:
+        raise _fail(path, f"unknown vector expression node {type(vexpr).__name__}")
+
+    if allow is not None:
+        arr = np.asarray(allow)
+        if arr.shape != out.shape:
+            raise _fail(
+                path,
+                f"vector mask length {arr.shape} does not match result shape "
+                f"{out.shape}",
+            )
+    return out
+
+
+def _infer_mat(e, path: str) -> ExprType:  # noqa: ANN001
+    from repro.assoc import expr as E
+
+    if isinstance(e, E.MatLeaf):
+        nrows, ncols = e.shape  # the descriptor flag is folded into .shape
+        return ExprType((nrows, ncols), e.csr.dtype)
+
+    if isinstance(e, E.MxM):
+        lt = _infer_mat(e.left, f"{path}.mxm.left")
+        rt = _infer_mat(e.right, f"{path}.mxm.right")
+        if lt.shape[1] != rt.shape[0]:
+            raise _fail(
+                f"{path}.mxm",
+                f"inner dimension mismatch: {lt.shape} @ {rt.shape} "
+                f"(left has {lt.shape[1]} columns, right has {rt.shape[0]} rows)",
+            )
+        if _statically_empty(e.left) or _statically_empty(e.right):
+            dtype = np.result_type(lt.dtype, rt.dtype)  # kernel's empty path
+        else:
+            dtype = _probe_dtype(e.semiring.mult, lt.dtype, rt.dtype)
+        return ExprType((lt.shape[0], rt.shape[1]), dtype)
+
+    if isinstance(e, E.EWiseMult):
+        lt = _infer_mat(e.left, f"{path}.intersect.left")
+        rt = _infer_mat(e.right, f"{path}.intersect.right")
+        if lt.shape != rt.shape:
+            raise _fail(
+                f"{path}.intersect",
+                f"element-wise shape mismatch: {lt.shape} vs {rt.shape}",
+            )
+        return ExprType(lt.shape, _probe_dtype(e.mult, lt.dtype, rt.dtype))
+
+    if isinstance(e, E.UnionAll):
+        parts = [
+            _infer_mat(p, f"{path}.union[{k}]") for k, p in enumerate(e.parts)
+        ]
+        first = parts[0]
+        for k, pt in enumerate(parts[1:], start=1):
+            if pt.shape != first.shape:
+                raise _fail(
+                    f"{path}.union[{k}]",
+                    f"union operand shape {pt.shape} does not match "
+                    f"operand 0 shape {first.shape}",
+                )
+        return ExprType(first.shape, np.result_type(*(pt.dtype for pt in parts)))
+
+    if isinstance(e, E.TransposeExpr):
+        ct = _infer_mat(e.child, f"{path}.transpose")
+        return ExprType((ct.shape[1], ct.shape[0]), ct.dtype)
+
+    raise _fail(path, f"unknown expression node {type(e).__name__}")
+
+
+def _statically_empty(e) -> bool:  # noqa: ANN001
+    """Whether *e* is a leaf that is known (now) to hold zero entries."""
+    from repro.assoc.expr import MatLeaf
+
+    return isinstance(e, MatLeaf) and e.csr.nnz == 0
+
+
+# --------------------------------------------------------------------------- #
+# explain()-style tree rendering
+# --------------------------------------------------------------------------- #
+
+
+def _node_label(e) -> str:  # noqa: ANN001
+    from repro.assoc import expr as E
+
+    if isinstance(e, E.MatLeaf):
+        flag = ", transposed" if e.transposed else ""
+        return f"MatLeaf(nnz={e.csr.nnz}{flag})"
+    if isinstance(e, E.MxM):
+        return f"MxM[{e.semiring.name}]" if hasattr(e.semiring, "name") else "MxM"
+    if isinstance(e, E.EWiseMult):
+        return "EWiseMult"
+    if isinstance(e, E.UnionAll):
+        return f"UnionAll[{len(e.parts)}]"
+    if isinstance(e, E.TransposeExpr):
+        return "Transpose"
+    if isinstance(e, E.MxV):
+        return "MxV"
+    if isinstance(e, E.ReduceRows):
+        return "ReduceRows"
+    return type(e).__name__
+
+
+def _children(e):  # noqa: ANN001
+    from repro.assoc import expr as E
+
+    if isinstance(e, (E.MxM, E.EWiseMult)):
+        return [e.left, e.right]
+    if isinstance(e, E.UnionAll):
+        return list(e.parts)
+    if isinstance(e, E.TransposeExpr):
+        return [e.child]
+    if isinstance(e, (E.MxV, E.ReduceRows)):
+        return [e.mat]
+    return []
+
+
+def annotate(expr, *, _depth: int = 0) -> str:  # noqa: ANN001
+    """An indented rendering of the tree, each node tagged with its inferred
+    type — or with the inference error, for the subtree that fails.
+
+    This is what :meth:`repro.assoc.planner.Plan.explain` embeds, so a
+    rejected plan points at the offending node rather than at the tree root.
+    """
+    from repro.assoc.expr import VecExpr
+
+    indent = "  " * _depth
+    try:
+        if isinstance(expr, VecExpr):
+            typed = str(infer_vec(expr))
+        else:
+            typed = str(_infer_mat(expr, "expr"))
+        tag = f"{indent}{_node_label(expr)} :: {typed}"
+    except ShapeInferenceError as exc:
+        tag = f"{indent}{_node_label(expr)} !! {exc.path}: {exc.message}"
+    lines = [tag]
+    for child in _children(expr):
+        lines.append(annotate(child, _depth=_depth + 1))
+    return "\n".join(lines)

@@ -7,7 +7,7 @@ introspected schemas (:func:`make_corpus`), runs each through a battery of
 independent-path oracles (:func:`default_oracles`), and reports — shrinking
 and persisting any failure as a replayable JSON repro file.
 
-The six standard oracles:
+The seven standard oracles:
 
 * :class:`KernelEqualityOracle` — serial vs row-blocked semiring kernels on
   corpus-derived CSR matrices, bit for bit (plus a dense reference for
@@ -24,7 +24,11 @@ The six standard oracles:
 * :class:`CacheDeltaOracle` — the content-addressed scenario cache is
   transparent (hit ≡ miss ≡ direct build, provenance included) and the
   row-blocked :func:`~repro.scenarios.apply_delta` incremental rebuild is
-  bit-identical to the full rebuild.
+  bit-identical to the full rebuild;
+* :class:`StaticShapesOracle` — :func:`repro.staticcheck.shapes.infer` types
+  an expression battery over every corpus matrix identically to runtime
+  observation (shape *and* dtype), and ``Plan.typecheck()`` rejects a
+  raw-constructed ill-shaped product.
 
 Quickstart::
 
@@ -50,6 +54,7 @@ from repro.verify.oracles import (
     OracleVerdict,
     OverlayMetamorphicOracle,
     RoundTripOracle,
+    StaticShapesOracle,
     default_oracles,
 )
 from repro.verify.runner import (
@@ -76,6 +81,7 @@ __all__ = [
     "ClassifierOracle",
     "OverlayMetamorphicOracle",
     "CacheDeltaOracle",
+    "StaticShapesOracle",
     "CLASSIFIER_AMBIGUITIES",
     "default_oracles",
     "SpecResult",

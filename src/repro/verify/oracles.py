@@ -55,6 +55,7 @@ __all__ = [
     "ClassifierOracle",
     "OverlayMetamorphicOracle",
     "CacheDeltaOracle",
+    "StaticShapesOracle",
     "default_oracles",
 ]
 
@@ -550,8 +551,129 @@ class CacheDeltaOracle:
         )
 
 
+# --------------------------------------------------------------------------- #
+# 6. static shape/dtype inference vs runtime observation
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class StaticShapesOracle:
+    """:func:`repro.staticcheck.shapes.infer` must agree with reality.
+
+    For every corpus spec, an expression battery is built over the scenario
+    matrix — ``mxm`` (plain, masked, float-promoting), a fused 3-way union,
+    an intersection, a transpose above a product, ``mxv`` and ``reduce_rows``
+    (plain and row-masked) — and each tree is typed **statically** and then
+    **executed**; inferred shape and dtype must match the observed result
+    exactly.  The battery also checks the negative direction: a
+    raw-constructed inner-dimension-mismatched ``MxM`` (which the builder
+    methods would have refused) must be *rejected* by inference, proving
+    ``Plan.typecheck()`` catches trees that previously failed only inside a
+    kernel.
+
+    The battery sticks to ``PLUS_TIMES``, for which the eager ``mxm``
+    kernel's empty-operand dtype degradation (``np.result_type`` instead of
+    the ufunc probe) is invisible — so agreement is exact even on empty
+    corpus matrices.
+
+    ``infer_fn`` is the fault-injection seam: tests plant a deliberately
+    wrong (module-level, picklable) inference function and this oracle must
+    fail, proving the agreement check has teeth.
+    """
+
+    mask_density: float = 0.3
+    infer_fn: object | None = None
+
+    name = "static_shapes"
+
+    def check(self, spec: ScenarioSpec) -> OracleVerdict:
+        from repro.assoc import expr as E
+        from repro.errors import ShapeInferenceError
+        from repro.staticcheck import shapes
+
+        infer = self.infer_fn if self.infer_fn is not None else shapes.infer
+
+        a = spec.build().to_csr()
+        at = a.transpose()
+        a_float = CSRMatrix(a.shape, a.indptr, a.indices, a.data.astype(np.float64))
+        rng = np.random.default_rng(spec.seed + 13)
+        mask = CSRMatrix.from_dense(rng.random(a.shape) < self.mask_density)
+
+        battery: list[tuple[str, E.MatExpr, CSRMatrix | None]] = [
+            ("mxm", E.as_expr(a).mxm(at, PLUS_TIMES), None),
+            ("masked_mxm", E.as_expr(a).mxm(at, PLUS_TIMES), mask),
+            ("mxm_float", E.as_expr(a).mxm(a_float, PLUS_TIMES), None),
+            ("union3", E.as_expr(a) + at + a_float, mask),
+            (
+                "intersect",
+                E.as_expr(a).ewise(at, PLUS_TIMES.mult, how="intersect"),
+                None,
+            ),
+            ("transpose_mxm", E.as_expr(a).mxm(at, PLUS_TIMES).transpose(), None),
+        ]
+        for label, tree, m in battery:
+            try:
+                inferred = infer(tree, m)
+            except ShapeInferenceError as exc:
+                return _failed(self.name, f"{label}: inference rejected a valid tree: {exc}")
+            observed = tree.new(mask=m)
+            if tuple(inferred.shape) != observed.shape:
+                return _failed(
+                    self.name,
+                    f"{label}: inferred shape {inferred.shape} != observed "
+                    f"{observed.shape}",
+                )
+            if np.dtype(inferred.dtype) != observed.dtype:
+                return _failed(
+                    self.name,
+                    f"{label}: inferred dtype {np.dtype(inferred.dtype)} != "
+                    f"observed {observed.dtype}",
+                )
+
+        # vector half (always the real inference: the seam covers matrices)
+        x = rng.integers(0, 5, size=a.shape[1]).astype(np.int64)
+        row_allow = rng.random(a.shape[0]) < 0.5
+        vec_battery: list[tuple[str, E.VecExpr, np.ndarray | None]] = [
+            ("mxv", E.as_expr(a).mxv(x, PLUS_TIMES), None),
+            ("masked_mxv", E.as_expr(a).mxv(x, PLUS_TIMES), row_allow),
+            ("reduce_rows", E.as_expr(a).reduce_rows(PLUS_MONOID), None),
+            ("masked_reduce", E.as_expr(a).reduce_rows(PLUS_MONOID), row_allow),
+        ]
+        for label, vtree, allow in vec_battery:
+            inferred = shapes.infer_vec(vtree, allow)
+            observed_v = vtree.new(mask=allow)
+            if tuple(inferred.shape) != observed_v.shape or np.dtype(
+                inferred.dtype
+            ) != observed_v.dtype:
+                return _failed(
+                    self.name,
+                    f"{label}: inferred {inferred} != observed "
+                    f"{observed_v.shape} {observed_v.dtype}",
+                )
+
+        # negative direction: the raw-constructed mismatch must be rejected
+        wrong = CSRMatrix.empty((a.shape[1] + 1, a.shape[1]), a.dtype)
+        bad = E.MxM(E.MatLeaf(a), E.MatLeaf(wrong), PLUS_TIMES)  # staticcheck: ignore[SHP001]
+        plan = bad.plan()
+        try:
+            plan.typecheck()
+        except ShapeInferenceError:
+            pass
+        else:
+            return _failed(
+                self.name,
+                "Plan.typecheck() accepted an inner-dimension-mismatched MxM",
+            )
+
+        return _passed(
+            self.name,
+            f"{len(battery)}+{len(vec_battery)} expressions typed identically "
+            f"to execution; mismatched tree rejected",
+        )
+
+
 def default_oracles() -> tuple[Oracle, ...]:
-    """The standard battery: all six differential oracles, default settings."""
+    """The standard battery: all seven differential oracles, default settings."""
     return (
         KernelEqualityOracle(),
         MaskedEqualityOracle(),
@@ -559,4 +681,5 @@ def default_oracles() -> tuple[Oracle, ...]:
         ClassifierOracle(),
         OverlayMetamorphicOracle(),
         CacheDeltaOracle(),
+        StaticShapesOracle(),
     )

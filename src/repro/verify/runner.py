@@ -15,6 +15,7 @@ behind exactly the artefacts needed to debug it.
 
 from __future__ import annotations
 
+import functools
 import hashlib
 import json
 from dataclasses import dataclass, field, replace
@@ -273,7 +274,7 @@ def run_corpus(
             if shrink:
                 minimized = shrink_spec(
                     result.spec,
-                    lambda candidate: _still_fails(oracle, candidate),
+                    functools.partial(_still_fails, oracle),
                     max_attempts=max_shrink_attempts,
                 )
             failure = CorpusFailure(

@@ -87,6 +87,26 @@ class TestConstruction:
                 (1, 3), np.asarray([0, 2]), np.asarray([1, 1]), np.asarray([1, 1])
             )
 
+    def test_validation_single_entry_after_empty_rows(self):
+        # nnz == 1 with leading empty rows: the row-start exemption used to
+        # wrap index -1 into a size-0 gap array and crash.
+        m = CSRMatrix(
+            (3, 3), np.asarray([0, 0, 1, 1]), np.asarray([2]), np.asarray([7])
+        )
+        assert m.nnz == 1
+        assert m.to_dense()[1, 2] == 7
+
+    def test_validation_leading_empty_row_still_checks_last_gap(self):
+        # A row starting at index 0 must not exempt the *last* adjacent pair
+        # from the sorted-within-row check.
+        with pytest.raises(SparseFormatError):
+            CSRMatrix(
+                (2, 3),
+                np.asarray([0, 0, 3]),
+                np.asarray([0, 2, 1]),
+                np.asarray([1, 1, 1]),
+            )
+
     def test_triples_canonical(self, rng):
         dense = rng.integers(0, 2, size=(5, 5))
         m = CSRMatrix.from_dense(dense)

@@ -1,0 +1,33 @@
+"""Planted determinism faults — DET golden-file fixture (never imported)."""
+
+import random
+import time
+
+import numpy as np
+
+
+def unseeded_draw():
+    return random.random()
+
+
+def legacy_numpy():
+    return np.random.rand(3)
+
+
+def seedless_generator():
+    return np.random.default_rng()
+
+
+def stamp():
+    return time.time()
+
+
+def address_order(items):
+    return sorted(items, key=id)
+
+
+def frozen_set_order(names):
+    out = []
+    for name in {n.strip() for n in names}:
+        out.append(name)
+    return out + list(set(names))

@@ -1,0 +1,29 @@
+"""Planted executor-safety faults — EXEC golden-file fixture (never imported)."""
+
+from repro.runtime import parallel_map
+
+
+def fan_out(items):
+    return parallel_map(lambda x: x + 1, items)
+
+
+def closure_worker(items):
+    offset = 2
+
+    def work(x):
+        return x + offset
+
+    return parallel_map(work, items)
+
+
+def alias_lambda(items):
+    work = lambda x: x * 2
+    return parallel_map(work, items)
+
+
+def nested_worker(chunk):
+    return parallel_map(len, chunk)
+
+
+def driver(batches):
+    return parallel_map(nested_worker, batches)

@@ -1,0 +1,13 @@
+"""Planted registry-schema faults — REG golden-file fixture (never imported)."""
+
+from repro.scenarios.registry import register_scenario
+
+
+@register_scenario(
+    "bad_example",
+    family="weather",
+    display="Bad Example",
+    bounds={"density": (0.0, 1.0), "ghost": (0, 5)},
+)
+def bad_example(n, density=1.5, packets=40, *, mode):
+    return None

@@ -1,0 +1,17 @@
+"""Planted expression-site faults — SHP golden-file fixture (never imported)."""
+
+from repro.assoc.expr import MxM, union_all
+from repro.assoc.semiring import PLUS_TIMES
+
+
+def raw_product(a, b):
+    return MxM(a, b, PLUS_TIMES)
+
+
+def empty_union():
+    return union_all([])
+
+
+def forgotten_eval(a, b):
+    a.mxm(b, PLUS_TIMES)
+    return a

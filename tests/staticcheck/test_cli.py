@@ -1,0 +1,61 @@
+"""``python -m repro.staticcheck`` — exit codes, formats, baseline flow."""
+
+import json
+from pathlib import Path
+
+from repro.staticcheck import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+DET = str(FIXTURES / "det_faults.py")
+
+
+def test_clean_file_exits_zero(tmp_path, capsys):
+    clean = tmp_path / "clean.py"
+    clean.write_text("x = 1\n")
+    assert main([str(clean)]) == 0
+    assert "0 findings" in capsys.readouterr().out
+
+
+def test_findings_exit_one_with_text_report(capsys):
+    assert main([DET]) == 1
+    out = capsys.readouterr().out
+    assert "DET001" in out and "det_faults.py" in out
+
+
+def test_json_format_is_parseable(capsys):
+    assert main([DET, "--format", "json"]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["count"] == len(doc["findings"]) > 0
+    assert {f["rule"] for f in doc["findings"]} >= {"DET001", "DET002"}
+
+
+def test_select_excludes_other_families(capsys):
+    assert main([DET, "--select", "EXEC"]) == 0
+    assert "0 findings" in capsys.readouterr().out
+
+
+def test_write_then_apply_baseline(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    assert main([DET, "--write-baseline", str(baseline)]) == 0
+    assert baseline.exists()
+    capsys.readouterr()
+    assert main([DET, "--baseline", str(baseline)]) == 0
+    out = capsys.readouterr().out
+    assert "0 findings" in out and "baselined" in out
+
+
+def test_missing_baseline_is_usage_error(tmp_path, capsys):
+    assert main([DET, "--baseline", str(tmp_path / "nope.json")]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_missing_path_is_usage_error(capsys):
+    assert main(["no/such/tree"]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_list_rules_prints_table(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ("DET001", "EXEC003", "REG006", "SHP003"):
+        assert code in out

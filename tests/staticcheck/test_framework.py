@@ -1,0 +1,148 @@
+"""The lint framework itself: suppressions, baselines, walkers, resolution."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.errors import StaticCheckError
+from repro.staticcheck import check_file, check_paths, default_rules, parse_suppressions
+from repro.staticcheck.core import (
+    Baseline,
+    FileContext,
+    Finding,
+    ImportResolver,
+    iter_python_files,
+    module_name_for,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def _finding(rule="DET001", path="a.py", line=3, snippet="x = random.random()"):
+    return Finding(rule=rule, path=path, line=line, col=5, message="m", snippet=snippet)
+
+
+class TestSuppressions:
+    def test_bare_ignore_silences_every_rule(self):
+        table = parse_suppressions(["x = 1", "y = 2  # staticcheck: ignore"])
+        assert table == {2: None}
+
+    def test_coded_ignore_lists_codes(self):
+        table = parse_suppressions(["z  # staticcheck: ignore[DET001, EXEC002]"])
+        assert table == {1: frozenset({"DET001", "EXEC002"})}
+
+    def test_unrelated_comments_ignored(self):
+        assert parse_suppressions(["# staticcheck is great", "x = 1"]) == {}
+
+    def test_suppressed_line_drops_only_named_codes(self, tmp_path):
+        target = tmp_path / "sup.py"
+        target.write_text(
+            "import random\n"
+            "a = random.random()  # staticcheck: ignore[DET001]\n"
+            "b = random.random()\n"
+        )
+        findings = check_file(target, default_rules())
+        assert [f.line for f in findings] == [3]
+
+    def test_bare_suppression_drops_all_codes(self, tmp_path):
+        target = tmp_path / "sup.py"
+        target.write_text("import time\nt = time.time()  # staticcheck: ignore\n")
+        assert check_file(target, default_rules()) == []
+
+
+class TestBaseline:
+    def test_filter_subtracts_per_key_counts(self):
+        findings = [_finding(line=3), _finding(line=9), _finding(line=20)]
+        baseline = Baseline.from_findings(findings[:2])
+        fresh, accepted = baseline.filter(findings)
+        assert accepted == 2
+        assert [f.line for f in fresh] == [20]
+
+    def test_empty_baseline_reports_everything(self):
+        findings = [_finding()]
+        fresh, accepted = Baseline().filter(findings)
+        assert fresh == findings and accepted == 0
+
+    def test_key_survives_line_drift(self):
+        moved = _finding(line=77)
+        baseline = Baseline.from_findings([_finding(line=3)])
+        fresh, accepted = baseline.filter([moved])
+        assert fresh == [] and accepted == 1
+
+    def test_save_load_round_trip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        original = Baseline.from_findings([_finding(), _finding(rule="EXEC001")])
+        original.save(path)
+        assert Baseline.load(path).entries == original.entries
+
+    def test_load_rejects_unknown_version(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"baseline_version": 99, "entries": []}))
+        with pytest.raises(StaticCheckError):
+            Baseline.load(path)
+
+
+class TestWalkers:
+    def test_iter_python_files_skips_hidden_and_pycache(self, tmp_path):
+        (tmp_path / "keep.py").write_text("x = 1\n")
+        (tmp_path / "__pycache__").mkdir()
+        (tmp_path / "__pycache__" / "junk.py").write_text("x = 1\n")
+        (tmp_path / ".hidden").mkdir()
+        (tmp_path / ".hidden" / "secret.py").write_text("x = 1\n")
+        names = [p.name for p, _ in iter_python_files([tmp_path])]
+        assert names == ["keep.py"]
+
+    def test_missing_path_raises(self):
+        with pytest.raises(StaticCheckError):
+            list(iter_python_files(["no/such/dir"]))
+
+    def test_unparseable_file_raises(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        with pytest.raises(StaticCheckError):
+            check_file(bad, default_rules())
+
+    def test_findings_sorted_by_location(self):
+        findings = check_file(FIXTURES / "det_faults.py", default_rules())
+        keys = [(f.line, f.col, f.rule) for f in findings]
+        assert keys == sorted(keys)
+
+    def test_check_paths_covers_all_fixtures(self):
+        findings = check_paths([FIXTURES], default_rules())
+        assert {Path(f.path).name for f in findings} == {
+            "det_faults.py",
+            "exec_faults.py",
+            "reg_faults.py",
+            "shp_faults.py",
+        }
+
+    def test_select_prefix_filters_codes(self):
+        findings = check_paths([FIXTURES], default_rules(), select=["EXEC"])
+        assert findings and all(f.rule.startswith("EXEC") for f in findings)
+
+
+class TestResolution:
+    def test_import_alias_canonicalised(self):
+        ctx = FileContext.from_source(
+            "import numpy as np\nnp.random.rand(3)\n", Path("x.py")
+        )
+        call = ctx.tree.body[1].value
+        assert ctx.imports.resolve(call.func) == "numpy.random.rand"
+
+    def test_from_import_alias(self):
+        import ast
+
+        tree = ast.parse("from numpy.random import default_rng as rng\nrng()\n")
+        resolver = ImportResolver(tree)
+        assert resolver.resolve(tree.body[1].value.func) == "numpy.random.default_rng"
+
+    def test_module_name_for_package_file(self):
+        root = Path(__file__).parents[2]
+        assert module_name_for(root / "src/repro/assoc/expr.py") == "repro.assoc.expr"
+        assert module_name_for(root / "src/repro/__init__.py") == "repro"
+
+    def test_module_name_for_loose_script_is_none(self, tmp_path):
+        loose = tmp_path / "script.py"
+        loose.write_text("x = 1\n")
+        assert module_name_for(loose) is None

@@ -1,0 +1,70 @@
+"""Golden-file diagnostics: each rule family detects its planted faults.
+
+The fixtures under ``fixtures/`` plant one fault per rule code; the goldens
+pin the exact rendered diagnostics (location, code, message, snippet), so a
+rule that drifts — stops firing, fires twice, reorders, or rewords — fails
+here with a readable diff.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.staticcheck import DeterminismRule, check_file, default_rules
+from repro.staticcheck.core import FileContext
+from repro.staticcheck.report import render_text
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+CASES = [
+    ("det_faults.py", ["DET"], {"DET001", "DET002", "DET003", "DET004"}),
+    ("exec_faults.py", ["EXEC"], {"EXEC001", "EXEC002", "EXEC003"}),
+    (
+        "reg_faults.py",
+        ["REG"],
+        {"REG001", "REG002", "REG003", "REG004", "REG005", "REG006"},
+    ),
+    ("shp_faults.py", ["SHP"], {"SHP001", "SHP002", "SHP003"}),
+]
+
+
+@pytest.mark.parametrize("fixture, select, codes", CASES, ids=[c[0] for c in CASES])
+def test_family_matches_golden(fixture, select, codes):
+    path = FIXTURES / fixture
+    findings = check_file(path, default_rules(), select=select, display_path=fixture)
+    assert {f.rule for f in findings} == codes
+    rendered = render_text(findings, checked_files=1) + "\n"
+    golden = (FIXTURES / (fixture.rsplit(".", 1)[0] + ".golden.txt")).read_text()
+    assert rendered == golden
+
+
+def test_every_declared_code_has_a_planted_fault():
+    declared = {code for rule in default_rules() for code in rule.codes}
+    planted = {code for _, _, codes in CASES for code in codes}
+    assert declared == planted
+
+
+def test_clean_source_yields_no_findings():
+    src = (
+        "import numpy as np\n"
+        "\n"
+        "def draw(seed):\n"
+        "    rng = np.random.default_rng(seed)\n"
+        "    return sorted(rng.integers(0, 9, size=4).tolist())\n"
+    )
+    ctx = FileContext.from_source(src, Path("clean_fixture.py"))
+    findings = [f for rule in default_rules() for f in rule.check(ctx)]
+    assert findings == []
+
+
+def test_determinism_skips_non_contract_repro_modules():
+    rule = DeterminismRule()
+    contract = FileContext.from_source("x = 1\n", Path("src/repro/assoc/x.py"))
+    contract.module = "repro.assoc.x"
+    game = FileContext.from_source("x = 1\n", Path("src/repro/game/x.py"))
+    game.module = "repro.game.x"
+    script = FileContext.from_source("x = 1\n", Path("scratch.py"))
+    script.module = None
+    assert rule.applies(contract)
+    assert not rule.applies(game)
+    assert rule.applies(script)

@@ -1,0 +1,31 @@
+"""The repository holds itself to its own checker, with an empty baseline."""
+
+from pathlib import Path
+
+from repro.scenarios.registry import SCENARIO_FAMILIES
+from repro.staticcheck import check_paths, default_rules
+from repro.staticcheck.core import Baseline
+from repro.staticcheck.registry_schema import KNOWN_FAMILIES
+
+REPO_ROOT = Path(__file__).parents[2]
+
+
+def test_src_tree_lints_clean_against_empty_baseline():
+    findings = check_paths([REPO_ROOT / "src"], default_rules())
+    fresh, accepted = Baseline().filter(findings)
+    assert accepted == 0
+    assert fresh == [], "\n".join(str(f) for f in fresh)
+
+
+def test_known_families_mirror_registry():
+    # registry_schema hardcodes the family tuple so the checker can run
+    # without importing the scenario layer; this pins the two in sync.
+    assert KNOWN_FAMILIES == SCENARIO_FAMILIES
+
+
+def test_rule_code_tables_are_disjoint():
+    seen = {}
+    for rule in default_rules():
+        for code in rule.codes:
+            assert code not in seen, f"{code} declared by {seen[code]} and {rule.name}"
+            seen[code] = rule.name

@@ -1,0 +1,174 @@
+"""Static shape/dtype inference and the ``Plan.typecheck`` hook.
+
+Positive direction: inference agrees with actual evaluation, shape and
+dtype, across the node types.  Negative direction: raw-constructed trees
+that the builder methods never validated — and that previously failed only
+inside a kernel — are rejected *statically*, with a path naming the
+offending subtree.
+"""
+
+import numpy as np
+import pytest
+
+from repro.assoc import expr as E
+from repro.assoc.planner import Plan
+from repro.assoc.semiring import MIN_PLUS, PLUS_MONOID, PLUS_TIMES
+from repro.assoc.sparse import CSRMatrix
+from repro.errors import ExpressionError, ShapeInferenceError
+from repro.staticcheck.shapes import ExprType, annotate, infer, infer_vec
+
+
+def csr(dense, dtype=np.int64):
+    return CSRMatrix.from_dense(np.asarray(dense, dtype=dtype))
+
+
+@pytest.fixture
+def a():
+    return csr([[1, 0, 2], [0, 3, 0]])  # 2x3 int64
+
+
+@pytest.fixture
+def b():
+    return csr([[1, 0], [0, 1], [2, 0]])  # 3x2 int64
+
+
+class TestInferAgreesWithExecution:
+    def test_leaf(self, a):
+        t = infer(E.as_expr(a))
+        assert t == ExprType((2, 3), np.dtype(np.int64))
+
+    def test_mxm_shape_and_probe_dtype(self, a, b):
+        tree = E.as_expr(a).mxm(b, PLUS_TIMES)
+        t = infer(tree)
+        observed = tree.new()
+        assert t.shape == observed.shape == (2, 2)
+        assert np.dtype(t.dtype) == observed.dtype == np.dtype(np.int64)
+
+    def test_mxm_promotes_like_kernel(self, a):
+        bf = csr([[1.5, 0], [0, 1.0], [2.0, 0]], dtype=np.float64)
+        tree = E.as_expr(a).mxm(bf, PLUS_TIMES)
+        assert np.dtype(infer(tree).dtype) == tree.new().dtype == np.float64
+
+    def test_min_plus_dtype_probe(self, a, b):
+        tree = E.as_expr(a).mxm(b, MIN_PLUS)
+        assert np.dtype(infer(tree).dtype) == tree.new().dtype
+
+    def test_union_promotes_by_result_type(self, a):
+        af = csr([[0.5, 0, 0], [0, 0, 1.25]], dtype=np.float64)
+        tree = E.as_expr(a) + a + af
+        t = infer(tree)
+        assert t.shape == (2, 3) and np.dtype(t.dtype) == np.float64
+        assert tree.new().dtype == np.float64
+
+    def test_transpose_swaps(self, a):
+        assert infer(E.as_expr(a).transpose()).shape == (3, 2)
+
+    def test_statically_empty_product_uses_result_type(self, a):
+        empty = CSRMatrix.empty((3, 4), np.float64)
+        tree = E.as_expr(a).mxm(empty, PLUS_TIMES)
+        t = infer(tree)
+        observed = tree.new()
+        assert t.shape == observed.shape == (2, 4)
+        assert np.dtype(t.dtype) == observed.dtype == np.float64
+
+    def test_mxv_and_reduce(self, a):
+        x = np.asarray([1.0, 2.0, 3.0])
+        mxv = E.as_expr(a).mxv(x, PLUS_TIMES)
+        t = infer_vec(mxv)
+        assert t.shape == (2,) and np.dtype(t.dtype) == mxv.new().dtype
+        red = E.as_expr(a).reduce_rows(PLUS_MONOID)
+        t2 = infer_vec(red)
+        assert t2.shape == (2,) and np.dtype(t2.dtype) == np.int64
+
+
+class TestInferRejects:
+    def test_inner_dim_mismatch_names_subtree(self, a):
+        bad = E.MxM(E.MatLeaf(a), E.MatLeaf(a), PLUS_TIMES)  # staticcheck: ignore[SHP001]
+        with pytest.raises(ShapeInferenceError) as exc:
+            infer(bad)
+        assert exc.value.path == "expr.mxm"
+        assert "inner dimension mismatch" in exc.value.message
+
+    def test_union_mismatch_names_operand_index(self, a):
+        wrong = csr([[1]])
+        bad = E.UnionAll((E.MatLeaf(a), E.MatLeaf(wrong)), PLUS_MONOID)  # staticcheck: ignore[SHP001]
+        with pytest.raises(ShapeInferenceError) as exc:
+            infer(bad)
+        assert exc.value.path == "expr.union[1]"
+
+    def test_nested_path_reaches_inner_node(self, a):
+        inner = E.MxM(E.MatLeaf(a), E.MatLeaf(a), PLUS_TIMES)  # staticcheck: ignore[SHP001]
+        outer = E.TransposeExpr(inner)  # staticcheck: ignore[SHP001]
+        with pytest.raises(ShapeInferenceError) as exc:
+            infer(outer)
+        assert exc.value.path == "expr.transpose.mxm"
+
+    def test_mask_shape_checked(self, a):
+        mask = csr([[1]])
+        with pytest.raises(ShapeInferenceError) as exc:
+            infer(E.as_expr(a), mask)
+        assert "mask shape" in exc.value.message
+
+    def test_vector_length_checked(self, a):
+        bad = E.MxV(E.MatLeaf(a), np.asarray([1.0, 2.0]), PLUS_TIMES)  # staticcheck: ignore[SHP001]
+        with pytest.raises(ShapeInferenceError) as exc:
+            infer_vec(bad)
+        assert "vector length 2" in exc.value.message
+
+    def test_vector_mask_length_checked(self, a):
+        tree = E.as_expr(a).reduce_rows(PLUS_MONOID)
+        with pytest.raises(ShapeInferenceError):
+            infer_vec(tree, np.asarray([True, False, True]))
+
+
+class TestPlanHook:
+    def test_typecheck_matches_execution(self, a, b):
+        tree = E.as_expr(a).mxm(b, PLUS_TIMES)
+        plan = tree.plan()
+        t = plan.typecheck()
+        observed = tree.new()
+        assert tuple(t.shape) == observed.shape
+        assert np.dtype(t.dtype) == observed.dtype
+
+    def test_typecheck_rejects_raw_tree_before_execution(self, a):
+        bad = E.MxM(E.MatLeaf(a), E.MatLeaf(a), PLUS_TIMES)  # staticcheck: ignore[SHP001]
+        plan = bad.plan()
+        with pytest.raises(ShapeInferenceError):
+            plan.typecheck()
+
+    def test_typecheck_vec_plan(self, a):
+        plan = E.as_expr(a).reduce_rows(PLUS_MONOID).plan()
+        assert plan.typecheck().shape == (2,)
+
+    def test_stepless_plan_has_nothing_to_typecheck(self):
+        with pytest.raises(ExpressionError):
+            Plan(()).typecheck()
+
+    def test_plan_equality_ignores_carried_expr(self, a, b):
+        p1 = E.as_expr(a).mxm(b, PLUS_TIMES).plan()
+        p2 = E.as_expr(a).mxm(b, PLUS_TIMES).plan()
+        assert p1 == p2
+
+    def test_explain_marks_failing_subtree(self, a):
+        bad = E.TransposeExpr(E.MxM(E.MatLeaf(a), E.MatLeaf(a), PLUS_TIMES))  # staticcheck: ignore[SHP001]
+        text = bad.plan().explain()
+        assert text.startswith("plan: ")
+        assert "!!" in text and "inner dimension mismatch" in text
+
+    def test_explain_types_valid_tree(self, a, b):
+        text = E.as_expr(a).mxm(b, PLUS_TIMES).plan().explain()
+        assert ":: (2, 2) int64" in text
+
+    def test_expr_typecheck_method(self, a, b):
+        t = E.as_expr(a).mxm(b, PLUS_TIMES).typecheck()
+        assert t.shape == (2, 2)
+
+
+class TestAnnotate:
+    def test_renders_every_node_with_type(self, a, b):
+        tree = (E.as_expr(a).mxm(b, PLUS_TIMES)).transpose()
+        text = annotate(tree)
+        lines = text.splitlines()
+        assert lines[0].startswith("Transpose :: (2, 2)")
+        assert any(line.lstrip().startswith("MxM[plus.times]") for line in lines)
+        assert sum("MatLeaf" in line for line in lines) == 2

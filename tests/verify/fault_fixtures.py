@@ -21,3 +21,20 @@ def _tile_sensitive_times(x: np.ndarray, y: np.ndarray) -> np.ndarray:
 
 #: A semiring that is wrong in a way only tiling can reveal.
 PERTURBED_SEMIRING = Semiring(PLUS_MONOID, BinaryOp("tile_times", _tile_sensitive_times))
+
+
+def _wrong_shape_infer(tree, mask=None, **kwargs):
+    """A planted inference bug: every matrix expression types as 0×0 int64.
+
+    The ``static_shapes`` oracle compares inference against executed
+    results; this stand-in must make it fail on any non-degenerate matrix,
+    proving the agreement check has teeth.  Module-level so process-backend
+    corpus runs can pickle the oracle carrying it.
+    """
+    from repro.staticcheck.shapes import ExprType
+
+    return ExprType((0, 0), np.dtype(np.int64))
+
+
+#: Fault-injection seam value for ``StaticShapesOracle(infer_fn=...)``.
+WRONG_SHAPE_INFER = _wrong_shape_infer

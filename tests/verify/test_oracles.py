@@ -8,7 +8,7 @@ perturbation makes blocked results drift from serial ones — exactly the
 class of tile-dependent kernel bug differential testing exists to catch.
 """
 
-from fault_fixtures import PERTURBED_SEMIRING
+from fault_fixtures import PERTURBED_SEMIRING, WRONG_SHAPE_INFER
 
 from repro.assoc.semiring import PLUS_TIMES
 from repro.scenarios import NoiseSpec, OverlaySpec, ScenarioSpec
@@ -18,8 +18,10 @@ from repro.verify import (
     KernelEqualityOracle,
     OverlayMetamorphicOracle,
     RoundTripOracle,
+    StaticShapesOracle,
     default_oracles,
     make_corpus,
+    run_corpus,
 )
 
 
@@ -204,8 +206,41 @@ class TestCacheDeltaOracle:
         assert "cache hit != direct build" in verdict.detail
 
 
+class TestStaticShapesOracle:
+    def test_passes_on_generated_matrices(self):
+        oracle = StaticShapesOracle()
+        for base, n, seed in [("star", 10, 3), ("ring", 8, 1), ("ddos_attack", 12, 5)]:
+            verdict = oracle.check(ScenarioSpec(base=base, n=n, seed=seed))
+            assert verdict.passed, verdict.detail
+
+    def test_passes_on_single_entry_matrix(self):
+        # nnz == 1 regression: building the float-promoted operand used to
+        # crash CSRMatrix._validate on matrices with leading empty rows.
+        verdict = StaticShapesOracle().check(
+            ScenarioSpec(base="command_and_control", n=5, seed=0)
+        )
+        assert verdict.passed, verdict.detail
+
+    def test_fault_injection_wrong_inference_is_caught(self):
+        verdict = StaticShapesOracle(infer_fn=WRONG_SHAPE_INFER).check(
+            ScenarioSpec(base="star", n=10, seed=3)
+        )
+        assert verdict.failed
+        assert "inferred shape" in verdict.detail
+
+    def test_fault_injection_survives_process_fanout(self):
+        report = run_corpus(
+            [ScenarioSpec(base="ring", n=8, seed=1)],
+            oracles=[StaticShapesOracle(infer_fn=WRONG_SHAPE_INFER)],
+            workers=2,
+            backend="process",
+            shrink=False,
+        )
+        assert not report.ok
+
+
 class TestBattery:
-    def test_default_battery_has_all_six(self):
+    def test_default_battery_has_all_seven(self):
         names = [oracle.name for oracle in default_oracles()]
         assert names == [
             "kernel_equality",
@@ -214,6 +249,7 @@ class TestBattery:
             "classifier_agreement",
             "overlay_metamorphic",
             "cache_delta",
+            "static_shapes",
         ]
 
     def test_oracles_are_picklable(self):
