@@ -1,0 +1,70 @@
+"""Zero-copy process dispatch: the shared-memory operand plane in action.
+
+Run:  PYTHONPATH=src python examples/shared_memory_runtime.py
+
+Builds a ~10^5-nnz banded matrix, squares it under the process backend with
+shared-memory dispatch forced on and forced off, and shows that the results
+are bit-identical, the segment registry is empty afterwards, and what the
+dispatch actually shipped in each mode.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import runtime
+from repro.assoc.semiring import PLUS_TIMES
+from repro.assoc.sparse import CSRMatrix
+from repro.runtime import shm
+
+
+def banded(n: int, offsets: tuple[int, ...], seed: int) -> CSRMatrix:
+    rows = np.repeat(np.arange(n, dtype=np.int64), len(offsets))
+    cols = (rows + np.tile(np.array(offsets, dtype=np.int64), n)) % n
+    vals = np.random.default_rng(seed).integers(1, 10, rows.size).astype(np.int64)
+    return CSRMatrix.from_triples(rows, cols, vals, (n, n))
+
+
+def main() -> None:
+    a = banded(25_000, (1, 3, 7, 12), seed=1)
+    b = banded(25_000, (1, 3, 7, 12), seed=2)
+    operand_bytes = shm.csr_nbytes(a) + shm.csr_nbytes(b)
+    print(f"operands: {a.nnz} + {b.nnz} nnz, {operand_bytes / 2**20:.1f} MiB total")
+
+    with runtime.configured(workers=1, backend="serial"):
+        reference = a.mxm(b, PLUS_TIMES)
+
+    # Force the shared-memory plane on (threshold 0): operands are exported
+    # into multiprocessing.shared_memory once, each block task ships only
+    # segment names + a row range, and workers attach zero-copy views.
+    with runtime.configured(
+        workers=2, backend="process", min_parallel_work=1, shm_min_bytes=0
+    ):
+        via_shm = a.mxm(b, PLUS_TIMES)
+
+    # Force it off (threshold None): the classic path pickles operand slices
+    # into every task payload.  Identical result, more bytes moved.
+    with runtime.configured(
+        workers=2, backend="process", min_parallel_work=1, shm_min_bytes=None
+    ):
+        via_pickle = a.mxm(b, PLUS_TIMES)
+
+    print(f"shm    == serial: {via_shm == reference}")
+    print(f"pickle == serial: {via_pickle == reference}")
+
+    # Leases are scoped to the kernel call: nothing outlives it.
+    print(f"live segments after both runs: {shm.live_segment_names()}")
+
+    # The default gate: process backend, >1 worker, operands >= 1 MiB.
+    cfg = runtime.RuntimeConfig(workers=2, backend="process")
+    print(
+        f"default gate at {cfg.shm_min_bytes} bytes -> "
+        f"use_shm({operand_bytes}) = {cfg.use_shm(operand_bytes)}, "
+        f"use_shm(1024) = {cfg.use_shm(1024)}"
+    )
+
+    runtime.shutdown_executors()
+
+
+if __name__ == "__main__":
+    main()

@@ -19,6 +19,16 @@ tests assert this equality rather than assuming it.
 The ``parallel_*`` functions here are the dispatch targets used by
 :mod:`repro.assoc.sparse` when :func:`repro.runtime.configure` enables
 workers; they can also be called directly with an explicit config.
+
+**Zero-copy process dispatch.**  On the ``process`` backend, every entry
+point checks :meth:`~repro.runtime.config.RuntimeConfig.use_shm` against the
+total operand bytes: above the threshold, operands are exported **once** into
+:mod:`multiprocessing.shared_memory` segments (:mod:`repro.runtime.shm`) and
+each task ships only ``(segment refs, block range)``; workers attach and run
+the *same serial kernels* on the same row partition, so the per-block outputs
+— and therefore the assembled result — are bit-identical to the pickle path.
+Small operands keep the pickle path, where per-task copies are cheaper than
+the segment round trip.
 """
 
 from __future__ import annotations
@@ -29,6 +39,7 @@ from repro.assoc import sparse as _sparse
 from repro.assoc.semiring import Monoid, PLUS_TIMES, Semiring
 from repro.assoc.sparse import CSRMatrix
 from repro.errors import SparseFormatError
+from repro.runtime import shm as _shm
 from repro.runtime.config import RuntimeConfig, get_config
 from repro.runtime.executor import choose_block_rows, get_executor
 
@@ -189,7 +200,9 @@ class BlockedCSR:
             )
         cfg = get_config() if config is None else config
         parts = get_executor(cfg).map(
-            _mxm_task, [(blk, other, semiring) for blk in self.blocks]
+            _mxm_task,
+            [(blk, other, semiring) for blk in self.blocks],
+            label=f"mxm ({self.n_blocks} blocks)",
         )
         out_dtype = _mult_dtype(semiring.mult, self.blocks, other)
         parts = [_cast_data(p, out_dtype) for p in parts]
@@ -207,7 +220,9 @@ class BlockedCSR:
             raise SparseFormatError(f"vector length {x.shape} != {(self.shape[1],)}")
         cfg = get_config() if config is None else config
         parts = get_executor(cfg).map(
-            _mxv_task, [(blk, x, semiring) for blk in self.blocks]
+            _mxv_task,
+            [(blk, x, semiring) for blk in self.blocks],
+            label=f"mxv ({self.n_blocks} blocks)",
         )
         return np.concatenate(parts) if parts else np.empty(0)
 
@@ -263,6 +278,82 @@ def _union_all_task(args) -> CSRMatrix:  # noqa: ANN001
 
 
 # ---------------------------------------------------------------------- #
+# shared-memory task payloads (process backend above the byte threshold)
+#
+# Payloads carry only segment refs plus the block's ``[r0, r1)`` row range;
+# the worker attaches (cached per process, see repro.runtime.shm), slices its
+# rows zero-copy with the same ``_slice_rows`` the parent-side tiling uses,
+# and runs the identical serial kernel — so each block's output matches the
+# pickle path bit-for-bit and assembly is unchanged.
+# ---------------------------------------------------------------------- #
+
+
+def _shm_mxm_task(args) -> CSRMatrix:  # noqa: ANN001
+    a_ref, b_ref, r0, r1, semiring = args
+    a_block = _slice_rows(_shm.attach_csr(a_ref), r0, r1)
+    return a_block._mxm_serial(_shm.attach_csr(b_ref), semiring)
+
+
+def _shm_mxv_task(args) -> np.ndarray:  # noqa: ANN001
+    a_ref, x_ref, r0, r1, semiring = args
+    a_block = _slice_rows(_shm.attach_csr(a_ref), r0, r1)
+    return a_block._mxv_serial(_shm.attach_array(x_ref), semiring)
+
+
+def _shm_ewise_union_task(args) -> CSRMatrix:  # noqa: ANN001
+    a_ref, b_ref, r0, r1, add = args
+    a_block = _slice_rows(_shm.attach_csr(a_ref), r0, r1)
+    b_block = _slice_rows(_shm.attach_csr(b_ref), r0, r1)
+    return a_block._ewise_union_serial(b_block, add)
+
+
+def _shm_ewise_intersect_task(args) -> CSRMatrix:  # noqa: ANN001
+    a_ref, b_ref, r0, r1, mult = args
+    a_block = _slice_rows(_shm.attach_csr(a_ref), r0, r1)
+    b_block = _slice_rows(_shm.attach_csr(b_ref), r0, r1)
+    return a_block._ewise_intersect_serial(b_block, mult)
+
+
+def _shm_coalesce_task(args):  # noqa: ANN001
+    r_ref, c_ref, v_ref, lo, hi, shape, add = args
+    rows = _shm.attach_array(r_ref)[lo:hi]
+    cols = _shm.attach_array(c_ref)[lo:hi]
+    vals = _shm.attach_array(v_ref)[lo:hi]
+    return _sparse._coalesce_core(rows, cols, vals, shape, add)
+
+
+def _shm_masked_mxm_task(args) -> CSRMatrix:  # noqa: ANN001
+    a_ref, b_ref, mask_ref, r0, r1, semiring, out_dtype = args
+    a_block = _slice_rows(_shm.attach_csr(a_ref), r0, r1)
+    mask_block = _slice_rows(_shm.attach_csr(mask_ref), r0, r1)
+    return _sparse._masked_mxm_serial(
+        a_block, _shm.attach_csr(b_ref), semiring, mask_block, out_dtype
+    )
+
+
+def _shm_masked_mxv_task(args) -> np.ndarray:  # noqa: ANN001
+    a_ref, x_ref, allow_ref, r0, r1, semiring = args
+    a_block = _slice_rows(_shm.attach_csr(a_ref), r0, r1)
+    allow_block = _shm.attach_array(allow_ref)[r0:r1]
+    return _sparse._masked_mxv_serial(a_block, _shm.attach_array(x_ref), semiring, allow_block)
+
+
+def _shm_masked_intersect_task(args) -> CSRMatrix:  # noqa: ANN001
+    a_ref, b_ref, mask_ref, r0, r1, mult, complement = args
+    a_block = _slice_rows(_shm.attach_csr(a_ref), r0, r1)
+    b_block = _slice_rows(_shm.attach_csr(b_ref), r0, r1)
+    mask_block = _slice_rows(_shm.attach_csr(mask_ref), r0, r1)
+    return _sparse._masked_intersect_serial(a_block, b_block, mult, mask_block, complement)
+
+
+def _shm_union_all_task(args) -> CSRMatrix:  # noqa: ANN001
+    part_refs, add, mask_ref, complement, r0, r1 = args
+    part_blocks = [_slice_rows(_shm.attach_csr(ref), r0, r1) for ref in part_refs]
+    mask_block = None if mask_ref is None else _slice_rows(_shm.attach_csr(mask_ref), r0, r1)
+    return _sparse._union_all_serial(part_blocks, add, mask_block, complement)
+
+
+# ---------------------------------------------------------------------- #
 # dtype normalisation
 # ---------------------------------------------------------------------- #
 
@@ -282,6 +373,18 @@ def _mult_dtype(mult, blocks: list[CSRMatrix], other: CSRMatrix) -> np.dtype:  #
     return np.result_type(
         blocks[0].dtype if blocks else np.int64, other.dtype
     )
+
+
+def _pair_dtype(mult, a: CSRMatrix, b: CSRMatrix) -> np.dtype:  # noqa: ANN001
+    """Whole-matrix form of :func:`_mult_dtype` for the shared-memory path.
+
+    Equivalent by construction: the first non-empty row block's leading value
+    *is* ``a.data[0]`` (earlier blocks are empty), and empty blocks inherit
+    the parent dtype, so both probes pin the same authoritative dtype.
+    """
+    if a.nnz and b.nnz:
+        return np.asarray(mult(a.data[:1], b.data[:1])).dtype
+    return np.result_type(a.dtype, b.dtype)
 
 
 def _cast_data(part: CSRMatrix, dtype: np.dtype) -> CSRMatrix:
@@ -306,11 +409,34 @@ def _blocked_operand(a: CSRMatrix, work: int, cfg: RuntimeConfig) -> BlockedCSR:
     return BlockedCSR.from_csr(a, block_rows)
 
 
+def _shared_starts(n_rows: int, work: int, cfg: RuntimeConfig) -> np.ndarray:
+    """The row partition both dispatch paths use for an *n_rows* operand."""
+    block_rows = choose_block_rows(n_rows, work, cfg.workers, cfg.block_rows)
+    return _row_starts(n_rows, block_rows)
+
+
 def parallel_mxm(
     a: CSRMatrix, b: CSRMatrix, semiring: Semiring, config: RuntimeConfig | None = None
 ) -> CSRMatrix:
     """Row-blocked parallel ESC product, bit-identical to ``a.mxm(b)`` serial."""
     cfg = get_config() if config is None else config
+    if cfg.use_shm(_shm.csr_nbytes(a) + _shm.csr_nbytes(b)):
+        if a.shape[1] != b.shape[0]:
+            raise SparseFormatError(f"inner dimension mismatch: {a.shape} @ {b.shape}")
+        starts = _shared_starts(a.shape[0], a.nnz, cfg)
+        with _shm.OperandLease() as lease:
+            a_ref = lease.export_csr(a)
+            b_ref = lease.export_csr(b)
+            tasks = [
+                (a_ref, b_ref, int(r0), int(r1), semiring)
+                for r0, r1 in zip(starts[:-1], starts[1:])
+            ]
+            parts = get_executor(cfg).map(
+                _shm_mxm_task, tasks, label=f"parallel_mxm ({len(tasks)} shm blocks)"
+            )
+        out_dtype = _pair_dtype(semiring.mult, a, b)
+        parts = [_cast_data(p, out_dtype) for p in parts]
+        return BlockedCSR((a.shape[0], b.shape[1]), starts, parts).to_csr()
     blocked = _blocked_operand(a, a.nnz, cfg)
     return blocked.mxm(b, semiring, cfg).to_csr()
 
@@ -320,7 +446,23 @@ def parallel_mxv(
 ) -> np.ndarray:
     """Row-blocked parallel matrix-vector product."""
     cfg = get_config() if config is None else config
-    return _blocked_operand(a, a.nnz, cfg).mxv(x, semiring, cfg)
+    x_arr = np.asarray(x)
+    if cfg.use_shm(_shm.csr_nbytes(a) + int(x_arr.nbytes)):
+        if x_arr.shape != (a.shape[1],):
+            raise SparseFormatError(f"vector length {x_arr.shape} != {(a.shape[1],)}")
+        starts = _shared_starts(a.shape[0], a.nnz, cfg)
+        with _shm.OperandLease() as lease:
+            a_ref = lease.export_csr(a)
+            x_ref = lease.export_array(x_arr)
+            tasks = [
+                (a_ref, x_ref, int(r0), int(r1), semiring)
+                for r0, r1 in zip(starts[:-1], starts[1:])
+            ]
+            parts = get_executor(cfg).map(
+                _shm_mxv_task, tasks, label=f"parallel_mxv ({len(tasks)} shm blocks)"
+            )
+        return np.concatenate(parts) if parts else np.empty(0)
+    return _blocked_operand(a, a.nnz, cfg).mxv(x_arr, semiring, cfg)
 
 
 def parallel_ewise_union(
@@ -328,13 +470,26 @@ def parallel_ewise_union(
 ) -> CSRMatrix:
     """Row-blocked element-wise union: both operands share one tiling."""
     cfg = get_config() if config is None else config
-    block_rows = choose_block_rows(a.shape[0], a.nnz + b.nnz, cfg.workers, cfg.block_rows)
-    starts = _row_starts(a.shape[0], block_rows)
-    tasks = [
-        (_slice_rows(a, int(r0), int(r1)), _slice_rows(b, int(r0), int(r1)), add)
-        for r0, r1 in zip(starts[:-1], starts[1:])
-    ]
-    parts = get_executor(cfg).map(_ewise_union_task, tasks)
+    starts = _shared_starts(a.shape[0], a.nnz + b.nnz, cfg)
+    spans = list(zip(starts[:-1], starts[1:]))
+    if cfg.use_shm(_shm.csr_nbytes(a) + _shm.csr_nbytes(b)):
+        with _shm.OperandLease() as lease:
+            a_ref = lease.export_csr(a)
+            b_ref = lease.export_csr(b)
+            tasks = [(a_ref, b_ref, int(r0), int(r1), add) for r0, r1 in spans]
+            parts = get_executor(cfg).map(
+                _shm_ewise_union_task,
+                tasks,
+                label=f"parallel_ewise_union ({len(tasks)} shm blocks)",
+            )
+    else:
+        pickled = [
+            (_slice_rows(a, int(r0), int(r1)), _slice_rows(b, int(r0), int(r1)), add)
+            for r0, r1 in spans
+        ]
+        parts = get_executor(cfg).map(
+            _ewise_union_task, pickled, label=f"parallel_ewise_union ({len(pickled)} blocks)"
+        )
     out_dtype = np.result_type(a.dtype, b.dtype)
     parts = [_cast_data(p, out_dtype) for p in parts]
     return BlockedCSR(a.shape, starts, parts).to_csr()
@@ -345,13 +500,28 @@ def parallel_ewise_intersect(
 ) -> CSRMatrix:
     """Row-blocked element-wise intersection."""
     cfg = get_config() if config is None else config
-    block_rows = choose_block_rows(a.shape[0], a.nnz + b.nnz, cfg.workers, cfg.block_rows)
-    starts = _row_starts(a.shape[0], block_rows)
-    tasks = [
-        (_slice_rows(a, int(r0), int(r1)), _slice_rows(b, int(r0), int(r1)), mult)
-        for r0, r1 in zip(starts[:-1], starts[1:])
-    ]
-    parts = get_executor(cfg).map(_ewise_intersect_task, tasks)
+    starts = _shared_starts(a.shape[0], a.nnz + b.nnz, cfg)
+    spans = list(zip(starts[:-1], starts[1:]))
+    if cfg.use_shm(_shm.csr_nbytes(a) + _shm.csr_nbytes(b)):
+        with _shm.OperandLease() as lease:
+            a_ref = lease.export_csr(a)
+            b_ref = lease.export_csr(b)
+            tasks = [(a_ref, b_ref, int(r0), int(r1), mult) for r0, r1 in spans]
+            parts = get_executor(cfg).map(
+                _shm_ewise_intersect_task,
+                tasks,
+                label=f"parallel_ewise_intersect ({len(tasks)} shm blocks)",
+            )
+    else:
+        pickled = [
+            (_slice_rows(a, int(r0), int(r1)), _slice_rows(b, int(r0), int(r1)), mult)
+            for r0, r1 in spans
+        ]
+        parts = get_executor(cfg).map(
+            _ewise_intersect_task,
+            pickled,
+            label=f"parallel_ewise_intersect ({len(pickled)} blocks)",
+        )
     out_dtype = np.asarray(mult(a.data[:1], b.data[:1])).dtype
     parts = [_cast_data(p, out_dtype) for p in parts]
     return BlockedCSR(a.shape, starts, parts).to_csr()
@@ -384,12 +554,21 @@ def parallel_coalesce(
     rows, cols, vals = rows[order], cols[order], vals[order]
     counts = np.bincount(block_id, minlength=n_blocks)
     bounds = np.concatenate([[0], np.cumsum(counts)])
-    tasks = [
-        (rows[lo:hi], cols[lo:hi], vals[lo:hi], shape, add)
-        for lo, hi in zip(bounds[:-1], bounds[1:])
-        if hi > lo
-    ]
-    parts = get_executor(cfg).map(_coalesce_task, tasks)
+    spans = [(int(lo), int(hi)) for lo, hi in zip(bounds[:-1], bounds[1:]) if hi > lo]
+    if cfg.use_shm(int(rows.nbytes + cols.nbytes + vals.nbytes)):
+        with _shm.OperandLease() as lease:
+            r_ref = lease.export_array(rows)
+            c_ref = lease.export_array(cols)
+            v_ref = lease.export_array(vals)
+            tasks = [(r_ref, c_ref, v_ref, lo, hi, shape, add) for lo, hi in spans]
+            parts = get_executor(cfg).map(
+                _shm_coalesce_task, tasks, label=f"parallel_coalesce ({len(tasks)} shm blocks)"
+            )
+    else:
+        pickled = [(rows[lo:hi], cols[lo:hi], vals[lo:hi], shape, add) for lo, hi in spans]
+        parts = get_executor(cfg).map(
+            _coalesce_task, pickled, label=f"parallel_coalesce ({len(pickled)} blocks)"
+        )
     out_r = np.concatenate([p[0] for p in parts])
     out_c = np.concatenate([p[1] for p in parts])
     out_v = np.concatenate([p[2] for p in parts])
@@ -416,14 +595,31 @@ def parallel_masked_mxm(
     """Row-blocked fused masked product, bit-identical to the serial masked
     kernel (and therefore to eager-then-filter)."""
     cfg = get_config() if config is None else config
-    block_rows = choose_block_rows(a.shape[0], a.nnz, cfg.workers, cfg.block_rows)
-    starts = _row_starts(a.shape[0], block_rows)
+    starts = _shared_starts(a.shape[0], a.nnz, cfg)
+    spans = list(zip(starts[:-1], starts[1:]))
     out_dtype = _sparse._mxm_out_dtype(a, b, semiring.mult)
-    tasks = [
-        (_slice_rows(a, int(r0), int(r1)), b, semiring, _slice_rows(mask, int(r0), int(r1)), out_dtype)
-        for r0, r1 in zip(starts[:-1], starts[1:])
-    ]
-    parts = get_executor(cfg).map(_masked_mxm_task, tasks)
+    if cfg.use_shm(_shm.csr_nbytes(a) + _shm.csr_nbytes(b) + _shm.csr_nbytes(mask)):
+        with _shm.OperandLease() as lease:
+            a_ref = lease.export_csr(a)
+            b_ref = lease.export_csr(b)
+            mask_ref = lease.export_csr(mask)
+            tasks = [
+                (a_ref, b_ref, mask_ref, int(r0), int(r1), semiring, out_dtype)
+                for r0, r1 in spans
+            ]
+            parts = get_executor(cfg).map(
+                _shm_masked_mxm_task,
+                tasks,
+                label=f"parallel_masked_mxm ({len(tasks)} shm blocks)",
+            )
+    else:
+        pickled = [
+            (_slice_rows(a, int(r0), int(r1)), b, semiring, _slice_rows(mask, int(r0), int(r1)), out_dtype)
+            for r0, r1 in spans
+        ]
+        parts = get_executor(cfg).map(
+            _masked_mxm_task, pickled, label=f"parallel_masked_mxm ({len(pickled)} blocks)"
+        )
     parts = [_cast_data(p, out_dtype) for p in parts]
     return BlockedCSR((a.shape[0], b.shape[1]), starts, parts).to_csr()
 
@@ -437,13 +633,29 @@ def parallel_masked_mxv(
 ) -> np.ndarray:
     """Row-blocked masked matrix-vector product."""
     cfg = get_config() if config is None else config
-    block_rows = choose_block_rows(a.shape[0], a.nnz, cfg.workers, cfg.block_rows)
-    starts = _row_starts(a.shape[0], block_rows)
-    tasks = [
-        (_slice_rows(a, int(r0), int(r1)), x, semiring, allow[int(r0):int(r1)])
-        for r0, r1 in zip(starts[:-1], starts[1:])
-    ]
-    parts = get_executor(cfg).map(_masked_mxv_task, tasks)
+    starts = _shared_starts(a.shape[0], a.nnz, cfg)
+    spans = list(zip(starts[:-1], starts[1:]))
+    x_arr = np.asarray(x)
+    allow_arr = np.asarray(allow)
+    if cfg.use_shm(_shm.csr_nbytes(a) + int(x_arr.nbytes + allow_arr.nbytes)):
+        with _shm.OperandLease() as lease:
+            a_ref = lease.export_csr(a)
+            x_ref = lease.export_array(x_arr)
+            allow_ref = lease.export_array(allow_arr)
+            tasks = [(a_ref, x_ref, allow_ref, int(r0), int(r1), semiring) for r0, r1 in spans]
+            parts = get_executor(cfg).map(
+                _shm_masked_mxv_task,
+                tasks,
+                label=f"parallel_masked_mxv ({len(tasks)} shm blocks)",
+            )
+    else:
+        pickled = [
+            (_slice_rows(a, int(r0), int(r1)), x_arr, semiring, allow_arr[int(r0):int(r1)])
+            for r0, r1 in spans
+        ]
+        parts = get_executor(cfg).map(
+            _masked_mxv_task, pickled, label=f"parallel_masked_mxv ({len(pickled)} blocks)"
+        )
     return np.concatenate(parts) if parts else np.empty(0)
 
 
@@ -457,19 +669,38 @@ def parallel_masked_intersect(
 ) -> CSRMatrix:
     """Row-blocked fused masked element-wise intersection."""
     cfg = get_config() if config is None else config
-    block_rows = choose_block_rows(a.shape[0], a.nnz + b.nnz, cfg.workers, cfg.block_rows)
-    starts = _row_starts(a.shape[0], block_rows)
-    tasks = [
-        (
-            _slice_rows(a, int(r0), int(r1)),
-            _slice_rows(b, int(r0), int(r1)),
-            mult,
-            _slice_rows(mask, int(r0), int(r1)),
-            complement,
+    starts = _shared_starts(a.shape[0], a.nnz + b.nnz, cfg)
+    spans = list(zip(starts[:-1], starts[1:]))
+    if cfg.use_shm(_shm.csr_nbytes(a) + _shm.csr_nbytes(b) + _shm.csr_nbytes(mask)):
+        with _shm.OperandLease() as lease:
+            a_ref = lease.export_csr(a)
+            b_ref = lease.export_csr(b)
+            mask_ref = lease.export_csr(mask)
+            tasks = [
+                (a_ref, b_ref, mask_ref, int(r0), int(r1), mult, complement)
+                for r0, r1 in spans
+            ]
+            parts = get_executor(cfg).map(
+                _shm_masked_intersect_task,
+                tasks,
+                label=f"parallel_masked_intersect ({len(tasks)} shm blocks)",
+            )
+    else:
+        pickled = [
+            (
+                _slice_rows(a, int(r0), int(r1)),
+                _slice_rows(b, int(r0), int(r1)),
+                mult,
+                _slice_rows(mask, int(r0), int(r1)),
+                complement,
+            )
+            for r0, r1 in spans
+        ]
+        parts = get_executor(cfg).map(
+            _masked_intersect_task,
+            pickled,
+            label=f"parallel_masked_intersect ({len(pickled)} blocks)",
         )
-        for r0, r1 in zip(starts[:-1], starts[1:])
-    ]
-    parts = get_executor(cfg).map(_masked_intersect_task, tasks)
     out_dtype = np.asarray(mult(a.data[:1], b.data[:1])).dtype
     parts = [_cast_data(p, out_dtype) for p in parts]
     return BlockedCSR(a.shape, starts, parts).to_csr()
@@ -487,18 +718,36 @@ def parallel_union_all(
     cfg = get_config() if config is None else config
     shape = parts[0].shape
     work = sum(p.nnz for p in parts)
-    block_rows = choose_block_rows(shape[0], work, cfg.workers, cfg.block_rows)
-    starts = _row_starts(shape[0], block_rows)
-    tasks = [
-        (
-            [_slice_rows(p, int(r0), int(r1)) for p in parts],
-            add,
-            None if mask is None else _slice_rows(mask, int(r0), int(r1)),
-            complement,
+    starts = _shared_starts(shape[0], work, cfg)
+    spans = list(zip(starts[:-1], starts[1:]))
+    operand_bytes = sum(_shm.csr_nbytes(p) for p in parts) + (
+        0 if mask is None else _shm.csr_nbytes(mask)
+    )
+    if cfg.use_shm(operand_bytes):
+        with _shm.OperandLease() as lease:
+            part_refs = tuple(lease.export_csr(p) for p in parts)
+            mask_ref = None if mask is None else lease.export_csr(mask)
+            tasks = [
+                (part_refs, add, mask_ref, complement, int(r0), int(r1)) for r0, r1 in spans
+            ]
+            blocks = get_executor(cfg).map(
+                _shm_union_all_task,
+                tasks,
+                label=f"parallel_union_all ({len(tasks)} shm blocks)",
+            )
+    else:
+        pickled = [
+            (
+                [_slice_rows(p, int(r0), int(r1)) for p in parts],
+                add,
+                None if mask is None else _slice_rows(mask, int(r0), int(r1)),
+                complement,
+            )
+            for r0, r1 in spans
+        ]
+        blocks = get_executor(cfg).map(
+            _union_all_task, pickled, label=f"parallel_union_all ({len(pickled)} blocks)"
         )
-        for r0, r1 in zip(starts[:-1], starts[1:])
-    ]
-    blocks = get_executor(cfg).map(_union_all_task, tasks)
     out_dtype = np.result_type(*(p.dtype for p in parts))
     blocks = [_cast_data(p, out_dtype) for p in blocks]
     return BlockedCSR(shape, starts, blocks).to_csr()

@@ -129,6 +129,14 @@ class Plan:
 
 # --------------------------------------------------------------------------- #
 # runtime-gated dispatch helpers
+#
+# Each helper asks ``parallel_config(work)`` whether the operation clears the
+# work-size floor, then hands the blocked entry point the active config.  The
+# blocked layer adds a second, orthogonal gate: on the ``process`` backend,
+# operands above ``RuntimeConfig.shm_min_bytes`` travel through shared-memory
+# segments (``repro.runtime.shm``) instead of being pickled per block task —
+# invisible here, because the shm path runs the same serial kernels over the
+# same row partition and so returns bit-identical results.
 # --------------------------------------------------------------------------- #
 
 

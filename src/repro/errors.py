@@ -63,6 +63,25 @@ class RuntimeConfigError(ReproError):
     """Invalid :mod:`repro.runtime` configuration (workers, backend, blocks)."""
 
 
+class WorkerCrashError(ReproError):
+    """A pool worker died mid-task (segfault, ``os._exit``, OOM kill).
+
+    Raised in place of the opaque ``BrokenProcessPool`` so the failure names
+    the work that was in flight; the broken pool is evicted from the executor
+    cache, so the next dispatch gets a fresh, usable pool.
+    """
+
+    def __init__(self, message: str, *, label: str = "", task_index: int | None = None) -> None:
+        super().__init__(message)
+        self.label = label
+        self.task_index = task_index
+
+
+class SharedMemoryError(ReproError):
+    """The shared-memory operand plane was misused (stale segment, attach
+    failure, double release)."""
+
+
 class AssocArrayError(ReproError):
     """Invalid operation on an :class:`~repro.assoc.AssociativeArray`."""
 

@@ -16,8 +16,14 @@ a configuration change, not a rewrite::
 Serial and parallel paths produce **bit-identical** results: row-blocked
 execution preserves the exact per-row term order the serial ESC kernel uses,
 so even non-associative float rounding matches.
+
+On the ``process`` backend, operands above ``shm_min_bytes`` travel through
+:mod:`multiprocessing.shared_memory` segments instead of being pickled into
+every row-block task — see :mod:`repro.runtime.shm`.  Identity is unaffected:
+the plane changes how bytes move, never what is computed.
 """
 
+from repro.runtime import shm
 from repro.runtime.backends import (
     EnvironmentInfo,
     cpu_count,
@@ -27,6 +33,7 @@ from repro.runtime.backends import (
 )
 from repro.runtime.config import (
     BACKENDS,
+    DEFAULT_SHM_MIN_BYTES,
     RuntimeConfig,
     configure,
     configured,
@@ -43,12 +50,25 @@ from repro.runtime.executor import (
     async_submit,
     choose_block_rows,
     get_executor,
+    invalidate_stale_pools,
     parallel_map,
     shutdown_executors,
+)
+from repro.runtime.shm import (
+    ArrayRef,
+    CSRRef,
+    OperandLease,
+    attach_array,
+    attach_csr,
+    csr_nbytes,
+    detach_all,
+    live_segment_names,
+    release_all,
 )
 
 __all__ = [
     "BACKENDS",
+    "DEFAULT_SHM_MIN_BYTES",
     "RuntimeConfig",
     "configure",
     "configured",
@@ -66,8 +86,19 @@ __all__ = [
     "ThreadExecutor",
     "ProcessExecutor",
     "get_executor",
+    "invalidate_stale_pools",
     "shutdown_executors",
     "parallel_map",
     "async_submit",
     "choose_block_rows",
+    "shm",
+    "ArrayRef",
+    "CSRRef",
+    "OperandLease",
+    "attach_array",
+    "attach_csr",
+    "csr_nbytes",
+    "detach_all",
+    "live_segment_names",
+    "release_all",
 ]

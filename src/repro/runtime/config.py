@@ -26,6 +26,7 @@ from typing import Iterator
 from repro.errors import RuntimeConfigError
 
 __all__ = [
+    "DEFAULT_SHM_MIN_BYTES",
     "RuntimeConfig",
     "configure",
     "configured",
@@ -39,6 +40,10 @@ __all__ = [
 #: Backends accepted by :func:`configure`.  ``auto`` resolves to ``thread``
 #: when ``workers > 1`` (NumPy kernels release the GIL) and ``serial`` otherwise.
 BACKENDS = ("auto", "serial", "thread", "process")
+
+#: Default operand-size floor for the shared-memory plane: below 1 MiB the
+#: pickle copies are cheaper than the segment create/attach round trip.
+DEFAULT_SHM_MIN_BYTES = 1 << 20
 
 
 @dataclass(frozen=True)
@@ -60,12 +65,20 @@ class RuntimeConfig:
     min_parallel_work:
         Work-item floor (expanded product terms, nnz, …) below which kernels
         stay serial; splitting tiny operands costs more than it saves.
+    shm_min_bytes:
+        Operand-size floor (bytes) above which the ``process`` backend ships
+        operands through :mod:`multiprocessing.shared_memory` segments instead
+        of pickling a copy into every row-block task (see
+        :mod:`repro.runtime.shm`).  Small operands keep the pickle path — the
+        segment round trip only pays for itself once the per-task copies
+        dominate.  ``None`` disables the shared-memory plane entirely.
     """
 
     workers: int = 1
     block_rows: int | None = None
     backend: str = "auto"
     min_parallel_work: int = 4096
+    shm_min_bytes: int | None = DEFAULT_SHM_MIN_BYTES
 
     def __post_init__(self) -> None:
         if int(self.workers) < 1:
@@ -79,6 +92,10 @@ class RuntimeConfig:
         if int(self.min_parallel_work) < 0:
             raise RuntimeConfigError(
                 f"min_parallel_work must be >= 0, got {self.min_parallel_work}"
+            )
+        if self.shm_min_bytes is not None and int(self.shm_min_bytes) < 0:
+            raise RuntimeConfigError(
+                f"shm_min_bytes must be >= 0 or None, got {self.shm_min_bytes}"
             )
 
     def resolved_backend(self) -> str:
@@ -96,6 +113,21 @@ class RuntimeConfig:
         """Parallel-worthiness of an operation with *work_items* units of work."""
         return self.parallel and work_items >= self.min_parallel_work
 
+    def use_shm(self, operand_bytes: int) -> bool:
+        """Whether process-backend operands of *operand_bytes* go zero-copy.
+
+        True only when all three hold: the shared-memory plane is enabled
+        (``shm_min_bytes is not None``), the resolved backend actually crosses
+        a pickle boundary (``process`` with more than one worker), and the
+        operands are heavy enough to amortise the segment round trip.
+        """
+        return (
+            self.shm_min_bytes is not None
+            and self.workers > 1
+            and self.resolved_backend() == "process"
+            and operand_bytes >= self.shm_min_bytes
+        )
+
 
 _DEFAULT = RuntimeConfig()
 _lock = threading.Lock()
@@ -108,17 +140,42 @@ def get_config() -> RuntimeConfig:
     return _config
 
 
+def _invalidate_stale_pools(old: RuntimeConfig, new: RuntimeConfig) -> None:
+    """Drain cached pools the reconfigure made stale (no-op when unchanged).
+
+    ``get_executor`` caches pools per ``(backend, workers)``; without this a
+    ``configure(workers=...)`` mid-session would leave the previous pool's
+    workers alive for the rest of the process.  Imported lazily — the executor
+    module imports this one at its top level.
+    """
+    if (old.resolved_backend(), old.workers) == (new.resolved_backend(), new.workers):
+        return
+    if in_serial_region():
+        # a worker task reconfiguring must not drain the pool running it
+        return
+    from repro.runtime import executor
+
+    executor.invalidate_stale_pools(new)
+
+
 def configure(
     workers: int | None = None,
     block_rows: int | None | str = "unchanged",
     backend: str | None = None,
     min_parallel_work: int | None = None,
+    shm_min_bytes: int | None | str = "unchanged",
 ) -> RuntimeConfig:
     """Update the process-wide config in place; unspecified fields persist.
 
-    ``block_rows`` accepts ``None`` explicitly (meaning "use the heuristic"),
-    so its unchanged sentinel is the string ``"unchanged"``.
+    ``block_rows`` and ``shm_min_bytes`` accept ``None`` explicitly (meaning
+    "use the heuristic" and "disable the shared-memory plane" respectively),
+    so their unchanged sentinel is the string ``"unchanged"``.
     Returns the new active config.
+
+    A reconfigure that changes the resolved ``(backend, workers)`` pair also
+    drains the now-stale cached executor pool — ``get_executor`` never hands
+    back a pool built for a superseded worker count, and the superseded
+    workers do not linger for the rest of the process.
     """
     global _config
     with _lock:
@@ -132,15 +189,21 @@ def configure(
             updates["backend"] = backend
         if min_parallel_work is not None:
             updates["min_parallel_work"] = int(min_parallel_work)
+        if shm_min_bytes != "unchanged":
+            updates["shm_min_bytes"] = None if shm_min_bytes is None else int(shm_min_bytes)
         _config = replace(cfg, **updates) if updates else cfg
-        return _config
+        new = _config
+    _invalidate_stale_pools(cfg, new)
+    return new
 
 
 def reset() -> RuntimeConfig:
     """Restore the default (serial) configuration."""
     global _config
     with _lock:
+        previous = _config
         _config = _DEFAULT
+    _invalidate_stale_pools(previous, _DEFAULT)
     return _config
 
 
@@ -150,13 +213,14 @@ def configured(
     block_rows: int | None | str = "unchanged",
     backend: str | None = None,
     min_parallel_work: int | None = None,
+    shm_min_bytes: int | None | str = "unchanged",
 ) -> Iterator[RuntimeConfig]:
     """Scope a configuration to a ``with`` block, restoring the previous one."""
     global _config
     with _lock:
         previous = _config
     try:
-        yield configure(workers, block_rows, backend, min_parallel_work)
+        yield configure(workers, block_rows, backend, min_parallel_work, shm_min_bytes)
     finally:
         with _lock:
             _config = previous

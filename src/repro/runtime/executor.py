@@ -23,12 +23,17 @@ from __future__ import annotations
 
 import asyncio
 import atexit
-import itertools
 import threading
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, as_completed
+from concurrent.futures import (
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    as_completed,
+)
 from typing import Callable, Iterable, Sequence, TypeVar
 
-from repro.errors import RuntimeConfigError
+from repro.errors import RuntimeConfigError, WorkerCrashError
+from repro.runtime import shm
 from repro.runtime.config import RuntimeConfig, get_config, in_serial_region, serial_region
 
 __all__ = [
@@ -36,6 +41,7 @@ __all__ = [
     "ThreadExecutor",
     "ProcessExecutor",
     "get_executor",
+    "invalidate_stale_pools",
     "shutdown_executors",
     "parallel_map",
     "async_submit",
@@ -78,11 +84,34 @@ def _serial_map(
     return out
 
 
+def _crash_error(
+    executor: "ThreadExecutor | ProcessExecutor",
+    exc: BrokenExecutor,
+    *,
+    label: str,
+    task_index: int | None,
+    total: int,
+) -> WorkerCrashError:
+    """Evict the broken pool and build the descriptive replacement error."""
+    _evict(executor)
+    where = (
+        f"task {task_index + 1}/{total}" if task_index is not None else f"{total} pending task(s)"
+    )
+    what = f" of {label}" if label else ""
+    return WorkerCrashError(
+        f"{executor.name} pool worker died mid-run ({where}{what}): {exc}. "
+        "The broken pool was evicted; the next dispatch gets a fresh one.",
+        label=label,
+        task_index=task_index,
+    )
+
+
 def _pool_map(
-    pool: ThreadPoolExecutor | ProcessPoolExecutor,
+    executor: "ThreadExecutor | ProcessExecutor",
     fn: Callable[[T], R],
     items: Sequence[T],
     on_progress: ProgressCallback | None,
+    label: str = "",
 ) -> list[R]:
     """Ordered pool map; with a hook, progress fires in completion order.
 
@@ -90,14 +119,28 @@ def _pool_map(
     callbacks never race each other.  A task that raised still counts as done
     — its exception surfaces afterwards, when results are collected in order,
     matching plain ``Executor.map`` semantics.
+
+    A worker that dies mid-task (segfault, ``os._exit``, OOM kill) would
+    surface as an opaque ``BrokenProcessPool``; it is re-raised here as
+    :class:`~repro.errors.WorkerCrashError` naming the task that was in
+    flight, and the broken pool is evicted from the cache so the next
+    dispatch rebuilds a usable one.
     """
-    if on_progress is None:
-        return list(pool.map(_guarded_call, itertools.repeat(fn), items))
-    futures = [pool.submit(_guarded_call, fn, item) for item in items]
-    total = len(futures)
-    for done, _ in enumerate(as_completed(futures), start=1):
-        on_progress(done, total)
-    return [f.result() for f in futures]
+    total = len(items)
+    try:
+        futures = [executor._pool.submit(_guarded_call, fn, item) for item in items]
+    except BrokenExecutor as exc:  # pool already broken before this call
+        raise _crash_error(executor, exc, label=label, task_index=None, total=total) from exc
+    if on_progress is not None:
+        for done, _ in enumerate(as_completed(futures), start=1):
+            on_progress(done, total)
+    out: list[R] = []
+    for k, future in enumerate(futures):
+        try:
+            out.append(future.result())
+        except BrokenExecutor as exc:
+            raise _crash_error(executor, exc, label=label, task_index=k, total=total) from exc
+    return out
 
 
 class SerialExecutor:
@@ -106,11 +149,16 @@ class SerialExecutor:
     name = "serial"
     workers = 1
 
+    @property
+    def broken(self) -> bool:
+        return False
+
     def map(
         self,
         fn: Callable[[T], R],
         items: Sequence[T],
         on_progress: ProgressCallback | None = None,
+        label: str = "",
     ) -> list[R]:
         return _serial_map(fn, items, on_progress)
 
@@ -126,13 +174,19 @@ class ThreadExecutor:
             max_workers=self.workers, thread_name_prefix="repro-runtime"
         )
 
+    @property
+    def broken(self) -> bool:
+        # threads cannot segfault the pool the way child processes can
+        return False
+
     def map(
         self,
         fn: Callable[[T], R],
         items: Sequence[T],
         on_progress: ProgressCallback | None = None,
+        label: str = "",
     ) -> list[R]:
-        return _pool_map(self._pool, fn, items, on_progress)
+        return _pool_map(self, fn, items, on_progress, label)
 
     def shutdown(self) -> None:
         self._pool.shutdown(wait=True)
@@ -143,6 +197,8 @@ class ProcessExecutor:
 
     Tasks and their arguments cross a pickle boundary; all built-in semirings
     and monoids are picklable (their operators are module-level functions).
+    Large CSR operands skip that boundary entirely — see
+    :mod:`repro.runtime.shm` and :meth:`RuntimeConfig.use_shm`.
     """
 
     name = "process"
@@ -151,13 +207,19 @@ class ProcessExecutor:
         self.workers = int(workers)
         self._pool = ProcessPoolExecutor(max_workers=self.workers)
 
+    @property
+    def broken(self) -> bool:
+        """Whether a worker death has poisoned the underlying pool."""
+        return getattr(self._pool, "_broken", False) is not False
+
     def map(
         self,
         fn: Callable[[T], R],
         items: Sequence[T],
         on_progress: ProgressCallback | None = None,
+        label: str = "",
     ) -> list[R]:
-        return _pool_map(self._pool, fn, items, on_progress)
+        return _pool_map(self, fn, items, on_progress, label)
 
     def shutdown(self) -> None:
         self._pool.shutdown(wait=True)
@@ -168,17 +230,38 @@ _pools: dict[tuple[str, int], ThreadExecutor | ProcessExecutor] = {}
 _pool_lock = threading.Lock()
 
 
+def _evict(executor: ThreadExecutor | ProcessExecutor) -> None:
+    """Drop *executor* from the cache and shut it down (crash recovery)."""
+    with _pool_lock:
+        for key, pool in list(_pools.items()):
+            if pool is executor:
+                del _pools[key]
+    try:
+        executor.shutdown()
+    except Exception:  # pragma: no cover - broken pools may refuse teardown
+        pass
+
+
 def get_executor(
     config: RuntimeConfig | None = None,
 ) -> SerialExecutor | ThreadExecutor | ProcessExecutor:
-    """The executor for *config* (default: the active config), cached."""
+    """The executor for *config* (default: the active config), cached.
+
+    A cached pool poisoned by a worker death is discarded here and rebuilt,
+    so one crash never leaves the backend permanently unusable.
+    """
     cfg = get_config() if config is None else config
     backend = cfg.resolved_backend()
     if backend == "serial" or cfg.workers == 1:
         return _SERIAL
     key = (backend, cfg.workers)
+    stale: ThreadExecutor | ProcessExecutor | None = None
     with _pool_lock:
         pool = _pools.get(key)
+        if pool is not None and pool.broken:
+            stale = pool
+            del _pools[key]
+            pool = None
         if pool is None:
             if backend == "thread":
                 pool = ThreadExecutor(cfg.workers)
@@ -187,16 +270,48 @@ def get_executor(
             else:  # pragma: no cover - BACKENDS validation makes this unreachable
                 raise RuntimeConfigError(f"unknown backend {backend!r}")
             _pools[key] = pool
-        return pool
+    if stale is not None:
+        try:
+            stale.shutdown()
+        except Exception:  # pragma: no cover - broken pools may refuse teardown
+            pass
+    return pool
+
+
+def invalidate_stale_pools(config: RuntimeConfig) -> None:
+    """Drain cached pools that *config* superseded.
+
+    Called by :func:`repro.runtime.config.configure` after the active config
+    changes its resolved ``(backend, workers)`` pair: a pool cached for the
+    same backend under a different worker count is now stale — without this,
+    its workers would linger for the rest of the process and a later
+    ``get_executor()`` for that key could hand it back.  Pools for *other*
+    backends stay warm (switching ``thread`` → ``process`` and back should
+    not cold-start the thread pool).
+    """
+    backend = config.resolved_backend()
+    with _pool_lock:
+        stale_keys = [
+            key for key in _pools if key[0] == backend and key[1] != config.workers
+        ]
+        pools = [_pools.pop(key) for key in stale_keys]
+    for pool in pools:
+        pool.shutdown()
 
 
 def shutdown_executors() -> None:
-    """Tear down every cached pool (used by tests and process exit)."""
+    """Tear down every cached pool (used by tests and process exit).
+
+    Also sweeps the shared-memory operand plane: any lease a crashed caller
+    abandoned is closed and unlinked with the pools, so teardown leaves no
+    ``/dev/shm`` residue.
+    """
     with _pool_lock:
         pools = list(_pools.values())
         _pools.clear()
     for pool in pools:
         pool.shutdown()
+    shm.release_all()
 
 
 atexit.register(shutdown_executors)
@@ -208,6 +323,7 @@ def parallel_map(
     config: RuntimeConfig | None = None,
     *,
     on_progress: ProgressCallback | None = None,
+    label: str = "",
 ) -> list[R]:
     """Ordered map over *items* on the configured executor.
 
@@ -219,17 +335,23 @@ def parallel_map(
     ``on_progress(done, total)`` (when given) fires once per finished task,
     in **completion** order — not item order — from the calling thread.
     Results still come back in input order.
+
+    ``label`` names the work in flight (e.g. ``"parallel_mxm (12 blocks)"``);
+    it appears in the :class:`~repro.errors.WorkerCrashError` raised when a
+    pool worker dies mid-run.
     """
     seq = list(items)
     if len(seq) <= 1 or in_serial_region():
         return _serial_map(fn, seq, on_progress)
-    return get_executor(config).map(fn, seq, on_progress)
+    return get_executor(config).map(fn, seq, on_progress, label)
 
 
 async def async_submit(
     fn: Callable[[T], R],
     item: T,
     config: RuntimeConfig | None = None,
+    *,
+    label: str = "",
 ) -> R:
     """Run one task on the configured executor without blocking the event loop.
 
@@ -240,12 +362,19 @@ async def async_submit(
     (``asyncio.to_thread``) so a blocking build never stalls the loop.  The
     task runs inside :func:`~repro.runtime.config.serial_region` either way —
     nested parallelism stays structurally impossible.
+
+    A worker death surfaces as :class:`~repro.errors.WorkerCrashError` naming
+    *label*, and the broken pool is evicted so later submissions get a fresh
+    one — same contract as :func:`parallel_map`.
     """
     executor = get_executor(config)
     if isinstance(executor, SerialExecutor):
         return await asyncio.to_thread(_guarded_call, fn, item)
     loop = asyncio.get_running_loop()
-    return await loop.run_in_executor(executor._pool, _guarded_call, fn, item)
+    try:
+        return await loop.run_in_executor(executor._pool, _guarded_call, fn, item)
+    except BrokenExecutor as exc:
+        raise _crash_error(executor, exc, label=label, task_index=None, total=1) from exc
 
 
 def choose_block_rows(

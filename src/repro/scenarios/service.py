@@ -26,7 +26,15 @@ generate_batch` fan-out to a resident front end for scenario traffic:
   fire from the event loop in completion order, and a
   :class:`BatchHandle` can cancel everything in a batch that has not
   finished (in-flight executor work runs to completion but its result is
-  discarded — the cache still keeps it, so the work is not wasted).
+  discarded — the cache still keeps it, so the work is not wasted).  Once
+  cancellation is observed the hook never fires again, and a *raising* hook
+  is contained to its batch — it cannot kill a worker task and strand the
+  queue.
+* **Shared-memory reuse.**  On a ``process`` runtime config the builds run
+  on the same cached pool as the blocked kernels, so any operands the batch
+  routes through :mod:`repro.runtime.shm` stay attached in the pool workers'
+  per-process LRU across the whole batch — segments are mapped once per
+  worker, not once per spec.
 
 The synchronous :func:`repro.scenarios.generate_batch` is a thin façade over
 :func:`run_batch_sync` here, so both fronts share one code path for
@@ -170,6 +178,7 @@ class BatchHandle:
         self._futures = futures
         self._on_progress = on_progress
         self._done = 0
+        self._cancelled = False
 
     @property
     def total(self) -> int:
@@ -180,10 +189,30 @@ class BatchHandle:
         """Specs that have finished (result, failure, or cancellation)."""
         return self._done
 
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been observed for this batch."""
+        return self._cancelled
+
     def _mark_done(self) -> None:
+        """Count a finished spec and fire the progress hook (service-internal).
+
+        Two containment rules keep the service workers alive:
+
+        * after :meth:`cancel` is observed the hook never fires again — a
+          build that was already in flight still completes and is counted,
+          silently;
+        * a hook that *raises* is swallowed here rather than propagating into
+          the worker task's drain loop — a dead worker would strand every
+          queued future and deadlock ``await handle``.
+        """
         self._done += 1
-        if self._on_progress is not None:
+        if self._on_progress is None or self._cancelled:
+            return
+        try:
             self._on_progress(self._done, len(self._futures))
+        except Exception:
+            pass
 
     def cancel(self) -> int:
         """Cancel every spec in the batch that has not finished.
@@ -191,7 +220,12 @@ class BatchHandle:
         Returns the number of futures actually cancelled.  A build already
         running on an executor cannot be interrupted — it completes and its
         matrix still lands in the cache, but the future stays cancelled.
+        From this point on ``on_progress`` is suppressed: late completions
+        (including the task in flight during this call) are counted in
+        :attr:`done` but never reported, so a hook cannot observe progress
+        on a batch its owner already abandoned.
         """
+        self._cancelled = True
         return sum(1 for future in self._futures if future.cancel())
 
     async def results(
@@ -356,7 +390,10 @@ class ScenarioService:
             if matrix is None:
                 try:
                     matrix = await async_submit(
-                        _build_indexed, (index, spec), self._runtime_config()
+                        _build_indexed,
+                        (index, spec),
+                        self._runtime_config(),
+                        label=f"spec {index} ({spec.base!r})",
                     )
                 except Exception as exc:  # build failure -> the spec's future
                     self._counters["specs_failed"] += 1

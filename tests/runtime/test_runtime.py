@@ -1,9 +1,11 @@
 """Runtime configuration, executors, heuristics, and host detection."""
 
+import os
+
 import pytest
 
 from repro import runtime
-from repro.errors import RuntimeConfigError
+from repro.errors import RuntimeConfigError, WorkerCrashError
 from repro.runtime.executor import MIN_NNZ_PER_BLOCK, SerialExecutor
 
 
@@ -54,11 +56,30 @@ class TestConfig:
             {"block_rows": 0},
             {"backend": "gpu"},
             {"min_parallel_work": -1},
+            {"shm_min_bytes": -1},
         ],
     )
     def test_invalid_config_rejected(self, kwargs):
         with pytest.raises(RuntimeConfigError):
             runtime.RuntimeConfig(**kwargs)
+
+    def test_use_shm_gate(self):
+        """shm needs a multi-worker process backend and heavy enough operands."""
+        cfg = runtime.RuntimeConfig(workers=2, backend="process", shm_min_bytes=1000)
+        assert cfg.use_shm(1000)
+        assert not cfg.use_shm(999)
+        assert not runtime.RuntimeConfig(workers=2, backend="thread", shm_min_bytes=0).use_shm(10**9)
+        assert not runtime.RuntimeConfig(workers=1, backend="process", shm_min_bytes=0).use_shm(10**9)
+        disabled = runtime.RuntimeConfig(workers=2, backend="process", shm_min_bytes=None)
+        assert not disabled.use_shm(10**9)
+
+    def test_configure_shm_min_bytes(self):
+        runtime.configure(shm_min_bytes=123)
+        assert runtime.get_config().shm_min_bytes == 123
+        runtime.configure(shm_min_bytes=None)
+        assert runtime.get_config().shm_min_bytes is None
+        runtime.configure(workers=2)  # unrelated update keeps the sentinel
+        assert runtime.get_config().shm_min_bytes is None
 
     def test_auto_backend_resolution(self):
         assert runtime.RuntimeConfig(workers=1).resolved_backend() == "serial"
@@ -126,6 +147,74 @@ class TestExecutors:
             return runtime.parallel_map(lambda x: x + 1, [1, 2, 3])
 
         assert runtime.parallel_map(outer, [0, 1, 2, 3]) == [[2, 3, 4]] * 4
+
+
+class TestPoolInvalidation:
+    """configure() must never leave a stale cached pool behind (ISSUE 8)."""
+
+    def test_reconfigure_drains_and_rebuilds_pool(self):
+        runtime.configure(workers=2, backend="thread")
+        old = runtime.get_executor()
+        assert old.workers == 2
+        runtime.configure(workers=3)
+        new = runtime.get_executor()
+        assert new is not old
+        assert new.workers == 3
+        assert old._pool._shutdown, "superseded pool must be drained, not leaked"
+        assert new.map(abs, [-1, -2]) == [1, 2]
+
+    def test_reconfigure_same_shape_keeps_pool_warm(self):
+        runtime.configure(workers=2, backend="thread")
+        old = runtime.get_executor()
+        runtime.configure(min_parallel_work=1)  # no (backend, workers) change
+        assert runtime.get_executor() is old
+
+    def test_other_backend_pools_stay_warm(self):
+        runtime.configure(workers=2, backend="thread")
+        thread_pool = runtime.get_executor()
+        runtime.configure(backend="process")
+        runtime.get_executor()
+        runtime.configure(workers=3)  # drains only the stale ("process", 2) pool
+        runtime.configure(backend="thread", workers=2)
+        assert runtime.get_executor() is thread_pool
+        assert not thread_pool._pool._shutdown
+
+
+class TestWorkerCrash:
+    """A dying worker must surface as a named error and never poison the
+    executor cache (ISSUE 8)."""
+
+    def test_process_crash_raises_named_error(self):
+        runtime.configure(workers=2, backend="process", min_parallel_work=1)
+        with pytest.raises(WorkerCrashError) as err:
+            runtime.parallel_map(os._exit, [13, 13], label="crash probe (block 0-2)")
+        assert "crash probe (block 0-2)" in str(err.value)
+        assert err.value.label == "crash probe (block 0-2)"
+
+    def test_pool_rebuilt_and_usable_after_crash_on_all_backends(self):
+        runtime.configure(workers=2, backend="process", min_parallel_work=1)
+        broken = runtime.get_executor()
+        with pytest.raises(WorkerCrashError):
+            runtime.parallel_map(os._exit, [13, 13])
+        rebuilt = runtime.get_executor()
+        assert rebuilt is not broken, "broken pool must be evicted from the cache"
+        assert runtime.parallel_map(abs, [-1, -2, -3]) == [1, 2, 3]
+        for backend in ("serial", "thread", "process"):
+            runtime.configure(backend=backend)
+            assert runtime.parallel_map(abs, [-4, -5]) == [4, 5]
+
+    def test_async_submit_crash_raises_named_error_then_recovers(self):
+        import asyncio
+
+        runtime.configure(workers=2, backend="process")
+
+        async def main():
+            with pytest.raises(WorkerCrashError) as err:
+                await runtime.async_submit(os._exit, 13, label="spec 3 ('ddos')")
+            assert err.value.label == "spec 3 ('ddos')"
+            assert await runtime.async_submit(abs, -7) == 7  # fresh pool
+
+        asyncio.run(main())
 
 
 class TestHeuristics:

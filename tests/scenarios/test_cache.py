@@ -137,6 +137,40 @@ class TestEviction:
         assert big not in cache
         assert small in cache  # refused up front, not admitted-then-flushed
 
+    def test_overwrite_replaces_byte_accounting(self):
+        """put() on an existing key must swap the old entry's bytes for the
+        new ones — double-counting would trigger eviction early (or, after a
+        shrinking overwrite, late).  Regression test for ISSUE 8."""
+        spec = spec_of(0)
+        small = spec_of(0, n=8).build()
+        big = spec_of(0, n=64).build()
+        cache = ScenarioCache(max_entries=None, max_bytes=None)
+        cache.put(spec, small)
+        assert cache.resident_bytes == matrix_bytes(small)
+        cache.put(spec, big)  # grow in place
+        assert len(cache) == 1
+        assert cache.resident_bytes == matrix_bytes(big)
+        assert cache.stats()["bytes"] == matrix_bytes(big)
+        cache.put(spec, small)  # and shrink back
+        assert len(cache) == 1
+        assert cache.resident_bytes == matrix_bytes(small)
+        recount = matrix_bytes(cache.get(spec))
+        assert cache.stats()["bytes"] == recount
+
+    def test_overwrite_accounting_survives_eviction_pressure(self):
+        """With a tight byte budget, repeated overwrites of one key must not
+        drift the ledger and evict a perfectly resident neighbour."""
+        keeper, churner = spec_of(0, n=8), spec_of(1, n=8)
+        keeper_m, churner_m = keeper.build(), churner.build()
+        budget = matrix_bytes(keeper_m) + matrix_bytes(churner_m)
+        cache = ScenarioCache(max_entries=None, max_bytes=budget)
+        cache.put(keeper, keeper_m)
+        for _ in range(5):
+            cache.put(churner, churner_m)
+        assert keeper in cache and churner in cache
+        assert cache.resident_bytes == budget
+        assert cache.analytics().evictions == 0
+
     def test_bad_bounds_rejected(self):
         with pytest.raises(ScenarioError, match="max_entries"):
             ScenarioCache(max_entries=0)

@@ -259,6 +259,72 @@ class TestCancellation:
         assert stats["specs_cancelled"] == 5
         assert stats["specs_completed"] == 0
 
+    def test_no_progress_after_cancel_observed(self, monkeypatch):
+        """on_progress must never fire for tasks completing after cancel()."""
+        from repro.scenarios import service as service_mod
+
+        gate = _GatedBuild()
+        monkeypatch.setattr(service_mod, "_build_indexed", gate)
+        progress: list[tuple[int, int]] = []
+
+        async def main():
+            async with ScenarioService(concurrency=1, queue_size=8) as service:
+                handle = await service.submit(specs_of(3), on_progress=progress.append)
+                await asyncio.to_thread(gate.started.wait, 30)
+                handle.cancel()  # observed while spec 0 is still in flight
+                assert handle.cancelled
+                gate.release.set()
+                await handle.results(return_exceptions=True)
+                await service.stop()  # drain: every job is marked done
+                return handle.done
+
+        done = asyncio.run(main())
+        assert progress == [], "hook fired for a post-cancel completion"
+        assert done == 3  # completions are still counted, just not reported
+
+    def test_cancel_during_final_task_does_not_deadlock_await(self, monkeypatch):
+        """cancel() while the last task is in flight — with a hook that would
+        raise if it fired — must still let ``await handle`` resolve."""
+        from repro.scenarios import service as service_mod
+
+        gate = _GatedBuild()
+        monkeypatch.setattr(service_mod, "_build_indexed", gate)
+
+        def hostile_hook(done, total):
+            raise RuntimeError("hook fired after cancellation")
+
+        async def main():
+            async with ScenarioService(concurrency=1, queue_size=8) as service:
+                handle = await service.submit(specs_of(1), on_progress=hostile_hook)
+                await asyncio.to_thread(gate.started.wait, 30)
+                assert handle.cancel() == 1  # the final (only) task, in flight
+                gate.release.set()
+                results = await asyncio.wait_for(
+                    handle.results(return_exceptions=True), timeout=10
+                )
+                assert all(isinstance(r, asyncio.CancelledError) for r in results)
+                # the worker survived; the service serves the next batch
+                follow_up = await asyncio.wait_for(service.generate(specs_of(1)), 30)
+                assert follow_up == generate_batch(specs_of(1))
+
+        asyncio.run(main())
+
+    def test_raising_progress_hook_does_not_strand_the_queue(self):
+        """A hook that raises on every call must not kill the worker task —
+        a dead worker would leave queued futures unresolved forever."""
+
+        def hostile_hook(done, total):
+            raise RuntimeError("boom")
+
+        async def main():
+            async with ScenarioService(concurrency=1, queue_size=8) as service:
+                handle = await service.submit(specs_of(3), on_progress=hostile_hook)
+                results = await asyncio.wait_for(handle.results(), timeout=30)
+                assert results == generate_batch(specs_of(3))
+                assert service.stats()["specs_completed"] == 3
+
+        asyncio.run(main())
+
     def test_cancelled_results_raise_without_return_exceptions(self):
         async def main():
             async with ScenarioService() as service:

@@ -58,3 +58,46 @@ class TestSeededCampaign:
         process = run_corpus(corpus, workers=2, backend="process", repro_dir=CORPUS_DIR)
         assert process.ok, process.summary()
         assert process.signature() == serial.signature()
+
+    def test_default_oracles_green_over_shared_memory_backend(self, corpus, monkeypatch):
+        """The ISSUE 8 gate: every default oracle stays green when the blocked
+        kernel paths dispatch through the shared-memory process backend
+        (byte threshold forced to 0), and zero segments leak afterwards.
+
+        The kernel oracles pin their blocked runs to an explicit config;
+        swapping that config for a process+shm one routes every
+        ``parallel_*`` call in the battery through segment export/attach.
+        A corpus slice keeps the per-call pool round trips inside the smoke
+        budget — identity is per-call, so breadth adds nothing here.
+        """
+        from repro import runtime
+        from repro.runtime import shm
+        from repro.runtime.config import RuntimeConfig
+        from repro.verify import oracles as oracle_mod
+
+        subset = list(corpus)[:25]
+        reference = run_corpus(subset, workers=1, backend="serial")
+        assert reference.ok, reference.summary()
+
+        def _shm_config(self):
+            return RuntimeConfig(
+                workers=2,
+                backend="process",
+                block_rows=self.block_rows,
+                min_parallel_work=1,
+                shm_min_bytes=0,
+            )
+
+        monkeypatch.setattr(oracle_mod.KernelEqualityOracle, "_config", _shm_config)
+        monkeypatch.setattr(oracle_mod.MaskedEqualityOracle, "_config", _shm_config)
+        shared = run_corpus(subset, workers=1, backend="serial", repro_dir=CORPUS_DIR)
+        assert shared.ok, shared.summary()
+        assert shared.signature() == reference.signature()
+        assert shm.live_segment_names() == []
+        dev_shm = Path("/dev/shm")
+        if dev_shm.is_dir():
+            leaked = sorted(
+                p.name for p in dev_shm.glob(f"{shm.SEGMENT_PREFIX}-{os.getpid()}-*")
+            )
+            assert leaked == [], f"segments leaked by the campaign: {leaked}"
+        runtime.shutdown_executors()
