@@ -1,0 +1,169 @@
+"""Price of the always-on observability hooks on the blocked-mxm hot path.
+
+``repro.obs`` promises near-zero cost when tracing is disabled: kernels pay a
+couple of counter increments and one histogram observation per *dispatch*
+(not per row), and the tracer is a shared no-op singleton.  This bench makes
+that promise a gate.  It times the same thread-backend ``mxm`` twice —
+
+* **instrumented**: the library exactly as shipped, tracing disabled;
+* **bare**: with the two module-level hooks (``blocked._kernel_obs`` and
+  ``executor._map_obs``) swapped for transparent no-ops, i.e. the hot path
+  with the instrumentation surgically removed —
+
+and asserts the instrumented path is within ``OVERHEAD_CEILING`` of bare.
+A second test runs the same kernel with tracing *enabled* and writes the
+resulting Perfetto JSON into ``benchmarks/artifacts/`` so every CI bench run
+ships an openable trace of the engine.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+
+import numpy as np
+
+from conftest import format_table, write_artifact
+
+from repro import runtime
+from repro.assoc import blocked
+from repro.assoc.semiring import PLUS_TIMES
+from repro.assoc.sparse import CSRMatrix
+from repro.obs import trace as obs_trace
+from repro.runtime import executor as executor_mod
+
+#: ~160k stored entries: large enough that kernel time dwarfs timer noise,
+#: small enough that the bench stays in the smoke budget.
+N_ROWS = 40_000
+OFFSETS = (1, 2, 5, 9)
+
+#: The ISSUE's acceptance bar: disabled-tracing instrumentation costs <= 5%.
+OVERHEAD_CEILING = 0.05
+#: Same convention as the other timing gates: only enforce on hosts with
+#: enough cores that the pool genuinely runs, and honour the CI skip switch.
+GATE_MIN_CPUS = 2
+
+
+def banded(n: int, offsets: tuple[int, ...], seed: int) -> CSRMatrix:
+    rows = np.repeat(np.arange(n, dtype=np.int64), len(offsets))
+    cols = (rows + np.tile(np.array(offsets, dtype=np.int64), n)) % n
+    rng = np.random.default_rng(seed)
+    vals = rng.integers(1, 10, rows.size).astype(np.int64)
+    return CSRMatrix.from_triples(rows, cols, vals, (n, n))
+
+
+def best_of_interleaved(fn_a, fn_b, rounds: int = 6):
+    """Best-of timing for two variants, alternating which runs first.
+
+    Sequential best-of blocks are vulnerable to machine drift (the later
+    block wins or loses a few percent just from cache and scheduler state);
+    alternating the order each round cancels that bias, which matters when
+    the quantity under test is a <=5% delta.
+    """
+    best_a = best_b = float("inf")
+    result_a = result_b = None
+    for k in range(rounds):
+        pair = (("a", fn_a), ("b", fn_b)) if k % 2 == 0 else (("b", fn_b), ("a", fn_a))
+        for tag, fn in pair:
+            t0 = time.perf_counter()
+            out = fn()
+            dt = time.perf_counter() - t0
+            if tag == "a":
+                best_a, result_a = min(best_a, dt), out
+            else:
+                best_b, result_b = min(best_b, dt), out
+    return (best_a, result_a), (best_b, result_b)
+
+
+@contextmanager
+def _noop_kernel_obs(name, cfg, nnz_in):  # noqa: ANN001
+    yield obs_trace.NULL_SPAN
+
+
+@contextmanager
+def _noop_map_obs(executor, total, label):  # noqa: ANN001
+    yield obs_trace.NULL_TRACER, obs_trace.NULL_SPAN
+
+
+def test_disabled_tracing_overhead_is_bounded(benchmark, artifacts):
+    cpus = runtime.cpu_count()
+    a = banded(N_ROWS, OFFSETS, seed=1)
+    b = banded(N_ROWS, OFFSETS, seed=2)
+
+    with runtime.configured(
+        workers=2, backend="thread", min_parallel_work=1, block_rows=4096
+    ):
+        assert not obs_trace.is_enabled()
+        a.mxm(b, PLUS_TIMES)  # warm the pool and the allocator
+
+        hooks = (blocked._kernel_obs, executor_mod._map_obs)
+
+        def run_instrumented():
+            return a.mxm(b, PLUS_TIMES)
+
+        def run_bare():
+            blocked._kernel_obs = _noop_kernel_obs
+            executor_mod._map_obs = _noop_map_obs
+            try:
+                return a.mxm(b, PLUS_TIMES)
+            finally:
+                blocked._kernel_obs, executor_mod._map_obs = hooks
+
+        (t_instr, c_instr), (t_bare, c_bare) = best_of_interleaved(
+            run_instrumented, run_bare
+        )
+
+        # instrumentation must never change results
+        assert c_instr == c_bare, "obs hooks changed the mxm result"
+
+        overhead = t_instr / max(t_bare, 1e-9) - 1.0
+        # Timing gates are noisy on shared CI runners; the smoke job sets
+        # REPRO_SKIP_SPEEDUP_GATE=1 so only the equality assertion gates there.
+        if cpus >= GATE_MIN_CPUS and os.environ.get("REPRO_SKIP_SPEEDUP_GATE") != "1":
+            assert overhead <= OVERHEAD_CEILING, (
+                f"disabled-tracing instrumentation costs {overhead:+.1%} over the "
+                f"bare hot path (ceiling {OVERHEAD_CEILING:.0%})"
+            )
+
+        benchmark(a.mxm, b, PLUS_TIMES)
+
+    rows = [[
+        f"{a.nnz}",
+        f"{t_bare * 1e3:.2f} ms",
+        f"{t_instr * 1e3:.2f} ms",
+        f"{overhead:+.2%}",
+    ]]
+    body = format_table(
+        ["nnz(A)", "bare (hooks no-op)", "instrumented (tracing off)", "overhead"],
+        rows,
+    ) + (
+        f"\n\nhost: {cpus} CPU(s); thread backend, 2 workers; results"
+        "\nverified bit-identical with and without the obs hooks."
+    )
+    write_artifact(
+        artifacts / "obs_overhead.txt",
+        "Observability: disabled-tracing overhead on blocked mxm",
+        body,
+    )
+
+
+def test_traced_mxm_ships_a_perfetto_artifact(artifacts):
+    a = banded(4_000, OFFSETS, seed=3)
+    b = banded(4_000, OFFSETS, seed=4)
+    with runtime.configured(
+        workers=2, backend="thread", min_parallel_work=1, block_rows=512,
+        tracing=True,
+    ):
+        a.mxm(b, PLUS_TIMES)
+        tracer = obs_trace.get_tracer()
+        names = {rec.name for rec in tracer.spans()}
+        assert "kernel.parallel_mxm" in names
+        assert "runtime.map" in names
+        path = obs_trace.write_trace_json(
+            tracer.spans(), artifacts / "obs_trace_mxm.perfetto.json"
+        )
+    document = json.loads(path.read_text())
+    assert document["traceEvents"], "traced run produced an empty trace"
+    assert not obs_trace.is_enabled()

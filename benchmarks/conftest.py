@@ -20,6 +20,31 @@ def artifacts() -> Path:
     return ARTIFACTS
 
 
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    """Attach a Perfetto trace to the artifacts of a failed traced bench.
+
+    When a bench fails mid-call with tracing live, the span ring holds the
+    dispatches leading up to the failure — exactly what is needed to debug a
+    timing regression from CI, where the artifacts directory is uploaded.
+    """
+    outcome = yield
+    report = outcome.get_result()
+    if report.when != "call" or not report.failed:
+        return
+    from repro.obs import trace as _trace
+
+    tracer = _trace.get_tracer()
+    if isinstance(tracer, _trace.Tracer) and len(tracer) > 0:
+        ARTIFACTS.mkdir(parents=True, exist_ok=True)
+        safe = item.name.replace("/", "_").replace("[", "_").replace("]", "")
+        path = ARTIFACTS / f"trace_failed_{safe}.json"
+        _trace.write_trace_json(tracer.spans(), path)
+        report.sections.append(
+            ("observability", f"span trace written to {path}")
+        )
+
+
 def write_artifact(path: Path, title: str, body: str) -> None:
     """Write one artefact file with a header naming the paper content."""
     path.write_text(f"== {title} ==\n\n{body.rstrip()}\n", encoding="utf-8")

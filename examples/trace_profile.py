@@ -1,0 +1,90 @@
+"""Profiling a masked product end to end with ``repro.obs``.
+
+Walkthrough of the observability subsystem on the engine's flagship fused
+kernel, the masked semiring product:
+
+1. build a masked ``mxm`` expression and show the planner's schedule,
+2. turn tracing on (``runtime.configure(tracing=True)`` — the same switch
+   as ``REPRO_TRACE=1``) and execute the plan,
+3. print the profiled ``Plan.explain`` — every step with measured wall
+   time and result nnz,
+4. dump the process-local metrics registry (kernel counters, wall-time
+   histograms, runtime dispatch stats),
+5. export the span ring as Chrome/Perfetto ``trace_event`` JSON — open it
+   at https://ui.perfetto.dev — plus a terminal flame summary.
+
+Run:  python examples/trace_profile.py [output_dir]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro import runtime
+from repro.assoc.expr import lazy
+from repro.assoc.sparse import CSRMatrix
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+
+
+def random_csr(n: int, density: float, seed: int) -> CSRMatrix:
+    rng = np.random.default_rng(seed)
+    dense = np.zeros((n, n), dtype=np.int64)
+    nnz = max(1, int(n * n * density))
+    dense[rng.integers(0, n, nnz), rng.integers(0, n, nnz)] = rng.integers(1, 9, nnz)
+    return CSRMatrix.from_dense(dense)
+
+
+def main(out_dir: Path) -> None:
+    n = 400
+    a = random_csr(n, 0.02, seed=1)
+    b = random_csr(n, 0.02, seed=2)
+    rng = np.random.default_rng(3)
+    mask = CSRMatrix.from_dense(rng.random((n, n)) < 0.05)
+
+    expr = lazy(a).mxm(b)
+    plan = expr.plan(mask=mask)
+    print("=== the plan (before running anything) ===")
+    print(plan.explain())
+
+    # tracing rides the runtime config: scoped on, parallel, then back off
+    with runtime.configured(
+        workers=2, backend="thread", min_parallel_work=1, block_rows=64,
+        tracing=True,
+    ):
+        result = plan.execute()
+        print(f"\nresult: {result.nnz} stored entries under a {mask.nnz}-entry mask")
+
+        print("\n=== profiled schedule (measured wall time + nnz) ===")
+        print(plan.explain(profile=True))
+
+        print("\n=== metrics registry ===")
+        snap = obs_metrics.snapshot()
+        for name, value in snap["counters"].items():
+            print(f"  {name} = {value}")
+        wall = snap["histograms"].get("kernels.wall_ms")
+        if wall:
+            print(f"  kernels.wall_ms: count={wall['count']} mean={wall['mean']:.3f} ms")
+
+        tracer = obs_trace.get_tracer()
+        records = tracer.spans()
+        print("\n=== flame summary (heaviest spans first) ===")
+        print(obs_trace.flame_summary(records))
+
+        out_dir.mkdir(parents=True, exist_ok=True)
+        trace_path = obs_trace.write_trace_json(records, out_dir / "masked_mxm.perfetto.json")
+        spans_path = obs_trace.dump_spans(records, out_dir / "masked_mxm.spans.json")
+
+    events = json.loads(trace_path.read_text())["traceEvents"]
+    print(f"\nwrote {trace_path} ({len(events)} events)")
+    print("open it at https://ui.perfetto.dev; the raw span dump converts with:")
+    print(f"  python -m repro.obs convert {spans_path}")
+    print(f"  python -m repro.obs flame {spans_path}")
+
+
+if __name__ == "__main__":
+    main(Path(sys.argv[1]) if len(sys.argv) > 1 else Path("trace_profile_out"))

@@ -35,10 +35,15 @@ from __future__ import annotations
 
 import numpy as np
 
+from contextlib import contextmanager
+from typing import Iterator
+
 from repro.assoc import sparse as _sparse
 from repro.assoc.semiring import Monoid, PLUS_TIMES, Semiring
 from repro.assoc.sparse import CSRMatrix
 from repro.errors import SparseFormatError
+from repro.obs import metrics as _obs
+from repro.obs import trace as _trace
 from repro.runtime import shm as _shm
 from repro.runtime.config import RuntimeConfig, get_config
 from repro.runtime.executor import choose_block_rows, get_executor
@@ -76,6 +81,32 @@ def _row_starts(n_rows: int, block_rows: int) -> np.ndarray:
         return np.asarray([0, 0], dtype=np.int64)
     starts = np.arange(0, n_rows, block_rows, dtype=np.int64)
     return np.append(starts, n_rows)
+
+
+@contextmanager
+def _kernel_obs(
+    name: str, cfg: RuntimeConfig, nnz_in: int
+) -> "Iterator[_trace.Span | _trace.NullSpan]":
+    """Metrics + span scope around one blocked-kernel call.
+
+    Counts the call (``kernels.<name>``), times it into the shared
+    ``kernels.wall_ms`` histogram, and — when tracing is live — opens a
+    ``kernel.<name>`` span carrying backend, worker count, and nnz in;
+    callers add ``blocks``/``nnz_out`` via ``span.set(...)`` once known.
+    Module-level and patchable on purpose: ``benchmarks/bench_obs_overhead.py``
+    swaps it for a transparent no-op to price the instrumentation itself.
+    """
+    _obs.counter(f"kernels.{name}").inc()
+    tracer = _trace.get_tracer()
+    t0 = _obs.monotonic_ns()
+    with tracer.span(
+        f"kernel.{name}",
+        backend=cfg.resolved_backend(),
+        workers=cfg.workers,
+        nnz_in=nnz_in,
+    ) as span:
+        yield span
+    _obs.histogram("kernels.wall_ms").observe((_obs.monotonic_ns() - t0) / 1e6)
 
 
 class BlockedCSR:
@@ -199,14 +230,18 @@ class BlockedCSR:
                 f"inner dimension mismatch: {self.shape} @ {other.shape}"
             )
         cfg = get_config() if config is None else config
-        parts = get_executor(cfg).map(
-            _mxm_task,
-            [(blk, other, semiring) for blk in self.blocks],
-            label=f"mxm ({self.n_blocks} blocks)",
-        )
-        out_dtype = _mult_dtype(semiring.mult, self.blocks, other)
-        parts = [_cast_data(p, out_dtype) for p in parts]
-        return BlockedCSR((self.shape[0], other.shape[1]), self.row_starts, parts)
+        with _kernel_obs("blocked_mxm", cfg, self.nnz + other.nnz) as span:
+            span.set(blocks=self.n_blocks)
+            parts = get_executor(cfg).map(
+                _mxm_task,
+                [(blk, other, semiring) for blk in self.blocks],
+                label=f"mxm ({self.n_blocks} blocks)",
+            )
+            out_dtype = _mult_dtype(semiring.mult, self.blocks, other)
+            parts = [_cast_data(p, out_dtype) for p in parts]
+            out = BlockedCSR((self.shape[0], other.shape[1]), self.row_starts, parts)
+            span.set(nnz_out=out.nnz)
+            return out
 
     def mxv(
         self,
@@ -219,12 +254,17 @@ class BlockedCSR:
         if x.shape != (self.shape[1],):
             raise SparseFormatError(f"vector length {x.shape} != {(self.shape[1],)}")
         cfg = get_config() if config is None else config
-        parts = get_executor(cfg).map(
-            _mxv_task,
-            [(blk, x, semiring) for blk in self.blocks],
-            label=f"mxv ({self.n_blocks} blocks)",
-        )
-        return np.concatenate(parts) if parts else np.empty(0)
+        with _kernel_obs("blocked_mxv", cfg, self.nnz) as span:
+            span.set(blocks=self.n_blocks)
+            parts = get_executor(cfg).map(
+                _mxv_task,
+                [(blk, x, semiring) for blk in self.blocks],
+                label=f"mxv ({self.n_blocks} blocks)",
+            )
+            out = np.concatenate(parts) if parts else np.empty(0)
+            if span is not _trace.NULL_SPAN:  # count_nonzero is O(n); trace-only
+                span.set(nnz_out=int(np.count_nonzero(out)))
+            return out
 
 
 # ---------------------------------------------------------------------- #
@@ -420,25 +460,31 @@ def parallel_mxm(
 ) -> CSRMatrix:
     """Row-blocked parallel ESC product, bit-identical to ``a.mxm(b)`` serial."""
     cfg = get_config() if config is None else config
-    if cfg.use_shm(_shm.csr_nbytes(a) + _shm.csr_nbytes(b)):
-        if a.shape[1] != b.shape[0]:
-            raise SparseFormatError(f"inner dimension mismatch: {a.shape} @ {b.shape}")
-        starts = _shared_starts(a.shape[0], a.nnz, cfg)
-        with _shm.OperandLease() as lease:
-            a_ref = lease.export_csr(a)
-            b_ref = lease.export_csr(b)
-            tasks = [
-                (a_ref, b_ref, int(r0), int(r1), semiring)
-                for r0, r1 in zip(starts[:-1], starts[1:])
-            ]
-            parts = get_executor(cfg).map(
-                _shm_mxm_task, tasks, label=f"parallel_mxm ({len(tasks)} shm blocks)"
-            )
-        out_dtype = _pair_dtype(semiring.mult, a, b)
-        parts = [_cast_data(p, out_dtype) for p in parts]
-        return BlockedCSR((a.shape[0], b.shape[1]), starts, parts).to_csr()
-    blocked = _blocked_operand(a, a.nnz, cfg)
-    return blocked.mxm(b, semiring, cfg).to_csr()
+    with _kernel_obs("parallel_mxm", cfg, a.nnz + b.nnz) as span:
+        if cfg.use_shm(_shm.csr_nbytes(a) + _shm.csr_nbytes(b)):
+            if a.shape[1] != b.shape[0]:
+                raise SparseFormatError(f"inner dimension mismatch: {a.shape} @ {b.shape}")
+            starts = _shared_starts(a.shape[0], a.nnz, cfg)
+            span.set(blocks=len(starts) - 1, route="shm")
+            with _shm.OperandLease() as lease:
+                a_ref = lease.export_csr(a)
+                b_ref = lease.export_csr(b)
+                tasks = [
+                    (a_ref, b_ref, int(r0), int(r1), semiring)
+                    for r0, r1 in zip(starts[:-1], starts[1:])
+                ]
+                parts = get_executor(cfg).map(
+                    _shm_mxm_task, tasks, label=f"parallel_mxm ({len(tasks)} shm blocks)"
+                )
+            out_dtype = _pair_dtype(semiring.mult, a, b)
+            parts = [_cast_data(p, out_dtype) for p in parts]
+            out = BlockedCSR((a.shape[0], b.shape[1]), starts, parts).to_csr()
+        else:
+            blocked = _blocked_operand(a, a.nnz, cfg)
+            span.set(blocks=blocked.n_blocks, route="pickle")
+            out = blocked.mxm(b, semiring, cfg).to_csr()
+        span.set(nnz_out=out.nnz)
+        return out
 
 
 def parallel_mxv(
@@ -447,22 +493,25 @@ def parallel_mxv(
     """Row-blocked parallel matrix-vector product."""
     cfg = get_config() if config is None else config
     x_arr = np.asarray(x)
-    if cfg.use_shm(_shm.csr_nbytes(a) + int(x_arr.nbytes)):
-        if x_arr.shape != (a.shape[1],):
-            raise SparseFormatError(f"vector length {x_arr.shape} != {(a.shape[1],)}")
-        starts = _shared_starts(a.shape[0], a.nnz, cfg)
-        with _shm.OperandLease() as lease:
-            a_ref = lease.export_csr(a)
-            x_ref = lease.export_array(x_arr)
-            tasks = [
-                (a_ref, x_ref, int(r0), int(r1), semiring)
-                for r0, r1 in zip(starts[:-1], starts[1:])
-            ]
-            parts = get_executor(cfg).map(
-                _shm_mxv_task, tasks, label=f"parallel_mxv ({len(tasks)} shm blocks)"
-            )
-        return np.concatenate(parts) if parts else np.empty(0)
-    return _blocked_operand(a, a.nnz, cfg).mxv(x_arr, semiring, cfg)
+    with _kernel_obs("parallel_mxv", cfg, a.nnz) as span:
+        if cfg.use_shm(_shm.csr_nbytes(a) + int(x_arr.nbytes)):
+            if x_arr.shape != (a.shape[1],):
+                raise SparseFormatError(f"vector length {x_arr.shape} != {(a.shape[1],)}")
+            starts = _shared_starts(a.shape[0], a.nnz, cfg)
+            span.set(blocks=len(starts) - 1, route="shm")
+            with _shm.OperandLease() as lease:
+                a_ref = lease.export_csr(a)
+                x_ref = lease.export_array(x_arr)
+                tasks = [
+                    (a_ref, x_ref, int(r0), int(r1), semiring)
+                    for r0, r1 in zip(starts[:-1], starts[1:])
+                ]
+                parts = get_executor(cfg).map(
+                    _shm_mxv_task, tasks, label=f"parallel_mxv ({len(tasks)} shm blocks)"
+                )
+            return np.concatenate(parts) if parts else np.empty(0)
+        span.set(route="pickle")
+        return _blocked_operand(a, a.nnz, cfg).mxv(x_arr, semiring, cfg)
 
 
 def parallel_ewise_union(
@@ -472,27 +521,32 @@ def parallel_ewise_union(
     cfg = get_config() if config is None else config
     starts = _shared_starts(a.shape[0], a.nnz + b.nnz, cfg)
     spans = list(zip(starts[:-1], starts[1:]))
-    if cfg.use_shm(_shm.csr_nbytes(a) + _shm.csr_nbytes(b)):
-        with _shm.OperandLease() as lease:
-            a_ref = lease.export_csr(a)
-            b_ref = lease.export_csr(b)
-            tasks = [(a_ref, b_ref, int(r0), int(r1), add) for r0, r1 in spans]
+    with _kernel_obs("parallel_ewise_union", cfg, a.nnz + b.nnz) as span:
+        span.set(blocks=len(spans))
+        if cfg.use_shm(_shm.csr_nbytes(a) + _shm.csr_nbytes(b)):
+            span.set(route="shm")
+            with _shm.OperandLease() as lease:
+                a_ref = lease.export_csr(a)
+                b_ref = lease.export_csr(b)
+                tasks = [(a_ref, b_ref, int(r0), int(r1), add) for r0, r1 in spans]
+                parts = get_executor(cfg).map(
+                    _shm_ewise_union_task,
+                    tasks,
+                    label=f"parallel_ewise_union ({len(tasks)} shm blocks)",
+                )
+        else:
+            pickled = [
+                (_slice_rows(a, int(r0), int(r1)), _slice_rows(b, int(r0), int(r1)), add)
+                for r0, r1 in spans
+            ]
             parts = get_executor(cfg).map(
-                _shm_ewise_union_task,
-                tasks,
-                label=f"parallel_ewise_union ({len(tasks)} shm blocks)",
+                _ewise_union_task, pickled, label=f"parallel_ewise_union ({len(pickled)} blocks)"
             )
-    else:
-        pickled = [
-            (_slice_rows(a, int(r0), int(r1)), _slice_rows(b, int(r0), int(r1)), add)
-            for r0, r1 in spans
-        ]
-        parts = get_executor(cfg).map(
-            _ewise_union_task, pickled, label=f"parallel_ewise_union ({len(pickled)} blocks)"
-        )
-    out_dtype = np.result_type(a.dtype, b.dtype)
-    parts = [_cast_data(p, out_dtype) for p in parts]
-    return BlockedCSR(a.shape, starts, parts).to_csr()
+        out_dtype = np.result_type(a.dtype, b.dtype)
+        parts = [_cast_data(p, out_dtype) for p in parts]
+        out = BlockedCSR(a.shape, starts, parts).to_csr()
+        span.set(nnz_out=out.nnz)
+        return out
 
 
 def parallel_ewise_intersect(
@@ -502,29 +556,34 @@ def parallel_ewise_intersect(
     cfg = get_config() if config is None else config
     starts = _shared_starts(a.shape[0], a.nnz + b.nnz, cfg)
     spans = list(zip(starts[:-1], starts[1:]))
-    if cfg.use_shm(_shm.csr_nbytes(a) + _shm.csr_nbytes(b)):
-        with _shm.OperandLease() as lease:
-            a_ref = lease.export_csr(a)
-            b_ref = lease.export_csr(b)
-            tasks = [(a_ref, b_ref, int(r0), int(r1), mult) for r0, r1 in spans]
+    with _kernel_obs("parallel_ewise_intersect", cfg, a.nnz + b.nnz) as span:
+        span.set(blocks=len(spans))
+        if cfg.use_shm(_shm.csr_nbytes(a) + _shm.csr_nbytes(b)):
+            span.set(route="shm")
+            with _shm.OperandLease() as lease:
+                a_ref = lease.export_csr(a)
+                b_ref = lease.export_csr(b)
+                tasks = [(a_ref, b_ref, int(r0), int(r1), mult) for r0, r1 in spans]
+                parts = get_executor(cfg).map(
+                    _shm_ewise_intersect_task,
+                    tasks,
+                    label=f"parallel_ewise_intersect ({len(tasks)} shm blocks)",
+                )
+        else:
+            pickled = [
+                (_slice_rows(a, int(r0), int(r1)), _slice_rows(b, int(r0), int(r1)), mult)
+                for r0, r1 in spans
+            ]
             parts = get_executor(cfg).map(
-                _shm_ewise_intersect_task,
-                tasks,
-                label=f"parallel_ewise_intersect ({len(tasks)} shm blocks)",
+                _ewise_intersect_task,
+                pickled,
+                label=f"parallel_ewise_intersect ({len(pickled)} blocks)",
             )
-    else:
-        pickled = [
-            (_slice_rows(a, int(r0), int(r1)), _slice_rows(b, int(r0), int(r1)), mult)
-            for r0, r1 in spans
-        ]
-        parts = get_executor(cfg).map(
-            _ewise_intersect_task,
-            pickled,
-            label=f"parallel_ewise_intersect ({len(pickled)} blocks)",
-        )
-    out_dtype = np.asarray(mult(a.data[:1], b.data[:1])).dtype
-    parts = [_cast_data(p, out_dtype) for p in parts]
-    return BlockedCSR(a.shape, starts, parts).to_csr()
+        out_dtype = np.asarray(mult(a.data[:1], b.data[:1])).dtype
+        parts = [_cast_data(p, out_dtype) for p in parts]
+        out = BlockedCSR(a.shape, starts, parts).to_csr()
+        span.set(nnz_out=out.nnz)
+        return out
 
 
 def parallel_coalesce(
@@ -549,30 +608,34 @@ def parallel_coalesce(
         # zero triples would leave every block empty below (nothing to
         # concatenate); the serial core already handles that shape exactly
         return _sparse._coalesce_core(rows, cols, vals, shape, add)
-    block_id = rows // np.int64(block_rows)
-    order = np.argsort(block_id, kind="stable")
-    rows, cols, vals = rows[order], cols[order], vals[order]
-    counts = np.bincount(block_id, minlength=n_blocks)
-    bounds = np.concatenate([[0], np.cumsum(counts)])
-    spans = [(int(lo), int(hi)) for lo, hi in zip(bounds[:-1], bounds[1:]) if hi > lo]
-    if cfg.use_shm(int(rows.nbytes + cols.nbytes + vals.nbytes)):
-        with _shm.OperandLease() as lease:
-            r_ref = lease.export_array(rows)
-            c_ref = lease.export_array(cols)
-            v_ref = lease.export_array(vals)
-            tasks = [(r_ref, c_ref, v_ref, lo, hi, shape, add) for lo, hi in spans]
+    with _kernel_obs("parallel_coalesce", cfg, int(rows.size)) as span:
+        block_id = rows // np.int64(block_rows)
+        order = np.argsort(block_id, kind="stable")
+        rows, cols, vals = rows[order], cols[order], vals[order]
+        counts = np.bincount(block_id, minlength=n_blocks)
+        bounds = np.concatenate([[0], np.cumsum(counts)])
+        spans = [(int(lo), int(hi)) for lo, hi in zip(bounds[:-1], bounds[1:]) if hi > lo]
+        span.set(blocks=len(spans))
+        if cfg.use_shm(int(rows.nbytes + cols.nbytes + vals.nbytes)):
+            span.set(route="shm")
+            with _shm.OperandLease() as lease:
+                r_ref = lease.export_array(rows)
+                c_ref = lease.export_array(cols)
+                v_ref = lease.export_array(vals)
+                tasks = [(r_ref, c_ref, v_ref, lo, hi, shape, add) for lo, hi in spans]
+                parts = get_executor(cfg).map(
+                    _shm_coalesce_task, tasks, label=f"parallel_coalesce ({len(tasks)} shm blocks)"
+                )
+        else:
+            pickled = [(rows[lo:hi], cols[lo:hi], vals[lo:hi], shape, add) for lo, hi in spans]
             parts = get_executor(cfg).map(
-                _shm_coalesce_task, tasks, label=f"parallel_coalesce ({len(tasks)} shm blocks)"
+                _coalesce_task, pickled, label=f"parallel_coalesce ({len(pickled)} blocks)"
             )
-    else:
-        pickled = [(rows[lo:hi], cols[lo:hi], vals[lo:hi], shape, add) for lo, hi in spans]
-        parts = get_executor(cfg).map(
-            _coalesce_task, pickled, label=f"parallel_coalesce ({len(pickled)} blocks)"
-        )
-    out_r = np.concatenate([p[0] for p in parts])
-    out_c = np.concatenate([p[1] for p in parts])
-    out_v = np.concatenate([p[2] for p in parts])
-    return out_r, out_c, out_v
+        out_r = np.concatenate([p[0] for p in parts])
+        out_c = np.concatenate([p[1] for p in parts])
+        out_v = np.concatenate([p[2] for p in parts])
+        span.set(nnz_out=int(out_r.size))
+        return out_r, out_c, out_v
 
 
 # ---------------------------------------------------------------------- #
@@ -598,30 +661,35 @@ def parallel_masked_mxm(
     starts = _shared_starts(a.shape[0], a.nnz, cfg)
     spans = list(zip(starts[:-1], starts[1:]))
     out_dtype = _sparse._mxm_out_dtype(a, b, semiring.mult)
-    if cfg.use_shm(_shm.csr_nbytes(a) + _shm.csr_nbytes(b) + _shm.csr_nbytes(mask)):
-        with _shm.OperandLease() as lease:
-            a_ref = lease.export_csr(a)
-            b_ref = lease.export_csr(b)
-            mask_ref = lease.export_csr(mask)
-            tasks = [
-                (a_ref, b_ref, mask_ref, int(r0), int(r1), semiring, out_dtype)
+    with _kernel_obs("parallel_masked_mxm", cfg, a.nnz + b.nnz) as span:
+        span.set(blocks=len(spans), mask_nnz=mask.nnz)
+        if cfg.use_shm(_shm.csr_nbytes(a) + _shm.csr_nbytes(b) + _shm.csr_nbytes(mask)):
+            span.set(route="shm")
+            with _shm.OperandLease() as lease:
+                a_ref = lease.export_csr(a)
+                b_ref = lease.export_csr(b)
+                mask_ref = lease.export_csr(mask)
+                tasks = [
+                    (a_ref, b_ref, mask_ref, int(r0), int(r1), semiring, out_dtype)
+                    for r0, r1 in spans
+                ]
+                parts = get_executor(cfg).map(
+                    _shm_masked_mxm_task,
+                    tasks,
+                    label=f"parallel_masked_mxm ({len(tasks)} shm blocks)",
+                )
+        else:
+            pickled = [
+                (_slice_rows(a, int(r0), int(r1)), b, semiring, _slice_rows(mask, int(r0), int(r1)), out_dtype)
                 for r0, r1 in spans
             ]
             parts = get_executor(cfg).map(
-                _shm_masked_mxm_task,
-                tasks,
-                label=f"parallel_masked_mxm ({len(tasks)} shm blocks)",
+                _masked_mxm_task, pickled, label=f"parallel_masked_mxm ({len(pickled)} blocks)"
             )
-    else:
-        pickled = [
-            (_slice_rows(a, int(r0), int(r1)), b, semiring, _slice_rows(mask, int(r0), int(r1)), out_dtype)
-            for r0, r1 in spans
-        ]
-        parts = get_executor(cfg).map(
-            _masked_mxm_task, pickled, label=f"parallel_masked_mxm ({len(pickled)} blocks)"
-        )
-    parts = [_cast_data(p, out_dtype) for p in parts]
-    return BlockedCSR((a.shape[0], b.shape[1]), starts, parts).to_csr()
+        parts = [_cast_data(p, out_dtype) for p in parts]
+        out = BlockedCSR((a.shape[0], b.shape[1]), starts, parts).to_csr()
+        span.set(nnz_out=out.nnz)
+        return out
 
 
 def parallel_masked_mxv(
@@ -637,26 +705,29 @@ def parallel_masked_mxv(
     spans = list(zip(starts[:-1], starts[1:]))
     x_arr = np.asarray(x)
     allow_arr = np.asarray(allow)
-    if cfg.use_shm(_shm.csr_nbytes(a) + int(x_arr.nbytes + allow_arr.nbytes)):
-        with _shm.OperandLease() as lease:
-            a_ref = lease.export_csr(a)
-            x_ref = lease.export_array(x_arr)
-            allow_ref = lease.export_array(allow_arr)
-            tasks = [(a_ref, x_ref, allow_ref, int(r0), int(r1), semiring) for r0, r1 in spans]
+    with _kernel_obs("parallel_masked_mxv", cfg, a.nnz) as span:
+        span.set(blocks=len(spans))
+        if cfg.use_shm(_shm.csr_nbytes(a) + int(x_arr.nbytes + allow_arr.nbytes)):
+            span.set(route="shm")
+            with _shm.OperandLease() as lease:
+                a_ref = lease.export_csr(a)
+                x_ref = lease.export_array(x_arr)
+                allow_ref = lease.export_array(allow_arr)
+                tasks = [(a_ref, x_ref, allow_ref, int(r0), int(r1), semiring) for r0, r1 in spans]
+                parts = get_executor(cfg).map(
+                    _shm_masked_mxv_task,
+                    tasks,
+                    label=f"parallel_masked_mxv ({len(tasks)} shm blocks)",
+                )
+        else:
+            pickled = [
+                (_slice_rows(a, int(r0), int(r1)), x_arr, semiring, allow_arr[int(r0):int(r1)])
+                for r0, r1 in spans
+            ]
             parts = get_executor(cfg).map(
-                _shm_masked_mxv_task,
-                tasks,
-                label=f"parallel_masked_mxv ({len(tasks)} shm blocks)",
+                _masked_mxv_task, pickled, label=f"parallel_masked_mxv ({len(pickled)} blocks)"
             )
-    else:
-        pickled = [
-            (_slice_rows(a, int(r0), int(r1)), x_arr, semiring, allow_arr[int(r0):int(r1)])
-            for r0, r1 in spans
-        ]
-        parts = get_executor(cfg).map(
-            _masked_mxv_task, pickled, label=f"parallel_masked_mxv ({len(pickled)} blocks)"
-        )
-    return np.concatenate(parts) if parts else np.empty(0)
+        return np.concatenate(parts) if parts else np.empty(0)
 
 
 def parallel_masked_intersect(
@@ -671,39 +742,44 @@ def parallel_masked_intersect(
     cfg = get_config() if config is None else config
     starts = _shared_starts(a.shape[0], a.nnz + b.nnz, cfg)
     spans = list(zip(starts[:-1], starts[1:]))
-    if cfg.use_shm(_shm.csr_nbytes(a) + _shm.csr_nbytes(b) + _shm.csr_nbytes(mask)):
-        with _shm.OperandLease() as lease:
-            a_ref = lease.export_csr(a)
-            b_ref = lease.export_csr(b)
-            mask_ref = lease.export_csr(mask)
-            tasks = [
-                (a_ref, b_ref, mask_ref, int(r0), int(r1), mult, complement)
+    with _kernel_obs("parallel_masked_intersect", cfg, a.nnz + b.nnz) as span:
+        span.set(blocks=len(spans), mask_nnz=mask.nnz)
+        if cfg.use_shm(_shm.csr_nbytes(a) + _shm.csr_nbytes(b) + _shm.csr_nbytes(mask)):
+            span.set(route="shm")
+            with _shm.OperandLease() as lease:
+                a_ref = lease.export_csr(a)
+                b_ref = lease.export_csr(b)
+                mask_ref = lease.export_csr(mask)
+                tasks = [
+                    (a_ref, b_ref, mask_ref, int(r0), int(r1), mult, complement)
+                    for r0, r1 in spans
+                ]
+                parts = get_executor(cfg).map(
+                    _shm_masked_intersect_task,
+                    tasks,
+                    label=f"parallel_masked_intersect ({len(tasks)} shm blocks)",
+                )
+        else:
+            pickled = [
+                (
+                    _slice_rows(a, int(r0), int(r1)),
+                    _slice_rows(b, int(r0), int(r1)),
+                    mult,
+                    _slice_rows(mask, int(r0), int(r1)),
+                    complement,
+                )
                 for r0, r1 in spans
             ]
             parts = get_executor(cfg).map(
-                _shm_masked_intersect_task,
-                tasks,
-                label=f"parallel_masked_intersect ({len(tasks)} shm blocks)",
+                _masked_intersect_task,
+                pickled,
+                label=f"parallel_masked_intersect ({len(pickled)} blocks)",
             )
-    else:
-        pickled = [
-            (
-                _slice_rows(a, int(r0), int(r1)),
-                _slice_rows(b, int(r0), int(r1)),
-                mult,
-                _slice_rows(mask, int(r0), int(r1)),
-                complement,
-            )
-            for r0, r1 in spans
-        ]
-        parts = get_executor(cfg).map(
-            _masked_intersect_task,
-            pickled,
-            label=f"parallel_masked_intersect ({len(pickled)} blocks)",
-        )
-    out_dtype = np.asarray(mult(a.data[:1], b.data[:1])).dtype
-    parts = [_cast_data(p, out_dtype) for p in parts]
-    return BlockedCSR(a.shape, starts, parts).to_csr()
+        out_dtype = np.asarray(mult(a.data[:1], b.data[:1])).dtype
+        parts = [_cast_data(p, out_dtype) for p in parts]
+        out = BlockedCSR(a.shape, starts, parts).to_csr()
+        span.set(nnz_out=out.nnz)
+        return out
 
 
 def parallel_union_all(
@@ -723,31 +799,36 @@ def parallel_union_all(
     operand_bytes = sum(_shm.csr_nbytes(p) for p in parts) + (
         0 if mask is None else _shm.csr_nbytes(mask)
     )
-    if cfg.use_shm(operand_bytes):
-        with _shm.OperandLease() as lease:
-            part_refs = tuple(lease.export_csr(p) for p in parts)
-            mask_ref = None if mask is None else lease.export_csr(mask)
-            tasks = [
-                (part_refs, add, mask_ref, complement, int(r0), int(r1)) for r0, r1 in spans
+    with _kernel_obs("parallel_union_all", cfg, work) as span:
+        span.set(blocks=len(spans), parts=len(parts))
+        if cfg.use_shm(operand_bytes):
+            span.set(route="shm")
+            with _shm.OperandLease() as lease:
+                part_refs = tuple(lease.export_csr(p) for p in parts)
+                mask_ref = None if mask is None else lease.export_csr(mask)
+                tasks = [
+                    (part_refs, add, mask_ref, complement, int(r0), int(r1)) for r0, r1 in spans
+                ]
+                blocks = get_executor(cfg).map(
+                    _shm_union_all_task,
+                    tasks,
+                    label=f"parallel_union_all ({len(tasks)} shm blocks)",
+                )
+        else:
+            pickled = [
+                (
+                    [_slice_rows(p, int(r0), int(r1)) for p in parts],
+                    add,
+                    None if mask is None else _slice_rows(mask, int(r0), int(r1)),
+                    complement,
+                )
+                for r0, r1 in spans
             ]
             blocks = get_executor(cfg).map(
-                _shm_union_all_task,
-                tasks,
-                label=f"parallel_union_all ({len(tasks)} shm blocks)",
+                _union_all_task, pickled, label=f"parallel_union_all ({len(pickled)} blocks)"
             )
-    else:
-        pickled = [
-            (
-                [_slice_rows(p, int(r0), int(r1)) for p in parts],
-                add,
-                None if mask is None else _slice_rows(mask, int(r0), int(r1)),
-                complement,
-            )
-            for r0, r1 in spans
-        ]
-        blocks = get_executor(cfg).map(
-            _union_all_task, pickled, label=f"parallel_union_all ({len(pickled)} blocks)"
-        )
-    out_dtype = np.result_type(*(p.dtype for p in parts))
-    blocks = [_cast_data(p, out_dtype) for p in blocks]
-    return BlockedCSR(shape, starts, blocks).to_csr()
+        out_dtype = np.result_type(*(p.dtype for p in parts))
+        blocks = [_cast_data(p, out_dtype) for p in blocks]
+        out = BlockedCSR(shape, starts, blocks).to_csr()
+        span.set(nnz_out=out.nnz)
+        return out

@@ -45,9 +45,19 @@ from repro.assoc.sparse import (
     masked_select,
 )
 from repro.errors import ExpressionError
+from repro.obs import metrics as _obs
+from repro.obs import trace as _trace
 from repro.runtime.config import parallel_config
 
-__all__ = ["Step", "Plan", "plan", "plan_vec", "evaluate", "evaluate_vec"]
+__all__ = [
+    "Step",
+    "StepProfile",
+    "Plan",
+    "plan",
+    "plan_vec",
+    "evaluate",
+    "evaluate_vec",
+]
 
 
 @dataclass(frozen=True)
@@ -64,6 +74,26 @@ class Step:
 
 
 @dataclass(frozen=True)
+class StepProfile:
+    """Measured cost of one executed plan step.
+
+    ``wall_ns`` is the step's monotonic wall time; ``nnz`` is the stored-entry
+    count of the step's result (``None`` when the result has no sparsity
+    notion).  Produced by :meth:`Plan.execute`, rendered by
+    :meth:`Plan.explain` with ``profile=True`` — the ground-truth input for
+    the ROADMAP's cost-based planner.
+    """
+
+    kernel: str
+    wall_ns: int
+    nnz: int | None = None
+
+    @property
+    def wall_ms(self) -> float:
+        return self.wall_ns / 1e6
+
+
+@dataclass(frozen=True)
 class Plan:
     """The ordered kernel schedule an evaluation will follow.
 
@@ -75,6 +105,9 @@ class Plan:
     steps: tuple[Step, ...]
     expr: object | None = field(default=None, compare=False, repr=False)
     mask: object | None = field(default=None, compare=False, repr=False)
+    profile: tuple[StepProfile, ...] | None = field(
+        default=None, compare=False, repr=False
+    )
 
     @property
     def kernels(self) -> tuple[str, ...]:
@@ -114,12 +147,57 @@ class Plan:
             return shapes.infer_vec(self.expr, self.mask)
         return shapes.infer(self.expr, self.mask)
 
-    def explain(self) -> str:
+    def execute(self):  # noqa: ANN201 - CSRMatrix | np.ndarray
+        """Run the plan's expression, recording a per-step profile.
+
+        Returns the evaluation result and stores one :class:`StepProfile`
+        per plan step (measured wall time plus result nnz) on
+        :attr:`profile`, aligned 1:1 with :attr:`steps` — the same walk
+        :func:`evaluate` performs, with a stopwatch around each kernel.
+        When tracing is live each step additionally opens a ``plan.<kernel>``
+        span, so traced runs show the plan tree inside the trace timeline.
+        """
+        from repro.assoc import expr as E
+
+        if self.expr is None:
+            raise ExpressionError(
+                "plan carries no expression tree to execute (it was built "
+                "directly from steps, not by plan()/plan_vec())"
+            )
+        _obs.counter("planner.executions").inc()
+        rec: list[StepProfile] = []
+        if isinstance(self.expr, E.VecExpr):
+            result = evaluate_vec(self.expr, self.mask, _rec=rec)
+        else:
+            result = evaluate(self.expr, self.mask, _rec=rec)
+        object.__setattr__(self, "profile", tuple(rec))
+        return result
+
+    def explain(self, profile: bool = False) -> str:
         """The kernel schedule plus the typed expression tree — and, for an
-        ill-shaped tree, the ``!!``-marked subtree that fails inference."""
+        ill-shaped tree, the ``!!``-marked subtree that fails inference.
+
+        With ``profile=True`` (after :meth:`execute`), each step is annotated
+        with its measured wall time and result nnz, plus a total line.
+        """
         from repro.staticcheck import shapes
 
         lines = [f"plan: {self.describe()}"]
+        if profile:
+            if self.profile is None:
+                raise ExpressionError(
+                    "no recorded profile — call Plan.execute() before "
+                    "explain(profile=True)"
+                )
+            width = max((len(str(step)) for step in self.steps), default=4)
+            lines.append("profile:")
+            for k, (step, prof) in enumerate(zip(self.steps, self.profile), start=1):
+                nnz = f"  nnz={prof.nnz}" if prof.nnz is not None else ""
+                lines.append(
+                    f"  {k:>2}. {str(step).ljust(width)}  {prof.wall_ms:>9.3f} ms{nnz}"
+                )
+            total = sum(p.wall_ns for p in self.profile) / 1e6
+            lines.append(f"      {'total'.ljust(width)}  {total:>9.3f} ms")
         if self.mask is not None:
             lines.append(f"mask: {self.mask!r}")
         if self.expr is not None:
@@ -200,77 +278,163 @@ def _check_mask(mask: E.Mask | None, shape: tuple[int, int]) -> None:
 # --------------------------------------------------------------------------- #
 
 
-def evaluate(e: E.MatExpr, mask: E.Mask | None = None) -> CSRMatrix:
-    """Execute a matrix expression, fusing *mask* into the kernels."""
+def _result_nnz(result: object) -> int | None:
+    """The stored-entry count of a step result (``None`` when meaningless)."""
+    nnz = getattr(result, "nnz", None)
+    if nnz is not None:
+        return int(nnz)
+    if isinstance(result, np.ndarray):
+        return int(np.count_nonzero(result))
+    return None
+
+
+def _step(rec: "list[StepProfile] | None", kernel: str, thunk):  # noqa: ANN001, ANN201
+    """Run one plan step, appending a :class:`StepProfile` when recording.
+
+    The un-profiled path (``rec is None`` — every plain :func:`evaluate`
+    call) is a bare ``thunk()``: profiling costs nothing unless
+    :meth:`Plan.execute` asked for it.  Step order matches
+    :func:`_plan_mat`'s emission order exactly, so the recorded profile
+    aligns 1:1 with :attr:`Plan.steps`.
+    """
+    if rec is None:
+        return thunk()
+    tracer = _trace.get_tracer()
+    t0 = _obs.monotonic_ns()
+    with tracer.span(f"plan.{kernel}"):
+        out = thunk()
+    rec.append(StepProfile(kernel, _obs.monotonic_ns() - t0, _result_nnz(out)))
+    return out
+
+
+def evaluate(
+    e: E.MatExpr,
+    mask: E.Mask | None = None,
+    *,
+    _rec: "list[StepProfile] | None" = None,
+) -> CSRMatrix:
+    """Execute a matrix expression, fusing *mask* into the kernels.
+
+    ``_rec`` (internal, used by :meth:`Plan.execute`) collects one
+    :class:`StepProfile` per plan step in :func:`_plan_mat` emission order.
+    """
     _check_mask(mask, e.shape)
     if isinstance(e, E.MatLeaf):
-        csr = e.resolve()
+        csr = _step(_rec, "leaf", e.resolve)
         if mask is None:
             return csr
-        return masked_select(csr, mask.pattern, mask.complement)
+        return _step(
+            _rec,
+            "masked_select",
+            lambda: masked_select(csr, mask.pattern, mask.complement),
+        )
     if isinstance(e, E.MxM):
-        a = evaluate(e.left, None)
-        b = evaluate(e.right, None)
+        a = evaluate(e.left, None, _rec=_rec)
+        b = evaluate(e.right, None, _rec=_rec)
         if mask is None:
-            return a._mxm_dispatch(b, e.semiring)
+            return _step(_rec, "mxm", lambda: a._mxm_dispatch(b, e.semiring))
         if mask.complement:
-            full = a._mxm_dispatch(b, e.semiring)
-            return masked_select(full, mask.pattern, True)
-        return _dispatch_masked_mxm(a, b, e.semiring, mask.pattern)
+            full = _step(_rec, "mxm", lambda: a._mxm_dispatch(b, e.semiring))
+            return _step(
+                _rec, "mask_filter", lambda: masked_select(full, mask.pattern, True)
+            )
+        return _step(
+            _rec,
+            "masked_mxm",
+            lambda: _dispatch_masked_mxm(a, b, e.semiring, mask.pattern),
+        )
     if isinstance(e, E.UnionAll):
         if mask is None:
-            parts = [evaluate(p, None) for p in e.parts]
+            parts = [evaluate(p, None, _rec=_rec) for p in e.parts]
             if len(parts) == 1:
-                return parts[0]
+                # the 1-way union is a pass-through; still recorded so the
+                # profile stays aligned with the planned "union_all" step
+                return _step(_rec, "union_all", lambda: parts[0])
             if len(parts) == 2:
-                return parts[0]._ewise_union_dispatch(parts[1], e.add)
-            return _dispatch_union_all(parts, e.add, None, False)
+                return _step(
+                    _rec,
+                    "ewise_union",
+                    lambda: parts[0]._ewise_union_dispatch(parts[1], e.add),
+                )
+            return _step(
+                _rec, "union_all", lambda: _dispatch_union_all(parts, e.add, None, False)
+            )
         # mask pushdown only into compound children (their evaluation fuses
         # it); leaf operands stay unfiltered and the fused union kernel
         # filters their triples inline, pre-sort — no double filtering of
         # leaves, and no intermediate per-leaf selects
         parts = [
-            evaluate(p, None) if isinstance(p, E.MatLeaf) else evaluate(p, mask)
+            evaluate(p, None, _rec=_rec) if isinstance(p, E.MatLeaf) else evaluate(p, mask, _rec=_rec)
             for p in e.parts
         ]
         if len(parts) == 1:
-            return masked_select(parts[0], mask.pattern, mask.complement)
-        return _dispatch_union_all(parts, e.add, mask.pattern, mask.complement)
+            return _step(
+                _rec,
+                "masked_union",
+                lambda: masked_select(parts[0], mask.pattern, mask.complement),
+            )
+        return _step(
+            _rec,
+            "masked_union",
+            lambda: _dispatch_union_all(parts, e.add, mask.pattern, mask.complement),
+        )
     if isinstance(e, E.EWiseMult):
         if mask is None:
-            a = evaluate(e.left, None)
-            b = evaluate(e.right, None)
-            return a._ewise_intersect_dispatch(b, e.mult)
+            a = evaluate(e.left, None, _rec=_rec)
+            b = evaluate(e.right, None, _rec=_rec)
+            return _step(
+                _rec, "ewise_intersect", lambda: a._ewise_intersect_dispatch(b, e.mult)
+            )
         # mask pushdown: (A⟨M⟩ ⊗ B) == (A ⊗ B)⟨M⟩.  A leaf left operand is
         # filtered once, inline in the fused kernel; a compound left operand
         # evaluates fused under the mask (the kernel's re-check of its
         # already-restricted triples is the cheaper side of that trade)
         a = (
-            evaluate(e.left, None)
+            evaluate(e.left, None, _rec=_rec)
             if isinstance(e.left, E.MatLeaf)
-            else evaluate(e.left, mask)
+            else evaluate(e.left, mask, _rec=_rec)
         )
-        b = evaluate(e.right, None)
-        return _dispatch_masked_intersect(a, b, e.mult, mask.pattern, mask.complement)
+        b = evaluate(e.right, None, _rec=_rec)
+        return _step(
+            _rec,
+            "masked_intersect",
+            lambda: _dispatch_masked_intersect(
+                a, b, e.mult, mask.pattern, mask.complement
+            ),
+        )
     if isinstance(e, E.TransposeExpr):
         pushed = None if mask is None else mask.transpose()
-        return evaluate(e.child, pushed).transpose()
+        child = evaluate(e.child, pushed, _rec=_rec)
+        return _step(_rec, "transpose", child.transpose)
     raise ExpressionError(f"unknown expression node {type(e).__name__}")
 
 
-def evaluate_vec(v: E.VecExpr, allow: np.ndarray | None = None) -> np.ndarray:
+def evaluate_vec(
+    v: E.VecExpr,
+    allow: np.ndarray | None = None,
+    *,
+    _rec: "list[StepProfile] | None" = None,
+) -> np.ndarray:
     """Execute a vector expression; *allow* is a dense boolean row mask with
     any complement already applied."""
     if isinstance(v, E.MxV):
-        a = evaluate(v.mat, None)
+        a = evaluate(v.mat, None, _rec=_rec)
         if allow is None:
-            return a._mxv_dispatch(v.x, v.semiring)
-        return _dispatch_masked_mxv(a, v.x, v.semiring, allow)
+            return _step(_rec, "mxv", lambda: a._mxv_dispatch(v.x, v.semiring))
+        return _step(
+            _rec,
+            "masked_mxv",
+            lambda: _dispatch_masked_mxv(a, v.x, v.semiring, allow),
+        )
     if isinstance(v, E.ReduceRows):
-        a = evaluate(v.mat, None)
+        a = evaluate(v.mat, None, _rec=_rec)
         if allow is None:
-            return a.reduce_rows(v.add)
-        return _masked_reduce_rows_serial(a, v.add, allow)
+            return _step(_rec, "reduce_rows", lambda: a.reduce_rows(v.add))
+        return _step(
+            _rec,
+            "masked_reduce_rows",
+            lambda: _masked_reduce_rows_serial(a, v.add, allow),
+        )
     raise ExpressionError(f"unknown vector expression node {type(v).__name__}")
 
 

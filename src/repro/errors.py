@@ -82,6 +82,11 @@ class SharedMemoryError(ReproError):
     failure, double release)."""
 
 
+class ObservabilityError(ReproError):
+    """The :mod:`repro.obs` registry or tracer was misused (metric kind
+    mismatch, malformed span dump, bad capacity)."""
+
+
 class AssocArrayError(ReproError):
     """Invalid operation on an :class:`~repro.assoc.AssociativeArray`."""
 

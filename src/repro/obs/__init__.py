@@ -1,0 +1,96 @@
+"""Zero-dependency observability: metrics registry + opt-in span tracer.
+
+Two halves, one import surface:
+
+* :mod:`repro.obs.metrics` — always-on process-local counters, gauges, and
+  log-bucket histograms behind a thread-safe registry, plus the sanctioned
+  clock helpers (:func:`monotonic_ns` / :func:`wall_ns`) every instrumented
+  module must use instead of ``time.*``.
+* :mod:`repro.obs.trace` — an opt-in span tracer (ring buffer, parent links,
+  attributes) enabled via ``RuntimeConfig.tracing`` or ``REPRO_TRACE``,
+  exportable as Chrome/Perfetto ``trace_event`` JSON and as a text flame
+  summary; a shared no-op singleton keeps the disabled path near-free.
+
+``python -m repro.obs`` dumps a metrics snapshot or converts a raw span dump
+to Perfetto JSON — see :mod:`repro.obs.__main__`.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    Metric,
+    MetricsRegistry,
+    counter,
+    gauge,
+    get_registry,
+    histogram,
+    merge_snapshot,
+    monotonic_ns,
+    reset_metrics,
+    snapshot,
+    wall_ns,
+)
+from repro.obs.trace import (
+    DEFAULT_CAPACITY,
+    NULL_SPAN,
+    NULL_TRACER,
+    TRACE_ENV,
+    NullSpan,
+    NullTracer,
+    Span,
+    SpanRecord,
+    Tracer,
+    collecting,
+    disable,
+    dump_spans,
+    enable,
+    flame_summary,
+    flush_active,
+    get_tracer,
+    is_enabled,
+    load_spans,
+    sink_path,
+    to_trace_events,
+    write_trace_json,
+)
+
+__all__ = [
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Metric",
+    "MetricsRegistry",
+    "counter",
+    "gauge",
+    "histogram",
+    "get_registry",
+    "snapshot",
+    "merge_snapshot",
+    "reset_metrics",
+    "monotonic_ns",
+    "wall_ns",
+    # tracing
+    "DEFAULT_CAPACITY",
+    "TRACE_ENV",
+    "SpanRecord",
+    "Span",
+    "NullSpan",
+    "NullTracer",
+    "Tracer",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "get_tracer",
+    "enable",
+    "disable",
+    "is_enabled",
+    "sink_path",
+    "flush_active",
+    "collecting",
+    "to_trace_events",
+    "write_trace_json",
+    "dump_spans",
+    "load_spans",
+    "flame_summary",
+]

@@ -1,0 +1,89 @@
+"""``python -m repro.obs`` — metrics snapshots and trace conversion.
+
+Subcommands:
+
+* ``metrics`` — print the process registry snapshot as JSON.  (A fresh CLI
+  process has an empty registry; this is mostly useful from code that embeds
+  the CLI, and as the canonical snapshot renderer.)
+* ``convert SPANS.json [-o OUT.json]`` — turn a raw span dump (written by
+  :func:`repro.obs.dump_spans`) into Chrome/Perfetto ``trace_event`` JSON;
+  load the output at https://ui.perfetto.dev.
+* ``flame SPANS.json`` — print the text flame summary of a raw span dump.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.errors import ObservabilityError
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    print(json.dumps(_metrics.snapshot(), indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    records = _trace.load_spans(args.spans)
+    out = Path(args.output) if args.output else Path(args.spans).with_suffix(".perfetto.json")
+    _trace.write_trace_json(records, out)
+    print(f"wrote {len(records)} spans to {out}")
+    return 0
+
+
+def _cmd_flame(args: argparse.Namespace) -> int:
+    records = _trace.load_spans(args.spans)
+    print(_trace.flame_summary(records))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Metrics snapshots and trace-ring conversion for repro.obs.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_metrics = sub.add_parser("metrics", help="print the registry snapshot as JSON")
+    p_metrics.set_defaults(func=_cmd_metrics)
+
+    p_convert = sub.add_parser(
+        "convert", help="convert a raw span dump to Perfetto trace_event JSON"
+    )
+    p_convert.add_argument("spans", help="raw span dump written by repro.obs.dump_spans")
+    p_convert.add_argument("-o", "--output", default=None, help="output path")
+    p_convert.set_defaults(func=_cmd_convert)
+
+    p_flame = sub.add_parser("flame", help="print the text flame summary of a span dump")
+    p_flame.add_argument("spans", help="raw span dump written by repro.obs.dump_spans")
+    p_flame.set_defaults(func=_cmd_flame)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return int(args.func(args))
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ObservabilityError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # downstream pager/head closed the pipe mid-print; exit quietly
+        # (devnull swap stops the interpreter re-raising at shutdown)
+        sys.stdout = open(os.devnull, "w")  # noqa: SIM115
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

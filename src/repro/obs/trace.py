@@ -1,0 +1,535 @@
+"""Opt-in span tracer: ring-buffered spans, Perfetto export, flame summary.
+
+The tracer is the expensive half of :mod:`repro.obs` and therefore strictly
+opt-in: enable it with ``runtime.configure(tracing=True)`` (or the
+``REPRO_TRACE`` environment variable) and every instrumented hot path —
+executor dispatch, blocked kernels, shm exports, plan steps, service batches —
+records :class:`SpanRecord` entries into a bounded ring.  Disabled (the
+default), :func:`get_tracer` returns the shared :data:`NULL_TRACER` singleton
+whose ``span()`` hands back the one shared :data:`NULL_SPAN` object — no
+allocation, no clock read, no branch beyond the method call, an overhead the
+gated ``benchmarks/bench_obs_overhead.py`` pins below 5%.
+
+Spans are context managers with parent links (a thread-local stack) and
+free-form attributes::
+
+    with tracer.span("kernel.parallel_mxm", backend="thread", blocks=8) as sp:
+        out = ...
+        sp.set(nnz_out=out.nnz)
+
+Worker-side spans are collected into a private :class:`Tracer` via
+:func:`collecting` (a thread-local override, so pool threads never race the
+process-global ring), shipped back with the task result as picklable
+:class:`SpanRecord` tuples, and stitched under the dispatching span with
+:meth:`Tracer.adopt` — one trace tree across threads *and* processes, aligned
+on the epoch clock.
+
+Exports: :func:`to_trace_events` / :func:`write_trace_json` produce Chrome /
+Perfetto ``trace_event`` JSON (load it at https://ui.perfetto.dev), and
+:func:`flame_summary` renders a by-name aggregation as text.  A sink path
+(``enable(sink=...)`` or ``REPRO_TRACE=/path/trace.json``) makes
+:func:`flush_active` — wired into
+:func:`repro.runtime.executor.shutdown_executors` and thus ``atexit`` — write
+the ring out instead of dropping buffered spans at teardown.
+
+Like :mod:`repro.obs.metrics`, this module is exempt from the wall-clock
+lints (``DET002``/``OBS002``): it owns the clocks everything else borrows.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Mapping, Sequence
+
+from repro.errors import ObservabilityError
+
+__all__ = [
+    "TRACE_ENV",
+    "DEFAULT_CAPACITY",
+    "SPAN_FILE_VERSION",
+    "SpanRecord",
+    "Span",
+    "NullSpan",
+    "NullTracer",
+    "Tracer",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "get_tracer",
+    "enable",
+    "disable",
+    "is_enabled",
+    "sink_path",
+    "flush_active",
+    "collecting",
+    "to_trace_events",
+    "write_trace_json",
+    "dump_spans",
+    "load_spans",
+    "flame_summary",
+]
+
+#: Environment opt-in: ``1``/``true``/``on`` enables tracing; any other
+#: non-empty value enables it *and* installs that value as the flush sink path.
+TRACE_ENV = "REPRO_TRACE"
+
+#: Default ring capacity (spans retained); old spans are dropped FIFO.
+DEFAULT_CAPACITY = 65_536
+
+#: Version stamp for raw span dumps (``dump_spans``/``load_spans``).
+SPAN_FILE_VERSION = 1
+
+_FALSEY = frozenset({"", "0", "false", "no", "off"})
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+_id_lock = threading.Lock()
+_id_seq = 0
+
+
+def _next_span_id() -> int:
+    """Process-unique span ids, salted by pid so stitched worker records from
+    a process pool can never collide with the parent's ids."""
+    global _id_seq
+    with _id_lock:
+        _id_seq += 1
+        return (os.getpid() << 40) + _id_seq
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One completed span — immutable, picklable, process-portable.
+
+    ``start_ns`` is epoch time (cross-process alignable); ``dur_ns`` is
+    measured on the monotonic clock, so durations are immune to wall-clock
+    steps even though starts are not.
+    """
+
+    name: str
+    start_ns: int
+    dur_ns: int
+    span_id: int
+    parent_id: int | None
+    pid: int
+    tid: int
+    attrs: tuple[tuple[str, object], ...] = ()
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "start_ns": self.start_ns,
+            "dur_ns": self.dur_ns,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "pid": self.pid,
+            "tid": self.tid,
+            "attrs": dict(self.attrs),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, object]) -> "SpanRecord":
+        try:
+            return cls(
+                name=str(doc["name"]),
+                start_ns=int(doc["start_ns"]),  # type: ignore[arg-type]
+                dur_ns=int(doc["dur_ns"]),  # type: ignore[arg-type]
+                span_id=int(doc["span_id"]),  # type: ignore[arg-type]
+                parent_id=(
+                    None if doc.get("parent_id") is None else int(doc["parent_id"])  # type: ignore[arg-type]
+                ),
+                pid=int(doc.get("pid", 0)),  # type: ignore[arg-type]
+                tid=int(doc.get("tid", 0)),  # type: ignore[arg-type]
+                attrs=tuple(sorted(dict(doc.get("attrs", {})).items())),  # type: ignore[arg-type]
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ObservabilityError(f"malformed span record: {exc}") from exc
+
+
+class Span:
+    """A live span; always use as a context manager (``with tracer.span(...)``).
+
+    ``set(**attrs)`` adds attributes any time before exit.  Entering pushes
+    this span onto the tracer's thread-local stack (so nested spans link to
+    it); exiting records an immutable :class:`SpanRecord` into the ring.
+    """
+
+    __slots__ = ("_tracer", "name", "span_id", "parent_id", "_attrs", "_start_wall", "_t0")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        parent_id: int | None,
+        attrs: dict[str, object],
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.span_id = _next_span_id()
+        self.parent_id = parent_id
+        self._attrs = attrs
+        self._start_wall = 0
+        self._t0 = 0
+
+    def set(self, **attrs: object) -> "Span":
+        self._attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        self._tracer._push(self.span_id)
+        self._start_wall = time.time_ns()
+        self._t0 = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        dur = time.perf_counter_ns() - self._t0
+        self._tracer._pop(self.span_id)
+        self._tracer._record(
+            SpanRecord(
+                name=self.name,
+                start_ns=self._start_wall,
+                dur_ns=dur,
+                span_id=self.span_id,
+                parent_id=self.parent_id,
+                pid=os.getpid(),
+                tid=threading.get_ident() & 0xFFFF_FFFF,
+                attrs=tuple(sorted(self._attrs.items())),
+            )
+        )
+
+
+class NullSpan:
+    """The do-nothing span: one shared instance, zero allocation per call."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: object) -> "NullSpan":
+        return self
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+#: The one shared no-op span — ``NullTracer.span()`` returns this very object,
+#: which is how the tests prove the disabled path allocates nothing.
+NULL_SPAN = NullSpan()
+
+
+class NullTracer:
+    """The do-nothing tracer installed while tracing is disabled."""
+
+    __slots__ = ()
+    enabled = False
+    capacity = 0
+
+    def span(self, name: str, **attrs: object) -> NullSpan:
+        return NULL_SPAN
+
+    def current_span_id(self) -> int | None:
+        return None
+
+    def spans(self) -> list[SpanRecord]:
+        return []
+
+    def drain(self) -> list[SpanRecord]:
+        return []
+
+    def adopt(self, records: Sequence[SpanRecord], parent_id: int | None = None) -> None:
+        return None
+
+    def __len__(self) -> int:
+        return 0
+
+
+#: The shared disabled-tracer singleton (``get_tracer()`` while off).
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """A bounded ring of :class:`SpanRecord` plus the live span stack.
+
+    The ring is a ``deque(maxlen=capacity)``: recording never blocks and never
+    grows without bound — old spans fall off the front.  Parent links come
+    from a thread-local stack, so concurrent threads trace independent
+    subtrees without interleaving.
+    """
+
+    enabled = True
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if int(capacity) < 1:
+            raise ObservabilityError(f"tracer capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._ring: deque[SpanRecord] = deque(maxlen=self.capacity)
+        self._lock = threading.Lock()
+        self._tls = threading.local()
+
+    # -- span construction --------------------------------------------- #
+
+    def span(self, name: str, **attrs: object) -> Span:
+        """A new span parented to the innermost open span of this thread."""
+        return Span(self, name, self.current_span_id(), attrs)
+
+    def current_span_id(self) -> int | None:
+        stack = getattr(self._tls, "stack", None)
+        return stack[-1] if stack else None
+
+    def _push(self, span_id: int) -> None:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = []
+            self._tls.stack = stack
+        stack.append(span_id)
+
+    def _pop(self, span_id: int) -> None:
+        stack = getattr(self._tls, "stack", None)
+        if stack and stack[-1] == span_id:
+            stack.pop()
+
+    def _record(self, record: SpanRecord) -> None:
+        with self._lock:
+            self._ring.append(record)
+
+    # -- ring access ---------------------------------------------------- #
+
+    def spans(self) -> list[SpanRecord]:
+        """The retained spans, oldest first (the ring is left intact)."""
+        with self._lock:
+            return list(self._ring)
+
+    def drain(self) -> list[SpanRecord]:
+        """Take every retained span out of the ring."""
+        with self._lock:
+            records = list(self._ring)
+            self._ring.clear()
+        return records
+
+    def adopt(self, records: Sequence[SpanRecord], parent_id: int | None = None) -> None:
+        """Stitch shipped worker records into this ring.
+
+        Records with no parent (a worker's root task span) are re-parented
+        under *parent_id* — the dispatching span — so the assembled trace is
+        one tree even across process boundaries.
+        """
+        with self._lock:
+            for rec in records:
+                if rec.parent_id is None and parent_id is not None:
+                    rec = SpanRecord(
+                        name=rec.name,
+                        start_ns=rec.start_ns,
+                        dur_ns=rec.dur_ns,
+                        span_id=rec.span_id,
+                        parent_id=parent_id,
+                        pid=rec.pid,
+                        tid=rec.tid,
+                        attrs=rec.attrs,
+                    )
+                self._ring.append(rec)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    def __repr__(self) -> str:
+        return f"Tracer(capacity={self.capacity}, spans={len(self)})"
+
+
+# ---------------------------------------------------------------------- #
+# active-tracer resolution
+# ---------------------------------------------------------------------- #
+
+_active: "Tracer | NullTracer" = NULL_TRACER
+_sink: Path | None = None
+_tls_override = threading.local()
+
+
+def get_tracer() -> "Tracer | NullTracer":
+    """The tracer for the current thread: a :func:`collecting` override if one
+    is installed, else the process-global tracer (or :data:`NULL_TRACER`)."""
+    override = getattr(_tls_override, "tracer", None)
+    return _active if override is None else override
+
+
+def is_enabled() -> bool:
+    """Whether the process-global tracer is live."""
+    return _active is not NULL_TRACER
+
+
+def sink_path() -> Path | None:
+    """Where :func:`flush_active` writes, or ``None`` (ring kept in memory)."""
+    return _sink
+
+
+def enable(capacity: int = DEFAULT_CAPACITY, sink: "str | Path | None" = None) -> Tracer:
+    """Install a live process-global tracer (idempotent at same capacity).
+
+    ``sink`` (optional) names the Perfetto JSON file :func:`flush_active`
+    writes at teardown; without one, flushing leaves the ring in memory.
+    """
+    global _active, _sink
+    if sink is not None:
+        _sink = Path(sink)
+    current = _active
+    if isinstance(current, Tracer) and current.capacity == int(capacity):
+        return current
+    tracer = Tracer(capacity)
+    _active = tracer
+    return tracer
+
+
+def disable(flush: bool = True) -> None:
+    """Return to the no-op tracer; by default flush the ring to the sink first
+    (never silently drop spans a sink was configured to keep)."""
+    global _active
+    if flush:
+        flush_active()
+    _active = NULL_TRACER
+
+
+def flush_active() -> Path | None:
+    """Export-close the active ring: write retained spans to the sink.
+
+    With a sink configured and spans retained, writes the Perfetto JSON,
+    drains the ring, and returns the path.  Without a sink (or without spans)
+    this is a no-op returning ``None`` — the ring stays queryable in memory;
+    nothing is dropped either way.
+    """
+    tracer = _active
+    if not isinstance(tracer, Tracer) or _sink is None:
+        return None
+    records = tracer.drain()
+    if not records:
+        return None
+    return write_trace_json(records, _sink)
+
+
+@contextmanager
+def collecting(capacity: int = 4096) -> Iterator[Tracer]:
+    """Route this thread's spans into a private tracer (worker-side capture).
+
+    Used by the executor's traced task wrapper: the worker records into a
+    local ring, the records ship back with the result, and the parent stitches
+    them under the dispatching span.  Thread-local, so pool threads sharing
+    the process never race the global ring or each other.
+    """
+    collector = Tracer(capacity)
+    previous = getattr(_tls_override, "tracer", None)
+    _tls_override.tracer = collector
+    try:
+        yield collector
+    finally:
+        _tls_override.tracer = previous
+
+
+def _env_setup() -> None:
+    raw = os.environ.get(TRACE_ENV, "").strip()
+    if raw.lower() in _FALSEY:
+        return
+    if raw.lower() in _TRUTHY:
+        enable()
+    else:
+        enable(sink=raw)
+
+
+_env_setup()
+
+
+# ---------------------------------------------------------------------- #
+# exports
+# ---------------------------------------------------------------------- #
+
+
+def to_trace_events(records: Sequence[SpanRecord]) -> list[dict[str, object]]:
+    """Chrome/Perfetto ``trace_event`` complete events (``ph="X"``).
+
+    Timestamps are microseconds relative to the earliest span start, so the
+    viewer opens at t≈0 instead of the epoch.
+    """
+    if not records:
+        return []
+    base = min(r.start_ns for r in records)
+    events: list[dict[str, object]] = []
+    for r in records:
+        events.append(
+            {
+                "name": r.name,
+                "cat": "repro",
+                "ph": "X",
+                "ts": (r.start_ns - base) / 1000.0,
+                "dur": r.dur_ns / 1000.0,
+                "pid": r.pid,
+                "tid": r.tid,
+                "args": {str(k): v for k, v in r.attrs},
+            }
+        )
+    return events
+
+
+def write_trace_json(records: Sequence[SpanRecord], path: "str | Path") -> Path:
+    """Write records as a Perfetto-loadable trace JSON document."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    document = {
+        "traceEvents": to_trace_events(records),
+        "displayTimeUnit": "ms",
+    }
+    out.write_text(json.dumps(document, sort_keys=True, default=str) + "\n")
+    return out
+
+
+def dump_spans(records: Sequence[SpanRecord], path: "str | Path") -> Path:
+    """Write records as a raw span dump (lossless; ``python -m repro.obs
+    convert`` turns one into Perfetto JSON)."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    document = {
+        "span_version": SPAN_FILE_VERSION,
+        "spans": [r.to_dict() for r in records],
+    }
+    out.write_text(json.dumps(document, sort_keys=True, default=str) + "\n")
+    return out
+
+
+def load_spans(path: "str | Path") -> list[SpanRecord]:
+    """Read a raw span dump back into :class:`SpanRecord` objects."""
+    document = json.loads(Path(path).read_text())
+    version = document.get("span_version")
+    if version != SPAN_FILE_VERSION:
+        raise ObservabilityError(
+            f"unsupported span_version {version!r} in {path} "
+            f"(this library reads {SPAN_FILE_VERSION})"
+        )
+    return [SpanRecord.from_dict(doc) for doc in document.get("spans", [])]
+
+
+def flame_summary(records: Sequence[SpanRecord]) -> str:
+    """A by-name aggregation of span cost, heaviest first.
+
+    Columns: span name, call count, total ms, mean ms, and the share of the
+    heaviest name's total — a poor man's flame graph for terminals.
+    """
+    if not records:
+        return "(no spans recorded)"
+    totals: dict[str, tuple[int, int]] = {}
+    for r in records:
+        count, total = totals.get(r.name, (0, 0))
+        totals[r.name] = (count + 1, total + r.dur_ns)
+    heaviest = max(total for _, total in totals.values()) or 1
+    rows = sorted(totals.items(), key=lambda kv: (-kv[1][1], kv[0]))
+    name_width = max(len("span"), *(len(name) for name, _ in rows))
+    lines = [
+        f"{'span'.ljust(name_width)}  {'count':>7}  {'total ms':>10}  {'mean ms':>9}  {'share':>6}"
+    ]
+    for name, (count, total) in rows:
+        lines.append(
+            f"{name.ljust(name_width)}  {count:>7}  {total / 1e6:>10.3f}  "
+            f"{total / count / 1e6:>9.3f}  {100.0 * total / heaviest:>5.1f}%"
+        )
+    return "\n".join(lines)

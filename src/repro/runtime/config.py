@@ -24,6 +24,7 @@ from dataclasses import dataclass, replace
 from typing import Iterator
 
 from repro.errors import RuntimeConfigError
+from repro.obs import trace as _trace
 
 __all__ = [
     "DEFAULT_SHM_MIN_BYTES",
@@ -72,6 +73,11 @@ class RuntimeConfig:
         :mod:`repro.runtime.shm`).  Small operands keep the pickle path — the
         segment round trip only pays for itself once the per-task copies
         dominate.  ``None`` disables the shared-memory plane entirely.
+    tracing:
+        Whether the :mod:`repro.obs` span tracer is live.  Off by default —
+        the always-on metrics registry never depends on this flag; tracing
+        records per-span ring entries and is the opt-in, heavier half.  The
+        ``REPRO_TRACE`` environment variable pre-enables it at import.
     """
 
     workers: int = 1
@@ -79,6 +85,7 @@ class RuntimeConfig:
     backend: str = "auto"
     min_parallel_work: int = 4096
     shm_min_bytes: int | None = DEFAULT_SHM_MIN_BYTES
+    tracing: bool = False
 
     def __post_init__(self) -> None:
         if int(self.workers) < 1:
@@ -129,7 +136,7 @@ class RuntimeConfig:
         )
 
 
-_DEFAULT = RuntimeConfig()
+_DEFAULT = RuntimeConfig(tracing=_trace.is_enabled())
 _lock = threading.Lock()
 _config: RuntimeConfig = _DEFAULT
 _tls = threading.local()
@@ -158,12 +165,26 @@ def _invalidate_stale_pools(old: RuntimeConfig, new: RuntimeConfig) -> None:
     executor.invalidate_stale_pools(new)
 
 
+def _sync_tracing(cfg: RuntimeConfig) -> None:
+    """Align the process-global tracer with ``cfg.tracing``.
+
+    Enabling is idempotent; disabling flushes the ring to the configured sink
+    first (see :func:`repro.obs.trace.flush_active`) so buffered spans are
+    never silently dropped by a reconfigure.
+    """
+    if cfg.tracing and not _trace.is_enabled():
+        _trace.enable()
+    elif not cfg.tracing and _trace.is_enabled():
+        _trace.disable(flush=True)
+
+
 def configure(
     workers: int | None = None,
     block_rows: int | None | str = "unchanged",
     backend: str | None = None,
     min_parallel_work: int | None = None,
     shm_min_bytes: int | None | str = "unchanged",
+    tracing: bool | None = None,
 ) -> RuntimeConfig:
     """Update the process-wide config in place; unspecified fields persist.
 
@@ -191,9 +212,12 @@ def configure(
             updates["min_parallel_work"] = int(min_parallel_work)
         if shm_min_bytes != "unchanged":
             updates["shm_min_bytes"] = None if shm_min_bytes is None else int(shm_min_bytes)
+        if tracing is not None:
+            updates["tracing"] = bool(tracing)
         _config = replace(cfg, **updates) if updates else cfg
         new = _config
     _invalidate_stale_pools(cfg, new)
+    _sync_tracing(new)
     return new
 
 
@@ -204,6 +228,7 @@ def reset() -> RuntimeConfig:
         previous = _config
         _config = _DEFAULT
     _invalidate_stale_pools(previous, _DEFAULT)
+    _sync_tracing(_DEFAULT)
     return _config
 
 
@@ -214,16 +239,20 @@ def configured(
     backend: str | None = None,
     min_parallel_work: int | None = None,
     shm_min_bytes: int | None | str = "unchanged",
+    tracing: bool | None = None,
 ) -> Iterator[RuntimeConfig]:
     """Scope a configuration to a ``with`` block, restoring the previous one."""
     global _config
     with _lock:
         previous = _config
     try:
-        yield configure(workers, block_rows, backend, min_parallel_work, shm_min_bytes)
+        yield configure(
+            workers, block_rows, backend, min_parallel_work, shm_min_bytes, tracing
+        )
     finally:
         with _lock:
             _config = previous
+        _sync_tracing(previous)
 
 
 def in_serial_region() -> bool:

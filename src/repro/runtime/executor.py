@@ -26,13 +26,17 @@ import atexit
 import threading
 from concurrent.futures import (
     BrokenExecutor,
+    Future,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
     as_completed,
 )
-from typing import Callable, Iterable, Sequence, TypeVar
+from contextlib import contextmanager
+from typing import Any, Callable, Iterable, Iterator, Sequence, TypeVar
 
 from repro.errors import RuntimeConfigError, WorkerCrashError
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.runtime import shm
 from repro.runtime.config import RuntimeConfig, get_config, in_serial_region, serial_region
 
@@ -70,6 +74,26 @@ def _guarded_call(fn: Callable[[T], R], item: T) -> R:
         return fn(item)
 
 
+def _traced_call(
+    fn: Callable[[T], R], item: T, label: str, index: int
+) -> "tuple[R, list[_trace.SpanRecord]]":
+    """Run one task under a worker-side span collector (picklable helper).
+
+    The task's spans — its own ``runtime.task`` root plus anything the kernel
+    opens beneath it — are captured into a private per-thread tracer and
+    shipped back alongside the result; the dispatching side stitches them
+    under the parent span with :meth:`~repro.obs.trace.Tracer.adopt`.  Works
+    identically on the thread and process backends: the collector is
+    thread-local state in whichever interpreter runs the task, and
+    :class:`~repro.obs.trace.SpanRecord` pickles.
+    """
+    with _trace.collecting() as collector:
+        with collector.span("runtime.task", label=label, index=index):
+            with serial_region():
+                result = fn(item)
+    return result, collector.drain()
+
+
 def _serial_map(
     fn: Callable[[T], R],
     items: Sequence[T],
@@ -77,8 +101,13 @@ def _serial_map(
 ) -> list[R]:
     out: list[R] = []
     total = len(items)
+    tracer = _trace.get_tracer()
     for k, item in enumerate(items, start=1):
-        out.append(_guarded_call(fn, item))
+        if tracer.enabled:
+            with tracer.span("runtime.task", label="", index=k - 1):
+                out.append(_guarded_call(fn, item))
+        else:
+            out.append(_guarded_call(fn, item))
         if on_progress is not None:
             on_progress(k, total)
     return out
@@ -98,12 +127,41 @@ def _crash_error(
         f"task {task_index + 1}/{total}" if task_index is not None else f"{total} pending task(s)"
     )
     what = f" of {label}" if label else ""
+    _metrics.counter("runtime.worker_crashes").inc()
     return WorkerCrashError(
         f"{executor.name} pool worker died mid-run ({where}{what}): {exc}. "
         "The broken pool was evicted; the next dispatch gets a fresh one.",
         label=label,
         task_index=task_index,
     )
+
+
+@contextmanager
+def _map_obs(
+    executor: "ThreadExecutor | ProcessExecutor",
+    total: int,
+    label: str,
+) -> "Iterator[tuple[_trace.Tracer | _trace.NullTracer, _trace.Span | _trace.NullSpan]]":
+    """Metrics + span scope around one pool map.
+
+    Module-level and patchable on purpose: ``benchmarks/bench_obs_overhead.py``
+    swaps this (and the kernel-side hook) for a transparent no-op to measure
+    the bare hot path, which is how the ≤5% disabled-overhead gate separates
+    instrumentation cost from kernel cost.
+    """
+    _metrics.counter("runtime.maps").inc()
+    _metrics.counter("runtime.tasks_dispatched").inc(total)
+    tracer = _trace.get_tracer()
+    t0 = _metrics.monotonic_ns()
+    with tracer.span(
+        "runtime.map",
+        label=label,
+        backend=executor.name,
+        workers=executor.workers,
+        tasks=total,
+    ) as span:
+        yield tracer, span
+    _metrics.histogram("runtime.map_ms").observe((_metrics.monotonic_ns() - t0) / 1e6)
 
 
 def _pool_map(
@@ -124,22 +182,57 @@ def _pool_map(
     surface as an opaque ``BrokenProcessPool``; it is re-raised here as
     :class:`~repro.errors.WorkerCrashError` naming the task that was in
     flight, and the broken pool is evicted from the cache so the next
-    dispatch rebuilds a usable one.
+    dispatch rebuilds a usable one.  A crashed task is **not** a finished
+    task: the progress hook never counts it, so ``done == total`` fires only
+    when every task genuinely completed — a crash-then-retry can no longer
+    observe a full progress bar with work still in flight.  Each skipped
+    future is recorded in the ``runtime.tasks_crashed`` counter instead.
+
+    When tracing is live, tasks run under :func:`_traced_call`: worker-side
+    spans come back with each result and are stitched under this map's
+    ``runtime.map`` span, one tree across threads and processes.
     """
     total = len(items)
-    try:
-        futures = [executor._pool.submit(_guarded_call, fn, item) for item in items]
-    except BrokenExecutor as exc:  # pool already broken before this call
-        raise _crash_error(executor, exc, label=label, task_index=None, total=total) from exc
-    if on_progress is not None:
-        for done, _ in enumerate(as_completed(futures), start=1):
-            on_progress(done, total)
-    out: list[R] = []
-    for k, future in enumerate(futures):
+    with _map_obs(executor, total, label) as (tracer, span):
+        traced = tracer.enabled
+        parent_id = span.span_id if isinstance(span, _trace.Span) else None
+        futures: list[Future[Any]]
         try:
-            out.append(future.result())
-        except BrokenExecutor as exc:
-            raise _crash_error(executor, exc, label=label, task_index=k, total=total) from exc
+            if traced:
+                futures = [
+                    executor._pool.submit(_traced_call, fn, item, label, k)
+                    for k, item in enumerate(items)
+                ]
+            else:
+                futures = [executor._pool.submit(_guarded_call, fn, item) for item in items]
+        except BrokenExecutor as exc:  # pool already broken before this call
+            raise _crash_error(
+                executor, exc, label=label, task_index=None, total=total
+            ) from exc
+        if on_progress is not None:
+            done = 0
+            for future in as_completed(futures):
+                if isinstance(future.exception(), BrokenExecutor):
+                    # the worker died under this task; the caller will see a
+                    # WorkerCrashError below and may retry — not progress
+                    _metrics.counter("runtime.tasks_crashed").inc()
+                    continue
+                done += 1
+                on_progress(done, total)
+        out: list[R] = []
+        for k, future in enumerate(futures):
+            try:
+                result = future.result()
+            except BrokenExecutor as exc:
+                raise _crash_error(
+                    executor, exc, label=label, task_index=k, total=total
+                ) from exc
+            if traced:
+                value, records = result
+                tracer.adopt(records, parent_id=parent_id)
+                out.append(value)
+            else:
+                out.append(result)
     return out
 
 
@@ -236,6 +329,7 @@ def _evict(executor: ThreadExecutor | ProcessExecutor) -> None:
         for key, pool in list(_pools.items()):
             if pool is executor:
                 del _pools[key]
+                _metrics.counter("runtime.pools_evicted").inc()
     try:
         executor.shutdown()
     except Exception:  # pragma: no cover - broken pools may refuse teardown
@@ -270,6 +364,7 @@ def get_executor(
             else:  # pragma: no cover - BACKENDS validation makes this unreachable
                 raise RuntimeConfigError(f"unknown backend {backend!r}")
             _pools[key] = pool
+            _metrics.counter("runtime.pools_built").inc()
     if stale is not None:
         try:
             stale.shutdown()
@@ -296,6 +391,7 @@ def invalidate_stale_pools(config: RuntimeConfig) -> None:
         ]
         pools = [_pools.pop(key) for key in stale_keys]
     for pool in pools:
+        _metrics.counter("runtime.pools_evicted").inc()
         pool.shutdown()
 
 
@@ -304,7 +400,9 @@ def shutdown_executors() -> None:
 
     Also sweeps the shared-memory operand plane: any lease a crashed caller
     abandoned is closed and unlinked with the pools, so teardown leaves no
-    ``/dev/shm`` residue.
+    ``/dev/shm`` residue.  Finally the active trace ring is export-closed —
+    spans buffered at teardown are flushed to the configured sink (see
+    :func:`repro.obs.trace.flush_active`) rather than silently dropped.
     """
     with _pool_lock:
         pools = list(_pools.values())
@@ -312,6 +410,7 @@ def shutdown_executors() -> None:
     for pool in pools:
         pool.shutdown()
     shm.release_all()
+    _trace.flush_active()
 
 
 atexit.register(shutdown_executors)
@@ -368,6 +467,26 @@ async def async_submit(
     one — same contract as :func:`parallel_map`.
     """
     executor = get_executor(config)
+    _metrics.counter("runtime.async_submits").inc()
+    tracer = _trace.get_tracer()
+    if isinstance(tracer, _trace.Tracer):
+        with tracer.span(
+            "runtime.async_submit", label=label, backend=executor.name
+        ) as span:
+            if isinstance(executor, SerialExecutor):
+                value, records = await asyncio.to_thread(_traced_call, fn, item, label, 0)
+            else:
+                loop = asyncio.get_running_loop()
+                try:
+                    value, records = await loop.run_in_executor(
+                        executor._pool, _traced_call, fn, item, label, 0
+                    )
+                except BrokenExecutor as exc:
+                    raise _crash_error(
+                        executor, exc, label=label, task_index=None, total=1
+                    ) from exc
+            tracer.adopt(records, parent_id=span.span_id)
+            return value
     if isinstance(executor, SerialExecutor):
         return await asyncio.to_thread(_guarded_call, fn, item)
     loop = asyncio.get_running_loop()

@@ -46,6 +46,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.errors import SharedMemoryError
+from repro.obs import metrics as _metrics
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.assoc.sparse import CSRMatrix
@@ -138,6 +139,7 @@ class OperandLease:
         self._segments: list[shared_memory.SharedMemory] = []
         self._released = False
         self._lock = threading.Lock()
+        self._created_ns = _metrics.monotonic_ns()
         with _registry_lock:
             _live_leases[id(self)] = self
 
@@ -157,6 +159,7 @@ class OperandLease:
         if nbytes:
             view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=seg.buf)
             view[...] = arr
+        _metrics.counter("shm.bytes_exported").inc(nbytes)
         return ArrayRef(
             name=seg.name,
             shape=tuple(int(d) for d in arr.shape),
@@ -182,6 +185,8 @@ class OperandLease:
                 continue
             with self._lock:
                 self._segments.append(seg)
+            _metrics.counter("shm.segments_created").inc()
+            _metrics.gauge("shm.live_segments").inc()
             return seg
 
     # -- lifecycle ------------------------------------------------------ #
@@ -215,6 +220,12 @@ class OperandLease:
                 seg.unlink()
             except FileNotFoundError:  # pragma: no cover - already gone
                 pass
+        if segments:
+            _metrics.counter("shm.segments_unlinked").inc(len(segments))
+            _metrics.gauge("shm.live_segments").dec(len(segments))
+            _metrics.histogram("shm.lease_ms").observe(
+                (_metrics.monotonic_ns() - self._created_ns) / 1e6
+            )
 
     def __enter__(self) -> "OperandLease":
         return self
@@ -274,7 +285,9 @@ def _attach_segment(name: str) -> shared_memory.SharedMemory:
         seg = _attached.get(name)
         if seg is not None:
             _attached.move_to_end(name)
+            _metrics.counter("shm.attach_hits").inc()
             return seg
+        _metrics.counter("shm.attach_misses").inc()
         # On CPython < 3.13 attaching ALSO registers the segment with the
         # multiprocessing resource tracker.  The exporting parent is the sole
         # owner (it registers on create and unregisters on unlink, both from

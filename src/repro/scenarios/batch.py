@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, Iterable
 
+from repro.obs import metrics as _obs
+from repro.obs import trace as _trace
 from repro.scenarios.spec import ScenarioSpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -61,10 +63,15 @@ def generate_batch(
     """
     from repro.scenarios.service import run_batch_sync
 
-    return run_batch_sync(
-        specs,
-        workers=workers,
-        backend=backend,
-        cache=cache,
-        on_progress=on_progress,
-    )
+    _obs.counter("scenario.batches").inc()
+    seq = list(specs)
+    with _trace.get_tracer().span(
+        "scenario.generate_batch", specs=len(seq), cached=cache is not None
+    ):
+        return run_batch_sync(
+            seq,
+            workers=workers,
+            backend=backend,
+            cache=cache,
+            on_progress=on_progress,
+        )

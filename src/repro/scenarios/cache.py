@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, Mapping
 
 from repro.errors import ScenarioError
+from repro.obs import metrics as _obs
 from repro.scenarios.registry import get_generator
 from repro.scenarios.spec import ScenarioSpec
 
@@ -197,10 +198,14 @@ class ScenarioCache:
             if entry is None:
                 self._misses += 1
                 self._family_misses[family] = self._family_misses.get(family, 0) + 1
+                _obs.counter("scenario.cache.misses").inc()
+                _obs.counter(f"scenario.cache.misses.{family}").inc()
                 return None
             self._entries.move_to_end(key)
             self._hits += 1
             self._family_hits[family] = self._family_hits.get(family, 0) + 1
+            _obs.counter("scenario.cache.hits").inc()
+            _obs.counter(f"scenario.cache.hits.{family}").inc()
             return entry[1].copy()
 
     def put(self, spec: ScenarioSpec, matrix: "TrafficMatrix") -> str:
@@ -222,6 +227,8 @@ class ScenarioCache:
                 if old is not None:
                     self._bytes -= old[2]
                     self._evictions += 1
+                    _obs.counter("scenario.cache.evictions").inc()
+                self._sync_gauges()
             return key
         stored = matrix.copy()
         with self._lock:
@@ -231,7 +238,9 @@ class ScenarioCache:
             self._entries[key] = (family, stored, size)
             self._bytes += size
             self._puts += 1
+            _obs.counter("scenario.cache.puts").inc()
             self._evict_over_budget()
+            self._sync_gauges()
         return key
 
     def _evict_over_budget(self) -> None:
@@ -243,6 +252,18 @@ class ScenarioCache:
             _, (_, _, size) = self._entries.popitem(last=False)
             self._bytes -= size
             self._evictions += 1
+            _obs.counter("scenario.cache.evictions").inc()
+
+    def _sync_gauges(self) -> None:
+        """Mirror residency into the process registry (call with the lock held).
+
+        Counters above are per-event increments and so aggregate correctly
+        across several cache instances; residency is a point-in-time level,
+        so the gauges reflect the cache touched most recently — the common
+        single-service deployment reads them as that cache's residency.
+        """
+        _obs.gauge("scenario.cache.entries").set(float(len(self._entries)))
+        _obs.gauge("scenario.cache.bytes").set(float(self._bytes))
 
     def fetch(
         self, spec: ScenarioSpec
@@ -294,6 +315,7 @@ class ScenarioCache:
         with self._lock:
             self._entries.clear()
             self._bytes = 0
+            self._sync_gauges()
 
     # ------------------------------------------------------------------ #
     # observability

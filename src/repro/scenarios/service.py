@@ -56,6 +56,7 @@ import asyncio
 from typing import TYPE_CHECKING, Callable, Iterable
 
 from repro.errors import ReproError, ScenarioError, ScenarioServiceError
+from repro.obs import metrics as _obs
 from repro.runtime.config import RuntimeConfig, configured, get_config
 from repro.runtime.executor import async_submit, parallel_map
 from repro.scenarios.cache import ScenarioCache
@@ -303,6 +304,17 @@ class ScenarioService:
             "delta_rows_reused": 0,
         }
 
+    def _count(self, name: str, amount: int = 1) -> None:
+        """Bump a service counter and its mirror in the process registry.
+
+        The instance dict keeps per-service analytics for :meth:`stats`;
+        the ``scenario.<name>`` counter folds the same event into the
+        process-wide :mod:`repro.obs` registry so one metrics snapshot covers
+        every service (and the sync batch path) at once.
+        """
+        self._counters[name] += amount
+        _obs.counter(f"scenario.{name}").inc(amount)
+
     # ------------------------------------------------------------------ #
     # lifecycle
     # ------------------------------------------------------------------ #
@@ -373,21 +385,26 @@ class ScenarioService:
         assert queue is not None
         while True:
             job = await queue.get()
+            _obs.gauge("scenario.queue_depth").set(float(queue.qsize()))
             try:
                 await self._run_job(job)
             finally:
                 queue.task_done()
 
     async def _run_job(
-        self, job: "tuple[int, ScenarioSpec, asyncio.Future, BatchHandle]"
+        self, job: "tuple[int, ScenarioSpec, asyncio.Future, BatchHandle, int]"
     ) -> None:
-        index, spec, future, handle = job
+        index, spec, future, handle, enq_ns = job
+        _obs.histogram("scenario.queue_wait_ms").observe(
+            (_obs.monotonic_ns() - enq_ns) / 1e6
+        )
         try:
             if future.cancelled():
-                self._counters["specs_cancelled"] += 1
+                self._count("specs_cancelled")
                 return
             matrix = self.cache.get(spec)
             if matrix is None:
+                t0 = _obs.monotonic_ns()
                 try:
                     matrix = await async_submit(
                         _build_indexed,
@@ -396,18 +413,21 @@ class ScenarioService:
                         label=f"spec {index} ({spec.base!r})",
                     )
                 except Exception as exc:  # build failure -> the spec's future
-                    self._counters["specs_failed"] += 1
+                    self._count("specs_failed")
                     if not future.cancelled():
                         future.set_exception(exc)
                     return
+                _obs.histogram("scenario.build_ms").observe(
+                    (_obs.monotonic_ns() - t0) / 1e6
+                )
                 # Cache even when the requester has gone: the work is done,
                 # and the next request for this spec should be a pure hit.
                 self.cache.put(spec, matrix)
             if future.cancelled():
-                self._counters["specs_cancelled"] += 1
+                self._count("specs_cancelled")
             else:
                 future.set_result(matrix)
-                self._counters["specs_completed"] += 1
+                self._count("specs_completed")
         finally:
             handle._mark_done()
 
@@ -440,9 +460,9 @@ class ScenarioService:
         loop = asyncio.get_running_loop()
         futures = [loop.create_future() for _ in seq]
         handle = BatchHandle(seq, futures, on_progress)
-        self._counters["batches_submitted"] += 1
+        self._count("batches_submitted")
         for k, (spec, future) in enumerate(zip(seq, futures)):
-            job = (k, spec, future, handle)
+            job = (k, spec, future, handle, _obs.monotonic_ns())
             if wait:
                 await queue.put(job)
             else:
@@ -456,7 +476,8 @@ class ScenarioService:
                         f"spec {k} of {len(seq)} did not fit — await "
                         f"submit(..., wait=True) for backpressure instead"
                     ) from None
-            self._counters["specs_submitted"] += 1
+            self._count("specs_submitted")
+            _obs.gauge("scenario.queue_depth").set(float(queue.qsize()))
         return handle
 
     async def generate(
@@ -513,9 +534,9 @@ class ScenarioService:
         result = await asyncio.to_thread(
             _apply_delta_job, (base_spec, delta, self.cache, verify)
         )
-        self._counters["delta_rebuilds"] += 1
-        self._counters["delta_rows_recomputed"] += result.stats.rows_recomputed
-        self._counters["delta_rows_reused"] += result.stats.rows_reused
+        self._count("delta_rebuilds")
+        self._count("delta_rows_recomputed", result.stats.rows_recomputed)
+        self._count("delta_rows_reused", result.stats.rows_reused)
         return result
 
     # ------------------------------------------------------------------ #

@@ -1,11 +1,14 @@
 """Domain-aware static analysis for the repro codebase.
 
-Four rule families, one framework:
+Five rule families, one framework:
 
 * ``DET`` (:mod:`~repro.staticcheck.determinism`) — unseeded randomness,
   wall clocks, ``id()`` ordering, set-iteration order in contract code;
 * ``EXEC`` (:mod:`~repro.staticcheck.executor`) — unpicklable workers and
   nested parallelism at the runtime entry points;
+* ``OBS`` (:mod:`~repro.staticcheck.obs`) — span lifecycle discipline
+  (spans must be opened via ``with``) and the clock monopoly of
+  :mod:`repro.obs` (the one module allowed to read wall clocks);
 * ``REG`` (:mod:`~repro.staticcheck.registry_schema`) — ``@register_scenario``
   decorator schemas cross-checked against generator signatures;
 * ``SHP`` (:mod:`~repro.staticcheck.exprsites` +
@@ -32,6 +35,7 @@ from repro.staticcheck.core import (
 from repro.staticcheck.determinism import DeterminismRule
 from repro.staticcheck.executor import ExecutorSafetyRule
 from repro.staticcheck.exprsites import ExprSiteRule
+from repro.staticcheck.obs import ObsRule
 from repro.staticcheck.registry_schema import RegistrySchemaRule
 from repro.staticcheck.shapes import ExprType, annotate, infer, infer_vec
 
@@ -43,6 +47,7 @@ __all__ = [
     "ExprType",
     "FileContext",
     "Finding",
+    "ObsRule",
     "RegistrySchemaRule",
     "Rule",
     "annotate",

@@ -16,6 +16,7 @@ from repro.staticcheck.core import Baseline, Rule, check_paths
 from repro.staticcheck.determinism import DeterminismRule
 from repro.staticcheck.executor import ExecutorSafetyRule
 from repro.staticcheck.exprsites import ExprSiteRule
+from repro.staticcheck.obs import ObsRule
 from repro.staticcheck.registry_schema import RegistrySchemaRule
 from repro.staticcheck.report import render_json, render_rule_table, render_text
 
@@ -23,10 +24,11 @@ __all__ = ["default_rules", "main"]
 
 
 def default_rules() -> tuple[Rule, ...]:
-    """The four built-in rule families, in code order."""
+    """The five built-in rule families, in code order."""
     return (
         DeterminismRule(),
         ExecutorSafetyRule(),
+        ObsRule(),
         RegistrySchemaRule(),
         ExprSiteRule(),
     )

@@ -21,9 +21,11 @@ Codes:
 
 The family only fires inside *contract* modules (``repro.assoc``,
 ``repro.graphs``, ``repro.scenarios``, ``repro.verify``, ``repro.runtime``,
-``repro.analysis``, ``repro.core``) — game, rendering, and interpreter code
-is allowed to be as random as it likes.  Files that resolve to no ``repro``
-module at all (fixtures, scripts) are treated as contract code.
+``repro.analysis``, ``repro.core``, ``repro.obs``) — game, rendering, and
+interpreter code is allowed to be as random as it likes.  Files that resolve
+to no ``repro`` module at all (fixtures, scripts) are treated as contract
+code.  ``repro.obs`` is exempt from ``DET002`` only: it owns the sanctioned
+clock helpers (see :class:`repro.staticcheck.obs.ObsRule`).
 """
 
 from __future__ import annotations
@@ -36,6 +38,10 @@ from repro.staticcheck.core import FileContext, Finding
 __all__ = ["DeterminismRule", "CONTRACT_PREFIXES"]
 
 #: Module prefixes where the bit-identity / reproducibility contract applies.
+#: ``repro.obs`` is contract code too (its exports must be deterministic),
+#: but it is the *sole* carve-out from the DET002 wall-clock ban: it owns the
+#: sanctioned clock helpers every other module is steered towards (see
+#: :class:`repro.staticcheck.obs.ObsRule`).
 CONTRACT_PREFIXES = (
     "repro.assoc",
     "repro.graphs",
@@ -44,6 +50,7 @@ CONTRACT_PREFIXES = (
     "repro.runtime",
     "repro.analysis",
     "repro.core",
+    "repro.obs",
 )
 
 #: ``random`` module functions that consume the hidden global RNG state.
@@ -197,6 +204,13 @@ class DeterminismRule:
     def _check_clock(
         self, ctx: FileContext, node: ast.Call, target: str
     ) -> Iterator[Finding]:
+        module = ctx.module
+        if module is not None and (
+            module == "repro.obs" or module.startswith("repro.obs.")
+        ):
+            # the one sanctioned clock site: repro.obs wraps these reads in
+            # monotonic_ns()/wall_ns() for everyone else to call
+            return
         for suffix in _CLOCK_SUFFIXES:
             if target == suffix or target.endswith("." + suffix):
                 yield ctx.finding(

@@ -1,0 +1,105 @@
+"""R5 — the observability lint (``OBS``).
+
+:mod:`repro.obs` is deliberately the *only* place this codebase reads a
+clock: its ``monotonic_ns()`` / ``wall_ns()`` helpers are the sanctioned
+instruments, and the determinism family (``DET002``) already bans wall-clock
+reads in contract code.  This family closes the two gaps that leaves open:
+
+* ``OBS001`` — a span opened outside a ``with`` block.  ``tracer.span(...)``
+  returns a context manager whose ``__exit__`` records the span; calling it
+  bare (``span = tracer.span(...); span.__enter__()`` or just dropping the
+  value) leaks an un-recorded span and, worse, leaves it on the tracer's
+  thread-local stack forever — every later span in that thread would parent
+  under it.  The only sound idioms are a ``with`` item or handing it to an
+  ``ExitStack.enter_context(...)``.
+* ``OBS002`` — a wall-clock read anywhere outside :mod:`repro.obs` itself.
+  ``DET002`` covers *contract* modules; this code covers the rest of the
+  tree, so timing always routes through the sanctioned helpers and shows up
+  in the metrics registry instead of ad-hoc ``time.time()`` arithmetic.
+  Files that resolve to no ``repro`` module (fixtures, scripts) are treated
+  as instrumented code and checked.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.staticcheck.core import FileContext, Finding
+from repro.staticcheck.determinism import _CLOCK_SUFFIXES
+
+__all__ = ["ObsRule"]
+
+
+def _span_call(node: ast.expr) -> bool:
+    """True for a ``<something>.span(...)`` call expression."""
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "span"
+    )
+
+
+def _sanctioned_span_calls(tree: ast.AST) -> "set[int]":
+    """Ids of span calls used as ``with`` items or via ``enter_context``."""
+    sanctioned: set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if _span_call(item.context_expr):
+                    sanctioned.add(id(item.context_expr))
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "enter_context"
+            and node.args
+            and _span_call(node.args[0])
+        ):
+            sanctioned.add(id(node.args[0]))
+    return sanctioned
+
+
+class ObsRule:
+    """OBS — span lifecycle discipline and the clock monopoly of repro.obs."""
+
+    name = "observability"
+    codes = {
+        "OBS001": "span opened outside a with block (never recorded, corrupts the span stack)",
+        "OBS002": "wall-clock read outside repro.obs (route timing through obs.monotonic_ns/wall_ns)",
+    }
+
+    def _exempt(self, ctx: FileContext) -> bool:
+        """Only :mod:`repro.obs` itself may read clocks directly."""
+        module = ctx.module
+        return module is not None and (
+            module == "repro.obs" or module.startswith("repro.obs.")
+        )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if self._exempt(ctx):
+            return
+        sanctioned = _sanctioned_span_calls(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if _span_call(node) and id(node) not in sanctioned:
+                yield ctx.finding(
+                    "OBS001",
+                    node,
+                    "span opened without a with block; use "
+                    "'with tracer.span(...):' (or ExitStack.enter_context) so "
+                    "__exit__ records it and pops the span stack",
+                )
+            target = ctx.imports.resolve(node.func)
+            if target is None:
+                continue
+            for suffix in _CLOCK_SUFFIXES:
+                if target == suffix or target.endswith("." + suffix):
+                    yield ctx.finding(
+                        "OBS002",
+                        node,
+                        f"direct clock read {suffix}() outside repro.obs; use "
+                        f"repro.obs.monotonic_ns() for durations or "
+                        f"repro.obs.wall_ns() for timestamps",
+                    )
+                    break

@@ -23,6 +23,7 @@ from pathlib import Path
 from typing import Iterable, Sequence
 
 from repro.errors import ScenarioError
+from repro.obs import trace as _trace
 from repro.runtime.config import configured
 from repro.runtime.executor import parallel_map
 from repro.scenarios.spec import ScenarioSpec
@@ -74,6 +75,11 @@ class CorpusReport:
 
     results: tuple[SpecResult, ...]
     failures: tuple[CorpusFailure, ...] = field(default=())
+    #: When the run failed under an active tracer and had a ``repro_dir``,
+    #: the Perfetto trace of the failing fan-out lands next to the repro
+    #: files and its path is recorded here (excluded from equality — the
+    #: verdicts, not the artefact location, are the report's identity).
+    trace_path: Path | None = field(default=None, compare=False)
 
     @property
     def ok(self) -> bool:
@@ -124,6 +130,8 @@ class CorpusReport:
             )
             if failure.repro_path is not None:
                 lines.append(f"       repro: {failure.repro_path}")
+        if self.trace_path is not None:
+            lines.append(f"  trace: {self.trace_path}")
         return "\n".join(lines)
 
 
@@ -252,11 +260,13 @@ def run_corpus(
             )
     battery = tuple(oracles) if oracles is not None else default_oracles()
     tasks = [(spec, battery) for spec in seq]
-    if workers is None and backend is None:
-        verdict_rows = parallel_map(_check_task, tasks)
-    else:
-        with configured(workers=workers, backend=backend, min_parallel_work=1):
+    tracer = _trace.get_tracer()
+    with tracer.span("verify.run_corpus", specs=len(seq), oracles=len(battery)):
+        if workers is None and backend is None:
             verdict_rows = parallel_map(_check_task, tasks)
+        else:
+            with configured(workers=workers, backend=backend, min_parallel_work=1):
+                verdict_rows = parallel_map(_check_task, tasks)
 
     results = tuple(
         SpecResult(index=k, spec=spec, verdicts=row)
@@ -287,4 +297,14 @@ def run_corpus(
             if repro_dir is not None:
                 failure = replace(failure, repro_path=save_repro(failure, repro_dir))
             failures.append(failure)
-    return CorpusReport(results=results, failures=tuple(failures))
+    trace_path: Path | None = None
+    if failures and repro_dir is not None and tracer.enabled and len(tracer) > 0:
+        # a failing, traced run leaves its Perfetto timeline next to the
+        # repro files — open it in ui.perfetto.dev to see what the fan-out
+        # was doing when the oracle tripped
+        trace_path = _trace.write_trace_json(
+            tracer.spans(), Path(repro_dir) / "trace_run_corpus.json"
+        )
+    return CorpusReport(
+        results=results, failures=tuple(failures), trace_path=trace_path
+    )

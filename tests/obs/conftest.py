@@ -1,0 +1,24 @@
+"""Shared fixtures for the observability suite: pristine obs + runtime state."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import runtime
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+
+
+@pytest.fixture(autouse=True)
+def _pristine_obs():
+    """Every test starts from a clean registry, a no-op tracer, serial runtime."""
+    runtime.reset()
+    obs_trace.disable(flush=False)
+    obs_trace._sink = None
+    obs_metrics.reset_metrics()
+    yield
+    runtime.reset()
+    runtime.shutdown_executors()
+    obs_trace.disable(flush=False)
+    obs_trace._sink = None
+    obs_metrics.reset_metrics()

@@ -1,0 +1,117 @@
+"""Metrics under concurrency: totals equal the serial ground truth."""
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import runtime
+from repro.obs import metrics as obs
+from repro.obs import trace as obs_trace
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    amounts=st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=64),
+    threads=st.integers(min_value=2, max_value=8),
+)
+def test_threaded_counter_total_equals_serial(amounts, threads):
+    registry = obs.MetricsRegistry()
+    c = registry.counter("t.c")
+
+    def work():
+        for amount in amounts:
+            c.inc(amount)
+
+    pool = [threading.Thread(target=work) for _ in range(threads)]
+    for t in pool:
+        t.start()
+    for t in pool:
+        t.join()
+    assert c.value == sum(amounts) * threads
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    values=st.lists(
+        st.floats(min_value=1e-6, max_value=1e9, allow_nan=False, allow_infinity=False),
+        min_size=1,
+        max_size=64,
+    ),
+    threads=st.integers(min_value=2, max_value=8),
+)
+def test_threaded_histogram_matches_serial_ground_truth(values, threads):
+    concurrent = obs.MetricsRegistry()
+    serial = obs.MetricsRegistry()
+    h = concurrent.histogram("t.h")
+
+    def work():
+        for v in values:
+            h.observe(v)
+
+    pool = [threading.Thread(target=work) for _ in range(threads)]
+    for t in pool:
+        t.start()
+    for t in pool:
+        t.join()
+
+    ground = serial.histogram("t.h")
+    for _ in range(threads):
+        for v in values:
+            ground.observe(v)
+
+    got, want = h.to_dict(), ground.to_dict()
+    assert got["count"] == want["count"]
+    assert got["sum"] == pytest.approx(want["sum"])
+    assert got["min"] == want["min"] and got["max"] == want["max"]
+    assert got["buckets"] == want["buckets"]
+
+
+def _isolated_snapshot(item):
+    """Worker task: record the item in a private registry and ship it back."""
+    from repro.obs import metrics as worker_metrics
+
+    reg = worker_metrics.MetricsRegistry()
+    reg.counter("t.worker_events").inc(item)
+    reg.histogram("t.worker_vals").observe(float(item))
+    return reg.snapshot()
+
+
+@pytest.mark.parametrize("backend", ["thread", "process"])
+def test_backend_snapshots_merge_to_serial_ground_truth(backend):
+    """Snapshots shipped back from pool tasks merge to the exact serial total."""
+    runtime.configure(workers=2, backend=backend, min_parallel_work=1)
+    amounts = [1, 2, 3, 4, 5]
+    snapshots = runtime.parallel_map(_isolated_snapshot, amounts)
+    for snap in snapshots:
+        obs.merge_snapshot(snap)
+
+    ground = obs.MetricsRegistry()
+    for amount in amounts:
+        ground.counter("t.worker_events").inc(amount)
+        ground.histogram("t.worker_vals").observe(float(amount))
+
+    assert obs.counter("t.worker_events").value == ground.counter("t.worker_events").value
+    got = obs.histogram("t.worker_vals").to_dict()
+    want = ground.histogram("t.worker_vals").to_dict()
+    assert got["count"] == want["count"]
+    assert got["sum"] == pytest.approx(want["sum"])
+    assert got["buckets"] == want["buckets"]
+
+
+def test_noop_tracer_allocates_no_spans_across_threads():
+    assert obs_trace.get_tracer() is obs_trace.NULL_TRACER
+    seen = []
+
+    def work():
+        for _ in range(100):
+            seen.append(obs_trace.get_tracer().span("x"))
+
+    pool = [threading.Thread(target=work) for _ in range(4)]
+    for t in pool:
+        t.start()
+    for t in pool:
+        t.join()
+    assert all(s is obs_trace.NULL_SPAN for s in seen)
+    assert len(obs_trace.NULL_TRACER) == 0

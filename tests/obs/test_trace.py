@@ -1,0 +1,221 @@
+"""Unit coverage for the span tracer: spans, ring, exports, CLI."""
+
+import json
+
+import pytest
+
+from repro import runtime
+from repro.errors import ObservabilityError
+from repro.obs import __main__ as obs_cli
+from repro.obs import trace
+
+
+def _record(name="x", start=0, dur=10, span_id=1, parent=None, **attrs):
+    return trace.SpanRecord(
+        name=name,
+        start_ns=start,
+        dur_ns=dur,
+        span_id=span_id,
+        parent_id=parent,
+        pid=1,
+        tid=1,
+        attrs=tuple(sorted(attrs.items())),
+    )
+
+
+class TestSpans:
+    def test_nesting_links_parents(self):
+        tracer = trace.Tracer()
+        with tracer.span("outer"):
+            with tracer.span("middle"):
+                with tracer.span("inner"):
+                    pass
+        by_name = {r.name: r for r in tracer.spans()}
+        assert by_name["outer"].parent_id is None
+        assert by_name["middle"].parent_id == by_name["outer"].span_id
+        assert by_name["inner"].parent_id == by_name["middle"].span_id
+
+    def test_attrs_are_recorded_sorted(self):
+        tracer = trace.Tracer()
+        with tracer.span("k", zeta=1) as sp:
+            sp.set(alpha=2)
+        (rec,) = tracer.spans()
+        assert rec.attrs == (("alpha", 2), ("zeta", 1))
+
+    def test_record_survives_exceptions(self):
+        tracer = trace.Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("x")
+        assert len(tracer) == 1
+        assert tracer.current_span_id() is None
+
+    def test_span_ids_are_unique_and_pid_salted(self):
+        import os
+
+        tracer = trace.Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        ids = [r.span_id for r in tracer.spans()]
+        assert len(set(ids)) == 2
+        assert all(sid >> 40 == os.getpid() for sid in ids)
+
+    def test_ring_capacity_drops_oldest(self):
+        tracer = trace.Tracer(capacity=3)
+        for k in range(5):
+            with tracer.span(f"s{k}"):
+                pass
+        assert [r.name for r in tracer.spans()] == ["s2", "s3", "s4"]
+
+    def test_drain_empties_the_ring(self):
+        tracer = trace.Tracer()
+        with tracer.span("a"):
+            pass
+        records = tracer.drain()
+        assert len(records) == 1 and len(tracer) == 0
+
+    def test_adopt_reparents_root_records(self):
+        tracer = trace.Tracer()
+        tracer.adopt([_record(span_id=7, parent=None), _record(span_id=8, parent=7)], parent_id=99)
+        by_id = {r.span_id: r for r in tracer.spans()}
+        assert by_id[7].parent_id == 99  # root re-parented under the dispatch span
+        assert by_id[8].parent_id == 7  # internal links untouched
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ObservabilityError):
+            trace.Tracer(capacity=0)
+
+
+class TestNullPath:
+    def test_null_tracer_allocates_no_spans(self):
+        assert trace.get_tracer() is trace.NULL_TRACER
+        s1 = trace.NULL_TRACER.span("a", x=1)
+        s2 = trace.NULL_TRACER.span("b")
+        assert s1 is s2 is trace.NULL_SPAN  # identity: zero per-call allocation
+
+    def test_null_span_is_a_working_context_manager(self):
+        with trace.NULL_SPAN as sp:
+            assert sp.set(anything=1) is trace.NULL_SPAN
+        assert len(trace.NULL_TRACER) == 0
+        assert trace.NULL_TRACER.spans() == [] and trace.NULL_TRACER.drain() == []
+
+
+class TestEnableDisable:
+    def test_runtime_configured_scopes_tracing(self):
+        assert not trace.is_enabled()
+        with runtime.configured(tracing=True):
+            assert trace.is_enabled()
+            with trace.get_tracer().span("scoped"):
+                pass
+        assert not trace.is_enabled()
+        assert trace.get_tracer() is trace.NULL_TRACER
+
+    def test_enable_is_idempotent_at_same_capacity(self):
+        t1 = trace.enable()
+        t2 = trace.enable()
+        assert t1 is t2
+        t3 = trace.enable(capacity=16)
+        assert t3 is not t1 and t3.capacity == 16
+
+    def test_disable_flushes_to_sink(self, tmp_path):
+        sink = tmp_path / "flush.json"
+        tracer = trace.enable(sink=sink)
+        with tracer.span("flushed"):
+            pass
+        trace.disable(flush=True)
+        doc = json.loads(sink.read_text())
+        assert [ev["name"] for ev in doc["traceEvents"]] == ["flushed"]
+
+    def test_flush_without_sink_is_a_noop(self):
+        tracer = trace.enable()
+        with tracer.span("kept"):
+            pass
+        assert trace.flush_active() is None
+        assert len(tracer) == 1  # ring left intact
+
+    def test_collecting_overrides_thread_locally(self):
+        tracer = trace.enable()
+        with trace.collecting() as collector:
+            assert trace.get_tracer() is collector
+            with trace.get_tracer().span("worker.side"):
+                pass
+        assert trace.get_tracer() is tracer
+        assert len(tracer) == 0 and len(collector) == 1
+
+
+class TestExports:
+    def test_trace_events_schema(self):
+        records = [
+            _record(name="a", start=1_000_000, dur=5_000, span_id=1),
+            _record(name="b", start=2_000_000, dur=1_000, span_id=2, parent=1, blocks=4),
+        ]
+        events = trace.to_trace_events(records)
+        assert len(events) == 2
+        for ev in events:
+            assert set(ev) == {"name", "cat", "ph", "ts", "dur", "pid", "tid", "args"}
+            assert ev["ph"] == "X" and ev["cat"] == "repro"
+        assert events[0]["ts"] == 0.0  # normalised to the earliest start
+        assert events[1]["ts"] == 1000.0 and events[1]["args"] == {"blocks": 4}
+
+    def test_write_trace_json_is_loadable(self, tmp_path):
+        path = trace.write_trace_json([_record()], tmp_path / "t.json")
+        doc = json.loads(path.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        assert len(doc["traceEvents"]) == 1
+
+    def test_dump_load_roundtrip(self, tmp_path):
+        records = [_record(name="a", span_id=1), _record(name="b", span_id=2, parent=1, nnz=3)]
+        path = trace.dump_spans(records, tmp_path / "spans.json")
+        assert trace.load_spans(path) == records
+
+    def test_load_rejects_bad_version(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"span_version": 999, "spans": []}))
+        with pytest.raises(ObservabilityError):
+            trace.load_spans(path)
+
+    def test_malformed_record_rejected(self):
+        with pytest.raises(ObservabilityError):
+            trace.SpanRecord.from_dict({"name": "x"})
+
+    def test_flame_summary(self):
+        records = [
+            _record(name="kernel.mxm", dur=3_000_000, span_id=1),
+            _record(name="kernel.mxm", dur=1_000_000, span_id=2),
+            _record(name="runtime.map", dur=2_000_000, span_id=3),
+        ]
+        text = trace.flame_summary(records)
+        lines = text.splitlines()
+        assert "span" in lines[0] and "count" in lines[0]
+        assert lines[1].startswith("kernel.mxm")  # heaviest first
+        assert "2" in lines[1] and "4.000" in lines[1]
+        assert trace.flame_summary([]) == "(no spans recorded)"
+
+
+class TestCli:
+    def test_metrics_subcommand_prints_snapshot(self, capsys):
+        from repro.obs import metrics as obs_metrics
+
+        obs_metrics.counter("cli.probe").inc(2)
+        assert obs_cli.main(["metrics"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["counters"]["cli.probe"] == 2
+
+    def test_convert_subcommand(self, tmp_path, capsys):
+        spans = tmp_path / "spans.json"
+        trace.dump_spans([_record()], spans)
+        assert obs_cli.main(["convert", str(spans)]) == 0
+        out = spans.with_suffix(".perfetto.json")
+        assert out.exists()
+        assert len(json.loads(out.read_text())["traceEvents"]) == 1
+
+    def test_flame_subcommand(self, tmp_path, capsys):
+        spans = tmp_path / "spans.json"
+        trace.dump_spans([_record(name="kernel.mxm")], spans)
+        assert obs_cli.main(["flame", str(spans)]) == 0
+        assert "kernel.mxm" in capsys.readouterr().out
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        assert obs_cli.main(["convert", str(tmp_path / "nope.json")]) == 2

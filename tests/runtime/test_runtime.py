@@ -217,6 +217,60 @@ class TestWorkerCrash:
         asyncio.run(main())
 
 
+class TestProgressUnderCrash:
+    """Progress accounting must not drift when rebuild retries are in flight
+    (ISSUE 9 satellite): ``done == total`` may only be reported once every
+    task genuinely completed — a crashed task is a retry, not progress."""
+
+    def test_crashed_tasks_never_report_full_progress(self):
+        from repro.obs import metrics as obs_metrics
+
+        runtime.configure(workers=2, backend="process", min_parallel_work=1)
+        crashed_before = obs_metrics.counter("runtime.tasks_crashed").value
+        calls: list[tuple[int, int]] = []
+        with pytest.raises(WorkerCrashError):
+            runtime.parallel_map(
+                os._exit, [13, 13], on_progress=lambda d, t: calls.append((d, t))
+            )
+        assert all(done < total for done, total in calls), (
+            f"progress reported completion for crashed tasks: {calls}"
+        )
+        assert obs_metrics.counter("runtime.tasks_crashed").value > crashed_before
+
+    def test_progress_still_reaches_total_on_success(self):
+        runtime.configure(workers=2, backend="thread", min_parallel_work=1)
+        calls: list[tuple[int, int]] = []
+        runtime.parallel_map(abs, [-1, -2, -3], on_progress=lambda d, t: calls.append((d, t)))
+        assert calls[-1] == (3, 3)
+        assert [d for d, _ in calls] == [1, 2, 3]
+
+
+class TestShutdownFlushesTrace:
+    """shutdown_executors() must export-close the trace ring, not drop it."""
+
+    def test_buffered_spans_land_in_the_sink(self, tmp_path):
+        import json
+
+        from repro.obs import trace as obs_trace
+
+        sink = tmp_path / "teardown_trace.json"
+        obs_trace.enable(sink=sink)
+        try:
+            runtime.configure(
+                workers=2, backend="thread", min_parallel_work=1, tracing=True
+            )
+            runtime.parallel_map(abs, [-1, -2])
+            assert len(obs_trace.get_tracer()) > 0
+            runtime.shutdown_executors()
+            assert sink.exists(), "shutdown dropped the buffered spans"
+            document = json.loads(sink.read_text())
+            names = {ev["name"] for ev in document["traceEvents"]}
+            assert "runtime.map" in names
+        finally:
+            obs_trace.disable(flush=False)
+            obs_trace._sink = None
+
+
 class TestHeuristics:
     def test_explicit_request_wins(self):
         assert runtime.choose_block_rows(1000, 10**6, workers=4, requested=17) == 17

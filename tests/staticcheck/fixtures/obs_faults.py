@@ -1,0 +1,22 @@
+"""Planted observability faults — OBS golden-file fixture (never imported)."""
+
+import time
+
+from repro.obs import trace
+
+
+def leaked_span(tracer):
+    span = tracer.span("kernel.mxm", blocks=4)
+    span.__enter__()
+    return span
+
+
+def ad_hoc_timing():
+    t0 = time.perf_counter()
+    return time.perf_counter() - t0
+
+
+def sanctioned(tracer, stack):
+    with tracer.span("runtime.map"):
+        pass
+    stack.enter_context(trace.get_tracer().span("kernel.mxv"))

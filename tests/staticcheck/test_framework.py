@@ -113,6 +113,7 @@ class TestWalkers:
         assert {Path(f.path).name for f in findings} == {
             "det_faults.py",
             "exec_faults.py",
+            "obs_faults.py",
             "reg_faults.py",
             "shp_faults.py",
         }

@@ -19,6 +19,7 @@ FIXTURES = Path(__file__).parent / "fixtures"
 CASES = [
     ("det_faults.py", ["DET"], {"DET001", "DET002", "DET003", "DET004"}),
     ("exec_faults.py", ["EXEC"], {"EXEC001", "EXEC002", "EXEC003"}),
+    ("obs_faults.py", ["OBS"], {"OBS001", "OBS002"}),
     (
         "reg_faults.py",
         ["REG"],
@@ -68,3 +69,44 @@ def test_determinism_skips_non_contract_repro_modules():
     assert rule.applies(contract)
     assert not rule.applies(game)
     assert rule.applies(script)
+
+
+_CLOCK_SRC = "import time\n\ndef stamp():\n    return time.time()\n"
+
+
+def test_repro_obs_is_the_sole_clock_exemption():
+    """repro.obs may read clocks (no DET002, no OBS002); nobody else may."""
+    obs_ctx = FileContext.from_source(_CLOCK_SRC, Path("src/repro/obs/trace.py"))
+    obs_ctx.module = "repro.obs.trace"
+    codes = {f.rule for rule in default_rules() for f in rule.check(obs_ctx)}
+    assert "DET002" not in codes and "OBS002" not in codes
+
+    contract = FileContext.from_source(_CLOCK_SRC, Path("src/repro/runtime/x.py"))
+    contract.module = "repro.runtime.x"
+    codes = {f.rule for rule in default_rules() for f in rule.check(contract)}
+    assert {"DET002", "OBS002"} <= codes
+
+
+def test_obs_clock_ban_reaches_non_contract_modules():
+    """OBS002 fires even where DET002 does not (non-contract repro code)."""
+    game = FileContext.from_source(_CLOCK_SRC, Path("src/repro/game/x.py"))
+    game.module = "repro.game.x"
+    codes = {f.rule for rule in default_rules() for f in rule.check(game)}
+    assert "OBS002" in codes and "DET002" not in codes
+
+
+def test_obs_span_discipline():
+    from repro.staticcheck import ObsRule
+
+    bad = "def f(tracer):\n    s = tracer.span('x')\n    return s\n"
+    good = (
+        "def f(tracer, stack):\n"
+        "    with tracer.span('x'):\n"
+        "        pass\n"
+        "    stack.enter_context(tracer.span('y'))\n"
+    )
+    rule = ObsRule()
+    bad_ctx = FileContext.from_source(bad, Path("bad_span.py"))
+    assert {f.rule for f in rule.check(bad_ctx)} == {"OBS001"}
+    good_ctx = FileContext.from_source(good, Path("good_span.py"))
+    assert list(rule.check(good_ctx)) == []
