@@ -91,6 +91,19 @@ class AssocArrayError(ReproError):
     """Invalid operation on an :class:`~repro.assoc.AssociativeArray`."""
 
 
+class StoreError(ReproError):
+    """Invalid use of the durable scenario store (:mod:`repro.store`):
+    bad root directory, malformed blob framing, unsupported schema version,
+    or lock contention that outlived every retry."""
+
+
+class StoreIntegrityError(StoreError):
+    """A stored artefact failed its integrity check: blob checksum mismatch,
+    an index row whose blob is missing, or a digest that disagrees with the
+    index.  Raised loudly — a store must never serve bytes it cannot vouch
+    for."""
+
+
 class ScenarioError(ReproError):
     """Invalid use of the :mod:`repro.scenarios` registry or batch API."""
 

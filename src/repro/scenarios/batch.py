@@ -26,6 +26,7 @@ from repro.scenarios.spec import ScenarioSpec
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.traffic_matrix import TrafficMatrix
     from repro.scenarios.cache import ScenarioCache
+    from repro.store import ScenarioStore
 
 __all__ = ["realize_spec", "generate_batch"]
 
@@ -41,6 +42,7 @@ def generate_batch(
     workers: int | None = None,
     backend: str | None = None,
     cache: "ScenarioCache | None" = None,
+    store: "ScenarioStore | None" = None,
     on_progress: Callable[[int, int], None] | None = None,
 ) -> list["TrafficMatrix"]:
     """Realise *specs* in order, optionally in parallel and through a cache.
@@ -57,11 +59,31 @@ def generate_batch(
     (bit-identically) without building, and fresh builds are stored for next
     time.  Cache hits resolve before the fan-out starts.
 
+    ``store`` routes the batch through a durable
+    :class:`~repro.store.ScenarioStore` instead: specs already on disk are
+    served (bit-identically) without building, and fresh builds are persisted
+    — the warm-start path for corpora that outlive the process.  Pass either
+    ``cache`` or ``store``, not both; to combine them, attach the store to
+    your cache (``ScenarioCache(..., store=...)``) and pass that.
+
     ``on_progress(done, total)`` (when given) fires once per finished spec in
     **completion** order — worker order, not spec order — from the calling
     thread.  ``done`` is cumulative and reaches ``total`` exactly once.
     """
+    from repro.errors import ScenarioError
     from repro.scenarios.service import run_batch_sync
+
+    if store is not None:
+        if cache is not None:
+            raise ScenarioError(
+                "pass either cache or store, not both — attach the store to "
+                "the cache (ScenarioCache(..., store=...)) when combining them"
+            )
+        from repro.scenarios.cache import ScenarioCache
+
+        # Ephemeral unbounded L1 in front of the store: hits resolve from
+        # disk pre-fan-out, fresh builds write through durably.
+        cache = ScenarioCache(max_entries=None, store=store)
 
     _obs.counter("scenario.batches").inc()
     seq = list(specs)

@@ -16,9 +16,20 @@ hit receives.  Eviction is plain LRU, bounded by entry count and/or resident
 bytes; both bounds are deterministic, so a replayed workload evicts the same
 keys in the same order on every backend.
 
+**Tiers.**  With a :class:`~repro.store.ScenarioStore` attached the cache
+becomes a two-level hierarchy: the in-memory LRU is **L1**, the durable store
+is **L2**.  Reads fall through L1 → L2 → build (read-through: an L2 hit is
+promoted back into L1); writes go to both (write-through: every ``put`` also
+lands durably, so corpora survive restarts and are shared across processes).
+Eviction from L1 costs nothing durable — the entry is still in L2, and the
+next read quietly promotes it back.
+
 :class:`CacheAnalytics` is the observability surface: hits, misses,
-evictions, resident bytes, and per-family hit rates, exposed through
-``ScenarioService.stats()`` and :meth:`ScenarioCache.stats`.
+evictions, resident bytes, per-family hit rates, and — when a store is
+attached — the per-tier split (``l1_hits``/``l2_hits``/``promotions``),
+exposed through ``ScenarioService.stats()`` and :meth:`ScenarioCache.stats`.
+``hits`` stays the *total* across tiers, so existing dashboards keep reading
+the number they always did.
 """
 
 from __future__ import annotations
@@ -35,6 +46,7 @@ from repro.scenarios.spec import ScenarioSpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.traffic_matrix import TrafficMatrix
+    from repro.store import ScenarioStore
 
 __all__ = ["matrix_bytes", "CacheAnalytics", "ScenarioCache"]
 
@@ -73,6 +85,9 @@ class CacheAnalytics:
     max_bytes: int | None = None
     family_hits: Mapping[str, int] = field(default_factory=dict)
     family_misses: Mapping[str, int] = field(default_factory=dict)
+    l1_hits: int = 0
+    l2_hits: int = 0
+    promotions: int = 0
 
     @property
     def requests(self) -> int:
@@ -82,6 +97,16 @@ class CacheAnalytics:
     def hit_rate(self) -> float:
         """Overall hit fraction (0.0 on a cold, untouched cache)."""
         return self.hits / self.requests if self.requests else 0.0
+
+    @property
+    def l1_hit_rate(self) -> float:
+        """Fraction of all requests served from memory."""
+        return self.l1_hits / self.requests if self.requests else 0.0
+
+    @property
+    def l2_hit_rate(self) -> float:
+        """Fraction of all requests served from the durable store."""
+        return self.l2_hits / self.requests if self.requests else 0.0
 
     def family_hit_rates(self) -> dict[str, float]:
         """Hit fraction per scenario family, for every family seen."""
@@ -105,6 +130,13 @@ class CacheAnalytics:
             "max_bytes": self.max_bytes,
             "hit_rate": self.hit_rate,
             "family_hit_rates": self.family_hit_rates(),
+            "tiers": {
+                "l1_hits": self.l1_hits,
+                "l2_hits": self.l2_hits,
+                "l1_hit_rate": self.l1_hit_rate,
+                "l2_hit_rate": self.l2_hit_rate,
+                "promotions": self.promotions,
+            },
         }
 
 
@@ -121,14 +153,25 @@ class ScenarioCache:
         A single matrix larger than the whole budget is simply not retained —
         admitting it would evict everything else for a entry that can never
         pay for itself.
+    store:
+        Optional durable L2 tier (a :class:`~repro.store.ScenarioStore` or
+        anything with its ``get``/``put``/``contains`` surface).  Reads fall
+        through to it on an L1 miss and promote hits back into memory;
+        writes go through to it, oversized-for-L1 entries included — the
+        byte budget bounds *memory*, not durability.
 
     All operations are thread-safe (one re-entrant lock): the asyncio service
     touches the cache from its event-loop thread and from ``to_thread`` delta
-    rebuilds, while the sync batch path may use the same instance.
+    rebuilds, while the sync batch path may use the same instance.  Store I/O
+    runs *outside* the lock so a slow disk never blocks concurrent L1 hits.
     """
 
     def __init__(
-        self, max_entries: int | None = 256, max_bytes: int | None = None
+        self,
+        max_entries: int | None = 256,
+        max_bytes: int | None = None,
+        *,
+        store: "ScenarioStore | None" = None,
     ) -> None:
         if max_entries is not None and int(max_entries) < 1:
             raise ScenarioError(
@@ -140,6 +183,7 @@ class ScenarioCache:
             )
         self.max_entries = None if max_entries is None else int(max_entries)
         self.max_bytes = None if max_bytes is None else int(max_bytes)
+        self.store = store
         # key -> (family, matrix, bytes); insertion order doubles as LRU order
         self._entries: "OrderedDict[str, tuple[str, TrafficMatrix, int]]" = OrderedDict()
         self._bytes = 0
@@ -150,6 +194,9 @@ class ScenarioCache:
         self._puts = 0
         self._family_hits: dict[str, int] = {}
         self._family_misses: dict[str, int] = {}
+        self._l1_hits = 0
+        self._l2_hits = 0
+        self._promotions = 0
 
     # ------------------------------------------------------------------ #
     # keys
@@ -182,38 +229,85 @@ class ScenarioCache:
             return len(self._entries)
 
     def __contains__(self, spec: "ScenarioSpec | str") -> bool:
-        """Presence peek — does **not** count as a hit/miss or touch LRU order."""
+        """Presence peek across both tiers — counter-neutral, no LRU touch."""
         with self._lock:
-            return self.key_of(spec) in self._entries
+            if self.key_of(spec) in self._entries:
+                return True
+        return self.store is not None and self.store.contains(self.key_of(spec))
 
     def get(self, spec: ScenarioSpec) -> "TrafficMatrix | None":
         """The cached matrix for *spec* (a fresh copy), or ``None`` on a miss.
 
-        Counts one hit or miss and refreshes the entry's LRU position.
+        Counts one hit or miss and refreshes the entry's LRU position.  With
+        a store attached, an L1 miss falls through to L2; an L2 hit counts as
+        a hit (tier-tagged) and is promoted back into memory.
         """
+        matrix, tier = self._get_with_tier(spec)
+        return matrix if tier is not None else None
+
+    def _get_with_tier(
+        self, spec: ScenarioSpec
+    ) -> "tuple[TrafficMatrix | None, str | None]":
+        """``(matrix, tier)`` with tier ``"l1"``, ``"l2"``, or ``None`` (miss)."""
         key = self.key_of(spec)
         family = self._family_of(spec)
         with self._lock:
             entry = self._entries.get(key)
-            if entry is None:
-                self._misses += 1
-                self._family_misses[family] = self._family_misses.get(family, 0) + 1
-                _obs.counter("scenario.cache.misses").inc()
-                _obs.counter(f"scenario.cache.misses.{family}").inc()
-                return None
-            self._entries.move_to_end(key)
-            self._hits += 1
-            self._family_hits[family] = self._family_hits.get(family, 0) + 1
-            _obs.counter("scenario.cache.hits").inc()
-            _obs.counter(f"scenario.cache.hits.{family}").inc()
-            return entry[1].copy()
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                self._l1_hits += 1
+                self._family_hits[family] = self._family_hits.get(family, 0) + 1
+                _obs.counter("scenario.cache.hits").inc()
+                _obs.counter("scenario.cache.hits.l1").inc()
+                _obs.counter(f"scenario.cache.hits.{family}").inc()
+                return entry[1].copy(), "l1"
+        # L1 miss — consult the durable tier outside the lock (disk latency
+        # must not serialise concurrent L1 readers).
+        if self.store is not None:
+            loaded = self.store.get(key)
+            if loaded is not None:
+                self._promote(key, family, loaded)
+                with self._lock:
+                    self._hits += 1
+                    self._l2_hits += 1
+                    self._family_hits[family] = self._family_hits.get(family, 0) + 1
+                _obs.counter("scenario.cache.hits").inc()
+                _obs.counter("scenario.cache.hits.l2").inc()
+                _obs.counter(f"scenario.cache.hits.{family}").inc()
+                return loaded, "l2"
+        with self._lock:
+            self._misses += 1
+            self._family_misses[family] = self._family_misses.get(family, 0) + 1
+        _obs.counter("scenario.cache.misses").inc()
+        _obs.counter(f"scenario.cache.misses.{family}").inc()
+        return None, None
+
+    def _promote(self, key: str, family: str, matrix: "TrafficMatrix") -> None:
+        """Copy an L2 hit into L1 (a promotion, not a put — counted apart)."""
+        size = matrix_bytes(matrix)
+        if self.max_bytes is not None and size > self.max_bytes:
+            return  # oversized for memory; it stays served from L2
+        stored = matrix.copy()
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= old[2]
+            self._entries[key] = (family, stored, size)
+            self._bytes += size
+            self._promotions += 1
+            _obs.counter("scenario.cache.promotions").inc()
+            self._evict_over_budget()
+            self._sync_gauges()
 
     def put(self, spec: ScenarioSpec, matrix: "TrafficMatrix") -> str:
         """Store a built matrix under the spec's content address.
 
         The cache keeps its own copy (callers may keep mutating theirs), then
-        evicts least-recently-used entries until both bounds hold.  Returns
-        the cache key.
+        evicts least-recently-used entries until both bounds hold.  With a
+        store attached the write also goes through to L2 — including entries
+        too large for the memory budget, which L1 refuses but the durable
+        tier happily keeps.  Returns the cache key.
         """
         key = self.key_of(spec)
         family = self._family_of(spec)
@@ -229,18 +323,22 @@ class ScenarioCache:
                     self._evictions += 1
                     _obs.counter("scenario.cache.evictions").inc()
                 self._sync_gauges()
-            return key
-        stored = matrix.copy()
-        with self._lock:
-            old = self._entries.pop(key, None)
-            if old is not None:
-                self._bytes -= old[2]
-            self._entries[key] = (family, stored, size)
-            self._bytes += size
-            self._puts += 1
-            _obs.counter("scenario.cache.puts").inc()
-            self._evict_over_budget()
-            self._sync_gauges()
+        else:
+            stored = matrix.copy()
+            with self._lock:
+                old = self._entries.pop(key, None)
+                if old is not None:
+                    self._bytes -= old[2]
+                self._entries[key] = (family, stored, size)
+                self._bytes += size
+                self._puts += 1
+                _obs.counter("scenario.cache.puts").inc()
+                self._evict_over_budget()
+                self._sync_gauges()
+        if self.store is not None:
+            # Write-through, outside the lock: the store encodes its own
+            # immutable frame, so later caller mutations can't leak in.
+            self.store.put(spec, matrix)
         return key
 
     def _evict_over_budget(self) -> None:
@@ -269,12 +367,24 @@ class ScenarioCache:
         self, spec: ScenarioSpec
     ) -> "tuple[TrafficMatrix, bool]":
         """Get-or-build: ``(matrix, was_hit)``.  A miss builds and stores."""
-        cached = self.get(spec)
-        if cached is not None:
-            return cached, True
+        matrix, tier = self.fetch_tiered(spec)
+        return matrix, tier != "build"
+
+    def fetch_tiered(
+        self, spec: ScenarioSpec
+    ) -> "tuple[TrafficMatrix, str]":
+        """Get-or-build with provenance: ``(matrix, tier)``.
+
+        ``tier`` names where the matrix came from — ``"l1"`` (memory),
+        ``"l2"`` (durable store), or ``"build"`` (freshly built, and stored
+        through both tiers on the way out).
+        """
+        cached, tier = self._get_with_tier(spec)
+        if cached is not None and tier is not None:
+            return cached, tier
         built = spec.build()
         self.put(spec, built)
-        return built, False
+        return built, "build"
 
     def warm(
         self,
@@ -311,7 +421,11 @@ class ScenarioCache:
         return len(missing)
 
     def clear(self) -> None:
-        """Drop every entry (counters are kept — lifetime analytics survive)."""
+        """Drop every L1 entry (counters are kept — lifetime analytics survive).
+
+        The durable tier is deliberately untouched: clearing memory is a
+        residency decision, deleting from the store is data loss.
+        """
         with self._lock:
             self._entries.clear()
             self._bytes = 0
@@ -345,6 +459,9 @@ class ScenarioCache:
                 max_bytes=self.max_bytes,
                 family_hits=dict(self._family_hits),
                 family_misses=dict(self._family_misses),
+                l1_hits=self._l1_hits,
+                l2_hits=self._l2_hits,
+                promotions=self._promotions,
             )
 
     def stats(self) -> dict[str, object]:

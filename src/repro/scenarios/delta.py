@@ -54,6 +54,9 @@ class DeltaStats:
     blocks_recomputed: int
     delta_nnz: int
     base_cache_hit: bool
+    #: Where the base matrix came from: ``"l1"`` (cache memory), ``"l2"``
+    #: (durable store), ``"given"`` (caller-supplied), or ``"build"``.
+    base_tier: str = "build"
 
     @property
     def rows_reused(self) -> int:
@@ -156,12 +159,14 @@ def apply_delta(
     target = extend_spec(base_spec, overlays)
     prenoise_spec = replace(base_spec, noise=None)
 
-    base_hit = False
+    base_tier = "given"
     if base_matrix is None:
         if cache is not None:
-            base_matrix, base_hit = cache.fetch(prenoise_spec)
+            base_matrix, base_tier = cache.fetch_tiered(prenoise_spec)
         else:
             base_matrix = prenoise_spec.build()
+            base_tier = "build"
+    base_hit = base_tier in ("l1", "l2")
 
     # Materialise only the delta layers, at the layer indices they occupy in
     # the combined spec — per-layer seeds are positional, so a delta layer
@@ -261,5 +266,6 @@ def apply_delta(
         blocks_recomputed=blocks_recomputed,
         delta_nnz=delta_nnz,
         base_cache_hit=base_hit,
+        base_tier=base_tier,
     )
     return DeltaResult(spec=target, matrix=matrix, stats=stats)

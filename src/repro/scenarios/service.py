@@ -65,6 +65,7 @@ from repro.scenarios.spec import ScenarioSpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.traffic_matrix import TrafficMatrix
+    from repro.store import ScenarioStore
 
 __all__ = ["ProgressCallback", "BatchHandle", "ScenarioService", "run_batch_sync"]
 
@@ -259,6 +260,11 @@ class ScenarioService:
         A :class:`~repro.scenarios.ScenarioCache` to share (e.g. with a sync
         batch path or another service); by default the service owns a fresh
         one configured by ``max_entries``/``max_bytes``.
+    store:
+        A :class:`~repro.store.ScenarioStore` to mount as the cache's durable
+        L2 tier, so the service's corpus survives restarts.  Mutually
+        exclusive with ``cache`` — a shared cache already decided its own
+        tiering; pass ``ScenarioCache(..., store=...)`` instead.
     workers / backend:
         Runtime override for the executor builds run on (default: the
         process-wide :func:`repro.runtime.configure` setting).  The
@@ -271,6 +277,7 @@ class ScenarioService:
         concurrency: int = 4,
         queue_size: int = 64,
         cache: ScenarioCache | None = None,
+        store: "ScenarioStore | None" = None,
         max_entries: int | None = 256,
         max_bytes: int | None = None,
         workers: int | None = None,
@@ -282,10 +289,17 @@ class ScenarioService:
             )
         if int(queue_size) < 1:
             raise ScenarioServiceError(f"queue_size must be >= 1, got {queue_size}")
+        if cache is not None and store is not None:
+            raise ScenarioServiceError(
+                "pass either cache or store, not both — attach the store to "
+                "the cache (ScenarioCache(..., store=...)) when sharing one"
+            )
         self.cache = (
             cache
             if cache is not None
-            else ScenarioCache(max_entries=max_entries, max_bytes=max_bytes)
+            else ScenarioCache(
+                max_entries=max_entries, max_bytes=max_bytes, store=store
+            )
         )
         self.concurrency = int(concurrency)
         self.queue_size = int(queue_size)
@@ -551,6 +565,8 @@ class ScenarioService:
         out["queue_size"] = self.queue_size
         out["queue_depth"] = self._queue.qsize() if self._queue is not None else 0
         out["cache"] = self.cache.stats()
+        if self.cache.store is not None:
+            out["store"] = self.cache.store.stats()
         return out
 
     def __repr__(self) -> str:

@@ -1,0 +1,37 @@
+"""repro.store — durable content-addressed scenario store.
+
+The persistence tier under :mod:`repro.scenarios`: built matrices live in
+content-addressed blob files (atomic write-rename, checksummed on read) and
+a SQLite WAL index carries each spec, its provenance, and its payload digest
+with transactional upsert semantics.  Plug a :class:`ScenarioStore` into
+:class:`~repro.scenarios.ScenarioCache` (or :class:`ScenarioService`,
+:func:`generate_batch`, :func:`scenario_stream`) and corpora survive
+restarts and are shared across processes, bit-identically.
+
+``python -m repro.store --root DIR {ls,gc,verify,stats}`` administers a
+store from the shell.
+"""
+
+from repro.store.blobs import (
+    BLOB_FORMAT_VERSION,
+    BLOB_MAGIC,
+    BlobStore,
+    blob_digest,
+    decode_matrix,
+    encode_matrix,
+)
+from repro.store.index import SCHEMA_VERSION, IndexRow, StoreIndex
+from repro.store.store import ScenarioStore
+
+__all__ = [
+    "BLOB_FORMAT_VERSION",
+    "BLOB_MAGIC",
+    "BlobStore",
+    "IndexRow",
+    "SCHEMA_VERSION",
+    "ScenarioStore",
+    "StoreIndex",
+    "blob_digest",
+    "decode_matrix",
+    "encode_matrix",
+]

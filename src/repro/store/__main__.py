@@ -1,0 +1,129 @@
+"""``python -m repro.store`` — administer a durable scenario store.
+
+Subcommands (all take ``--root DIR``):
+
+* ``ls`` — list indexed artefacts (key, kind, family, n, seed, bytes);
+  filter with ``--kind``/``--family``/``--base``.
+* ``stats`` — print the store's shape and size as JSON.
+* ``gc`` — sweep orphan blobs and stale staging files; ``--dry-run`` only
+  reports.  Dangling index rows are reported, never deleted.
+* ``verify`` — integrity-check every artefact; ``--rebuild`` additionally
+  rebuilds each scenario from its spec and compares bit-for-bit.  Exits 1
+  when problems are found.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Sequence
+
+from repro.errors import StoreError
+from repro.store import ScenarioStore
+
+
+def _open(args: argparse.Namespace) -> ScenarioStore:
+    if not os.path.isdir(args.root):
+        raise StoreError(f"store root {args.root!r} does not exist")
+    return ScenarioStore(args.root)
+
+
+def _cmd_ls(args: argparse.Namespace) -> int:
+    with _open(args) as store:
+        rows = store.entries(kind=args.kind, family=args.family, base=args.base)
+        for row in rows:
+            size = "-" if row.payload_bytes is None else str(row.payload_bytes)
+            print(
+                f"{row.key[:16]}  {row.kind:<10} {row.family:<10} "
+                f"n={row.n:<5} seed={row.seed:<12} bytes={size}"
+            )
+        print(f"{len(rows)} entries")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    with _open(args) as store:
+        print(json.dumps(store.stats(), indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_gc(args: argparse.Namespace) -> int:
+    with _open(args) as store:
+        report = store.gc(dry_run=args.dry_run)
+        verb = "would remove" if args.dry_run else "removed"
+        print(f"{verb} {len(report['orphan_blobs'])} orphan blob(s)")
+        print(f"{verb} {len(report['staging_files'])} staging file(s)")
+        if report["dangling_rows"]:
+            print(
+                f"warning: {len(report['dangling_rows'])} dangling index row(s) "
+                f"(blob missing) — kept; inspect with `verify`",
+                file=sys.stderr,
+            )
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    with _open(args) as store:
+        problems = store.verify(rebuild=args.rebuild)
+        total = sum(len(keys) for keys in problems.values())
+        for reason, keys in sorted(problems.items()):
+            for key in keys:
+                print(f"{reason}: {key}")
+        checked = store.index.count()
+        print(f"checked {checked} entries, {total} problem(s)")
+    return 1 if total else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.store",
+        description="Administer a durable content-addressed scenario store.",
+    )
+    parser.add_argument("--root", required=True, help="store directory")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_ls = sub.add_parser("ls", help="list indexed artefacts")
+    p_ls.add_argument("--kind", default=None, help="filter by kind (scenario, repro)")
+    p_ls.add_argument("--family", default=None, help="filter by generator family")
+    p_ls.add_argument("--base", default=None, help="filter by base generator name")
+    p_ls.set_defaults(func=_cmd_ls)
+
+    p_stats = sub.add_parser("stats", help="print store shape and size as JSON")
+    p_stats.set_defaults(func=_cmd_stats)
+
+    p_gc = sub.add_parser("gc", help="sweep orphan blobs and staging debris")
+    p_gc.add_argument("--dry-run", action="store_true", help="report, don't delete")
+    p_gc.set_defaults(func=_cmd_gc)
+
+    p_verify = sub.add_parser("verify", help="integrity-check every artefact")
+    p_verify.add_argument(
+        "--rebuild",
+        action="store_true",
+        help="also rebuild each scenario from its spec and compare bit-for-bit",
+    )
+    p_verify.set_defaults(func=_cmd_verify)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return int(args.func(args))
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # downstream pager/head closed the pipe mid-print; exit quietly
+        # (devnull swap stops the interpreter re-raising at shutdown)
+        sys.stdout = open(os.devnull, "w")  # noqa: SIM115
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

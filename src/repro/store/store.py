@@ -1,0 +1,357 @@
+"""The durable scenario store: content-addressed blobs + transactional index.
+
+:class:`ScenarioStore` composes the two halves of :mod:`repro.store` into the
+persistence tier the rest of the library talks to.  One directory holds
+everything::
+
+    root/
+        index.sqlite          spec/provenance index (WAL mode)
+        ab/<key>.blob         matrix blobs, two-level hex fan-out
+        staging/              in-flight writes, invisible to readers
+
+**Crash-safe write ordering.**  :meth:`ScenarioStore.put` writes the blob
+first (atomic staged rename) and commits the index row second.  A writer
+killed at any point therefore leaves one of exactly three states, all safe:
+
+1. nothing published (died in staging) — the store is unchanged;
+2. blob published, no index row — the blob is an invisible *orphan* (reads
+   resolve through the index only) that :meth:`gc` reclaims;
+3. blob and row both published — the write simply succeeded.
+
+A *dangling* row — an index entry whose blob is missing — cannot be produced
+by a crash, only by outside interference with the blob directory; reads
+surface it as a :class:`~repro.errors.StoreIntegrityError` and
+:meth:`verify`/:meth:`gc` report it.
+
+**Bit-identity.**  The store round trip is part of the library's determinism
+contract: ``store.get(spec)`` after ``store.put(spec, spec.build())`` returns
+a matrix equal to a fresh ``spec.build()`` — packets, colours, labels, *and*
+provenance metadata — in this process or any later one.  The
+``store_round_trip`` oracle in :mod:`repro.verify` enforces this over the
+fuzz corpus.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Callable, Mapping
+
+from repro.errors import StoreError, StoreIntegrityError
+from repro.obs import metrics as _obs
+from repro.obs import trace as _trace
+from repro.store.blobs import BlobStore, blob_digest, decode_matrix, encode_matrix
+from repro.store.index import IndexRow, StoreIndex
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.traffic_matrix import TrafficMatrix
+    from repro.scenarios.spec import ScenarioSpec
+
+__all__ = ["ScenarioStore"]
+
+
+def _family_of(base: str) -> str:
+    from repro.errors import ScenarioError
+    from repro.scenarios.registry import get_generator
+
+    try:
+        return get_generator(base).family
+    except ScenarioError:
+        return "unknown"
+
+
+class ScenarioStore:
+    """Durable content-addressed store for built scenarios and repros.
+
+    Parameters
+    ----------
+    root:
+        Store directory; created if absent.  Everything the store owns lives
+        under it, so a store is moved or deleted by moving or deleting one
+        directory.
+    fsync:
+        Fsync blobs and their directory on write (default).  Disable for
+        tests and throwaway corpora where speed beats durability.
+    retries / backoff:
+        Lock-contention policy for the SQLite index; see
+        :class:`~repro.store.index.StoreIndex`.
+    fault_hook:
+        Test-only crash seam.  When set, it is called with a stage label at
+        defined points in the write path — ``"blob_written"`` between the
+        blob rename and the index transaction, plus the index's own
+        ``"index_in_txn"`` / ``"index_pre_commit"`` stages — so tests can
+        kill a writer at any boundary and assert recovery.
+    """
+
+    def __init__(
+        self,
+        root: Path | str,
+        *,
+        fsync: bool = True,
+        retries: int = 5,
+        backoff: float = 0.02,
+        fault_hook: Callable[[str], None] | None = None,
+    ) -> None:
+        self.root = Path(root)
+        if self.root.exists() and not self.root.is_dir():
+            raise StoreError(f"store root {self.root} exists and is not a directory")
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.fault_hook = fault_hook
+        self.blobs = BlobStore(self.root, fsync=fsync)
+        self.index = StoreIndex(
+            self.root / "index.sqlite",
+            retries=retries,
+            backoff=backoff,
+            fault_hook=fault_hook,
+        )
+
+    # ------------------------------------------------------------------ #
+    # keys
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def key_of(spec: "ScenarioSpec | str") -> str:
+        """The content address for a spec (or pass a key through unchanged)."""
+        if isinstance(spec, str):
+            return spec
+        return spec.cache_key()
+
+    # ------------------------------------------------------------------ #
+    # writes
+    # ------------------------------------------------------------------ #
+
+    def put(
+        self,
+        spec: "ScenarioSpec",
+        matrix: "TrafficMatrix",
+        *,
+        kind: str = "scenario",
+        extra: Mapping[str, Any] | None = None,
+    ) -> str:
+        """Durably store one built matrix under its spec's content address.
+
+        Blob first, index row second — see the module docstring for why this
+        ordering makes a mid-write crash harmless.  Returns the key.
+        """
+        key = spec.cache_key()
+        with _trace.get_tracer().span("store.put", key=key[:12], tier="l2"):
+            frame = encode_matrix(matrix)
+            digest = blob_digest(frame)
+            self.blobs.write(key, frame)
+            if self.fault_hook is not None:
+                self.fault_hook("blob_written")
+            self.index.upsert(
+                key,
+                spec.canonical_json(),
+                base=spec.base,
+                family=_family_of(spec.base),
+                n=spec.n,
+                seed=spec.seed,
+                nnz=matrix.nnz(),
+                payload_sha256=digest,
+                payload_bytes=len(frame),
+                kind=kind,
+                extra=extra,
+            )
+        _obs.counter("store.puts").inc()
+        return key
+
+    def put_spec(
+        self,
+        spec: "ScenarioSpec",
+        *,
+        kind: str = "scenario",
+        extra: Mapping[str, Any] | None = None,
+    ) -> str:
+        """Index a spec without a payload (e.g. a repro whose build crashes)."""
+        key = spec.cache_key()
+        self.index.upsert(
+            key,
+            spec.canonical_json(),
+            base=spec.base,
+            family=_family_of(spec.base),
+            n=spec.n,
+            seed=spec.seed,
+            kind=kind,
+            extra=extra,
+        )
+        _obs.counter("store.spec_puts").inc()
+        return key
+
+    def delete(self, spec_or_key: "ScenarioSpec | str") -> bool:
+        """Remove an artefact (row first, then blob); returns whether it existed.
+
+        The reverse of the write ordering for the same reason: between the
+        two steps the blob is merely an orphan, never a dangling row.
+        """
+        key = self.key_of(spec_or_key)
+        existed = self.index.delete(key)
+        self.blobs.delete(key)
+        return existed
+
+    # ------------------------------------------------------------------ #
+    # reads
+    # ------------------------------------------------------------------ #
+
+    def get(self, spec_or_key: "ScenarioSpec | str") -> "TrafficMatrix | None":
+        """Load a stored matrix, or ``None`` on a clean miss.
+
+        Integrity is checked twice: the blob's embedded checksum, and the
+        decoded frame's digest against what the index recorded at write time.
+        Any disagreement raises :class:`~repro.errors.StoreIntegrityError`
+        rather than returning questionable data.
+        """
+        key = self.key_of(spec_or_key)
+        with _trace.get_tracer().span("store.get", key=key[:12], tier="l2"):
+            row = self.index.get(key)
+            if row is None or row.payload_sha256 is None:
+                _obs.counter("store.misses").inc()
+                return None
+            frame = self.blobs.read(key)  # raises if the blob vanished
+            if blob_digest(frame) != row.payload_sha256:
+                raise StoreIntegrityError(
+                    f"blob for key {key[:12]}… does not match the digest the "
+                    f"index recorded at write time"
+                )
+            matrix = decode_matrix(frame)
+        _obs.counter("store.hits").inc()
+        return matrix
+
+    def contains(self, spec_or_key: "ScenarioSpec | str") -> bool:
+        """Whether a payload-bearing row exists (no blob read, no counters)."""
+        row = self.index.get(self.key_of(spec_or_key))
+        return row is not None and row.payload_sha256 is not None
+
+    __contains__ = contains
+
+    def entry(self, spec_or_key: "ScenarioSpec | str") -> IndexRow | None:
+        """The index row for one artefact, payload-bearing or not."""
+        return self.index.get(self.key_of(spec_or_key))
+
+    def entries(
+        self,
+        *,
+        family: str | None = None,
+        base: str | None = None,
+        kind: str | None = None,
+    ) -> list[IndexRow]:
+        """Indexed artefacts, newest first, optionally filtered."""
+        return self.index.rows(family=family, base=base, kind=kind)
+
+    def spec_for(self, key: str) -> "ScenarioSpec":
+        """Rehydrate the spec a key was derived from (from the index row)."""
+        from repro.scenarios.spec import ScenarioSpec
+
+        row = self.index.get(key)
+        if row is None:
+            raise StoreError(f"store has no entry for key {key[:12]}…")
+        return ScenarioSpec.from_json(row.spec_json)
+
+    # ------------------------------------------------------------------ #
+    # maintenance
+    # ------------------------------------------------------------------ #
+
+    def gc(self, *, dry_run: bool = False) -> dict[str, list[str]]:
+        """Sweep debris: orphan blobs, stale staging files, dangling rows.
+
+        Orphan blobs (no index row) and staging leftovers are deleted;
+        dangling rows (index row whose blob is missing) are *reported* but
+        kept — the spec and provenance are still real, and deleting evidence
+        of outside interference silently is the wrong default.  With
+        ``dry_run`` nothing is touched.  Returns what was (or would be)
+        acted on.
+        """
+        indexed = set(self.index.keys())
+        on_disk = set(self.blobs.keys())
+        orphans = sorted(on_disk - indexed)
+        dangling = sorted(
+            row.key
+            for row in self.index.rows()
+            if row.payload_sha256 is not None and row.key not in on_disk
+        )
+        staging = self.blobs.staging_files()
+        if not dry_run:
+            for key in orphans:
+                self.blobs.delete(key)
+            for path in staging:
+                try:
+                    path.unlink()
+                except FileNotFoundError:
+                    pass
+            _obs.counter("store.gc_orphans").inc(len(orphans))
+        return {
+            "orphan_blobs": orphans,
+            "dangling_rows": dangling,
+            "staging_files": [str(p) for p in staging],
+        }
+
+    def verify(self, *, rebuild: bool = False) -> dict[str, list[str]]:
+        """Check every artefact; returns problems keyed by failure class.
+
+        Always checks blob presence, checksum, and index-digest agreement.
+        With ``rebuild`` it also rebuilds each scenario from its spec and
+        compares bit-for-bit — the full determinism contract, at full cost.
+        """
+        problems: dict[str, list[str]] = {
+            "missing_blob": [],
+            "corrupt_blob": [],
+            "digest_mismatch": [],
+            "rebuild_mismatch": [],
+        }
+        for row in self.index.rows():
+            if row.payload_sha256 is None:
+                continue
+            try:
+                frame = self.blobs.read(row.key)
+            except StoreIntegrityError:
+                problems["missing_blob"].append(row.key)
+                continue
+            if blob_digest(frame) != row.payload_sha256:
+                problems["digest_mismatch"].append(row.key)
+                continue
+            try:
+                matrix = decode_matrix(frame)
+            except StoreError:
+                problems["corrupt_blob"].append(row.key)
+                continue
+            if rebuild:
+                from repro.scenarios.spec import ScenarioSpec
+
+                spec = ScenarioSpec.from_json(row.spec_json)
+                rebuilt = spec.build()
+                if rebuilt != matrix or rebuilt.meta != matrix.meta:
+                    problems["rebuild_mismatch"].append(row.key)
+        return problems
+
+    def stats(self) -> dict[str, Any]:
+        """Shape and size of the store, cheap enough to call from hot paths."""
+        rows = self.index.rows()
+        by_kind: dict[str, int] = {}
+        payload_bytes = 0
+        for row in rows:
+            by_kind[row.kind] = by_kind.get(row.kind, 0) + 1
+            payload_bytes += row.payload_bytes or 0
+        return {
+            "root": str(self.root),
+            "schema_version": self.index.schema_version(),
+            "entries": len(rows),
+            "by_kind": dict(sorted(by_kind.items())),
+            "payload_bytes": payload_bytes,
+            "blobs_on_disk": sum(1 for _ in self.blobs.keys()),
+            "staging_files": len(self.blobs.staging_files()),
+        }
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        self.index.close()
+
+    def __enter__(self) -> "ScenarioStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"ScenarioStore(root={str(self.root)!r}, entries={self.index.count()})"

@@ -7,7 +7,7 @@ introspected schemas (:func:`make_corpus`), runs each through a battery of
 independent-path oracles (:func:`default_oracles`), and reports — shrinking
 and persisting any failure as a replayable JSON repro file.
 
-The seven standard oracles:
+The eight standard oracles:
 
 * :class:`KernelEqualityOracle` — serial vs row-blocked semiring kernels on
   corpus-derived CSR matrices, bit for bit (plus a dense reference for
@@ -28,7 +28,10 @@ The seven standard oracles:
 * :class:`StaticShapesOracle` — :func:`repro.staticcheck.shapes.infer` types
   an expression battery over every corpus matrix identically to runtime
   observation (shape *and* dtype), and ``Plan.typecheck()`` rejects a
-  raw-constructed ill-shaped product.
+  raw-constructed ill-shaped product;
+* :class:`StoreRoundTripOracle` — the durable :mod:`repro.store` round trip
+  (put, reopen, get) is bit-identical to the direct build, upserts are
+  idempotent, and a corrupted blob raises instead of serving bad bytes.
 
 Quickstart::
 
@@ -55,6 +58,7 @@ from repro.verify.oracles import (
     OverlayMetamorphicOracle,
     RoundTripOracle,
     StaticShapesOracle,
+    StoreRoundTripOracle,
     default_oracles,
 )
 from repro.verify.runner import (
@@ -62,6 +66,7 @@ from repro.verify.runner import (
     CorpusReport,
     SpecResult,
     load_repro,
+    replay_from_store,
     replay_repro,
     run_corpus,
     save_repro,
@@ -82,6 +87,7 @@ __all__ = [
     "OverlayMetamorphicOracle",
     "CacheDeltaOracle",
     "StaticShapesOracle",
+    "StoreRoundTripOracle",
     "CLASSIFIER_AMBIGUITIES",
     "default_oracles",
     "SpecResult",
@@ -91,5 +97,6 @@ __all__ = [
     "save_repro",
     "load_repro",
     "replay_repro",
+    "replay_from_store",
     "shrink_spec",
 ]

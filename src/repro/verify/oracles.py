@@ -56,6 +56,7 @@ __all__ = [
     "OverlayMetamorphicOracle",
     "CacheDeltaOracle",
     "StaticShapesOracle",
+    "StoreRoundTripOracle",
     "default_oracles",
 ]
 
@@ -672,8 +673,87 @@ class StaticShapesOracle:
         )
 
 
+# --------------------------------------------------------------------------- #
+# 7. durable store round trip vs direct build
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class StoreRoundTripOracle:
+    """The disk round trip is bit-identical and corruption never goes quiet.
+
+    Extends the bit-identity contract to :mod:`repro.store`, fuzzed per spec:
+
+    * **Round-trip identity** — ``put`` into a fresh store, reopen the same
+      directory as a *new* store instance (a stand-in for a new process: no
+      shared state survives but the files), and ``get`` must reproduce the
+      direct ``spec.build()`` result exactly — packets, colours, labels, and
+      provenance metadata.
+    * **Upsert idempotence** — a second ``put`` of the same spec leaves
+      exactly one index row (``writes`` bumped, nothing duplicated).
+    * **Integrity enforcement** — flipping one byte of the stored blob must
+      make ``get`` raise :class:`~repro.errors.StoreIntegrityError`; a store
+      that serves corrupt bytes quietly fails the oracle.
+
+    ``fsync`` defaults off: the oracle exercises framing and integrity, not
+    the disk cache, and fuzz corpora run this hundreds of times.
+    """
+
+    name = "store_round_trip"
+    fsync: bool = False
+
+    def check(self, spec: ScenarioSpec) -> OracleVerdict:
+        import shutil
+        import tempfile
+
+        from repro.errors import StoreIntegrityError
+        from repro.store import ScenarioStore
+
+        direct = spec.build()
+        root = tempfile.mkdtemp(prefix="repro_store_oracle_")
+        try:
+            with ScenarioStore(root, fsync=self.fsync) as store:
+                key = store.put(spec, direct)
+            with ScenarioStore(root, fsync=self.fsync) as reopened:
+                loaded = reopened.get(key)
+                if loaded is None:
+                    return _failed(self.name, "stored matrix missing after reopen")
+                if loaded != direct or loaded.meta != direct.meta:
+                    return _failed(self.name, "store round trip != direct build")
+                reopened.put(spec, direct)
+                if reopened.index.count() != 1:
+                    return _failed(
+                        self.name,
+                        f"re-put left {reopened.index.count()} index rows "
+                        f"(expected exactly 1)",
+                    )
+                row = reopened.entry(key)
+                writes = row.writes if row is not None else 0
+            blob_path = None
+            with ScenarioStore(root, fsync=self.fsync) as store3:
+                blob_path = store3.blobs.path_for(key)
+                corrupted = bytearray(blob_path.read_bytes())
+                corrupted[len(corrupted) // 2] ^= 0xFF
+                blob_path.write_bytes(bytes(corrupted))
+                try:
+                    store3.get(key)
+                except StoreIntegrityError:
+                    pass
+                else:
+                    return _failed(
+                        self.name, "corrupted blob served without an integrity error"
+                    )
+            return _passed(
+                self.name,
+                f"disk round trip identical; upsert idempotent "
+                f"(writes={writes}); corruption detected",
+            )
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+
+
 def default_oracles() -> tuple[Oracle, ...]:
-    """The standard battery: all seven differential oracles, default settings."""
+    """The standard battery: all eight differential oracles, default settings."""
     return (
         KernelEqualityOracle(),
         MaskedEqualityOracle(),
@@ -682,4 +762,5 @@ def default_oracles() -> tuple[Oracle, ...]:
         OverlayMetamorphicOracle(),
         CacheDeltaOracle(),
         StaticShapesOracle(),
+        StoreRoundTripOracle(),
     )

@@ -11,6 +11,15 @@ Failures are shrunk (:func:`repro.verify.shrink.shrink_spec`) and, when a
 ``repro_dir`` is given, persisted as self-contained JSON repro files that
 :func:`replay_repro` can re-run directly — a failing fuzz campaign leaves
 behind exactly the artefacts needed to debug it.
+
+With a :class:`~repro.store.ScenarioStore` attached (``store=`` on
+:func:`run_corpus`/:func:`save_repro`), repros also persist *durably*: the
+minimized spec, its built matrix, and the failure provenance land in the
+store under ``kind="repro"``, and :func:`replay_from_store` re-runs them in
+any later process — a fuzz campaign's findings survive the machine that
+found them.  :func:`load_repro` doubles as the migration shim for legacy
+sha1-named repro files: pass it a store and the file is imported on first
+load (with a deprecation note for the old naming).
 """
 
 from __future__ import annotations
@@ -18,11 +27,15 @@ from __future__ import annotations
 import functools
 import hashlib
 import json
+import warnings
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
-from repro.errors import ScenarioError
+from repro.errors import ReproError, ScenarioError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.store import ScenarioStore
 from repro.obs import trace as _trace
 from repro.runtime.config import configured
 from repro.runtime.executor import parallel_map
@@ -38,6 +51,7 @@ __all__ = [
     "save_repro",
     "load_repro",
     "replay_repro",
+    "replay_from_store",
 ]
 
 #: Version stamp for persisted repro documents.
@@ -172,7 +186,30 @@ def _legacy_repro_digest(failure: CorpusFailure) -> str:
     ).hexdigest()[:10]
 
 
-def save_repro(failure: CorpusFailure, repro_dir: Path | str) -> Path:
+def _store_repro(
+    store: "ScenarioStore", spec: ScenarioSpec, *, oracle: str, detail: str
+) -> str:
+    """Persist one repro spec (and its matrix, when buildable) into a store.
+
+    A spec whose *build itself* crashes — exactly the kind of finding a
+    fuzzer treasures — is indexed spec-only, with the crash recorded in the
+    provenance, so the repro still survives even without a payload.
+    """
+    extra = {"oracle": oracle, "detail": detail}
+    try:
+        matrix = spec.build()
+    except ReproError as exc:
+        extra["build_error"] = f"{type(exc).__name__}: {exc}"
+        return store.put_spec(spec, kind="repro", extra=extra)
+    return store.put(spec, matrix, kind="repro", extra=extra)
+
+
+def save_repro(
+    failure: CorpusFailure,
+    repro_dir: Path | str,
+    *,
+    store: "ScenarioStore | None" = None,
+) -> Path:
     """Persist one failure as a self-contained JSON repro file.
 
     The file name is content-addressed (oracle + base + a prefix of the
@@ -182,6 +219,10 @@ def save_repro(failure: CorpusFailure, repro_dir: Path | str) -> Path:
     duplicates.  A repro for the same failure saved under the older sha1
     naming scheme is removed on overwrite; :func:`load_repro` still reads
     old files by path — the digest only ever named the file.
+
+    With ``store`` the failure also lands durably under ``kind="repro"``
+    (minimized spec + built matrix + oracle provenance), replayable later
+    via :func:`replay_from_store`.
     """
     repro_dir = Path(repro_dir)
     repro_dir.mkdir(parents=True, exist_ok=True)
@@ -200,19 +241,57 @@ def save_repro(failure: CorpusFailure, repro_dir: Path | str) -> Path:
         "original_spec": failure.spec.to_dict(),
     }
     path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    if store is not None:
+        _store_repro(
+            store, failure.minimized, oracle=failure.oracle, detail=failure.detail
+        )
     return path
 
 
-def load_repro(path: Path | str) -> tuple[ScenarioSpec, dict]:
-    """Read a repro file back into its minimized spec (plus the raw document)."""
-    document = json.loads(Path(path).read_text())
+def load_repro(
+    path: Path | str, *, store: "ScenarioStore | None" = None
+) -> tuple[ScenarioSpec, dict]:
+    """Read a repro file back into its minimized spec (plus the raw document).
+
+    With ``store`` the repro is imported into the durable store on first
+    load — the migration path for file-only corpora, including legacy
+    sha1-named files (e.g. under ``tests/corpus/``), which additionally get
+    a :class:`DeprecationWarning` pointing at the store as their new home.
+    Already-imported repros are left untouched, so repeated loads are free.
+    """
+    path = Path(path)
+    document = json.loads(path.read_text())
     version = document.get("repro_version")
     if version != REPRO_FILE_VERSION:
         raise ScenarioError(
             f"unsupported repro_version {version!r} in {path} "
             f"(this library reads {REPRO_FILE_VERSION})"
         )
-    return ScenarioSpec.from_dict(document["spec"]), document
+    spec = ScenarioSpec.from_dict(document["spec"])
+    name_digest = path.stem.rsplit("_", 1)[-1]
+    legacy_digest = hashlib.sha1(
+        json.dumps(document["spec"], sort_keys=True).encode()
+    ).hexdigest()[:10]
+    is_legacy_name = (
+        name_digest == legacy_digest and name_digest != spec.cache_key()[:10]
+    )
+    if is_legacy_name:
+        warnings.warn(
+            f"repro file {path.name} uses the deprecated sha1 naming scheme; "
+            f"re-save it (run_corpus(repro_dir=...)) or import it into a "
+            f"ScenarioStore (load_repro(path, store=...)) — sha1-named files "
+            f"will stop being recognised as repros in a future release",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    if store is not None and store.entry(spec) is None:
+        _store_repro(
+            store,
+            spec,
+            oracle=str(document.get("oracle", "")),
+            detail=str(document.get("detail", "")),
+        )
+    return spec, document
 
 
 def replay_repro(
@@ -232,6 +311,34 @@ def replay_repro(
     return _check_task((spec, tuple(battery)))
 
 
+def replay_from_store(
+    store: "ScenarioStore",
+    key: "ScenarioSpec | str",
+    oracles: Sequence[Oracle] | None = None,
+) -> tuple[OracleVerdict, ...]:
+    """Re-run a repro persisted in a :class:`~repro.store.ScenarioStore`.
+
+    ``key`` is the spec or its content address.  The spec is rehydrated from
+    the index row (no blob needed — spec-only crash repros replay too), and
+    by default only the oracle recorded in the row's provenance runs; pass
+    ``oracles`` to run a different battery.
+    """
+    row = store.entry(key)
+    if row is None:
+        raise ScenarioError(
+            f"store has no repro for key "
+            f"{(key if isinstance(key, str) else key.cache_key())[:12]}…"
+        )
+    spec = ScenarioSpec.from_json(row.spec_json)
+    recorded = (row.extra or {}).get("oracle")
+    battery = tuple(oracles) if oracles is not None else tuple(
+        o for o in default_oracles() if o.name == recorded
+    )
+    if not battery:
+        battery = default_oracles()
+    return _check_task((spec, tuple(battery)))
+
+
 def run_corpus(
     specs: Iterable[ScenarioSpec],
     oracles: Sequence[Oracle] | None = None,
@@ -239,6 +346,7 @@ def run_corpus(
     workers: int | None = None,
     backend: str | None = None,
     repro_dir: Path | str | None = None,
+    store: "ScenarioStore | None" = None,
     shrink: bool = True,
     max_shrink_attempts: int = 200,
 ) -> CorpusReport:
@@ -248,8 +356,9 @@ def run_corpus(
     same contract as :func:`repro.scenarios.generate_batch`); the default
     inherits the process-wide :func:`repro.runtime.configure` opt-in.
     Failures are shrunk and, when ``repro_dir`` is given, written as JSON
-    repro files.  Shrinking happens after the fan-out, serially — predicates
-    re-run oracles, and only failures pay that cost.
+    repro files; ``store`` additionally persists each failure durably (see
+    :func:`save_repro`).  Shrinking happens after the fan-out, serially —
+    predicates re-run oracles, and only failures pay that cost.
     """
     seq: list[ScenarioSpec] = list(specs)
     for k, spec in enumerate(seq):
@@ -295,7 +404,15 @@ def run_corpus(
                 minimized=minimized,
             )
             if repro_dir is not None:
-                failure = replace(failure, repro_path=save_repro(failure, repro_dir))
+                failure = replace(
+                    failure,
+                    repro_path=save_repro(failure, repro_dir, store=store),
+                )
+            elif store is not None:
+                _store_repro(
+                    store, failure.minimized,
+                    oracle=failure.oracle, detail=failure.detail,
+                )
             failures.append(failure)
     trace_path: Path | None = None
     if failures and repro_dir is not None and tracer.enabled and len(tracer) > 0:

@@ -1,0 +1,154 @@
+"""MergedWindowView: incremental materialization ≡ full merge, always."""
+
+import pytest
+
+from repro.analysis import MergedWindowView, merge_windows, window_digest
+from repro.analysis.streaming import scenario_stream, window_stream
+from repro.scenarios import ScenarioSpec
+from repro.store import ScenarioStore
+
+
+def _windows(n_specs=3, window_size=16):
+    specs = [
+        ScenarioSpec(base=base, params={}, n=10, seed=seed)
+        for seed, base in zip(range(n_specs), ("ring", "star", "ddos_attack"))
+    ]
+    return [array for array, _ in scenario_stream(specs, window_size=window_size)]
+
+
+class TestWindowDigest:
+    def test_equal_windows_equal_digests(self):
+        events = [("a", "b", 2), ("b", "c", 1)]
+        [(w1, _)] = list(window_stream(events, window_size=10))
+        [(w2, _)] = list(window_stream(events, window_size=10))
+        assert window_digest(w1) == window_digest(w2)
+
+    def test_different_content_different_digest(self):
+        [(w1, _)] = list(window_stream([("a", "b", 2)], window_size=10))
+        [(w2, _)] = list(window_stream([("a", "b", 3)], window_size=10))
+        assert window_digest(w1) != window_digest(w2)
+
+    def test_labels_are_part_of_the_digest(self):
+        [(w1, _)] = list(window_stream([("a", "b", 2)], window_size=10))
+        [(w2, _)] = list(window_stream([("a", "c", 2)], window_size=10))
+        assert window_digest(w1) != window_digest(w2)
+
+    def test_digest_is_sha256_hex(self):
+        [(w, _)] = list(window_stream([("a", "b", 1)], window_size=10))
+        digest = window_digest(w)
+        assert len(digest) == 64 and set(digest) <= set("0123456789abcdef")
+
+
+class TestIncrementalAdds:
+    def test_view_equals_full_merge_after_each_add(self):
+        view = MergedWindowView()
+        windows = _windows()
+        for k, array in enumerate(windows, start=1):
+            view.add(array)
+            assert view.merged() == merge_windows(windows[:k])
+        stats = view.stats()
+        # first add materializes; every later add refines incrementally
+        assert stats["incremental_merges"] == len(windows) - 1
+        assert not stats["dirty"]
+
+    def test_adds_before_first_merged_batch_up(self):
+        view = MergedWindowView()
+        windows = _windows()
+        for array in windows:
+            view.add(array)
+        assert view.merged() == merge_windows(windows)
+        assert view.stats()["recomputes"] == 1  # one batch materialization
+
+    def test_duplicate_window_is_deduped(self):
+        view = MergedWindowView()
+        windows = _windows(n_specs=2)
+        keys = [view.add(a) for a in windows]
+        assert view.add(windows[0]) == keys[0]  # same digest, no re-add
+        assert len(view) == len(windows)
+        assert view.merged() == merge_windows(windows)
+
+    def test_empty_view_merges_to_empty(self):
+        view = MergedWindowView()
+        merged = view.merged()
+        assert merged.nnz == 0
+        assert len(view) == 0
+
+
+class TestRemovalInvalidation:
+    def test_remove_recomputes_from_retained(self):
+        view = MergedWindowView()
+        windows = _windows()
+        keys = [view.add(a) for a in windows]
+        view.merged()
+        assert view.remove(keys[1])
+        assert view.stats()["dirty"]
+        assert view.merged() == merge_windows([windows[0], windows[2]])
+        assert not view.stats()["dirty"]
+
+    def test_remove_unknown_key_is_false_and_clean(self):
+        view = MergedWindowView()
+        windows = _windows(n_specs=2)
+        for a in windows:
+            view.add(a)
+        view.merged()
+        assert not view.remove("f" * 64)
+        assert not view.stats()["dirty"]  # a miss must not invalidate
+
+    def test_burst_of_removals_pays_one_recompute(self):
+        view = MergedWindowView()
+        windows = _windows()
+        keys = [view.add(a) for a in windows]
+        view.merged()
+        before = view.stats()["recomputes"]
+        view.remove(keys[0])
+        view.remove(keys[1])
+        view.merged()
+        assert view.stats()["recomputes"] == before + 1
+
+    def test_remove_all_then_merged_is_empty(self):
+        view = MergedWindowView()
+        windows = _windows(n_specs=2)
+        keys = [view.add(a) for a in windows]
+        for key in keys:
+            view.remove(key)
+        assert view.merged().nnz == 0
+
+    def test_re_add_after_remove(self):
+        view = MergedWindowView()
+        windows = _windows(n_specs=2)
+        keys = [view.add(a) for a in windows]
+        view.remove(keys[0])
+        view.add(windows[0])
+        assert view.merged() == merge_windows(windows)
+
+
+class TestStreamIntegration:
+    def test_scenario_stream_over_store_is_bit_identical(self, tmp_path):
+        """Streaming via the durable store matches a storeless stream exactly."""
+        specs = [ScenarioSpec(base="ring", params={}, n=10, seed=s) for s in range(3)]
+        plain = [a for a, _ in scenario_stream(specs, window_size=16)]
+        with ScenarioStore(tmp_path / "store", fsync=False) as store:
+            first = [a for a, _ in scenario_stream(specs, window_size=16, service=store)]
+            assert store.index.count() == len(specs)
+        # a fresh store instance replays the same stream from disk
+        with ScenarioStore(tmp_path / "store", fsync=False) as store:
+            replay = [
+                a for a, _ in scenario_stream(specs, window_size=16, service=store)
+            ]
+        assert first == plain == replay
+
+    def test_scenario_stream_rejects_bad_service(self):
+        from repro.errors import ScenarioError
+
+        with pytest.raises(ScenarioError, match="ScenarioStore"):
+            list(scenario_stream([], service=42))
+
+    def test_view_over_streamed_windows(self, tmp_path):
+        specs = [ScenarioSpec(base="star", params={}, n=8, seed=s) for s in range(2)]
+        with ScenarioStore(tmp_path / "store", fsync=False) as store:
+            view = MergedWindowView()
+            windows = []
+            for array, _ in scenario_stream(specs, window_size=8, service=store):
+                view.add(array)
+                windows.append(array)
+            assert view.merged() == merge_windows(windows)

@@ -175,7 +175,9 @@ class TestScenarioStream:
     def test_stream_rejects_non_service_objects(self):
         from repro.errors import ScenarioError
 
-        with pytest.raises(ScenarioError, match="ScenarioService or ScenarioCache"):
+        with pytest.raises(
+            ScenarioError, match="ScenarioService, ScenarioCache, or"
+        ):
             list(scenario_stream([ScenarioSpec(base="ring")], service=object()))
 
 

@@ -1,0 +1,193 @@
+"""Crash safety: killed writers, fault-injected transactions, concurrent upserts.
+
+The store's write ordering (blob rename → index commit) claims a crashed
+writer can only ever leave (a) nothing, (b) an invisible orphan blob, or
+(c) the completed write.  These tests kill writers at every seam — via the
+``fault_hook`` injection points in-process and via ``os._exit`` in real child
+processes — reopen the store, and hold it to that claim.
+"""
+
+import multiprocessing
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.scenarios import ScenarioSpec
+from repro.store import ScenarioStore
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def _spec(seed=7):
+    return ScenarioSpec(base="ring", params={}, n=10, seed=seed)
+
+
+class _Boom(BaseException):
+    """Deliberately not Exception: nothing downstream may swallow the crash."""
+
+
+def _hook_raising_at(stage):
+    def hook(s):
+        if s == stage:
+            raise _Boom(stage)
+
+    return hook
+
+
+class TestFaultInjection:
+    @pytest.mark.parametrize("stage", ["index_in_txn", "index_pre_commit"])
+    def test_crash_inside_index_txn_leaves_orphan_only(self, tmp_path, stage):
+        """Dying mid-transaction must roll back the row; the blob is an orphan."""
+        spec = _spec()
+        store = ScenarioStore(tmp_path, fsync=False, fault_hook=_hook_raising_at(stage))
+        with pytest.raises(_Boom):
+            store.put(spec, spec.build())
+        store.close()
+
+        with ScenarioStore(tmp_path, fsync=False) as reopened:
+            assert reopened.entry(spec) is None  # no dangling row, ever
+            assert reopened.get(spec) is None  # orphan blob is invisible
+            report = reopened.gc()
+            assert report["orphan_blobs"] == [spec.cache_key()]
+            assert report["dangling_rows"] == []
+            assert not reopened.blobs.exists(spec.cache_key())
+
+    def test_crash_after_blob_before_index(self, tmp_path):
+        spec = _spec()
+        store = ScenarioStore(
+            tmp_path, fsync=False, fault_hook=_hook_raising_at("blob_written")
+        )
+        with pytest.raises(_Boom):
+            store.put(spec, spec.build())
+        store.close()
+
+        with ScenarioStore(tmp_path, fsync=False) as reopened:
+            assert reopened.entry(spec) is None
+            assert reopened.gc()["orphan_blobs"] == [spec.cache_key()]
+            # and the key is perfectly writable afterwards
+            reopened.put(spec, spec.build())
+            assert reopened.get(spec) is not None
+            assert reopened.verify(rebuild=True) == {
+                "missing_blob": [],
+                "corrupt_blob": [],
+                "digest_mismatch": [],
+                "rebuild_mismatch": [],
+            }
+
+    def test_crashed_write_does_not_corrupt_existing_entry(self, tmp_path):
+        """A crash re-writing an existing key must leave the old entry intact."""
+        spec = _spec()
+        built = spec.build()
+        with ScenarioStore(tmp_path, fsync=False) as store:
+            store.put(spec, built)
+        crasher = ScenarioStore(
+            tmp_path, fsync=False, fault_hook=_hook_raising_at("index_pre_commit")
+        )
+        with pytest.raises(_Boom):
+            crasher.put(spec, built)
+        crasher.close()
+        with ScenarioStore(tmp_path, fsync=False) as reopened:
+            loaded = reopened.get(spec)
+            assert loaded == built and loaded.meta == built.meta
+            assert reopened.gc()["orphan_blobs"] == []  # same key: not an orphan
+
+
+_KILLED_WRITER = """
+import os, sys
+sys.path.insert(0, {src!r})
+from repro.scenarios import ScenarioSpec
+from repro.store import ScenarioStore
+
+spec = ScenarioSpec(base="ring", params={{}}, n=10, seed=7)
+def die(stage):
+    if stage == {stage!r}:
+        os._exit(42)  # no cleanup, no atexit — as close to kill -9 as portable
+store = ScenarioStore({root!r}, fsync=False, fault_hook=die)
+store.put(spec, spec.build())
+os._exit(0)
+"""
+
+
+class TestKilledWriterProcess:
+    @pytest.mark.parametrize(
+        "stage", ["blob_written", "index_in_txn", "index_pre_commit"]
+    )
+    def test_writer_killed_mid_write(self, tmp_path, stage):
+        """A real process dying mid-write leaves a consistent store behind."""
+        script = _KILLED_WRITER.format(src=SRC, stage=stage, root=str(tmp_path))
+        proc = subprocess.run(
+            [sys.executable, "-c", script], capture_output=True, text=True
+        )
+        assert proc.returncode == 42, proc.stderr
+
+        spec = _spec()
+        with ScenarioStore(tmp_path, fsync=False) as store:
+            assert store.entry(spec) is None  # the transaction never committed
+            report = store.gc()
+            assert report["dangling_rows"] == []
+            # blob may or may not have landed depending on the stage; either
+            # way gc leaves a store verify() calls clean
+            assert store.verify(rebuild=True) == {
+                "missing_blob": [],
+                "corrupt_blob": [],
+                "digest_mismatch": [],
+                "rebuild_mismatch": [],
+            }
+            # the store stays fully writable
+            store.put(spec, spec.build())
+            assert store.get(spec) is not None
+
+
+def _upsert_worker(root, barrier, results, worker_id):
+    """One competing writer (module-level: crosses spawn pickling)."""
+    try:
+        spec = ScenarioSpec(base="ring", params={}, n=10, seed=7)
+        matrix = spec.build()
+        store = ScenarioStore(root, fsync=False, retries=30, backoff=0.01)
+        barrier.wait(timeout=30)  # maximise the collision window
+        for _ in range(3):
+            store.put(spec, matrix)
+        store.close()
+        results[worker_id] = "ok"
+    except Exception as exc:  # noqa: BLE001 - reported to the parent
+        results[worker_id] = f"{type(exc).__name__}: {exc}"
+
+
+class TestConcurrentUpserts:
+    def test_multiprocess_same_key_single_row(self, tmp_path):
+        """N processes upserting one key leave exactly one valid row + blob."""
+        n_workers = 4
+        ctx = multiprocessing.get_context("spawn")
+        with ctx.Manager() as manager:
+            results = manager.dict()
+            barrier = ctx.Barrier(n_workers)
+            procs = [
+                ctx.Process(
+                    target=_upsert_worker,
+                    args=(str(tmp_path), barrier, results, k),
+                )
+                for k in range(n_workers)
+            ]
+            for p in procs:
+                p.start()
+            for p in procs:
+                p.join(timeout=120)
+            outcomes = dict(results)
+
+        assert all(v == "ok" for v in outcomes.values()), outcomes
+        spec = _spec()
+        with ScenarioStore(tmp_path, fsync=False) as store:
+            assert store.index.count() == 1  # exactly one index row
+            row = store.entry(spec)
+            assert row.writes == n_workers * 3  # every upsert was counted
+            assert list(store.blobs.keys()) == [spec.cache_key()]  # one blob
+            loaded = store.get(spec)
+            direct = spec.build()
+            assert loaded == direct and loaded.meta == direct.meta
+            assert store.gc() == {
+                "orphan_blobs": [],
+                "dangling_rows": [],
+                "staging_files": [],
+            }

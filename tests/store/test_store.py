@@ -1,0 +1,204 @@
+"""ScenarioStore end to end: round trips, restarts, gc, verify, stats."""
+
+import pytest
+
+from repro.errors import StoreError, StoreIntegrityError
+from repro.scenarios import NoiseSpec, OverlaySpec, ScenarioSpec
+from repro.store import ScenarioStore
+
+
+@pytest.fixture
+def root(tmp_path):
+    return tmp_path / "store"
+
+
+@pytest.fixture
+def store(root):
+    with ScenarioStore(root, fsync=False) as s:
+        yield s
+
+
+def _spec(seed=7, **kw):
+    kw.setdefault("base", "ring")
+    kw.setdefault("params", {})
+    kw.setdefault("n", 10)
+    return ScenarioSpec(seed=seed, **kw)
+
+
+class TestRoundTrip:
+    def test_put_get_bit_identical(self, store):
+        spec = _spec()
+        built = spec.build()
+        key = store.put(spec, built)
+        assert key == spec.cache_key()
+        loaded = store.get(spec)
+        assert loaded == built
+        assert loaded.meta == built.meta
+
+    def test_round_trip_survives_reopen(self, root):
+        """A corpus built by one process is served bit-identically by the next."""
+        specs = [
+            _spec(seed=1),
+            _spec(seed=2, base="star"),
+            _spec(
+                seed=3,
+                base="ddos_attack",
+                params={"packets": 20},
+                noise=NoiseSpec(density=0.15),
+            ),
+            _spec(seed=4, overlays=(OverlaySpec("self_loops", {}),)),
+        ]
+        built = [spec.build() for spec in specs]
+        with ScenarioStore(root, fsync=False) as writer:
+            for spec, matrix in zip(specs, built):
+                writer.put(spec, matrix)
+        # fresh instance = fresh process as far as the store is concerned
+        with ScenarioStore(root, fsync=False) as reader:
+            for spec, matrix in zip(specs, built):
+                loaded = reader.get(spec.cache_key())
+                assert loaded == matrix
+                assert loaded.meta == matrix.meta
+
+    def test_get_miss_returns_none(self, store):
+        assert store.get(_spec(seed=404)) is None
+        assert not store.contains(_spec(seed=404))
+
+    def test_contains_and_in(self, store):
+        spec = _spec()
+        store.put(spec, spec.build())
+        assert store.contains(spec)
+        assert spec.cache_key() in store
+
+    def test_spec_for_rehydrates(self, store):
+        spec = _spec(seed=5, base="star")
+        store.put(spec, spec.build())
+        assert store.spec_for(spec.cache_key()) == spec
+        with pytest.raises(StoreError, match="no entry"):
+            store.spec_for("ff" * 32)
+
+    def test_put_spec_indexes_without_payload(self, store):
+        spec = _spec(seed=6)
+        store.put_spec(spec, kind="repro", extra={"oracle": "x"})
+        row = store.entry(spec)
+        assert row is not None and not row.has_payload
+        assert store.get(spec) is None  # spec-only rows are clean misses
+        assert not store.contains(spec)
+
+    def test_delete(self, store):
+        spec = _spec(seed=8)
+        store.put(spec, spec.build())
+        assert store.delete(spec)
+        assert store.get(spec) is None
+        assert not store.blobs.exists(spec.cache_key())
+        assert not store.delete(spec)
+
+    def test_entries_filter_by_kind(self, store):
+        a, b = _spec(seed=1), _spec(seed=2)
+        store.put(a, a.build())
+        store.put(b, b.build(), kind="repro", extra={"oracle": "o"})
+        assert {r.kind for r in store.entries()} == {"scenario", "repro"}
+        assert [r.key for r in store.entries(kind="repro")] == [b.cache_key()]
+
+    def test_root_must_be_directory(self, tmp_path):
+        clash = tmp_path / "not_a_dir"
+        clash.write_text("file")
+        with pytest.raises(StoreError, match="not a directory"):
+            ScenarioStore(clash)
+
+
+class TestIntegrity:
+    def test_corrupt_blob_raises_on_get(self, store):
+        spec = _spec()
+        store.put(spec, spec.build())
+        path = store.blobs.path_for(spec.cache_key())
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(StoreIntegrityError):
+            store.get(spec)
+
+    def test_missing_blob_raises_on_get(self, store):
+        spec = _spec()
+        store.put(spec, spec.build())
+        store.blobs.delete(spec.cache_key())
+        with pytest.raises(StoreIntegrityError, match="missing"):
+            store.get(spec)
+
+    def test_verify_clean_store(self, store):
+        for seed in range(3):
+            spec = _spec(seed=seed)
+            store.put(spec, spec.build())
+        problems = store.verify(rebuild=True)
+        assert all(not keys for keys in problems.values())
+
+    def test_verify_reports_corruption(self, store):
+        spec = _spec()
+        store.put(spec, spec.build())
+        path = store.blobs.path_for(spec.cache_key())
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        path.write_bytes(bytes(data))
+        problems = store.verify()
+        assert problems["digest_mismatch"] == [spec.cache_key()]
+
+    def test_verify_reports_missing_blob(self, store):
+        spec = _spec()
+        store.put(spec, spec.build())
+        store.blobs.delete(spec.cache_key())
+        problems = store.verify()
+        assert problems["missing_blob"] == [spec.cache_key()]
+
+
+class TestGc:
+    def test_gc_removes_orphan_blob(self, store):
+        spec = _spec()
+        store.put(spec, spec.build())
+        store.index.delete(spec.cache_key())  # blob is now an orphan
+        report = store.gc(dry_run=True)
+        assert report["orphan_blobs"] == [spec.cache_key()]
+        assert store.blobs.exists(spec.cache_key())  # dry run touched nothing
+        report = store.gc()
+        assert report["orphan_blobs"] == [spec.cache_key()]
+        assert not store.blobs.exists(spec.cache_key())
+
+    def test_gc_sweeps_staging(self, store):
+        (store.root / "staging" / "dead.writer.tmp").write_bytes(b"torn")
+        report = store.gc()
+        assert len(report["staging_files"]) == 1
+        assert store.blobs.staging_files() == []
+
+    def test_gc_reports_but_keeps_dangling_rows(self, store):
+        spec = _spec()
+        store.put(spec, spec.build())
+        store.blobs.delete(spec.cache_key())
+        report = store.gc()
+        assert report["dangling_rows"] == [spec.cache_key()]
+        assert store.entry(spec) is not None  # evidence preserved
+
+    def test_gc_clean_store_is_noop(self, store):
+        spec = _spec()
+        store.put(spec, spec.build())
+        report = store.gc()
+        assert report == {
+            "orphan_blobs": [],
+            "dangling_rows": [],
+            "staging_files": [],
+        }
+        assert store.get(spec) is not None
+
+
+class TestStats:
+    def test_stats_shape(self, store):
+        a, b = _spec(seed=1), _spec(seed=2)
+        store.put(a, a.build())
+        store.put_spec(b, kind="repro")
+        stats = store.stats()
+        assert stats["entries"] == 2
+        assert stats["by_kind"] == {"repro": 1, "scenario": 1}
+        assert stats["payload_bytes"] > 0
+        assert stats["blobs_on_disk"] == 1
+        assert stats["staging_files"] == 0
+        assert stats["schema_version"] == 1
+
+    def test_repr(self, store):
+        assert "entries=0" in repr(store)

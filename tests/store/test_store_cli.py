@@ -1,0 +1,111 @@
+"""The ``python -m repro.store`` admin CLI: ls, stats, gc, verify."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.scenarios import ScenarioSpec
+from repro.store import ScenarioStore
+from repro.store.__main__ import main
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+@pytest.fixture
+def populated(tmp_path):
+    root = tmp_path / "store"
+    with ScenarioStore(root, fsync=False) as store:
+        a = ScenarioSpec(base="ring", params={}, n=8, seed=1)
+        b = ScenarioSpec(base="star", params={}, n=6, seed=2)
+        store.put(a, a.build())
+        store.put(b, b.build(), kind="repro", extra={"oracle": "round_trip"})
+    return root
+
+
+class TestLs:
+    def test_lists_all_entries(self, populated, capsys):
+        assert main(["--root", str(populated), "ls"]) == 0
+        out = capsys.readouterr().out
+        assert "2 entries" in out
+        assert "scenario" in out and "repro" in out
+
+    def test_kind_filter(self, populated, capsys):
+        assert main(["--root", str(populated), "ls", "--kind", "repro"]) == 0
+        out = capsys.readouterr().out
+        assert "1 entries" in out
+        assert "scenario " not in out
+
+    def test_base_filter(self, populated, capsys):
+        assert main(["--root", str(populated), "ls", "--base", "ring"]) == 0
+        assert "1 entries" in capsys.readouterr().out
+
+
+class TestStats:
+    def test_stats_is_json(self, populated, capsys):
+        assert main(["--root", str(populated), "stats"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["entries"] == 2
+        assert stats["by_kind"] == {"repro": 1, "scenario": 1}
+
+
+class TestGc:
+    def test_gc_removes_orphans(self, populated, capsys):
+        with ScenarioStore(populated, fsync=False) as store:
+            key = store.index.keys()[0]
+            store.index.delete(key)
+        assert main(["--root", str(populated), "gc"]) == 0
+        out = capsys.readouterr().out
+        assert "removed 1 orphan blob(s)" in out
+        with ScenarioStore(populated, fsync=False) as store:
+            assert not store.blobs.exists(key)
+
+    def test_gc_dry_run(self, populated, capsys):
+        with ScenarioStore(populated, fsync=False) as store:
+            key = store.index.keys()[0]
+            store.index.delete(key)
+        assert main(["--root", str(populated), "gc", "--dry-run"]) == 0
+        assert "would remove 1 orphan blob(s)" in capsys.readouterr().out
+        with ScenarioStore(populated, fsync=False) as store:
+            assert store.blobs.exists(key)
+
+    def test_gc_warns_on_dangling_rows(self, populated, capsys):
+        with ScenarioStore(populated, fsync=False) as store:
+            store.blobs.delete(store.index.keys()[0])
+        assert main(["--root", str(populated), "gc"]) == 0
+        assert "dangling index row(s)" in capsys.readouterr().err
+
+
+class TestVerify:
+    def test_clean_store_exits_zero(self, populated, capsys):
+        assert main(["--root", str(populated), "verify", "--rebuild"]) == 0
+        assert "0 problem(s)" in capsys.readouterr().out
+
+    def test_corruption_exits_one(self, populated, capsys):
+        with ScenarioStore(populated, fsync=False) as store:
+            path = store.blobs.path_for(store.index.keys()[0])
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        path.write_bytes(bytes(data))
+        assert main(["--root", str(populated), "verify"]) == 1
+        assert "digest_mismatch" in capsys.readouterr().out
+
+
+class TestErrors:
+    def test_missing_root_exits_two(self, tmp_path, capsys):
+        assert main(["--root", str(tmp_path / "nope"), "stats"]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+
+def test_module_is_executable(populated):
+    """The documented invocation — ``python -m repro.store`` — really works."""
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.store", "--root", str(populated), "stats"],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": SRC, "PATH": "/usr/bin:/bin"},
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert json.loads(proc.stdout)["entries"] == 2

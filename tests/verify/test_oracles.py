@@ -240,7 +240,7 @@ class TestStaticShapesOracle:
 
 
 class TestBattery:
-    def test_default_battery_has_all_seven(self):
+    def test_default_battery_has_all_eight(self):
         names = [oracle.name for oracle in default_oracles()]
         assert names == [
             "kernel_equality",
@@ -250,6 +250,7 @@ class TestBattery:
             "overlay_metamorphic",
             "cache_delta",
             "static_shapes",
+            "store_round_trip",
         ]
 
     def test_oracles_are_picklable(self):
